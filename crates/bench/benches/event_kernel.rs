@@ -1,0 +1,68 @@
+//! **Micro-bench — simulation kernel.**
+//!
+//! Measures the discrete-event calendar (schedule+pop churn) and the
+//! end-to-end event rate of a small full-network simulation — the number
+//! that bounds how much simulated time a wall-clock second buys.
+//!
+//! Run: `cargo bench -p dqos-bench --bench event_kernel`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dqos_core::Architecture;
+use dqos_netsim::{Network, SimConfig};
+use dqos_sim_core::{EventQueue, SimRng, SimTime};
+use std::hint::black_box;
+
+fn bench_calendar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    for pending in [64usize, 4096] {
+        group.throughput(Throughput::Elements(100_000));
+        group.bench_with_input(
+            BenchmarkId::new("schedule_pop", pending),
+            &pending,
+            |b, &pending| {
+                let mut rng = SimRng::new(1);
+                let jitter: Vec<u64> = (0..100_000).map(|_| rng.range_u64(1, 5_000)).collect();
+                b.iter(|| {
+                    let mut q = EventQueue::with_capacity(pending * 2);
+                    // Pre-fill.
+                    for i in 0..pending {
+                        q.schedule(SimTime::from_ns(i as u64), i as u64);
+                    }
+                    // Steady-state churn.
+                    let mut out = 0u64;
+                    for &j in &jitter {
+                        let e = q.pop().expect("non-empty");
+                        out ^= e.payload;
+                        q.schedule(e.time + dqos_sim_core::SimDuration::from_ns(j), e.payload);
+                    }
+                    black_box(out)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_full_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_sim");
+    group.sample_size(10);
+    for arch in [Architecture::Traditional2Vc, Architecture::Advanced2Vc] {
+        group.bench_function(BenchmarkId::new("tiny_2ms", arch.slug()), |b| {
+            b.iter(|| {
+                let mut cfg = SimConfig::tiny(arch, 0.5);
+                cfg.warmup = dqos_sim_core::SimDuration::from_us(100);
+                cfg.measure = dqos_sim_core::SimDuration::from_ms(2);
+                let (_, summary) = Network::new(cfg).run();
+                black_box(summary.events)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_calendar, bench_full_sim
+}
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! **Figure 2** — Control traffic across the four architectures:
+//! (a) average latency vs injected load, (b) throughput vs load,
+//! (c) latency CDF at the highest load, plus the §5 headline ratios
+//! (Simple ≈ +25 %, Advanced ≈ +5 % average latency vs Ideal).
+//!
+//! Run: `cargo bench -p dqos-bench --bench fig2_control`
+//! (scaling knobs documented in `dqos_bench`).
+
+use dqos_bench::{print_cdf, print_series, run_sweep, BenchEnv};
+use dqos_core::Architecture;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    println!(
+        "=== Figure 2: Control traffic ({} hosts, {} ms window) ===",
+        env.hosts, env.measure_ms
+    );
+    let sweep = run_sweep(&env);
+
+    print_series(
+        "Figure 2a: Control average packet latency vs load",
+        "us",
+        &sweep,
+        &env.loads,
+        |r| r.class("Control").unwrap().packet_latency.mean() / 1e3,
+    );
+    print_series(
+        "Figure 2a': Control p99 packet latency vs load",
+        "us",
+        &sweep,
+        &env.loads,
+        |r| r.class("Control").unwrap().packet_latency.quantile(0.99) as f64 / 1e3,
+    );
+    print_series(
+        "Figure 2b: Control throughput vs load",
+        "Gb/s",
+        &sweep,
+        &env.loads,
+        |r| {
+            r.class("Control")
+                .unwrap()
+                .delivered
+                .throughput(r.window_start, r.window_end)
+                .as_gbps_f64()
+        },
+    );
+    print_cdf(
+        "Figure 2c: Control latency",
+        &sweep,
+        env.max_load(),
+        1e3,
+        "us",
+        24,
+        |r| &r.class("Control").unwrap().packet_latency,
+    );
+
+    // §5 headline: latency penalty of the feasible designs vs Ideal.
+    let mean_at = |arch: Architecture| {
+        sweep
+            .iter()
+            .find(|(a, l, _, _)| *a == arch && *l == env.max_load())
+            .map(|(_, _, r, _)| r.class("Control").unwrap().packet_latency.mean())
+            .unwrap()
+    };
+    let ideal = mean_at(Architecture::Ideal);
+    println!("\n## Headline ratios @ {:.0}% load (paper: Simple ~ +25%, Advanced ~ +5%)", env.max_load() * 100.0);
+    for arch in [Architecture::Simple2Vc, Architecture::Advanced2Vc, Architecture::Traditional2Vc] {
+        let m = mean_at(arch);
+        println!(
+            "{:<18} avg latency {:>9.2} us  ({:+.1}% vs Ideal)",
+            arch.label(),
+            m / 1e3,
+            (m / ideal - 1.0) * 100.0
+        );
+    }
+
+    // Order errors (§3.4): served while a smaller deadline waited in the
+    // same buffer. Ideal must be zero; Advanced well below Simple.
+    println!("\n## Order errors @ {:.0}% load", env.max_load() * 100.0);
+    for arch in Architecture::ALL {
+        let s = sweep
+            .iter()
+            .find(|(a, l, _, _)| *a == arch && *l == env.max_load())
+            .map(|(_, _, _, s)| s)
+            .unwrap();
+        println!(
+            "{:<18} {:>10} order errors / {:>10} delivered packets",
+            arch.label(),
+            s.order_errors,
+            s.delivered_packets
+        );
+    }
+}

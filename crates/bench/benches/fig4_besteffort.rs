@@ -1,0 +1,78 @@
+//! **Figure 4** — throughput of the two best-effort classes vs load.
+//!
+//! Paper's claim: under *Traditional 2 VCs* both classes share VC1
+//! identically and get the same throughput; the EDF architectures
+//! differentiate them inside a single VC via the weighted aggregated
+//! flow records (Best-effort weighted 2:1 over Background here), and can
+//! guarantee a minimum bandwidth to each.
+//!
+//! Run: `cargo bench -p dqos-bench --bench fig4_besteffort`
+
+use dqos_bench::{print_series, run_sweep, BenchEnv};
+use dqos_core::Architecture;
+use dqos_stats::Report;
+
+fn thru(r: &Report, class: &str) -> f64 {
+    r.class(class)
+        .unwrap()
+        .delivered
+        .throughput(r.window_start, r.window_end)
+        .as_gbps_f64()
+}
+
+fn main() {
+    let env = BenchEnv::from_env();
+    println!(
+        "=== Figure 4: Best-effort traffic classes ({} hosts, {} ms window) ===",
+        env.hosts, env.measure_ms
+    );
+    let sweep = run_sweep(&env);
+
+    print_series(
+        "Figure 4a: Best-effort throughput vs load",
+        "Gb/s",
+        &sweep,
+        &env.loads,
+        |r| thru(r, "Best-effort"),
+    );
+    print_series(
+        "Figure 4b: Background throughput vs load",
+        "Gb/s",
+        &sweep,
+        &env.loads,
+        |r| thru(r, "Background"),
+    );
+    print_series(
+        "Best-effort : Background delivered ratio vs load",
+        "x",
+        &sweep,
+        &env.loads,
+        |r| {
+            let bg = thru(r, "Background");
+            if bg > 0.0 {
+                thru(r, "Best-effort") / bg
+            } else {
+                f64::NAN
+            }
+        },
+    );
+
+    println!("\n## Differentiation @ {:.0}% load", env.max_load() * 100.0);
+    println!("(paper: Traditional equal split; EDF splits by the 2:1 record weights)");
+    for arch in Architecture::ALL {
+        let r = sweep
+            .iter()
+            .find(|(a, l, _, _)| *a == arch && *l == env.max_load())
+            .map(|(_, _, r, _)| r)
+            .unwrap();
+        let be = thru(r, "Best-effort");
+        let bg = thru(r, "Background");
+        println!(
+            "{:<18} BE {:>7.3} Gb/s  BG {:>7.3} Gb/s  ratio {:>5.2}",
+            arch.label(),
+            be,
+            bg,
+            be / bg
+        );
+    }
+}

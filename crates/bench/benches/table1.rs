@@ -1,0 +1,95 @@
+//! **Table 1** — "Traffic injected per host": validate that the workload
+//! generators realise the specification — 25 % of bandwidth per class,
+//! application-frame sizes inside the stated ranges, MPEG-4 streams at
+//! one frame per 40 ms, self-similar classes with Pareto sizes.
+//!
+//! This bench drives the generators directly (no network) so it runs in
+//! seconds at any scale.
+//!
+//! Run: `cargo bench -p dqos-bench --bench table1`
+
+use dqos_core::TrafficClass;
+use dqos_sim_core::{SimRng, SimTime};
+use dqos_topology::HostId;
+use dqos_traffic::{build_host_sources, MixConfig};
+
+fn main() {
+    let seconds = std::env::var("DQOS_TABLE1_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1u64);
+    let horizon = SimTime::from_secs(seconds);
+    let cfg = MixConfig::paper(1.0);
+    let n_hosts = 32;
+
+    println!("=== Table 1: traffic injected per host (generator validation) ===");
+    println!("horizon {seconds} s, link {}, load 100%\n", cfg.link_bw);
+
+    let mut bytes = [0u64; 4];
+    let mut msgs = [0u64; 4];
+    let mut min_size = [u64::MAX; 4];
+    let mut max_size = [0u64; 4];
+    let mut rng = SimRng::new(7);
+    // One representative host's full source set.
+    let sources = build_host_sources(&cfg, HostId(0), n_hosts, &mut rng);
+    let n_video = sources.iter().filter(|s| s.class() == TrafficClass::Multimedia).count();
+    for mut s in sources {
+        let class = s.class().idx();
+        let mut t = s.first_arrival(&mut rng);
+        while t <= horizon {
+            let (m, next) = s.emit(t, &mut rng);
+            bytes[class] += m.bytes;
+            msgs[class] += 1;
+            min_size[class] = min_size[class].min(m.bytes);
+            max_size[class] = max_size[class].max(m.bytes);
+            t = next;
+        }
+    }
+
+    let total: u64 = bytes.iter().sum();
+    println!(
+        "{:<12} {:>7} {:>9} {:>14} {:>11} {:>11}  spec",
+        "class", "% BW", "msgs", "bytes", "min frame", "max frame"
+    );
+    let spec = [
+        "25% | frames 128 B..2 KiB | Poisson",
+        "25% | frames 1..120 KiB | 40 ms cadence",
+        "25% | frames 128 B..100 KiB | self-similar",
+        "25% | frames 128 B..100 KiB | self-similar",
+    ];
+    for class in TrafficClass::ALL {
+        let i = class.idx();
+        println!(
+            "{:<12} {:>6.1}% {:>9} {:>14} {:>11} {:>11}  {}",
+            class.name(),
+            bytes[i] as f64 / total as f64 * 100.0,
+            msgs[i],
+            bytes[i],
+            if min_size[i] == u64::MAX { 0 } else { min_size[i] },
+            max_size[i],
+            spec[i]
+        );
+    }
+    println!("\nvideo streams per host: {n_video} (share / 400 KB/s per stream; see DESIGN.md)");
+    println!(
+        "aggregate offered: {:.3} Gb/s of {:.3} Gb/s link",
+        total as f64 * 8.0 / seconds as f64 / 1e9,
+        cfg.link_bw.as_gbps_f64()
+    );
+
+    // Hard validation, so `cargo bench` fails loudly on regression.
+    for class in TrafficClass::ALL {
+        let i = class.idx();
+        let share = bytes[i] as f64 / total as f64;
+        assert!(
+            (share - 0.25).abs() < 0.06,
+            "{} share {share:.3} deviates from Table 1",
+            class.name()
+        );
+    }
+    assert!((128..=2048).contains(&min_size[0]) && max_size[0] <= 2048);
+    assert!(min_size[1] >= 1024 && max_size[1] <= 120 * 1024);
+    assert!(min_size[2] >= 128 && max_size[2] <= 100_000);
+    assert!(min_size[3] >= 128 && max_size[3] <= 100_000);
+    println!("\nOK: generated mix matches the Table 1 specification.");
+}

@@ -1,0 +1,295 @@
+//! # dqos-bench
+//!
+//! Shared harness for the figure/table benches (the `benches/` targets of
+//! this crate regenerate every table and figure of the paper's
+//! evaluation; see DESIGN.md §4 for the index).
+//!
+//! ## Scaling knobs (environment variables)
+//!
+//! | Variable          | Default        | Meaning |
+//! |-------------------|----------------|---------|
+//! | `DQOS_PAPER=1`    | off            | full 128-host paper network (slow) |
+//! | `DQOS_HOSTS`      | 16             | host count (multiple of 8) |
+//! | `DQOS_MEASURE_MS` | 10             | measurement window per point |
+//! | `DQOS_WARMUP_MS`  | 12             | warm-up (must exceed the 10 ms frame pipeline) |
+//! | `DQOS_LOADS`      | .2,.4,.6,.8,1  | sweep points |
+//! | `DQOS_SEED`       | 0xD05E         | master seed |
+//! | `DQOS_NO_CACHE=1` | off            | disable the sweep-result cache |
+//!
+//! Figures 2, 3 and 4 all read the *same* simulations (the paper runs one
+//! workload and reports three views of it), so sweep results are cached
+//! under `target/dqos-cache/` keyed by the full config JSON — the second
+//! and third figure benches reuse the first one's runs.
+
+use dqos_core::Architecture;
+use dqos_netsim::{run_one, RunSummary, SimConfig};
+use dqos_stats::Report;
+use dqos_topology::ClosParams;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::path::PathBuf;
+
+/// Sweep parameters read from the environment.
+#[derive(Debug, Clone)]
+pub struct BenchEnv {
+    /// Host count.
+    pub hosts: u16,
+    /// Measurement window, ms.
+    pub measure_ms: u64,
+    /// Warm-up, ms.
+    pub warmup_ms: u64,
+    /// Load points.
+    pub loads: Vec<f64>,
+    /// Master seed.
+    pub seed: u64,
+    /// Cache sweep results on disk.
+    pub cache: bool,
+}
+
+impl BenchEnv {
+    /// Read the environment (see crate docs for the knobs).
+    pub fn from_env() -> Self {
+        let paper = std::env::var("DQOS_PAPER").map(|v| v == "1").unwrap_or(false);
+        let get = |k: &str, d: u64| -> u64 {
+            std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
+        };
+        let hosts = if paper {
+            128
+        } else {
+            get("DQOS_HOSTS", 16) as u16
+        };
+        let loads = std::env::var("DQOS_LOADS")
+            .ok()
+            .map(|v| {
+                v.split(',')
+                    .map(|s| s.trim().parse::<f64>().expect("DQOS_LOADS entries are numbers"))
+                    .collect()
+            })
+            .unwrap_or_else(|| vec![0.2, 0.4, 0.6, 0.8, 1.0]);
+        BenchEnv {
+            hosts,
+            measure_ms: get("DQOS_MEASURE_MS", if paper { 50 } else { 10 }),
+            warmup_ms: get("DQOS_WARMUP_MS", if paper { 15 } else { 12 }),
+            loads,
+            seed: get("DQOS_SEED", 0xD0_5E),
+            cache: std::env::var("DQOS_NO_CACHE").map(|v| v != "1").unwrap_or(true),
+        }
+    }
+
+    /// The simulation config for one (architecture, load) point.
+    pub fn config(&self, arch: Architecture, load: f64) -> SimConfig {
+        let mut c = SimConfig::paper(arch, load);
+        c.topology = ClosParams::scaled(self.hosts);
+        c.measure = dqos_sim_core::SimDuration::from_ms(self.measure_ms);
+        c.warmup = dqos_sim_core::SimDuration::from_ms(self.warmup_ms);
+        c.seed = self.seed;
+        c
+    }
+
+    /// The highest load point (where the paper takes its CDFs).
+    pub fn max_load(&self) -> f64 {
+        self.loads.iter().cloned().fold(0.0, f64::max)
+    }
+}
+
+/// The workspace `target/` directory. Bench binaries run with the
+/// package directory as CWD, so a relative "target" would land under
+/// `crates/bench/`; resolve against the manifest location instead.
+fn target_dir() -> PathBuf {
+    match std::env::var("CARGO_TARGET_DIR") {
+        Ok(t) => PathBuf::from(t),
+        Err(_) => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target"),
+    }
+}
+
+fn cache_dir() -> PathBuf {
+    target_dir().join("dqos-cache")
+}
+
+fn cache_key(cfg: &SimConfig) -> String {
+    let json = serde_json::to_string(cfg).expect("config serialises");
+    let mut h = DefaultHasher::new();
+    json.hash(&mut h);
+    // Include a schema version so stale caches die on model changes.
+    2u32.hash(&mut h);
+    format!("{:016x}", h.finish())
+}
+
+/// Run one point, reading/writing the on-disk cache.
+pub fn run_cached(env: &BenchEnv, cfg: SimConfig) -> (Report, RunSummary) {
+    if !env.cache {
+        return run_one(cfg);
+    }
+    let dir = cache_dir();
+    let path = dir.join(format!("{}.json", cache_key(&cfg)));
+    if let Ok(data) = std::fs::read_to_string(&path) {
+        if let Ok(pair) = serde_json::from_str::<(Report, RunSummary)>(&data) {
+            return pair;
+        }
+    }
+    let pair = run_one(cfg);
+    let _ = std::fs::create_dir_all(&dir);
+    let _ = std::fs::write(&path, serde_json::to_string(&pair).expect("results serialise"));
+    pair
+}
+
+/// Run the full figure sweep: every architecture at every load.
+/// Returns `(arch, load, report, summary)` tuples in deterministic order.
+pub fn run_sweep(env: &BenchEnv) -> Vec<(Architecture, f64, Report, RunSummary)> {
+    let mut out = Vec::new();
+    for &arch in &Architecture::ALL {
+        for &load in &env.loads {
+            eprintln!("  running {} @ {:.0}% ...", arch.label(), load * 100.0);
+            let (report, summary) = run_cached(env, env.config(arch, load));
+            assert_eq!(summary.out_of_order, 0, "in-order guarantee violated");
+            out.push((arch, load, report, summary));
+        }
+    }
+    out
+}
+
+/// Print a `load × architecture` series table, and mirror it as a
+/// gnuplot-ready `.dat` file under `target/figures/` (one column per
+/// architecture).
+///
+/// `value` extracts the plotted quantity from a report.
+pub fn print_series(
+    title: &str,
+    unit: &str,
+    sweep: &[(Architecture, f64, Report, RunSummary)],
+    loads: &[f64],
+    mut value: impl FnMut(&Report) -> f64,
+) {
+    println!("\n## {title} [{unit}]");
+    let mut dat = format!("# {title} [{unit}]\n# load%");
+    for arch in Architecture::ALL {
+        dat.push_str(&format!(" \"{}\"", arch.label()));
+    }
+    dat.push('\n');
+    print!("{:>8}", "load%");
+    for arch in Architecture::ALL {
+        print!(" {:>18}", arch.label());
+    }
+    println!();
+    for &load in loads {
+        print!("{:>8.0}", load * 100.0);
+        dat.push_str(&format!("{:.0}", load * 100.0));
+        for arch in Architecture::ALL {
+            let r = sweep
+                .iter()
+                .find(|(a, l, _, _)| *a == arch && *l == load)
+                .map(|(_, _, r, _)| r)
+                .expect("sweep covers the grid");
+            let v = value(r);
+            print!(" {:>18.2}", v);
+            dat.push_str(&format!(" {v:.4}"));
+        }
+        println!();
+        dat.push('\n');
+    }
+    write_figure_file(title, &dat);
+}
+
+/// Slugify a title and write the data file under `target/figures/`.
+fn write_figure_file(title: &str, contents: &str) {
+    let slug: String = title
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .collect::<String>()
+        .split('_')
+        .filter(|s| !s.is_empty())
+        .collect::<Vec<_>>()
+        .join("_");
+    let dir = target_dir().join("figures");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let _ = std::fs::write(dir.join(format!("{slug}.dat")), contents);
+    }
+}
+
+/// Print a latency CDF per architecture at one load (the paper's CDF
+/// panels), as `value fraction` columns; the full-resolution curves are
+/// also written to `target/figures/` (gnuplot `index`-separated blocks,
+/// one per architecture).
+pub fn print_cdf(
+    title: &str,
+    sweep: &[(Architecture, f64, Report, RunSummary)],
+    load: f64,
+    unit_div: f64,
+    unit: &str,
+    points: usize,
+    hist_of: impl Fn(&Report) -> &dqos_stats::LogHistogram,
+) {
+    println!("\n## {title} (CDF @ {:.0}% load, {unit})", load * 100.0);
+    let mut dat = format!("# {title} (CDF @ {:.0}% load, {unit})\n", load * 100.0);
+    for arch in Architecture::ALL {
+        let r = sweep
+            .iter()
+            .find(|(a, l, _, _)| *a == arch && *l == load)
+            .map(|(_, _, r, _)| r)
+            .expect("sweep covers the max-load point");
+        let hist = hist_of(r);
+        let cdf = hist.cdf();
+        println!("# {}", arch.label());
+        dat.push_str(&format!("# {}\n", arch.label()));
+        // Thin the printed curve to ~`points` rows; the file keeps all.
+        let step = (cdf.len() / points.max(1)).max(1);
+        for (i, (v, f)) in cdf.iter().enumerate() {
+            if i % step == 0 || i + 1 == cdf.len() {
+                println!("{:>12.3} {:>9.6}", *v as f64 / unit_div, f);
+            }
+            dat.push_str(&format!("{:.4} {:.6}\n", *v as f64 / unit_div, f));
+        }
+        dat.push_str("\n\n"); // gnuplot block separator
+    }
+    write_figure_file(&format!("{title} cdf"), &dat);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults() {
+        // Not setting variables in tests (process-global); just check the
+        // default constructor path works when vars are absent.
+        let env = BenchEnv::from_env();
+        assert!(env.hosts >= 8);
+        assert!(!env.loads.is_empty());
+        assert!(env.max_load() <= 1.0);
+    }
+
+    #[test]
+    fn config_reflects_env() {
+        let env = BenchEnv {
+            hosts: 24,
+            measure_ms: 7,
+            warmup_ms: 13,
+            loads: vec![0.5],
+            seed: 9,
+            cache: false,
+        };
+        let cfg = env.config(Architecture::Ideal, 0.5);
+        assert_eq!(cfg.topology.n_hosts(), 24);
+        assert_eq!(cfg.measure, dqos_sim_core::SimDuration::from_ms(7));
+        assert_eq!(cfg.seed, 9);
+    }
+
+    #[test]
+    fn cache_key_distinguishes_configs() {
+        let env = BenchEnv {
+            hosts: 16,
+            measure_ms: 5,
+            warmup_ms: 5,
+            loads: vec![0.5],
+            seed: 1,
+            cache: false,
+        };
+        let a = cache_key(&env.config(Architecture::Ideal, 0.5));
+        let b = cache_key(&env.config(Architecture::Simple2Vc, 0.5));
+        let c = cache_key(&env.config(Architecture::Ideal, 0.6));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // Stable for identical configs.
+        assert_eq!(a, cache_key(&env.config(Architecture::Ideal, 0.5)));
+    }
+}

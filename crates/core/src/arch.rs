@@ -1,0 +1,148 @@
+//! The four switch architectures evaluated in §4.1/§5.
+//!
+//! All four use two VCs and identical buffering budgets; they differ only
+//! in queue structure and arbitration, which is the paper's point — the
+//! EDF proposals cost essentially the same silicon as the traditional
+//! design (except *Ideal*, whose heap buffers are declared unfeasible and
+//! serve as the upper bound).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Queue structure used inside switch buffers (per VC, per VOQ).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SwitchQueueKind {
+    /// Plain FIFO.
+    Fifo,
+    /// A heap ordered by deadline ("Ideal": always exposes the true
+    /// minimum; hardware-unfeasible at high radix).
+    Heap,
+    /// The §3.4 two-queue system: ordered queue + take-over queue.
+    TwoQueue,
+}
+
+/// One of the paper's four evaluated architectures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Architecture {
+    /// PCI AS-style 2-VC switch: FIFO queues, round-robin within a VC,
+    /// VC0 strict priority; **no deadlines anywhere**.
+    Traditional2Vc,
+    /// EDF with heap buffers: the unfeasible upper bound.
+    Ideal,
+    /// First proposal: FIFO queues, arbiter compares queue-head deadlines.
+    Simple2Vc,
+    /// Improved proposal: ordered + take-over queue pair per buffer.
+    Advanced2Vc,
+}
+
+impl Architecture {
+    /// All four, in the paper's presentation order.
+    pub const ALL: [Architecture; 4] = [
+        Architecture::Traditional2Vc,
+        Architecture::Ideal,
+        Architecture::Simple2Vc,
+        Architecture::Advanced2Vc,
+    ];
+
+    /// The label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Architecture::Traditional2Vc => "Traditional 2 VCs",
+            Architecture::Ideal => "Ideal",
+            Architecture::Simple2Vc => "Simple 2 VCs",
+            Architecture::Advanced2Vc => "Advanced 2 VCs",
+        }
+    }
+
+    /// Whether packets carry deadline tags and hosts stamp them.
+    pub fn uses_deadlines(self) -> bool {
+        !matches!(self, Architecture::Traditional2Vc)
+    }
+
+    /// The switch buffer structure.
+    pub fn switch_queue(self) -> SwitchQueueKind {
+        match self {
+            Architecture::Traditional2Vc | Architecture::Simple2Vc => SwitchQueueKind::Fifo,
+            Architecture::Ideal => SwitchQueueKind::Heap,
+            Architecture::Advanced2Vc => SwitchQueueKind::TwoQueue,
+        }
+    }
+
+    /// Whether the arbiter compares deadlines (EDF) or round-robins.
+    pub fn edf_arbitration(self) -> bool {
+        self.uses_deadlines()
+    }
+
+    /// Whether host NICs keep deadline-sorted injection queues (all EDF
+    /// variants; hosts have the resources for real sorted queues, §3.2).
+    pub fn host_sorted_queues(self) -> bool {
+        self.uses_deadlines()
+    }
+
+    /// Short identifier for file names / CLI flags.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Architecture::Traditional2Vc => "traditional",
+            Architecture::Ideal => "ideal",
+            Architecture::Simple2Vc => "simple",
+            Architecture::Advanced2Vc => "advanced",
+        }
+    }
+
+    /// Parse a slug (case-insensitive).
+    pub fn from_slug(s: &str) -> Option<Architecture> {
+        match s.to_ascii_lowercase().as_str() {
+            "traditional" | "trad" => Some(Architecture::Traditional2Vc),
+            "ideal" => Some(Architecture::Ideal),
+            "simple" => Some(Architecture::Simple2Vc),
+            "advanced" => Some(Architecture::Advanced2Vc),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Architecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_figures() {
+        assert_eq!(Architecture::Traditional2Vc.label(), "Traditional 2 VCs");
+        assert_eq!(Architecture::Ideal.label(), "Ideal");
+        assert_eq!(Architecture::Simple2Vc.label(), "Simple 2 VCs");
+        assert_eq!(Architecture::Advanced2Vc.label(), "Advanced 2 VCs");
+    }
+
+    #[test]
+    fn queue_kinds() {
+        use SwitchQueueKind::*;
+        assert_eq!(Architecture::Traditional2Vc.switch_queue(), Fifo);
+        assert_eq!(Architecture::Simple2Vc.switch_queue(), Fifo);
+        assert_eq!(Architecture::Ideal.switch_queue(), Heap);
+        assert_eq!(Architecture::Advanced2Vc.switch_queue(), TwoQueue);
+    }
+
+    #[test]
+    fn only_traditional_skips_deadlines() {
+        for a in Architecture::ALL {
+            assert_eq!(a.uses_deadlines(), a != Architecture::Traditional2Vc);
+            assert_eq!(a.edf_arbitration(), a.uses_deadlines());
+            assert_eq!(a.host_sorted_queues(), a.uses_deadlines());
+        }
+    }
+
+    #[test]
+    fn slug_roundtrip() {
+        for a in Architecture::ALL {
+            assert_eq!(Architecture::from_slug(a.slug()), Some(a));
+        }
+        assert_eq!(Architecture::from_slug("TRAD"), Some(Architecture::Traditional2Vc));
+        assert_eq!(Architecture::from_slug("nope"), None);
+    }
+}

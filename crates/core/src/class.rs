@@ -1,0 +1,153 @@
+//! Traffic classes and virtual channels.
+//!
+//! The paper's workload (Table 1) has four classes, each 25 % of the
+//! injected bandwidth. They map onto **two** virtual channels — the whole
+//! point of the proposal is that two VCs with FIFO-grade buffers suffice:
+//!
+//! | Class       | VC | Regulated? | Deadline source |
+//! |-------------|----|------------|-----------------|
+//! | Control     | 0  | yes (no CAC, §3.1) | full link bandwidth |
+//! | Multimedia  | 0  | yes (reserved)     | frame-spread, 10 ms target |
+//! | Best-effort | 1  | no                 | aggregated record, weight 2 |
+//! | Background  | 1  | no                 | aggregated record, weight 1 |
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of traffic classes in the evaluation workload.
+pub const NUM_CLASSES: usize = 4;
+
+/// Number of virtual channels (the paper's headline constraint).
+pub const NUM_VCS: usize = 2;
+
+/// One of the four workload traffic classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TrafficClass {
+    /// Small, latency-critical control messages.
+    Control,
+    /// MPEG-4 video streams with a per-frame latency target.
+    Multimedia,
+    /// Self-similar internet-like traffic, the preferred best-effort class.
+    BestEffort,
+    /// Self-similar internet-like traffic, the low-priority class.
+    Background,
+}
+
+impl TrafficClass {
+    /// All classes, in Table-1 order.
+    pub const ALL: [TrafficClass; NUM_CLASSES] = [
+        TrafficClass::Control,
+        TrafficClass::Multimedia,
+        TrafficClass::BestEffort,
+        TrafficClass::Background,
+    ];
+
+    /// Table-1 name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TrafficClass::Control => "Control",
+            TrafficClass::Multimedia => "Multimedia",
+            TrafficClass::BestEffort => "Best-effort",
+            TrafficClass::Background => "Background",
+        }
+    }
+
+    /// Whether the class travels in the regulated VC (VC0).
+    pub fn is_regulated(self) -> bool {
+        matches!(self, TrafficClass::Control | TrafficClass::Multimedia)
+    }
+
+    /// The virtual channel carrying this class.
+    pub fn vc(self) -> Vc {
+        if self.is_regulated() {
+            Vc::REGULATED
+        } else {
+            Vc::BEST_EFFORT
+        }
+    }
+
+    /// Dense index (Table-1 order), for stats arrays.
+    pub fn idx(self) -> usize {
+        match self {
+            TrafficClass::Control => 0,
+            TrafficClass::Multimedia => 1,
+            TrafficClass::BestEffort => 2,
+            TrafficClass::Background => 3,
+        }
+    }
+
+    /// Inverse of [`TrafficClass::idx`].
+    pub fn from_idx(i: usize) -> TrafficClass {
+        Self::ALL[i]
+    }
+}
+
+impl fmt::Display for TrafficClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A virtual channel index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Vc(pub u8);
+
+impl Vc {
+    /// VC0: regulated traffic; absolute priority over VC1.
+    pub const REGULATED: Vc = Vc(0);
+    /// VC1: unregulated best-effort traffic.
+    pub const BEST_EFFORT: Vc = Vc(1);
+
+    /// Both VCs, highest priority first.
+    pub const ALL: [Vc; NUM_VCS] = [Vc::REGULATED, Vc::BEST_EFFORT];
+
+    /// Dense index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Vc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VC{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_to_vc_mapping() {
+        assert_eq!(TrafficClass::Control.vc(), Vc::REGULATED);
+        assert_eq!(TrafficClass::Multimedia.vc(), Vc::REGULATED);
+        assert_eq!(TrafficClass::BestEffort.vc(), Vc::BEST_EFFORT);
+        assert_eq!(TrafficClass::Background.vc(), Vc::BEST_EFFORT);
+    }
+
+    #[test]
+    fn regulated_flags() {
+        assert!(TrafficClass::Control.is_regulated());
+        assert!(TrafficClass::Multimedia.is_regulated());
+        assert!(!TrafficClass::BestEffort.is_regulated());
+        assert!(!TrafficClass::Background.is_regulated());
+    }
+
+    #[test]
+    fn idx_roundtrip() {
+        for (i, c) in TrafficClass::ALL.iter().enumerate() {
+            assert_eq!(c.idx(), i);
+            assert_eq!(TrafficClass::from_idx(i), *c);
+        }
+    }
+
+    #[test]
+    fn names_match_table_1() {
+        assert_eq!(TrafficClass::Control.to_string(), "Control");
+        assert_eq!(TrafficClass::Multimedia.to_string(), "Multimedia");
+        assert_eq!(TrafficClass::BestEffort.to_string(), "Best-effort");
+        assert_eq!(TrafficClass::Background.to_string(), "Background");
+        assert_eq!(Vc::REGULATED.to_string(), "VC0");
+    }
+}

@@ -1,0 +1,147 @@
+//! The packet: the only thing a switch is allowed to know about a flow.
+//!
+//! A cornerstone of the proposal (§3) is that switches keep **no**
+//! per-flow state; scheduling uses only what is in the packet header —
+//! the deadline tag (carried as a TTD on the wire, see [`crate::clock`])
+//! and the routing information. Everything else on this struct
+//! (`injected_at`, `msg`) is simulator instrumentation that a real header
+//! would not carry; it is used solely by the statistics sink.
+
+use crate::class::{TrafficClass, Vc};
+use crate::flow::FlowId;
+use dqos_sim_core::SimTime;
+use dqos_topology::{HostId, Route};
+
+/// Globally unique packet identifier (simulator-side, for accounting).
+pub type PacketId = u64;
+
+/// Message/frame tag: which application message this packet is part `part`
+/// of, out of `parts`. Lets the sink reassemble frames and measure
+/// *frame* latency, which is how Figure 3 reports multimedia results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsgTag {
+    /// Message id, unique per source host.
+    pub msg_id: u64,
+    /// Index of this packet within the message (0-based).
+    pub part: u32,
+    /// Total packets in the message.
+    pub parts: u32,
+    /// Global time the message was handed to the NIC (stats only).
+    pub created_at: SimTime,
+}
+
+/// A network packet in flight.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Simulator-unique id.
+    pub id: PacketId,
+    /// The flow this packet belongs to (stamped by the source host; the
+    /// sink uses it for in-order verification, switches never read it).
+    pub flow: FlowId,
+    /// Traffic class (determines the VC).
+    pub class: TrafficClass,
+    /// Source host.
+    pub src: HostId,
+    /// Destination host.
+    pub dst: HostId,
+    /// Length in bytes (payload + header; at the paper's 8 Gb/s this is
+    /// also the serialisation time in nanoseconds).
+    pub len: u32,
+    /// The deadline tag, expressed in the clock domain of whichever node
+    /// currently holds the packet (see [`crate::clock::Ttd`]).
+    pub deadline: SimTime,
+    /// Eligible time: the earliest local time the *source host* may
+    /// inject the packet. Not transmitted in the header (§3.1) and
+    /// meaningless after injection.
+    pub eligible: Option<SimTime>,
+    /// The fixed route assigned at flow setup.
+    pub route: Route,
+    /// Index of the next hop in `route`.
+    pub hop: u8,
+    /// Global time of injection into the network (stats only).
+    pub injected_at: SimTime,
+    /// Message/frame reassembly tag (stats only).
+    pub msg: MsgTag,
+}
+
+impl Packet {
+    /// The virtual channel this packet travels on.
+    #[inline]
+    pub fn vc(&self) -> Vc {
+        self.class.vc()
+    }
+
+    /// Output port at the current hop's switch.
+    #[inline]
+    pub fn current_out_port(&self) -> dqos_topology::Port {
+        self.route
+            .hop(self.hop as usize)
+            .expect("packet hop index within route")
+            .out_port
+    }
+
+    /// Whether the current hop is the last switch before the destination.
+    #[inline]
+    pub fn at_last_hop(&self) -> bool {
+        self.route.is_last_hop(self.hop as usize)
+    }
+
+    /// Advance to the next hop (called when the packet leaves a switch).
+    #[inline]
+    pub fn advance_hop(&mut self) {
+        self.hop += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqos_topology::{Port, RouteHop, SwitchId};
+
+    fn test_packet() -> Packet {
+        let route = Route::new(
+            HostId(0),
+            HostId(9),
+            vec![
+                RouteHop { switch: SwitchId(0), out_port: Port(8) },
+                RouteHop { switch: SwitchId(2), out_port: Port(1) },
+                RouteHop { switch: SwitchId(1), out_port: Port(1) },
+            ],
+        );
+        Packet {
+            id: 1,
+            flow: FlowId(7),
+            class: TrafficClass::Multimedia,
+            src: HostId(0),
+            dst: HostId(9),
+            len: 2048,
+            deadline: SimTime::from_us(50),
+            eligible: Some(SimTime::from_us(30)),
+            route,
+            hop: 0,
+            injected_at: SimTime::ZERO,
+            msg: MsgTag { msg_id: 3, part: 0, parts: 4, created_at: SimTime::ZERO },
+        }
+    }
+
+    #[test]
+    fn vc_follows_class() {
+        let p = test_packet();
+        assert_eq!(p.vc(), Vc::REGULATED);
+        let mut p2 = p.clone();
+        p2.class = TrafficClass::Background;
+        assert_eq!(p2.vc(), Vc::BEST_EFFORT);
+    }
+
+    #[test]
+    fn hop_walk() {
+        let mut p = test_packet();
+        assert_eq!(p.current_out_port(), Port(8));
+        assert!(!p.at_last_hop());
+        p.advance_hop();
+        assert_eq!(p.current_out_port(), Port(1));
+        p.advance_hop();
+        assert!(p.at_last_hop());
+        assert_eq!(p.current_out_port(), Port(1));
+    }
+}

@@ -1,0 +1,162 @@
+//! Window-gated statistics collection.
+
+use dqos_core::{FlowId, TrafficClass, NUM_CLASSES};
+use dqos_sim_core::SimTime;
+use dqos_stats::{ClassStats, JitterTracker, Report};
+
+/// Collects deliveries and offered traffic inside the measurement window
+/// and emits a [`Report`].
+pub struct Collector {
+    start: SimTime,
+    end: SimTime,
+    classes: [ClassStats; NUM_CLASSES],
+    /// Per-flow message jitter, merged into class aggregates at the end.
+    flow_jitter: Vec<Option<(TrafficClass, JitterTracker)>>,
+}
+
+impl Collector {
+    /// A collector for the window `[start, end)`.
+    pub fn new(start: SimTime, end: SimTime) -> Self {
+        Collector {
+            start,
+            end,
+            classes: TrafficClass::ALL.map(|c| ClassStats::new(c.name())),
+            flow_jitter: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn in_window(&self, t: SimTime) -> bool {
+        t >= self.start && t < self.end
+    }
+
+    /// A generator handed a message to a NIC at `t`.
+    #[inline]
+    pub fn offered(&mut self, class: TrafficClass, bytes: u64, t: SimTime) {
+        if self.in_window(t) {
+            let c = &mut self.classes[class.idx()];
+            // Offered accounting is at message granularity.
+            c.offered.record_packet(bytes.min(u32::MAX as u64) as u32);
+        }
+    }
+
+    /// A packet was delivered at `t`; `created` is when its message was
+    /// handed to the source NIC.
+    #[inline]
+    pub fn packet_delivered(
+        &mut self,
+        class: TrafficClass,
+        len: u32,
+        created: SimTime,
+        t: SimTime,
+    ) {
+        if self.in_window(t) {
+            let c = &mut self.classes[class.idx()];
+            c.delivered.record_packet(len);
+            c.packet_latency.record(t.since(created).as_ns());
+        }
+    }
+
+    /// A whole message/frame completed at `t`.
+    #[inline]
+    pub fn message_completed(
+        &mut self,
+        class: TrafficClass,
+        flow: FlowId,
+        created: SimTime,
+        t: SimTime,
+    ) {
+        if !self.in_window(t) {
+            return;
+        }
+        let lat = t.since(created).as_ns();
+        let c = &mut self.classes[class.idx()];
+        c.message_latency.record(lat);
+        c.delivered.record_message();
+        let idx = flow.idx();
+        if idx >= self.flow_jitter.len() {
+            self.flow_jitter.resize_with(idx + 1, || None);
+        }
+        self.flow_jitter[idx]
+            .get_or_insert_with(|| (class, JitterTracker::new()))
+            .1
+            .record(lat);
+    }
+
+    /// Finish: merge per-flow jitter into class aggregates and render the
+    /// report.
+    pub fn finish(mut self, architecture: &str, load: f64) -> Report {
+        for entry in self.flow_jitter.into_iter().flatten() {
+            let (class, tracker) = entry;
+            self.classes[class.idx()].jitter.merge(&tracker);
+        }
+        Report {
+            architecture: architecture.to_string(),
+            load,
+            window_start: self.start,
+            window_end: self.end,
+            classes: self.classes.to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collector() -> Collector {
+        Collector::new(SimTime::from_ms(1), SimTime::from_ms(2))
+    }
+
+    #[test]
+    fn gates_on_window() {
+        let mut c = collector();
+        // Before, inside, at end (exclusive), after.
+        c.packet_delivered(TrafficClass::Control, 100, SimTime::ZERO, SimTime::from_us(500));
+        c.packet_delivered(TrafficClass::Control, 100, SimTime::ZERO, SimTime::from_us(1500));
+        c.packet_delivered(TrafficClass::Control, 100, SimTime::ZERO, SimTime::from_ms(2));
+        let r = c.finish("x", 1.0);
+        assert_eq!(r.class("Control").unwrap().delivered.packets(), 1);
+    }
+
+    #[test]
+    fn latency_is_creation_to_delivery() {
+        let mut c = collector();
+        c.message_completed(
+            TrafficClass::Multimedia,
+            FlowId(0),
+            SimTime::from_us(1000),
+            SimTime::from_us(1400),
+        );
+        let r = c.finish("x", 1.0);
+        let mm = r.class("Multimedia").unwrap();
+        assert_eq!(mm.message_latency.count(), 1);
+        assert_eq!(mm.message_latency.mean(), 400_000.0);
+    }
+
+    #[test]
+    fn jitter_is_per_flow() {
+        let mut c = collector();
+        // Two flows with constant (but different) latencies: class-level
+        // per-flow jitter must be zero.
+        for i in 0..10 {
+            let t = SimTime::from_us(1100 + i * 10);
+            c.message_completed(TrafficClass::Multimedia, FlowId(0), t.saturating_sub(dqos_sim_core::SimDuration::from_us(100)), t);
+            c.message_completed(TrafficClass::Multimedia, FlowId(1), t.saturating_sub(dqos_sim_core::SimDuration::from_us(500)), t);
+        }
+        let r = c.finish("x", 1.0);
+        let mm = r.class("Multimedia").unwrap();
+        assert_eq!(mm.jitter.mean_abs_delta(), 0.0, "cross-flow deltas must not count");
+        assert_eq!(mm.jitter.count(), 20);
+    }
+
+    #[test]
+    fn offered_counts_messages() {
+        let mut c = collector();
+        c.offered(TrafficClass::Background, 5000, SimTime::from_us(1500));
+        c.offered(TrafficClass::Background, 5000, SimTime::from_us(100)); // outside
+        let r = c.finish("x", 0.5);
+        assert_eq!(r.class("Background").unwrap().offered.bytes(), 5000);
+        assert_eq!(r.load, 0.5);
+    }
+}

@@ -1,0 +1,318 @@
+//! Per-host flow records and fixed-route assignment.
+//!
+//! This is where the paper's host-side state lives:
+//!
+//! * **Video** flows are admitted individually through the centralised
+//!   [`AdmissionController`], get a reserved route, a
+//!   [`DeadlineMode::FrameSpread`] stamper (10 ms target) and optional
+//!   eligible-time smoothing.
+//! * **Control** uses one aggregated record per host with
+//!   [`DeadlineMode::FullLink`] (no admission, maximum priority) and a
+//!   per-(src,dst) fixed path.
+//! * **Best-effort / Background** use one aggregated record per host and
+//!   class with [`DeadlineMode::AvgBandwidth`] at the configured weight
+//!   (this is how two classes are differentiated inside one VC), and
+//!   per-(src,dst) fixed paths assigned round-robin over spines.
+//!
+//! Flow ids, in contrast, identify *delivery-order domains*: one per
+//! (src, dst, class) for the aggregated classes (each such triple has a
+//! fixed route, so the appendix's in-order guarantee applies to it) and
+//! one per video stream.
+
+use dqos_core::{
+    AdmissionController, Architecture, DeadlineMode, FlowId, Stamper, StampedTimes, TrafficClass,
+};
+use dqos_sim_core::{Bandwidth, SimDuration, SimTime};
+use dqos_topology::{FoldedClos, HostId, Route};
+use std::collections::HashMap;
+
+/// One host's video stream: its stamper and fixed route.
+pub struct VideoFlow {
+    /// Flow id (delivery-order domain).
+    pub id: FlowId,
+    /// Destination host.
+    pub dst: HostId,
+    /// The admitted (or fallback) route.
+    pub route: Route,
+    /// Frame-spread stamper.
+    pub stamper: Stamper,
+}
+
+/// Per-host flow state.
+pub struct HostFlows {
+    /// Per-stream video flows, indexed by stream id.
+    pub video: Vec<VideoFlow>,
+    /// Aggregated control record.
+    pub control: Stamper,
+    /// Aggregated best-effort records: `[BestEffort, Background]`.
+    pub best_effort: [Stamper; 2],
+}
+
+/// The fleet's flow table.
+pub struct FlowTable {
+    hosts: Vec<HostFlows>,
+    /// Fixed route per (src, dst) for the aggregated classes.
+    routes: HashMap<(u32, u32), Route>,
+    /// Flow id per (src, dst, class) for the aggregated classes.
+    ids: HashMap<(u32, u32, u8), FlowId>,
+    next_id: u32,
+    /// Video streams that could not be admitted and run unreserved
+    /// (should stay 0 at Table-1 loads).
+    pub admission_fallbacks: u32,
+    admission: AdmissionController,
+    uses_deadlines: bool,
+}
+
+impl FlowTable {
+    /// Build the table: admit every video stream (destinations provided
+    /// per host), create the aggregated records.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        net: &FoldedClos,
+        arch: Architecture,
+        link_bw: Bandwidth,
+        video_dsts: &[Vec<HostId>],
+        video_stream_bw: Bandwidth,
+        video_mode: DeadlineMode,
+        eligible_lead: Option<SimDuration>,
+        be_weights: (f64, f64),
+    ) -> Self {
+        let n_hosts = net.n_hosts();
+        assert_eq!(video_dsts.len(), n_hosts as usize);
+        let mut admission = AdmissionController::new(net, link_bw, 1.0);
+        let mut next_id = 0u32;
+        let mut admission_fallbacks = 0;
+        let mut hosts = Vec::with_capacity(n_hosts as usize);
+        let _ = eligible_lead; // smoothing is applied at stamping time
+        for (h, dsts) in video_dsts.iter().enumerate() {
+            let src = HostId(h as u32);
+            let mut video = Vec::with_capacity(dsts.len());
+            for &dst in dsts {
+                let route = match admission.admit(net, src, dst, video_stream_bw) {
+                    Ok(adm) => adm.route,
+                    Err(_) => {
+                        admission_fallbacks += 1;
+                        admission.assign_unregulated_path(net, src, dst)
+                    }
+                };
+                let id = FlowId(next_id);
+                next_id += 1;
+                video.push(VideoFlow { id, dst, route, stamper: Stamper::new(video_mode) });
+            }
+            hosts.push(HostFlows {
+                video,
+                control: Stamper::new(DeadlineMode::FullLink(link_bw)),
+                best_effort: [
+                    Stamper::new(DeadlineMode::AvgBandwidth(link_bw.scaled(be_weights.0))),
+                    Stamper::new(DeadlineMode::AvgBandwidth(link_bw.scaled(be_weights.1))),
+                ],
+            });
+        }
+        FlowTable {
+            hosts,
+            routes: HashMap::new(),
+            ids: HashMap::new(),
+            next_id,
+            admission_fallbacks,
+            admission,
+            uses_deadlines: arch.uses_deadlines(),
+        }
+    }
+
+    /// Total flow ids handed out so far (sinks size their tables off it).
+    pub fn n_flows(&self) -> u32 {
+        self.next_id
+    }
+
+    /// The admission ledger (diagnostics).
+    pub fn admission(&self) -> &AdmissionController {
+        &self.admission
+    }
+
+    /// The fixed route for an aggregated-class packet from `src` to
+    /// `dst` (assigned round-robin over spines at first use, then fixed
+    /// forever — the paper's load-balanced fixed routing).
+    pub fn aggregated_route(&mut self, net: &FoldedClos, src: HostId, dst: HostId) -> Route {
+        self.routes
+            .entry((src.0, dst.0))
+            .or_insert_with(|| self.admission.assign_unregulated_path(net, src, dst))
+            .clone()
+    }
+
+    /// The flow id for an aggregated-class (src, dst, class) triple.
+    pub fn aggregated_flow_id(&mut self, src: HostId, dst: HostId, class: TrafficClass) -> FlowId {
+        let key = (src.0, dst.0, class.idx() as u8);
+        if let Some(&id) = self.ids.get(&key) {
+            return id;
+        }
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        self.ids.insert(key, id);
+        id
+    }
+
+    /// Access one host's video flow.
+    pub fn video(&mut self, src: HostId, stream: u32) -> &mut VideoFlow {
+        &mut self.hosts[src.idx()].video[stream as usize]
+    }
+
+    /// Stamp one message's parts for an aggregated class. Returns `None`
+    /// stamps (zero deadlines) under the Traditional architecture, which
+    /// has no deadline machinery at all.
+    pub fn stamp_aggregated(
+        &mut self,
+        src: HostId,
+        class: TrafficClass,
+        now_local: SimTime,
+        part_sizes: &[u32],
+    ) -> Vec<StampedTimes> {
+        if !self.uses_deadlines {
+            return part_sizes
+                .iter()
+                .map(|_| StampedTimes { deadline: SimTime::ZERO, eligible: None })
+                .collect();
+        }
+        let stamper = match class {
+            TrafficClass::Control => &mut self.hosts[src.idx()].control,
+            TrafficClass::BestEffort => &mut self.hosts[src.idx()].best_effort[0],
+            TrafficClass::Background => &mut self.hosts[src.idx()].best_effort[1],
+            TrafficClass::Multimedia => panic!("video stamps via its stream flow"),
+        };
+        stamper.stamp_message(now_local, part_sizes)
+    }
+
+    /// Stamp one video frame's parts, applying the eligible-time lead.
+    pub fn stamp_video(
+        &mut self,
+        src: HostId,
+        stream: u32,
+        now_local: SimTime,
+        part_sizes: &[u32],
+        eligible_lead: Option<SimDuration>,
+    ) -> Vec<StampedTimes> {
+        if !self.uses_deadlines {
+            return part_sizes
+                .iter()
+                .map(|_| StampedTimes { deadline: SimTime::ZERO, eligible: None })
+                .collect();
+        }
+        let flow = &mut self.hosts[src.idx()].video[stream as usize];
+        let mut stamps = flow.stamper.stamp_message(now_local, part_sizes);
+        if let Some(lead) = eligible_lead {
+            for s in &mut stamps {
+                s.eligible = Some(s.deadline.saturating_sub(lead).max(now_local));
+            }
+        }
+        stamps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqos_topology::ClosParams;
+
+    fn table(video_per_host: usize) -> (FoldedClos, FlowTable) {
+        let net = FoldedClos::build(ClosParams::scaled(16));
+        let dsts: Vec<Vec<HostId>> = (0..16u32)
+            .map(|h| (0..video_per_host).map(|s| HostId((h + 1 + s as u32) % 16)).collect())
+            .collect();
+        let ft = FlowTable::new(
+            &net,
+            Architecture::Advanced2Vc,
+            Bandwidth::gbps(8),
+            &dsts,
+            Bandwidth::bytes_per_sec(400_000),
+            DeadlineMode::FrameSpread { target: SimDuration::from_ms(10) },
+            Some(SimDuration::from_us(20)),
+            (2.0 / 3.0, 1.0 / 3.0),
+        );
+        (net, ft)
+    }
+
+    #[test]
+    fn video_flows_admitted_with_routes() {
+        let (net, ft) = table(4);
+        assert_eq!(ft.admission_fallbacks, 0);
+        assert_eq!(ft.n_flows(), 64);
+        for h in &ft.hosts {
+            for v in &h.video {
+                net.check_route(&v.route).unwrap();
+            }
+        }
+        assert!(ft.admission().max_utilization() > 0.0);
+    }
+
+    #[test]
+    fn aggregated_routes_are_fixed() {
+        let (net, mut ft) = table(0);
+        let a = ft.aggregated_route(&net, HostId(0), HostId(9));
+        let b = ft.aggregated_route(&net, HostId(0), HostId(9));
+        assert_eq!(a, b, "route fixed after first use");
+        net.check_route(&a).unwrap();
+    }
+
+    #[test]
+    fn aggregated_flow_ids_stable_and_distinct() {
+        let (_, mut ft) = table(0);
+        let a = ft.aggregated_flow_id(HostId(0), HostId(1), TrafficClass::Control);
+        let b = ft.aggregated_flow_id(HostId(0), HostId(1), TrafficClass::Control);
+        let c = ft.aggregated_flow_id(HostId(0), HostId(1), TrafficClass::BestEffort);
+        let d = ft.aggregated_flow_id(HostId(1), HostId(0), TrafficClass::Control);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn control_stamps_at_link_speed() {
+        let (_, mut ft) = table(0);
+        let stamps = ft.stamp_aggregated(HostId(0), TrafficClass::Control, SimTime::from_us(10), &[1000]);
+        // 1000 bytes at 8 Gb/s = 1 us.
+        assert_eq!(stamps[0].deadline, SimTime::from_us(11));
+        assert!(stamps[0].eligible.is_none());
+    }
+
+    #[test]
+    fn besteffort_weights_differ() {
+        let (_, mut ft) = table(0);
+        let be = ft.stamp_aggregated(HostId(0), TrafficClass::BestEffort, SimTime::ZERO, &[8000]);
+        let bg = ft.stamp_aggregated(HostId(0), TrafficClass::Background, SimTime::ZERO, &[8000]);
+        // Background's record bandwidth is half Best-effort's, so its
+        // virtual clock advances twice as fast per byte.
+        let be_d = be[0].deadline.as_ns();
+        let bg_d = bg[0].deadline.as_ns();
+        assert!((bg_d as f64 / be_d as f64 - 2.0).abs() < 0.01, "be {be_d} bg {bg_d}");
+    }
+
+    #[test]
+    fn video_stamps_spread_over_target() {
+        let (_, mut ft) = table(1);
+        let parts = vec![2048u32; 5];
+        let stamps = ft.stamp_video(HostId(0), 0, SimTime::ZERO, &parts, Some(SimDuration::from_us(20)));
+        assert_eq!(stamps.len(), 5);
+        assert_eq!(stamps[4].deadline, SimTime::from_ms(10));
+        assert_eq!(stamps[0].deadline, SimTime::from_ms(2));
+        let e = stamps[0].eligible.unwrap();
+        assert_eq!(stamps[0].deadline.as_ns() - e.as_ns(), 20_000);
+    }
+
+    #[test]
+    fn traditional_stamps_nothing() {
+        let net = FoldedClos::build(ClosParams::scaled(16));
+        let dsts = vec![vec![]; 16];
+        let mut ft = FlowTable::new(
+            &net,
+            Architecture::Traditional2Vc,
+            Bandwidth::gbps(8),
+            &dsts,
+            Bandwidth::bytes_per_sec(400_000),
+            DeadlineMode::FrameSpread { target: SimDuration::from_ms(10) },
+            None,
+            (0.5, 0.5),
+        );
+        let stamps = ft.stamp_aggregated(HostId(0), TrafficClass::Control, SimTime::from_us(9), &[500]);
+        assert_eq!(stamps[0].deadline, SimTime::ZERO);
+        assert!(stamps[0].eligible.is_none());
+    }
+}

@@ -1,0 +1,36 @@
+//! # dqos-netsim
+//!
+//! The whole-network simulator: wires the folded-Clos topology, the
+//! switch models, the end-host NICs/sinks, and the Table-1 traffic
+//! generators into one deterministic event loop, and defines the paper's
+//! experiments on top.
+//!
+//! * [`config`] — [`SimConfig`]: all knobs with §4 defaults, plus the
+//!   `paper()` (128 hosts) and `bench()` (reduced, minutes-not-hours)
+//!   presets.
+//! * [`flows`] — per-host stamping records and fixed-route assignment:
+//!   per-stream records for admitted video flows, aggregated records for
+//!   control and the two weighted best-effort classes.
+//! * [`collect`] — the statistics collector feeding `dqos-stats`,
+//!   gated on the measurement window.
+//! * [`network`] — the [`Network`] event loop itself. Deadlines travel
+//!   between clock domains as TTDs exactly as §3.3 prescribes, so the
+//!   simulation is invariant to arbitrary per-node clock offsets (an
+//!   integration test asserts bit-equality).
+//! * [`experiments`] — the Figure 2/3/4 and Table 1 sweeps, run in
+//!   parallel with rayon (parallelism is across independent simulations;
+//!   each run is single-threaded and deterministic).
+
+#![warn(missing_docs)]
+
+pub mod collect;
+pub mod config;
+pub mod experiments;
+pub mod flows;
+pub mod network;
+
+pub use collect::Collector;
+pub use config::{ClockOffsets, SimConfig, VideoDeadlines};
+pub use flows::FlowTable;
+pub use experiments::{run_load_sweep, run_one, ExperimentResult, SweepPoint};
+pub use network::{Network, RunSummary};

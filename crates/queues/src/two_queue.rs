@@ -1,0 +1,425 @@
+//! The ordered + take-over two-queue system of §3.4 — the paper's key
+//! hardware contribution.
+//!
+//! Both queues are plain FIFOs (hardware-cheap). Notation follows the
+//! appendix: `L` is the *ordered queue*, `U` the *take-over queue*.
+//!
+//! **Enqueue** (Definition 1): if both queues are empty, or the incoming
+//! deadline is ≥ the deadline at `L`'s tail, append to `L`; otherwise
+//! append to `U`. `L` therefore stays deadline-sorted (Theorem 1) and its
+//! tail holds the global maximum (Theorem 2).
+//!
+//! **Dequeue** (Definition 2): take the smaller of the two heads — this
+//! is how a late low-deadline packet "takes over" packets that arrived
+//! before it but are due later. A state with packets only in `U` is
+//! unreachable (Lemma 1).
+//!
+//! The appendix proves the discipline never reorders packets *within a
+//! flow* (Theorem 3), given the hypotheses that each flow's packets
+//! arrive in order with strictly increasing deadlines. The property
+//! tests in this module replay all four results against adversarial
+//! arrival/service interleavings; the whole-network integration tests
+//! check the same end to end.
+
+use crate::traits::{Deadlined, SchedQueue};
+use dqos_sim_core::SimTime;
+use std::collections::VecDeque;
+
+/// The two-queue buffer structure ("Advanced 2 VCs").
+///
+/// ```
+/// use dqos_queues::{SchedQueue, TwoQueue};
+/// use dqos_sim_core::SimTime;
+///
+/// #[derive(Clone, Copy)]
+/// struct Pkt(u64);
+/// impl dqos_queues::Deadlined for Pkt {
+///     fn deadline(&self) -> SimTime { SimTime::from_ns(self.0) }
+///     fn len_bytes(&self) -> u32 { 100 }
+/// }
+///
+/// let mut q = TwoQueue::new();
+/// q.enqueue(Pkt(100));
+/// q.enqueue(Pkt(500));   // ordered queue: 100, 500
+/// q.enqueue(Pkt(200));   // below the tail -> take-over queue
+/// assert_eq!(q.take_over_len(), 1);
+/// // Dequeue always serves the smaller of the two heads: the late
+/// // low-deadline packet overtakes 500 without reordering any flow.
+/// assert_eq!(q.dequeue().unwrap().0, 100);
+/// assert_eq!(q.dequeue().unwrap().0, 200);
+/// assert_eq!(q.dequeue().unwrap().0, 500);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TwoQueue<T> {
+    /// Ordered queue (appendix: `L`).
+    ordered: VecDeque<T>,
+    /// Take-over queue (appendix: `U`).
+    take_over: VecDeque<T>,
+    bytes: u64,
+    /// Cumulative count of packets routed to the take-over queue —
+    /// each one is an *order error* the Simple architecture would have
+    /// suffered. Diagnostic for the §3.4 / Figure 2 analysis.
+    take_over_total: u64,
+}
+
+impl<T> Default for TwoQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TwoQueue<T> {
+    /// An empty structure.
+    pub fn new() -> Self {
+        TwoQueue {
+            ordered: VecDeque::new(),
+            take_over: VecDeque::new(),
+            bytes: 0,
+            take_over_total: 0,
+        }
+    }
+
+    /// Current take-over queue occupancy.
+    pub fn take_over_len(&self) -> usize {
+        self.take_over.len()
+    }
+
+    /// Current ordered queue occupancy.
+    pub fn ordered_len(&self) -> usize {
+        self.ordered.len()
+    }
+
+    /// Cumulative count of packets that went to the take-over queue.
+    pub fn take_over_total(&self) -> u64 {
+        self.take_over_total
+    }
+}
+
+impl<T: Deadlined> TwoQueue<T> {
+    /// Which queue the dequeue candidate currently sits in.
+    fn candidate_is_take_over(&self) -> Option<bool> {
+        match (self.ordered.front(), self.take_over.front()) {
+            (None, None) => None,
+            (Some(_), None) => Some(false),
+            (None, Some(_)) => {
+                // Lemma 1: unreachable through this API.
+                debug_assert!(false, "take-over queue non-empty while ordered queue empty");
+                Some(true)
+            }
+            (Some(l), Some(u)) => {
+                // Ties go to the ordered queue: deterministic, and within
+                // a flow ties are impossible (deadlines strictly increase).
+                Some(u.deadline() < l.deadline())
+            }
+        }
+    }
+
+    /// Debug check of Theorems 1 and 2 on the live structure.
+    ///
+    /// * `L` is deadline-sorted.
+    /// * Every element of `U` is strictly below `L`'s tail deadline.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut prev: Option<SimTime> = None;
+        for p in &self.ordered {
+            if let Some(pd) = prev {
+                if p.deadline() < pd {
+                    return Err(format!(
+                        "ordered queue not sorted: {:?} after {:?}",
+                        p.deadline(),
+                        pd
+                    ));
+                }
+            }
+            prev = Some(p.deadline());
+        }
+        if let Some(tail) = self.ordered.back() {
+            for u in &self.take_over {
+                if u.deadline() >= tail.deadline() {
+                    return Err(format!(
+                        "take-over element {:?} not below ordered tail {:?}",
+                        u.deadline(),
+                        tail.deadline()
+                    ));
+                }
+            }
+        } else if !self.take_over.is_empty() {
+            return Err("take-over non-empty while ordered empty (Lemma 1)".into());
+        }
+        Ok(())
+    }
+}
+
+impl<T: Deadlined> SchedQueue<T> for TwoQueue<T> {
+    fn enqueue(&mut self, item: T) {
+        self.bytes += item.len_bytes() as u64;
+        match self.ordered.back() {
+            // Definition 1: both queues empty -> L. (If L is empty, U is
+            // empty too, by Lemma 1.)
+            None => self.ordered.push_back(item),
+            Some(tail) => {
+                if item.deadline() >= tail.deadline() {
+                    self.ordered.push_back(item);
+                } else {
+                    self.take_over_total += 1;
+                    self.take_over.push_back(item);
+                }
+            }
+        }
+        debug_assert!(self.check_invariants().is_ok());
+    }
+
+    fn head_deadline(&self) -> Option<SimTime> {
+        match (self.ordered.front(), self.take_over.front()) {
+            (None, None) => None,
+            (Some(l), None) => Some(l.deadline()),
+            (None, Some(u)) => Some(u.deadline()),
+            (Some(l), Some(u)) => Some(l.deadline().min(u.deadline())),
+        }
+    }
+
+    fn peek(&self) -> Option<&T> {
+        match self.candidate_is_take_over()? {
+            true => self.take_over.front(),
+            false => self.ordered.front(),
+        }
+    }
+
+    fn dequeue(&mut self) -> Option<T> {
+        let item = match self.candidate_is_take_over()? {
+            true => self.take_over.pop_front(),
+            false => self.ordered.pop_front(),
+        }?;
+        self.bytes -= item.len_bytes() as u64;
+        debug_assert!(self.check_invariants().is_ok());
+        Some(item)
+    }
+
+    fn min_deadline(&self) -> Option<SimTime> {
+        // The ordered queue's minimum is its head (Theorem 1); the
+        // take-over queue is unordered and needs a scan.
+        let l = self.ordered.front().map(|p| p.deadline());
+        let u = self.take_over.iter().map(|p| p.deadline()).min();
+        match (l, u) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.ordered.len() + self.take_over.len()
+    }
+
+    fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::test_util::Item;
+    use proptest::prelude::*;
+
+    #[test]
+    fn in_order_arrivals_all_go_to_ordered() {
+        let mut q = TwoQueue::new();
+        for i in 0..10 {
+            q.enqueue(Item::new(0, i, 100 * (i as u64 + 1)));
+        }
+        assert_eq!(q.ordered_len(), 10);
+        assert_eq!(q.take_over_len(), 0);
+        assert_eq!(q.take_over_total(), 0);
+    }
+
+    #[test]
+    fn late_low_deadline_packet_takes_over() {
+        let mut q = TwoQueue::new();
+        q.enqueue(Item::new(0, 0, 100));
+        q.enqueue(Item::new(0, 1, 500)); // high deadline
+        q.enqueue(Item::new(1, 0, 200)); // lower than tail -> take-over
+        assert_eq!(q.take_over_len(), 1);
+        // Dequeue order: 100 (L), then 200 (U takes over 500), then 500.
+        assert_eq!(q.dequeue().unwrap().deadline, 100);
+        assert_eq!(q.dequeue().unwrap().deadline, 200);
+        assert_eq!(q.dequeue().unwrap().deadline, 500);
+        assert!(q.dequeue().is_none());
+    }
+
+    #[test]
+    fn equal_deadline_goes_to_ordered() {
+        let mut q = TwoQueue::new();
+        q.enqueue(Item::new(0, 0, 100));
+        q.enqueue(Item::new(1, 0, 100)); // ">=" tail -> ordered queue
+        assert_eq!(q.ordered_len(), 2);
+        assert_eq!(q.take_over_len(), 0);
+        // FIFO among equals.
+        assert_eq!(q.dequeue().unwrap().flow, 0);
+        assert_eq!(q.dequeue().unwrap().flow, 1);
+    }
+
+    #[test]
+    fn tie_between_heads_prefers_ordered() {
+        let mut q = TwoQueue::new();
+        q.enqueue(Item::new(0, 0, 100));
+        q.enqueue(Item::new(0, 1, 300));
+        q.enqueue(Item::new(1, 0, 100)); // -> U, ties L's head
+        assert_eq!(q.dequeue().unwrap().flow, 0, "ordered head wins ties");
+        assert_eq!(q.dequeue().unwrap().flow, 1);
+    }
+
+    #[test]
+    fn byte_accounting_across_both_queues() {
+        let mut q = TwoQueue::new();
+        q.enqueue(Item { flow: 0, seq: 0, deadline: 100, len: 10 });
+        q.enqueue(Item { flow: 0, seq: 1, deadline: 300, len: 20 });
+        q.enqueue(Item { flow: 1, seq: 0, deadline: 50, len: 40 }); // U
+        assert_eq!(q.bytes(), 70);
+        q.dequeue(); // 50 from U
+        assert_eq!(q.bytes(), 30);
+    }
+
+    /// Drive an arrival/service interleaving through the structure and
+    /// return departures. Arrivals satisfy the appendix hypotheses:
+    /// within each flow, arrival order == generation order and deadlines
+    /// strictly increase.
+    fn run_model(
+        n_flows: u32,
+        // (flow, deadline-gap) per arrival; gaps accumulate per flow.
+        arrivals: &[(u32, u64)],
+        // Service pattern: after arrival i, dequeue while pattern says so.
+        service: &[bool],
+    ) -> Vec<Item> {
+        let mut q = TwoQueue::new();
+        let mut next_deadline = vec![0u64; n_flows as usize];
+        let mut next_seq = vec![0u32; n_flows as usize];
+        let mut out = vec![];
+        for (i, &(f, gap)) in arrivals.iter().enumerate() {
+            let f = f % n_flows;
+            next_deadline[f as usize] += gap.max(1); // strictly increasing
+            let item = Item::new(f, next_seq[f as usize], next_deadline[f as usize]);
+            next_seq[f as usize] += 1;
+            q.enqueue(item);
+            q.check_invariants().unwrap();
+            if *service.get(i % service.len().max(1)).unwrap_or(&false) {
+                if let Some(it) = q.dequeue() {
+                    out.push(it);
+                }
+                q.check_invariants().unwrap();
+            }
+        }
+        while let Some(it) = q.dequeue() {
+            q.check_invariants().unwrap();
+            out.push(it);
+        }
+        out
+    }
+
+    proptest! {
+        /// Theorem 3: no out-of-order delivery within any flow.
+        #[test]
+        fn prop_theorem3_no_out_of_order_delivery(
+            n_flows in 1u32..8,
+            arrivals in proptest::collection::vec((0u32..8, 0u64..500), 1..300),
+            service in proptest::collection::vec(any::<bool>(), 1..16),
+        ) {
+            let out = run_model(n_flows, &arrivals, &service);
+            let mut last_seq = std::collections::HashMap::new();
+            for it in &out {
+                if let Some(&prev) = last_seq.get(&it.flow) {
+                    prop_assert!(
+                        it.seq > prev,
+                        "flow {} delivered seq {} after {}",
+                        it.flow, it.seq, prev
+                    );
+                }
+                last_seq.insert(it.flow, it.seq);
+            }
+            // Everything injected is delivered exactly once.
+            prop_assert_eq!(out.len(), arrivals.len());
+        }
+
+        /// Theorems 1 & 2 and Lemma 1 hold at every step — exercised via
+        /// `check_invariants` inside `run_model`; this test exists to
+        /// drive many interleavings through it.
+        #[test]
+        fn prop_invariants_hold_under_interleaving(
+            arrivals in proptest::collection::vec((0u32..4, 0u64..100), 1..200),
+            service in proptest::collection::vec(any::<bool>(), 1..8),
+        ) {
+            run_model(4, &arrivals, &service);
+        }
+
+        /// The dequeue candidate is never worse than the best FIFO head:
+        /// the two-queue system's candidate deadline is <= a plain
+        /// FIFO's head deadline under identical history.
+        #[test]
+        fn prop_candidate_at_least_as_urgent_as_fifo(
+            arrivals in proptest::collection::vec((0u32..4, 0u64..100), 1..200),
+        ) {
+            use crate::fifo::FifoQueue;
+            let mut tq = TwoQueue::new();
+            let mut fifo = FifoQueue::new();
+            let mut next_deadline = [0u64; 4];
+            for &(f, gap) in &arrivals {
+                let f = f % 4;
+                next_deadline[f as usize] += gap.max(1);
+                let item = Item::new(f, 0, next_deadline[f as usize]);
+                tq.enqueue(item);
+                fifo.enqueue(item);
+                prop_assert!(tq.head_deadline() <= fifo.head_deadline());
+            }
+        }
+
+        /// Fewer order errors than Simple, no more than Ideal (zero):
+        /// count, at each dequeue, whether some queued packet had a
+        /// smaller deadline than the one served. The two-queue system's
+        /// count is <= the plain FIFO's.
+        #[test]
+        fn prop_order_errors_not_worse_than_fifo(
+            arrivals in proptest::collection::vec((0u32..4, 0u64..100), 2..200),
+            period in 1usize..4,
+        ) {
+            use crate::fifo::FifoQueue;
+            let mut next_deadline = [0u64; 4];
+            let items: Vec<Item> = arrivals.iter().map(|&(f, gap)| {
+                let f = f % 4;
+                next_deadline[f as usize] += gap.max(1);
+                Item::new(f, 0, next_deadline[f as usize])
+            }).collect();
+
+            fn count_errors<Q: SchedQueue<Item>>(mut q: Q, items: &[Item], period: usize) -> (u64, Vec<u64>) {
+                let mut errors = 0;
+                let mut pending: Vec<u64> = vec![];
+                let mut served = vec![];
+                let serve = |q: &mut Q, pending: &mut Vec<u64>, errors: &mut u64, served: &mut Vec<u64>| {
+                    if let Some(it) = q.dequeue() {
+                        if pending.iter().any(|&d| d < it.deadline) {
+                            *errors += 1;
+                        }
+                        let pos = pending.iter().position(|&d| d == it.deadline).unwrap();
+                        pending.remove(pos);
+                        served.push(it.deadline);
+                    }
+                };
+                for (i, it) in items.iter().enumerate() {
+                    q.enqueue(*it);
+                    pending.push(it.deadline);
+                    if i % period == 0 {
+                        serve(&mut q, &mut pending, &mut errors, &mut served);
+                    }
+                }
+                while !pending.is_empty() {
+                    serve(&mut q, &mut pending, &mut errors, &mut served);
+                }
+                (errors, served)
+            }
+
+            let (tq_err, _) = count_errors(TwoQueue::new(), &items, period);
+            let (fifo_err, _) = count_errors(FifoQueue::new(), &items, period);
+            prop_assert!(
+                tq_err <= fifo_err,
+                "two-queue errors {tq_err} > fifo errors {fifo_err}"
+            );
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! A minimal driver loop for simulations whose state fits one `World`.
+//!
+//! The full network simulator in `dqos-netsim` owns its loop (it needs
+//! fine-grained control over draining and measurement windows), but unit
+//! tests, examples and the smaller models use this engine.
+
+use crate::queue::EventQueue;
+use crate::time::SimTime;
+
+/// A simulation world: state plus an event handler.
+///
+/// The handler receives the current time, the event payload, and the
+/// calendar so it can schedule follow-up events.
+pub trait World {
+    /// The event payload type this world understands.
+    type Event;
+
+    /// Handle one event. Scheduling new events through `queue` is the only
+    /// way to keep the simulation alive.
+    fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+}
+
+/// Outcome of an [`Engine::run_until`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunStats {
+    /// Events processed during this run.
+    pub events_processed: u64,
+    /// Simulation clock when the run stopped.
+    pub end_time: SimTime,
+    /// True if the run stopped because the calendar drained (rather than
+    /// reaching the horizon).
+    pub drained: bool,
+}
+
+/// Drives a [`World`] against an [`EventQueue`].
+#[derive(Debug)]
+pub struct Engine<W: World> {
+    /// The simulation state.
+    pub world: W,
+    /// The event calendar.
+    pub queue: EventQueue<W::Event>,
+}
+
+impl<W: World> Engine<W> {
+    /// Create an engine around `world` with an empty calendar.
+    pub fn new(world: W) -> Self {
+        Engine { world, queue: EventQueue::new() }
+    }
+
+    /// Schedule an initial event.
+    pub fn schedule(&mut self, at: SimTime, ev: W::Event) {
+        self.queue.schedule(at, ev);
+    }
+
+    /// Process events until the calendar drains or the next event would
+    /// fire strictly after `horizon`. Events *at* the horizon still run.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunStats {
+        let mut processed = 0u64;
+        loop {
+            match self.queue.peek_time() {
+                None => {
+                    return RunStats {
+                        events_processed: processed,
+                        end_time: self.queue.now(),
+                        drained: true,
+                    };
+                }
+                Some(t) if t > horizon => {
+                    return RunStats {
+                        events_processed: processed,
+                        end_time: self.queue.now(),
+                        drained: false,
+                    };
+                }
+                Some(_) => {
+                    let ev = self.queue.pop().expect("peeked event vanished");
+                    self.world.handle(ev.time, ev.payload, &mut self.queue);
+                    processed += 1;
+                }
+            }
+        }
+    }
+
+    /// Run until the calendar is completely empty.
+    pub fn run_to_completion(&mut self) -> RunStats {
+        self.run_until(SimTime::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    /// A world that re-schedules itself `remaining` times at a fixed period
+    /// and records every firing.
+    struct Ticker {
+        remaining: u32,
+        period: SimDuration,
+        fired_at: Vec<SimTime>,
+    }
+
+    impl World for Ticker {
+        type Event = ();
+        fn handle(&mut self, now: SimTime, _ev: (), q: &mut EventQueue<()>) {
+            self.fired_at.push(now);
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                q.schedule(now + self.period, ());
+            }
+        }
+    }
+
+    #[test]
+    fn ticker_fires_periodically() {
+        let mut e = Engine::new(Ticker {
+            remaining: 4,
+            period: SimDuration::from_us(10),
+            fired_at: vec![],
+        });
+        e.schedule(SimTime::ZERO, ());
+        let stats = e.run_to_completion();
+        assert!(stats.drained);
+        assert_eq!(stats.events_processed, 5);
+        assert_eq!(
+            e.world.fired_at,
+            (0..5).map(|i| SimTime::from_us(10 * i)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn horizon_is_inclusive() {
+        let mut e = Engine::new(Ticker {
+            remaining: 100,
+            period: SimDuration::from_us(10),
+            fired_at: vec![],
+        });
+        e.schedule(SimTime::ZERO, ());
+        let stats = e.run_until(SimTime::from_us(30));
+        assert!(!stats.drained);
+        // Fires at 0, 10, 20, 30 us.
+        assert_eq!(stats.events_processed, 4);
+        assert_eq!(e.world.fired_at.len(), 4);
+        assert_eq!(*e.world.fired_at.last().unwrap(), SimTime::from_us(30));
+        // Continuing picks up where we left off.
+        let stats2 = e.run_until(SimTime::from_us(50));
+        assert_eq!(stats2.events_processed, 2);
+    }
+
+    #[test]
+    fn empty_run_is_drained_at_time_zero() {
+        let mut e = Engine::new(Ticker {
+            remaining: 0,
+            period: SimDuration::ZERO,
+            fired_at: vec![],
+        });
+        let stats = e.run_to_completion();
+        assert!(stats.drained);
+        assert_eq!(stats.events_processed, 0);
+        assert_eq!(stats.end_time, SimTime::ZERO);
+    }
+}

@@ -1,0 +1,36 @@
+//! # dqos-sim-core
+//!
+//! Deterministic discrete-event simulation kernel used by the
+//! `deadline-qos` workspace, the reproduction of *"Deadline-based QoS
+//! Algorithms for High-performance Networks"* (IPPS 2007).
+//!
+//! The kernel is deliberately small and allocation-light:
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer nanosecond timestamps. One
+//!   simulation tick is one nanosecond, so at the paper's 8 Gb/s link rate
+//!   a packet's serialisation time in ticks equals its length in bytes.
+//! * [`EventQueue`] — a binary-heap calendar with a monotonically
+//!   increasing sequence number so that events scheduled for the same tick
+//!   are delivered in FIFO order (stable, deterministic tie-breaking).
+//! * [`Engine`] / [`World`] — a minimal driver loop for simulations that
+//!   want one; larger simulations (the full network model in
+//!   `dqos-netsim`) own their loop and use [`EventQueue`] directly.
+//! * [`rng`] / [`dist`] — a seedable, version-stable PRNG
+//!   (xoshiro256\*\*) plus the distributions the paper's workloads need
+//!   (exponential, bounded Pareto, log-normal).
+//!
+//! Determinism contract: given the same seed and the same sequence of
+//! `schedule` calls, a simulation built on this kernel replays exactly.
+
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod engine;
+pub mod queue;
+pub mod rng;
+pub mod time;
+
+pub use engine::{Engine, World};
+pub use queue::{EventQueue, ScheduledEvent};
+pub use rng::{SimRng, SplitMix64};
+pub use time::{Bandwidth, SimDuration, SimTime};

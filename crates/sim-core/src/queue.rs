@@ -1,0 +1,233 @@
+//! The event calendar: a binary-heap priority queue with stable FIFO
+//! tie-breaking for events scheduled at the same tick.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event popped from the queue: when it fires and its payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledEvent<E> {
+    /// The tick at which the event fires.
+    pub time: SimTime,
+    /// The simulation-defined payload.
+    pub payload: E,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+// Min-heap ordering on (time, seq): earlier time first; among equal times,
+// the event scheduled first fires first (deterministic FIFO).
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the smallest
+        // (time, seq) on top.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A discrete-event calendar.
+///
+/// Events are `(SimTime, E)` pairs; [`EventQueue::pop`] returns them in
+/// non-decreasing time order, with FIFO order among events that share a
+/// tick. Scheduling in the past is a logic error and panics in debug
+/// builds (it would silently reorder causality).
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: SimTime,
+    scheduled_total: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty calendar at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            scheduled_total: 0,
+        }
+    }
+
+    /// An empty calendar with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            seq: 0,
+            now: SimTime::ZERO,
+            scheduled_total: 0,
+        }
+    }
+
+    /// The time of the most recently popped event (the current simulation
+    /// clock).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `payload` to fire at absolute time `at`.
+    ///
+    /// `at` must not precede the current clock.
+    #[inline]
+    pub fn schedule(&mut self, at: SimTime, payload: E) {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: at={at:?} now={:?}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(Entry { time: at, seq, payload });
+    }
+
+    /// Remove and return the earliest event, advancing the clock to its
+    /// timestamp.
+    #[inline]
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        let e = self.heap.pop()?;
+        debug_assert!(e.time >= self.now, "event queue time went backwards");
+        self.now = e.time;
+        Some(ScheduledEvent { time: e.time, payload: e.payload })
+    }
+
+    /// The timestamp of the next event without removing it.
+    #[inline]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the calendar is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (kernel throughput metric).
+    #[inline]
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Drop all pending events (the clock is preserved).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(30), "c");
+        q.schedule(SimTime::from_ns(10), "a");
+        q.schedule(SimTime::from_ns(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn same_tick_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(SimTime::from_ns(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(7)));
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_ns(7));
+        assert!(q.pop().is_none());
+        // Clock is preserved after drain.
+        assert_eq!(q.now(), SimTime::from_ns(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    #[cfg(debug_assertions)]
+    fn scheduling_into_past_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(10), ());
+        q.pop();
+        q.schedule(SimTime::from_ns(5), ());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(10), 1u32);
+        let e = q.pop().unwrap();
+        assert_eq!(e.payload, 1);
+        // Schedule relative to the new clock.
+        q.schedule(q.now() + SimDuration::from_ns(5), 2);
+        q.schedule(q.now() + SimDuration::from_ns(1), 3);
+        assert_eq!(q.pop().unwrap().payload, 3);
+        assert_eq!(q.pop().unwrap().payload, 2);
+        assert_eq!(q.scheduled_total(), 3);
+    }
+
+    proptest! {
+        /// Popped timestamps are non-decreasing, and among equal
+        /// timestamps the original scheduling order is preserved.
+        #[test]
+        fn prop_stable_time_order(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_ns(t), i);
+            }
+            let mut last: Option<(SimTime, usize)> = None;
+            while let Some(e) = q.pop() {
+                if let Some((lt, lidx)) = last {
+                    prop_assert!(e.time >= lt);
+                    if e.time == lt {
+                        prop_assert!(e.payload > lidx, "FIFO violated among equal ticks");
+                    }
+                }
+                last = Some((e.time, e.payload));
+            }
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! Simulation time and bandwidth arithmetic.
+//!
+//! One simulation tick is one **nanosecond**. All time arithmetic is done
+//! in `u64` ticks; floating point only appears at the configuration
+//! boundary (e.g. "8 Gb/s", "40 ms") and in statistics output.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An absolute simulation timestamp, in nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(pub u64);
+
+/// A span of simulation time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// Time zero (simulation start).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable timestamp; used as an "never" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Construct from seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Raw tick count (nanoseconds).
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// This timestamp expressed in (fractional) microseconds.
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// This timestamp expressed in (fractional) milliseconds.
+    #[inline]
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// This timestamp expressed in (fractional) seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration elapsed since `earlier`. Saturates to zero if `earlier`
+    /// is in the future (callers compare clocks from different domains).
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked subtraction of a duration.
+    #[inline]
+    pub fn checked_sub(self, d: SimDuration) -> Option<SimTime> {
+        self.0.checked_sub(d.0).map(SimTime)
+    }
+
+    /// Saturating subtraction of a duration (clamps at time zero).
+    #[inline]
+    pub fn saturating_sub(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(d.0))
+    }
+
+    /// The later of two timestamps.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// The earlier of two timestamps.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from raw nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Construct from seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest tick.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s >= 0.0 && s.is_finite(), "duration must be finite and non-negative");
+        SimDuration((s * 1e9).round() as u64)
+    }
+
+    /// Raw tick count (nanoseconds).
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Duration in (fractional) microseconds.
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Duration in (fractional) milliseconds.
+    #[inline]
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Duration in (fractional) seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Multiply by an integer factor.
+    #[inline]
+    pub fn saturating_mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(k))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        debug_assert!(self.0 >= rhs.0, "SimTime subtraction underflow");
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_time(f, self.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_time(f, self.0)
+    }
+}
+
+fn write_time(f: &mut fmt::Formatter<'_>, ns: u64) -> fmt::Result {
+    if ns >= 1_000_000_000 {
+        write!(f, "{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        write!(f, "{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        write!(f, "{:.3}us", ns as f64 / 1e3)
+    } else {
+        write!(f, "{ns}ns")
+    }
+}
+
+/// Link / crossbar bandwidth, stored as **bytes per second**.
+///
+/// The paper evaluates 8 Gb/s links; at the 1 ns tick this is exactly
+/// 1 byte per tick, which keeps serialisation times integral.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Bandwidth(pub u64);
+
+impl Bandwidth {
+    /// Construct from gigabits per second (decimal gigabits, as in the paper).
+    #[inline]
+    pub const fn gbps(g: u64) -> Self {
+        Bandwidth(g * 1_000_000_000 / 8)
+    }
+
+    /// Construct from megabits per second.
+    #[inline]
+    pub const fn mbps(m: u64) -> Self {
+        Bandwidth(m * 1_000_000 / 8)
+    }
+
+    /// Construct from bytes per second.
+    #[inline]
+    pub const fn bytes_per_sec(b: u64) -> Self {
+        Bandwidth(b)
+    }
+
+    /// Construct from megabytes per second (e.g. the paper's "3 Mbyte/s"
+    /// MPEG-4 streams).
+    #[inline]
+    pub const fn mbytes_per_sec(mb: u64) -> Self {
+        Bandwidth(mb * 1_000_000)
+    }
+
+    /// Bandwidth in bytes per second.
+    #[inline]
+    pub const fn as_bytes_per_sec(self) -> u64 {
+        self.0
+    }
+
+    /// Bandwidth in (decimal) gigabits per second.
+    #[inline]
+    pub fn as_gbps_f64(self) -> f64 {
+        self.0 as f64 * 8.0 / 1e9
+    }
+
+    /// Time needed to serialise `bytes` at this bandwidth, rounded **up**
+    /// to a whole tick (a transmission never finishes early).
+    #[inline]
+    pub fn tx_time(self, bytes: u64) -> SimDuration {
+        debug_assert!(self.0 > 0, "zero bandwidth");
+        // ceil(bytes * 1e9 / bytes_per_sec) without overflow for any
+        // realistic packet size (bytes <= ~1 MiB, so the product fits u128).
+        let num = (bytes as u128) * 1_000_000_000u128;
+        let den = self.0 as u128;
+        SimDuration(num.div_ceil(den) as u64)
+    }
+
+    /// The fraction `f` of this bandwidth (used for per-class shares).
+    pub fn scaled(self, f: f64) -> Bandwidth {
+        assert!(f.is_finite() && f >= 0.0, "bandwidth scale must be non-negative");
+        Bandwidth((self.0 as f64 * f).round() as u64)
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}Gb/s", self.as_gbps_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_roundtrips() {
+        assert_eq!(SimTime::from_us(3).as_ns(), 3_000);
+        assert_eq!(SimTime::from_ms(2).as_ns(), 2_000_000);
+        assert_eq!(SimTime::from_secs(1).as_ns(), 1_000_000_000);
+        assert_eq!(SimDuration::from_us(20).as_ns(), 20_000);
+        assert_eq!(SimDuration::from_secs_f64(0.25).as_ns(), 250_000_000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_us(10) + SimDuration::from_us(5);
+        assert_eq!(t, SimTime::from_us(15));
+        assert_eq!(t - SimTime::from_us(10), SimDuration::from_us(5));
+        assert_eq!(t.since(SimTime::from_us(20)), SimDuration::ZERO);
+        assert_eq!(t.saturating_sub(SimDuration::from_ms(1)), SimTime::ZERO);
+        assert_eq!(t.checked_sub(SimDuration::from_ms(1)), None);
+        assert_eq!(
+            t.checked_sub(SimDuration::from_us(5)),
+            Some(SimTime::from_us(10))
+        );
+    }
+
+    #[test]
+    fn eight_gbps_is_one_byte_per_ns() {
+        let bw = Bandwidth::gbps(8);
+        assert_eq!(bw.as_bytes_per_sec(), 1_000_000_000);
+        assert_eq!(bw.tx_time(2048), SimDuration::from_ns(2048));
+        assert_eq!(bw.tx_time(1), SimDuration::from_ns(1));
+    }
+
+    #[test]
+    fn tx_time_rounds_up() {
+        // 1 Gb/s = 125 MB/s = 8 ns per byte.
+        let bw = Bandwidth::gbps(1);
+        assert_eq!(bw.tx_time(1), SimDuration::from_ns(8));
+        // 3 bytes at 1 Gb/s = 24 ns exactly.
+        assert_eq!(bw.tx_time(3), SimDuration::from_ns(24));
+        // Non-divisible case rounds up: 1 byte at 3 GB/s = ceil(1/3 ns).
+        let odd = Bandwidth::bytes_per_sec(3_000_000_000);
+        assert_eq!(odd.tx_time(1), SimDuration::from_ns(1));
+    }
+
+    #[test]
+    fn bandwidth_conversions() {
+        assert_eq!(Bandwidth::mbps(8).as_bytes_per_sec(), 1_000_000);
+        assert_eq!(Bandwidth::mbytes_per_sec(3).as_bytes_per_sec(), 3_000_000);
+        assert!((Bandwidth::gbps(8).as_gbps_f64() - 8.0).abs() < 1e-9);
+        assert_eq!(Bandwidth::gbps(8).scaled(0.25), Bandwidth::gbps(2));
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(SimTime::from_ns(12).to_string(), "12ns");
+        assert_eq!(SimTime::from_us(12).to_string(), "12.000us");
+        assert_eq!(SimTime::from_ms(12).to_string(), "12.000ms");
+        assert_eq!(SimTime::from_secs(2).to_string(), "2.000s");
+        assert_eq!(Bandwidth::gbps(8).to_string(), "8.000Gb/s");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_ns(1) < SimTime::from_ns(2));
+        assert_eq!(SimTime::from_ns(7).max(SimTime::from_ns(3)), SimTime::from_ns(7));
+        assert_eq!(SimTime::from_ns(7).min(SimTime::from_ns(3)), SimTime::from_ns(3));
+    }
+}

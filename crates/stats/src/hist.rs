@@ -1,0 +1,312 @@
+//! Log-bucketed histogram for latency recording.
+//!
+//! Values are nanoseconds (`u64`). Buckets: 64 major power-of-two ranges
+//! × `SUB` linear sub-buckets each, giving a worst-case quantisation
+//! error below `1/SUB` of the value — plenty for CDF plots — with a
+//! fixed, small footprint.
+
+use serde::{Deserialize, Serialize};
+
+/// Sub-buckets per power-of-two range (relative error ≤ 1/32 ≈ 3 %).
+const SUB: usize = 32;
+const SUB_BITS: u32 = 5;
+
+/// A log-bucketed histogram of `u64` values (nanoseconds by convention).
+///
+/// ```
+/// use dqos_stats::LogHistogram;
+///
+/// let mut h = LogHistogram::new();
+/// for latency_ns in [5_000u64, 7_000, 9_000, 11_000] {
+///     h.record(latency_ns);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.mean(), 8_000.0);           // exact, not bucketised
+/// assert_eq!(h.max(), 11_000);
+/// assert!(h.fraction_at_or_below(9_500) >= 0.75);
+/// let cdf = h.cdf();                       // (value, cumulative fraction)
+/// assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: vec![0; 64 * SUB],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket_of(value: u64) -> usize {
+        if value < SUB as u64 {
+            // Values below SUB map 1:1 into the first buckets.
+            return value as usize;
+        }
+        let msb = 63 - value.leading_zeros();
+        let major = msb - SUB_BITS; // >= 0 because value >= SUB
+        let sub = (value >> major) as usize - SUB; // 0..SUB
+        ((major + 1) as usize) * SUB + sub
+    }
+
+    /// Representative (upper-edge) value of bucket `i`.
+    fn bucket_value(i: usize) -> u64 {
+        if i < SUB {
+            return i as u64;
+        }
+        let major = (i / SUB - 1) as u32;
+        let sub = (i % SUB) as u64;
+        ((SUB as u64 + sub + 1) << major) - 1
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        let b = Self::bucket_of(value);
+        self.counts[b] += 1;
+        self.total += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact mean of recorded values (not bucketised).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.total as f64
+    }
+
+    /// Smallest recorded value (exact), or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (exact), or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Value at quantile `q` in `[0, 1]` (bucket upper edge: ≤ 3 % high).
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_value(i).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Export the CDF as `(value_ns, cumulative_fraction)` points, one
+    /// per non-empty bucket — exactly what the paper's CDF figures plot.
+    pub fn cdf(&self) -> Vec<(u64, f64)> {
+        let mut pts = Vec::new();
+        if self.total == 0 {
+            return pts;
+        }
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cum += c;
+            pts.push((
+                Self::bucket_value(i).min(self.max),
+                cum as f64 / self.total as f64,
+            ));
+        }
+        pts
+    }
+
+    /// Fraction of recorded values ≤ `value`.
+    pub fn fraction_at_or_below(&self, value: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let b = Self::bucket_of(value);
+        let cum: u64 = self.counts[..=b].iter().sum();
+        cum as f64 / self.total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert!(h.cdf().is_empty());
+    }
+
+    #[test]
+    fn exact_small_values() {
+        let mut h = LogHistogram::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 32);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 31);
+        assert_eq!(h.mean(), 15.5);
+        // Small values are exact.
+        assert_eq!(h.quantile(1.0 / 32.0), 0);
+        assert_eq!(h.quantile(1.0), 31);
+    }
+
+    #[test]
+    fn mean_is_exact_not_bucketised() {
+        let mut h = LogHistogram::new();
+        h.record(1_000_003);
+        h.record(2_000_001);
+        assert_eq!(h.mean(), 1_500_002.0);
+    }
+
+    #[test]
+    fn quantile_error_bounded() {
+        let mut h = LogHistogram::new();
+        for v in [10_000u64, 20_000, 30_000, 40_000, 50_000] {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5);
+        // Within 1/32 of the true median.
+        assert!(
+            (p50 as f64 - 30_000.0).abs() / 30_000.0 <= 1.0 / 32.0 + 1e-9,
+            "p50 {p50}"
+        );
+        assert_eq!(h.quantile(1.0), 50_000); // clamped to true max
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let mut h = LogHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(i * 97);
+        }
+        let cdf = h.cdf();
+        assert!(!cdf.is_empty());
+        let mut prev = (0u64, 0.0f64);
+        for &(v, f) in &cdf {
+            assert!(v >= prev.0);
+            assert!(f >= prev.1);
+            prev = (v, f);
+        }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_at_or_below() {
+        let mut h = LogHistogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        assert!((h.fraction_at_or_below(9) - 0.0).abs() < 1e-12);
+        assert!((h.fraction_at_or_below(10) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((h.fraction_at_or_below(1000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        a.record(100);
+        b.record(300);
+        b.record(500);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), 100);
+        assert_eq!(a.max(), 500);
+        assert_eq!(a.mean(), 300.0);
+    }
+
+    proptest! {
+        /// Every value lands in a bucket whose representative is within
+        /// 1/32 relative error above it.
+        #[test]
+        fn prop_bucket_error_bounded(v in 0u64..u64::MAX / 2) {
+            let b = LogHistogram::bucket_of(v);
+            let rep = LogHistogram::bucket_value(b);
+            prop_assert!(rep >= v, "representative below value");
+            if v >= 32 {
+                prop_assert!((rep - v) as f64 / v as f64 <= 1.0 / 32.0);
+            } else {
+                prop_assert_eq!(rep, v);
+            }
+        }
+
+        /// Bucket index is monotone in the value.
+        #[test]
+        fn prop_bucket_monotone(a in 0u64..1 << 50, b in 0u64..1 << 50) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(LogHistogram::bucket_of(lo) <= LogHistogram::bucket_of(hi));
+        }
+
+        /// Quantiles are monotone in q and bracketed by min/max.
+        #[test]
+        fn prop_quantiles_monotone(values in proptest::collection::vec(0u64..10_000_000, 1..200)) {
+            let mut h = LogHistogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+            let mut last = 0;
+            for &q in &qs {
+                let v = h.quantile(q);
+                prop_assert!(v >= last);
+                prop_assert!(v >= h.min() && v <= h.max());
+                last = v;
+            }
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # dqos-stats
+//!
+//! Measurement infrastructure for the paper's three QoS indices —
+//! throughput, latency and jitter (§5) — plus the latency CDF the
+//! figures show.
+//!
+//! * [`LogHistogram`] — log-bucketed latency histogram (HDR-style:
+//!   power-of-two major buckets, linear sub-buckets) with exact mean,
+//!   percentiles and CDF export. Bounded memory whatever the latency
+//!   range, which matters because control-packet latencies (µs) and
+//!   video-frame latencies (ms) share the pipeline.
+//! * [`ThroughputMeter`] — delivered-bytes accounting over the
+//!   measurement window.
+//! * [`JitterTracker`] — per-flow latency variation: mean |ΔL| between
+//!   consecutive deliveries and Welford variance.
+//! * [`ClassStats`] / [`Report`] — per-traffic-class aggregation and the
+//!   plain-text / JSON renderers the figure benches print.
+
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod jitter;
+pub mod meter;
+pub mod report;
+
+pub use hist::LogHistogram;
+pub use jitter::JitterTracker;
+pub use meter::ThroughputMeter;
+pub use report::{cdf_to_text, ClassStats, Report};

@@ -1,0 +1,201 @@
+//! Per-class aggregation and rendering.
+//!
+//! [`ClassStats`] collects everything §5 reports for one traffic class;
+//! [`Report`] groups the four classes of one simulation run and renders
+//! the rows the figure benches print (plain text aligned columns, or
+//! JSON via serde for post-processing).
+
+use crate::hist::LogHistogram;
+use crate::jitter::JitterTracker;
+use crate::meter::ThroughputMeter;
+use dqos_sim_core::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Everything measured for one traffic class during one run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ClassStats {
+    /// Class label ("Control", "Multimedia", ...).
+    pub name: String,
+    /// Per-packet network latency histogram (inject → deliver), ns.
+    pub packet_latency: LogHistogram,
+    /// Per-message latency histogram (message handed to NIC → last part
+    /// delivered), ns. For multimedia this is the *frame* latency that
+    /// Figure 3 plots.
+    pub message_latency: LogHistogram,
+    /// Delivered-traffic meter.
+    pub delivered: ThroughputMeter,
+    /// Offered-traffic meter (what the generators produced).
+    pub offered: ThroughputMeter,
+    /// Message-level jitter aggregate.
+    pub jitter: JitterTracker,
+}
+
+impl ClassStats {
+    /// A fresh, named stats block.
+    pub fn new(name: impl Into<String>) -> Self {
+        ClassStats { name: name.into(), ..Default::default() }
+    }
+
+    /// Merge another block (e.g. from a parallel replica).
+    pub fn merge(&mut self, other: &ClassStats) {
+        self.packet_latency.merge(&other.packet_latency);
+        self.message_latency.merge(&other.message_latency);
+        self.delivered.merge(&other.delivered);
+        self.offered.merge(&other.offered);
+        self.jitter.merge(&other.jitter);
+    }
+}
+
+/// One simulation run's results: the architecture, the load point, the
+/// measurement window, and a stats block per class.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Report {
+    /// Architecture label (paper figure legend).
+    pub architecture: String,
+    /// Offered load as a fraction of link capacity (0.1 ..= 1.0).
+    pub load: f64,
+    /// Measurement window start.
+    pub window_start: SimTime,
+    /// Measurement window end.
+    pub window_end: SimTime,
+    /// Per-class statistics, Table-1 order.
+    pub classes: Vec<ClassStats>,
+}
+
+impl Report {
+    /// Look up a class block by name.
+    pub fn class(&self, name: &str) -> Option<&ClassStats> {
+        self.classes.iter().find(|c| c.name == name)
+    }
+
+    /// Render an aligned text table, one row per class: throughput,
+    /// mean/p99/max packet latency, mean message latency, jitter.
+    pub fn to_table(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "# {} @ load {:.0}%  (window {} .. {})",
+            self.architecture,
+            self.load * 100.0,
+            self.window_start,
+            self.window_end
+        );
+        let _ = writeln!(
+            s,
+            "{:<12} {:>10} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            "class", "thru Gb/s", "offer Gb/s", "pkt avg us", "pkt p99 us", "pkt max us", "msg avg ms", "jitter us"
+        );
+        for c in &self.classes {
+            let thru = c.delivered.throughput(self.window_start, self.window_end);
+            let offer = c.offered.throughput(self.window_start, self.window_end);
+            let _ = writeln!(
+                s,
+                "{:<12} {:>10.3} {:>10.3} {:>12.2} {:>12.2} {:>12.2} {:>12.3} {:>12.2}",
+                c.name,
+                thru.as_gbps_f64(),
+                offer.as_gbps_f64(),
+                c.packet_latency.mean() / 1e3,
+                c.packet_latency.quantile(0.99) as f64 / 1e3,
+                c.packet_latency.max() as f64 / 1e3,
+                c.message_latency.mean() / 1e6,
+                c.jitter.mean_abs_delta() / 1e3,
+            );
+        }
+        s
+    }
+
+    /// Serialise to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialises")
+    }
+}
+
+/// Render a CDF as two-column text (`value fraction`), the format of the
+/// paper's CDF plots.
+pub fn cdf_to_text(hist: &LogHistogram, unit_div: f64, unit: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "# latency_{unit} cumulative_fraction");
+    for (v, f) in hist.cdf() {
+        let _ = writeln!(s, "{:.3} {:.6}", v as f64 / unit_div, f);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Report {
+        let mut control = ClassStats::new("Control");
+        for i in 0..100u64 {
+            control.packet_latency.record(5_000 + i * 10);
+            control.delivered.record_packet(1024);
+            control.offered.record_packet(1024);
+        }
+        let mut video = ClassStats::new("Multimedia");
+        for _ in 0..10 {
+            video.message_latency.record(10_000_000);
+            video.jitter.record(10_000_000);
+        }
+        Report {
+            architecture: "Advanced 2 VCs".into(),
+            load: 1.0,
+            window_start: SimTime::from_ms(10),
+            window_end: SimTime::from_ms(20),
+            classes: vec![control, video],
+        }
+    }
+
+    #[test]
+    fn class_lookup() {
+        let r = sample_report();
+        assert!(r.class("Control").is_some());
+        assert!(r.class("Multimedia").is_some());
+        assert!(r.class("Nope").is_none());
+    }
+
+    #[test]
+    fn table_renders_all_classes() {
+        let r = sample_report();
+        let t = r.to_table();
+        assert!(t.contains("Advanced 2 VCs"));
+        assert!(t.contains("Control"));
+        assert!(t.contains("Multimedia"));
+        // 100 * 1024 B over 10 ms = 10.24 MB/s ≈ 0.082 Gb/s.
+        assert!(t.contains("0.082"), "table was:\n{t}");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = sample_report();
+        let j = r.to_json();
+        let back: Report = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.architecture, r.architecture);
+        assert_eq!(back.classes.len(), 2);
+        assert_eq!(back.class("Control").unwrap().packet_latency.count(), 100);
+    }
+
+    #[test]
+    fn cdf_text_format() {
+        let r = sample_report();
+        let txt = cdf_to_text(&r.class("Control").unwrap().packet_latency, 1e3, "us");
+        assert!(txt.starts_with("# latency_us"));
+        let lines: Vec<_> = txt.lines().skip(1).collect();
+        assert!(!lines.is_empty());
+        // Final fraction reaches 1.
+        assert!(lines.last().unwrap().ends_with("1.000000"));
+    }
+
+    #[test]
+    fn merge_classes() {
+        let mut a = ClassStats::new("Control");
+        let mut b = ClassStats::new("Control");
+        a.packet_latency.record(10);
+        b.packet_latency.record(20);
+        b.delivered.record_packet(100);
+        a.merge(&b);
+        assert_eq!(a.packet_latency.count(), 2);
+        assert_eq!(a.delivered.bytes(), 100);
+    }
+}

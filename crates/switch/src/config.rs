@@ -1,0 +1,67 @@
+//! Switch configuration.
+
+use dqos_core::Architecture;
+use dqos_sim_core::Bandwidth;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one switch (§4.1 values as defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwitchConfig {
+    /// Which of the four evaluated architectures this switch implements.
+    pub arch: Architecture,
+    /// Port count (16 in the paper).
+    pub n_ports: u8,
+    /// Buffer bytes per VC at each input and each output port
+    /// (8 KiB in the paper).
+    pub buffer_per_vc: u32,
+    /// Link bandwidth; the crossbar runs at the same rate
+    /// (no internal speed-up), 8 Gb/s in the paper.
+    pub link_bw: Bandwidth,
+    /// Input-buffer organisation. `false` (the paper, Fig. 1): one queue
+    /// structure per (input, VC), candidate = its head — order errors and
+    /// head-of-line blocking are possible and the take-over queue earns
+    /// its keep. `true` (ablation): per-output VOQ banks at each input.
+    pub input_voq: bool,
+}
+
+impl SwitchConfig {
+    /// The paper's switch: 16 ports, 8 KiB per VC, 8 Gb/s links.
+    pub fn paper(arch: Architecture) -> Self {
+        SwitchConfig {
+            arch,
+            n_ports: 16,
+            buffer_per_vc: 8 * 1024,
+            link_bw: Bandwidth::gbps(8),
+            input_voq: false,
+        }
+    }
+
+    /// Sanity checks; called by the switch constructor.
+    pub fn validate(&self) {
+        assert!(self.n_ports > 0, "switch needs ports");
+        assert!(self.buffer_per_vc > 0, "switch needs buffer space");
+        assert!(self.link_bw.as_bytes_per_sec() > 0, "links need bandwidth");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values() {
+        let c = SwitchConfig::paper(Architecture::Advanced2Vc);
+        assert_eq!(c.n_ports, 16);
+        assert_eq!(c.buffer_per_vc, 8192);
+        assert_eq!(c.link_bw, Bandwidth::gbps(8));
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "needs ports")]
+    fn zero_ports_invalid() {
+        let mut c = SwitchConfig::paper(Architecture::Ideal);
+        c.n_ports = 0;
+        c.validate();
+    }
+}

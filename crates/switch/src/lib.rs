@@ -1,0 +1,45 @@
+//! # dqos-switch
+//!
+//! The combined input-output buffered switch of §4.1, as a pure state
+//! machine driven by `on_*` handlers that return
+//! [`dqos_core::NodeAction`]s.
+//!
+//! Architecture (identical for all four evaluated designs except the
+//! queue structure and the arbiter):
+//!
+//! ```text
+//!  in ports                 crossbar                 out ports
+//!  ┌────────────┐                                ┌────────────┐
+//!  │ VC0 VOQ[Q] │──┐                          ┌──│ VC0 [Q]    │── link ──▶
+//!  │ VC1 VOQ[Q] │  │   one transfer per       │  │ VC1 [Q]    │  (credits)
+//!  └────────────┘  ├──▶ input and per output ─┤  └────────────┘
+//!       ...        │   at link speed          │       ...
+//!  ┌────────────┐  │                          │  ┌────────────┐
+//!  └────────────┘──┘                          └──└────────────┘
+//! ```
+//!
+//! * **Input stage**: per (port, VC) a VOQ bank — one queue structure
+//!   per output port — inside a shared per-VC byte budget (8 KiB in the
+//!   paper) that credit-based flow control guarantees is never exceeded.
+//! * **Crossbar**: each input feeds at most one transfer at a time, each
+//!   output accepts at most one; transfers run at link speed.
+//! * **Output stage**: per (port, VC) one queue structure feeding the
+//!   link; the link scheduler gives VC0 absolute priority and, inside a
+//!   VC, serves the structure's candidate (for the two-queue system,
+//!   "only the packet with the smallest deadline of the potential two
+//!   available is checked for credits", §appendix).
+//! * **Arbiters** ([`arbiter`]): EDF head-compare for the deadline
+//!   architectures, round-robin for *Traditional 2 VCs*.
+//!
+//! The switch never inspects flow ids and keeps no flow state — only
+//! deadlines and routes, which is the paper's design constraint.
+
+#![warn(missing_docs)]
+
+pub mod arbiter;
+pub mod config;
+pub mod switch;
+
+pub use arbiter::{pick_edf, pick_round_robin, Candidate};
+pub use config::SwitchConfig;
+pub use switch::{Switch, SwitchStats};

@@ -1,0 +1,106 @@
+//! Identifier newtypes for nodes, ports and links.
+//!
+//! Everything is a small dense integer so simulator state can live in
+//! flat `Vec`s indexed by id.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An end host (network endpoint). Dense in `0..n_hosts`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct HostId(pub u32);
+
+/// A switch. Dense in `0..n_switches`; leaves come before spines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SwitchId(pub u32);
+
+/// A port number local to one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Port(pub u8);
+
+/// A **directed** link (one direction of a cable). Dense in `0..n_links`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+/// Either kind of node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum NodeId {
+    /// An end host.
+    Host(HostId),
+    /// A switch.
+    Switch(SwitchId),
+}
+
+impl HostId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl SwitchId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Port {
+    /// The port as a usize index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl LinkId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "H{}", self.0)
+    }
+}
+
+impl fmt::Display for SwitchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeId::Host(h) => h.fmt(f),
+            NodeId::Switch(s) => s.fmt(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(HostId(3).to_string(), "H3");
+        assert_eq!(SwitchId(7).to_string(), "S7");
+        assert_eq!(NodeId::Host(HostId(0)).to_string(), "H0");
+        assert_eq!(NodeId::Switch(SwitchId(1)).to_string(), "S1");
+    }
+
+    #[test]
+    fn idx_roundtrip() {
+        assert_eq!(HostId(5).idx(), 5);
+        assert_eq!(Port(9).idx(), 9);
+        assert_eq!(LinkId(11).idx(), 11);
+        assert_eq!(SwitchId(2).idx(), 2);
+    }
+}

@@ -1,0 +1,98 @@
+//! Fixed routes through the network.
+//!
+//! The paper mandates *fixed routing*: the admission controller assigns
+//! each flow one route at setup and every packet of the flow follows it
+//! (this is what makes head-of-queue deadline scheduling sound, and it
+//! avoids the out-of-order delivery adaptive routing would cause). A
+//! [`Route`] is the per-switch output-port list a packet consults with its
+//! hop index; it is stored behind an `Arc` so cloning a packet is cheap.
+
+use crate::ids::{HostId, Port, SwitchId};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// One hop of a route: the switch the packet is at and the output port it
+/// must take there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteHop {
+    /// The switch this hop traverses.
+    pub switch: SwitchId,
+    /// The output port to take at that switch.
+    pub out_port: Port,
+}
+
+/// A complete, fixed source route from one host to another.
+///
+/// `hops[0]` is the first switch after the source host's injection link;
+/// the final hop's output port leads to the destination host.
+/// (Not serialisable: routes are rebuilt from topology + choice index.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    /// Source host.
+    pub src: HostId,
+    /// Destination host.
+    pub dst: HostId,
+    /// Per-switch hops, in traversal order.
+    pub hops: Arc<[RouteHop]>,
+}
+
+impl Route {
+    /// Create a route from its parts.
+    pub fn new(src: HostId, dst: HostId, hops: Vec<RouteHop>) -> Self {
+        debug_assert!(!hops.is_empty(), "a route must traverse at least one switch");
+        Route { src, dst, hops: hops.into() }
+    }
+
+    /// Number of switch hops.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// True if the route has no hops (never constructed by this crate).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// The hop at `idx`, if any.
+    #[inline]
+    pub fn hop(&self, idx: usize) -> Option<RouteHop> {
+        self.hops.get(idx).copied()
+    }
+
+    /// Whether `idx` is the final switch (its output port reaches the
+    /// destination host).
+    #[inline]
+    pub fn is_last_hop(&self, idx: usize) -> bool {
+        idx + 1 == self.hops.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hop(s: u32, p: u8) -> RouteHop {
+        RouteHop { switch: SwitchId(s), out_port: Port(p) }
+    }
+
+    #[test]
+    fn accessors() {
+        let r = Route::new(HostId(0), HostId(9), vec![hop(0, 8), hop(16, 1), hop(1, 1)]);
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+        assert_eq!(r.hop(0), Some(hop(0, 8)));
+        assert_eq!(r.hop(2), Some(hop(1, 1)));
+        assert_eq!(r.hop(3), None);
+        assert!(!r.is_last_hop(0));
+        assert!(r.is_last_hop(2));
+    }
+
+    #[test]
+    fn clone_shares_hops() {
+        let r = Route::new(HostId(0), HostId(1), vec![hop(0, 1)]);
+        let r2 = r.clone();
+        assert!(Arc::ptr_eq(&r.hops, &r2.hops));
+    }
+}

@@ -1,0 +1,118 @@
+//! Control traffic: small latency-critical messages.
+//!
+//! Poisson arrivals (exponential inter-arrival), message sizes uniform in
+//! Table 1's 128 B – 2 KiB range, each message to an independently drawn
+//! random destination. The exponential mean is chosen so the long-run
+//! byte rate matches the configured share of link bandwidth.
+
+use crate::source::{random_dst, AppMessage, TrafficSource};
+use dqos_core::TrafficClass;
+use dqos_sim_core::dist::Exponential;
+use dqos_sim_core::{Bandwidth, SimDuration, SimRng, SimTime};
+use dqos_topology::HostId;
+
+/// Poisson control-message source for one host.
+#[derive(Debug, Clone)]
+pub struct ControlSource {
+    src: HostId,
+    n_hosts: u32,
+    size_lo: u32,
+    size_hi: u32,
+    gap: Exponential,
+}
+
+impl ControlSource {
+    /// A source emitting `rate` bytes/sec of messages sized uniformly in
+    /// `[size_lo, size_hi]`.
+    pub fn new(src: HostId, n_hosts: u32, rate: Bandwidth, size_lo: u32, size_hi: u32) -> Self {
+        assert!(size_lo > 0 && size_lo <= size_hi, "bad size range");
+        assert!(rate.as_bytes_per_sec() > 0, "rate must be positive");
+        let mean_size = (size_lo as f64 + size_hi as f64) / 2.0;
+        let mean_gap_ns = mean_size / rate.as_bytes_per_sec() as f64 * 1e9;
+        ControlSource {
+            src,
+            n_hosts,
+            size_lo,
+            size_hi,
+            gap: Exponential::new(mean_gap_ns),
+        }
+    }
+}
+
+impl TrafficSource for ControlSource {
+    fn class(&self) -> TrafficClass {
+        TrafficClass::Control
+    }
+
+    fn first_arrival(&mut self, rng: &mut SimRng) -> SimTime {
+        SimTime::from_ns(self.gap.sample(rng) as u64)
+    }
+
+    fn emit(&mut self, now: SimTime, rng: &mut SimRng) -> (AppMessage, SimTime) {
+        let bytes = rng.range_u64(self.size_lo as u64, self.size_hi as u64);
+        let msg = AppMessage {
+            dst: random_dst(self.src, self.n_hosts, rng),
+            class: TrafficClass::Control,
+            bytes,
+            stream: None,
+        };
+        let next = now + SimDuration::from_ns(self.gap.sample(rng).max(1.0) as u64);
+        (msg, next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(src: &mut ControlSource, seed: u64, horizon: SimTime) -> Vec<(SimTime, AppMessage)> {
+        let mut rng = SimRng::new(seed);
+        let mut out = vec![];
+        let mut t = src.first_arrival(&mut rng);
+        while t <= horizon {
+            let (m, next) = src.emit(t, &mut rng);
+            out.push((t, m));
+            assert!(next > t, "time must advance");
+            t = next;
+        }
+        out
+    }
+
+    #[test]
+    fn sizes_in_table1_range() {
+        let mut s = ControlSource::new(HostId(0), 16, Bandwidth::gbps(2), 128, 2048);
+        for (_, m) in drain(&mut s, 7, SimTime::from_ms(5)) {
+            assert!((128..=2048).contains(&m.bytes));
+            assert_eq!(m.class, TrafficClass::Control);
+            assert_ne!(m.dst, HostId(0));
+            assert!(m.stream.is_none());
+        }
+    }
+
+    #[test]
+    fn rate_calibration() {
+        // 2 Gb/s for 20 ms should deliver ~5 MB of messages.
+        let mut s = ControlSource::new(HostId(3), 32, Bandwidth::gbps(2), 128, 2048);
+        let msgs = drain(&mut s, 11, SimTime::from_ms(20));
+        let bytes: u64 = msgs.iter().map(|(_, m)| m.bytes).sum();
+        let expect = 2.0e9 / 8.0 * 0.020;
+        let err = (bytes as f64 - expect).abs() / expect;
+        assert!(err < 0.05, "rate error {err:.3} (bytes {bytes})");
+    }
+
+    #[test]
+    fn destinations_spread() {
+        let mut s = ControlSource::new(HostId(0), 16, Bandwidth::gbps(2), 128, 2048);
+        let msgs = drain(&mut s, 13, SimTime::from_ms(5));
+        let distinct: std::collections::HashSet<u32> =
+            msgs.iter().map(|(_, m)| m.dst.0).collect();
+        assert!(distinct.len() >= 14, "only {} destinations", distinct.len());
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = ControlSource::new(HostId(0), 16, Bandwidth::gbps(2), 128, 2048);
+        let mut b = ControlSource::new(HostId(0), 16, Bandwidth::gbps(2), 128, 2048);
+        assert_eq!(drain(&mut a, 5, SimTime::from_ms(1)), drain(&mut b, 5, SimTime::from_ms(1)));
+    }
+}

@@ -1,0 +1,104 @@
+//! Hotspot traffic: many hosts converge on one destination.
+//!
+//! Not part of Table 1, but the canonical adversarial workload for
+//! lossless fabrics: when the aggregate offered to one endpoint exceeds
+//! its delivery link, back-pressure trees form and — without QoS
+//! isolation — spread into unrelated traffic. The deadline architectures
+//! confine the damage to the best-effort VC; `examples/hotspot.rs` runs
+//! the comparison.
+
+use crate::source::{AppMessage, TrafficSource};
+use dqos_core::TrafficClass;
+use dqos_sim_core::dist::Exponential;
+use dqos_sim_core::{Bandwidth, SimDuration, SimRng, SimTime};
+use dqos_topology::HostId;
+
+/// A Poisson stream of fixed-size messages aimed at one destination.
+#[derive(Debug, Clone)]
+pub struct HotspotSource {
+    dst: HostId,
+    class: TrafficClass,
+    msg_bytes: u64,
+    gap: Exponential,
+}
+
+impl HotspotSource {
+    /// A source offering `rate` toward `dst` in `class`, as `msg_bytes`
+    /// messages.
+    pub fn new(dst: HostId, class: TrafficClass, rate: Bandwidth, msg_bytes: u64) -> Self {
+        assert!(msg_bytes > 0, "messages need bytes");
+        assert!(rate.as_bytes_per_sec() > 0, "rate must be positive");
+        let mean_gap_ns = msg_bytes as f64 / rate.as_bytes_per_sec() as f64 * 1e9;
+        HotspotSource { dst, class, msg_bytes, gap: Exponential::new(mean_gap_ns) }
+    }
+}
+
+impl TrafficSource for HotspotSource {
+    fn class(&self) -> TrafficClass {
+        self.class
+    }
+
+    fn first_arrival(&mut self, rng: &mut SimRng) -> SimTime {
+        SimTime::from_ns(self.gap.sample(rng) as u64)
+    }
+
+    fn emit(&mut self, now: SimTime, rng: &mut SimRng) -> (AppMessage, SimTime) {
+        let msg = AppMessage {
+            dst: self.dst,
+            class: self.class,
+            bytes: self.msg_bytes,
+            stream: None,
+        };
+        let next = now + SimDuration::from_ns(self.gap.sample(rng).max(1.0) as u64);
+        (msg, next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aims_at_one_destination() {
+        let mut s = HotspotSource::new(
+            HostId(3),
+            TrafficClass::Background,
+            Bandwidth::gbps(2),
+            4096,
+        );
+        let mut rng = SimRng::new(1);
+        let mut t = s.first_arrival(&mut rng);
+        for _ in 0..1000 {
+            let (m, next) = s.emit(t, &mut rng);
+            assert_eq!(m.dst, HostId(3));
+            assert_eq!(m.bytes, 4096);
+            assert_eq!(m.class, TrafficClass::Background);
+            assert!(next > t);
+            t = next;
+        }
+    }
+
+    #[test]
+    fn rate_calibration() {
+        let mut s = HotspotSource::new(
+            HostId(0),
+            TrafficClass::Background,
+            Bandwidth::gbps(1),
+            2048,
+        );
+        let mut rng = SimRng::new(2);
+        let horizon = SimTime::from_ms(50);
+        let mut t = s.first_arrival(&mut rng);
+        let mut bytes = 0u64;
+        while t <= horizon {
+            let (m, next) = s.emit(t, &mut rng);
+            bytes += m.bytes;
+            t = next;
+        }
+        let expect = 1.0e9 / 8.0 * 0.05;
+        assert!(
+            (bytes as f64 - expect).abs() / expect < 0.1,
+            "rate off: {bytes} vs {expect}"
+        );
+    }
+}

@@ -1,0 +1,213 @@
+//! Self-similar internet-like traffic (Best-effort and Background).
+//!
+//! The paper describes it as "bursts of packets heading to the same
+//! destination" with Pareto-distributed sizes, per Jain's recommendation
+//! — the classic result being that superposing many Pareto ON/OFF
+//! sources yields self-similar aggregate traffic.
+//!
+//! Model per source: alternate ON bursts and OFF gaps.
+//!
+//! * Burst: pick one destination; the number of messages is bounded
+//!   Pareto; messages arrive back-to-back at link rate; sizes are
+//!   bounded Pareto on Table 1's 128 B – 100 KiB range.
+//! * OFF gap: bounded Pareto, scaled so the long-run byte rate equals
+//!   the configured share (computed analytically from the distribution
+//!   means, verified by test).
+
+use crate::source::{random_dst, AppMessage, TrafficSource};
+use dqos_core::TrafficClass;
+use dqos_sim_core::dist::BoundedPareto;
+use dqos_sim_core::{Bandwidth, SimDuration, SimRng, SimTime};
+use dqos_topology::HostId;
+
+/// A Pareto ON/OFF source for one host and one best-effort class.
+#[derive(Debug, Clone)]
+pub struct SelfSimilarSource {
+    src: HostId,
+    n_hosts: u32,
+    class: TrafficClass,
+    size: BoundedPareto,
+    burst_len: BoundedPareto,
+    /// OFF gap shape (mean 1.0 before scaling).
+    off_shape: BoundedPareto,
+    off_scale_ns: f64,
+    /// Rate during a burst (bytes/sec): messages arrive back-to-back at
+    /// link speed.
+    burst_rate: f64,
+    // Current burst.
+    dst: HostId,
+    remaining: u64,
+}
+
+impl SelfSimilarSource {
+    /// Table 1 defaults: sizes 128 B – 100 KiB, Pareto shape 1.5.
+    pub fn table1(
+        src: HostId,
+        n_hosts: u32,
+        class: TrafficClass,
+        rate: Bandwidth,
+        link_bw: Bandwidth,
+    ) -> Self {
+        Self::new(src, n_hosts, class, rate, link_bw, 128.0, 100_000.0, 1.5)
+    }
+
+    /// Fully parameterised constructor.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        src: HostId,
+        n_hosts: u32,
+        class: TrafficClass,
+        rate: Bandwidth,
+        link_bw: Bandwidth,
+        size_lo: f64,
+        size_hi: f64,
+        alpha: f64,
+    ) -> Self {
+        assert!(rate.as_bytes_per_sec() > 0, "rate must be positive");
+        assert!(
+            rate.as_bytes_per_sec() < link_bw.as_bytes_per_sec(),
+            "offered rate must be below the burst (link) rate"
+        );
+        let size = BoundedPareto::new(size_lo, size_hi, alpha);
+        let burst_len = BoundedPareto::new(1.0, 1_000.0, alpha);
+        let off_shape = BoundedPareto::new(1.0, 1_000.0, alpha);
+        let r = rate.as_bytes_per_sec() as f64;
+        let big_r = link_bw.as_bytes_per_sec() as f64;
+        // Long-run rate = E[burst bytes] / (E[on] + E[off]).
+        let burst_bytes = burst_len.mean() * size.mean();
+        let on_ns = burst_bytes / big_r * 1e9;
+        let off_mean_ns = (burst_bytes / r * 1e9 - on_ns).max(1.0);
+        let off_scale_ns = off_mean_ns / off_shape.mean();
+        SelfSimilarSource {
+            src,
+            n_hosts,
+            class,
+            size,
+            burst_len,
+            off_shape,
+            off_scale_ns,
+            burst_rate: big_r,
+            dst: src, // replaced at first burst
+            remaining: 0,
+        }
+    }
+
+    fn off_gap(&self, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_ns((self.off_shape.sample(rng) * self.off_scale_ns).max(1.0) as u64)
+    }
+
+    fn intra_gap(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_ns(((bytes as f64 / self.burst_rate) * 1e9).max(1.0) as u64)
+    }
+}
+
+impl TrafficSource for SelfSimilarSource {
+    fn class(&self) -> TrafficClass {
+        self.class
+    }
+
+    fn first_arrival(&mut self, rng: &mut SimRng) -> SimTime {
+        SimTime::ZERO + self.off_gap(rng)
+    }
+
+    fn emit(&mut self, now: SimTime, rng: &mut SimRng) -> (AppMessage, SimTime) {
+        if self.remaining == 0 {
+            // Begin a new burst: one destination for the whole burst.
+            self.dst = random_dst(self.src, self.n_hosts, rng);
+            self.remaining = self.burst_len.sample(rng).round().max(1.0) as u64;
+        }
+        let bytes = self.size.sample(rng).round() as u64;
+        let msg = AppMessage { dst: self.dst, class: self.class, bytes, stream: None };
+        self.remaining -= 1;
+        let next = if self.remaining > 0 {
+            now + self.intra_gap(bytes)
+        } else {
+            now + self.off_gap(rng)
+        };
+        (msg, next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table1_src(rate_gbps: u64) -> SelfSimilarSource {
+        SelfSimilarSource::table1(
+            HostId(0),
+            32,
+            TrafficClass::BestEffort,
+            Bandwidth::gbps(rate_gbps),
+            Bandwidth::gbps(8),
+        )
+    }
+
+    fn drain(s: &mut SelfSimilarSource, seed: u64, horizon: SimTime) -> Vec<(SimTime, AppMessage)> {
+        let mut rng = SimRng::new(seed);
+        let mut t = s.first_arrival(&mut rng);
+        let mut out = vec![];
+        while t <= horizon {
+            let (m, next) = s.emit(t, &mut rng);
+            out.push((t, m));
+            assert!(next > t);
+            t = next;
+        }
+        out
+    }
+
+    #[test]
+    fn sizes_in_table1_range() {
+        let mut s = table1_src(2);
+        for (_, m) in drain(&mut s, 1, SimTime::from_ms(20)) {
+            assert!((128..=100_000).contains(&m.bytes), "size {}", m.bytes);
+            assert_eq!(m.class, TrafficClass::BestEffort);
+            assert_ne!(m.dst, HostId(0));
+        }
+    }
+
+    #[test]
+    fn bursts_share_destination() {
+        let mut s = table1_src(2);
+        let msgs = drain(&mut s, 2, SimTime::from_ms(50));
+        // Consecutive messages share a destination far more often than
+        // the 1/31 chance independent draws would give.
+        let same: usize = msgs.windows(2).filter(|w| w[0].1.dst == w[1].1.dst).count();
+        let frac = same as f64 / (msgs.len() - 1) as f64;
+        assert!(frac > 0.3, "burst structure missing: same-dst fraction {frac:.3}");
+    }
+
+    #[test]
+    fn rate_calibration() {
+        // Heavy-tailed, so use a long horizon and allow 15 %.
+        let mut s = table1_src(2);
+        let horizon = SimTime::from_ms(400);
+        let bytes: u64 = drain(&mut s, 3, horizon).iter().map(|(_, m)| m.bytes).sum();
+        let expect = 2.0e9 / 8.0 * 0.4;
+        let err = (bytes as f64 - expect).abs() / expect;
+        assert!(err < 0.15, "rate error {err:.3} (bytes {bytes})");
+    }
+
+    #[test]
+    fn heavy_tail_visible_in_gaps() {
+        let mut s = table1_src(1);
+        let msgs = drain(&mut s, 4, SimTime::from_ms(100));
+        let gaps: Vec<u64> = msgs.windows(2).map(|w| (w[1].0 - w[0].0).as_ns()).collect();
+        let max = *gaps.iter().max().unwrap() as f64;
+        let mean = gaps.iter().sum::<u64>() as f64 / gaps.len() as f64;
+        assert!(max / mean > 10.0, "no heavy tail: max/mean {}", max / mean);
+    }
+
+    #[test]
+    fn rejects_rate_at_or_above_link() {
+        let r = std::panic::catch_unwind(|| {
+            SelfSimilarSource::table1(
+                HostId(0),
+                8,
+                TrafficClass::Background,
+                Bandwidth::gbps(8),
+                Bandwidth::gbps(8),
+            )
+        });
+        assert!(r.is_err());
+    }
+}

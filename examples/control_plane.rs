@@ -1,0 +1,54 @@
+//! Latency-critical control traffic under increasing background load —
+//! the scenario that motivates the paper's introduction: management /
+//! administration traffic must stay fast while storage and best-effort
+//! traffic fill the fabric.
+//!
+//! Sweeps offered load and prints control-packet latency for a
+//! traditional 2-VC switch versus the paper's Advanced 2-VC design.
+//!
+//! ```text
+//! cargo run --release --example control_plane [hosts]
+//! ```
+
+use deadline_qos::core::Architecture;
+use deadline_qos::netsim::{run_one, SimConfig};
+use deadline_qos::topology::ClosParams;
+
+fn main() {
+    let hosts: u16 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("hosts"))
+        .unwrap_or(16);
+    println!("=== Control-plane latency vs load ({hosts} hosts) ===\n");
+    println!(
+        "{:>7} | {:>12} {:>12} {:>12} | {:>12} {:>12} {:>12}",
+        "", "Traditional", "", "", "Advanced", "", ""
+    );
+    println!(
+        "{:>7} | {:>12} {:>12} {:>12} | {:>12} {:>12} {:>12}",
+        "load%", "avg us", "p99 us", "max us", "avg us", "p99 us", "max us"
+    );
+    for load in [0.2, 0.4, 0.6, 0.8, 1.0] {
+        let mut row = format!("{:>7.0} |", load * 100.0);
+        for arch in [Architecture::Traditional2Vc, Architecture::Advanced2Vc] {
+            let mut cfg = SimConfig::bench(arch, load);
+            cfg.topology = ClosParams::scaled(hosts);
+            let (report, summary) = run_one(cfg);
+            assert_eq!(summary.out_of_order, 0);
+            let c = report.class("Control").unwrap();
+            row.push_str(&format!(
+                " {:>12.2} {:>12.2} {:>12.2} {}",
+                c.packet_latency.mean() / 1e3,
+                c.packet_latency.quantile(0.99) as f64 / 1e3,
+                c.packet_latency.max() as f64 / 1e3,
+                if arch == Architecture::Traditional2Vc { "|" } else { "" }
+            ));
+        }
+        println!("{row}");
+    }
+    println!(
+        "\nControl messages ride VC0 with full-link-bandwidth deadlines: under the\n\
+         EDF designs their latency barely moves with load, while the traditional\n\
+         switch lets queueing behind multimedia bursts inflate it."
+    );
+}

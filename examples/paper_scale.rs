@@ -1,0 +1,46 @@
+//! The paper-scale experiment: 128 endpoints, 16-port switches, 8 Gb/s
+//! links, Table-1 traffic at a chosen load — §4's exact configuration.
+//!
+//! This is the slow, faithful run (tens of millions of events per
+//! architecture); the figure benches default to a reduced instance.
+//!
+//! ```text
+//! cargo run --release --example paper_scale [load] [arch]
+//! # e.g.  cargo run --release --example paper_scale 1.0 advanced
+//! ```
+
+use deadline_qos::core::Architecture;
+use deadline_qos::netsim::{run_one, SimConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let load: f64 = args.next().map(|s| s.parse().expect("load")).unwrap_or(1.0);
+    let archs: Vec<Architecture> = match args.next() {
+        Some(s) => vec![Architecture::from_slug(&s).expect("arch: traditional|ideal|simple|advanced")],
+        None => Architecture::ALL.to_vec(),
+    };
+
+    for arch in archs {
+        let cfg = SimConfig::paper(arch, load);
+        println!(
+            "running {} @ {:.0}% on the paper network (128 hosts, {} switches, {} window)...",
+            arch.label(),
+            load * 100.0,
+            cfg.topology.n_switches(),
+            cfg.measure
+        );
+        let start = std::time::Instant::now();
+        let (report, summary) = run_one(cfg);
+        println!("{}", report.to_table());
+        println!(
+            "  [{} events in {:.1}s wall ({:.2}M ev/s), {} pkts, {} out-of-order, {} take-overs]\n",
+            summary.events,
+            start.elapsed().as_secs_f64(),
+            summary.events as f64 / start.elapsed().as_secs_f64() / 1e6,
+            summary.delivered_packets,
+            summary.out_of_order,
+            summary.take_over_total
+        );
+        assert_eq!(summary.out_of_order, 0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Video streaming with deadline-based QoS: the §3.1 story.
+//!
+//! Compares the three ways to stamp multimedia deadlines — the paper's
+//! frame-spread method against the two options it rejects — first
+//! analytically (what deadline does each frame get?), then by running
+//! the network and measuring realised frame latency.
+//!
+//! ```text
+//! cargo run --release --example video_streaming
+//! ```
+
+use deadline_qos::core::{segment_message, Architecture, DeadlineMode, Stamper};
+use deadline_qos::netsim::{Network, SimConfig, VideoDeadlines};
+use deadline_qos::sim_core::{Bandwidth, SimDuration, SimTime};
+
+fn main() {
+    println!("=== §3.1: computing deadlines for MPEG video ===\n");
+    analytic_comparison();
+    println!();
+    network_comparison();
+}
+
+/// What deadline does the *last packet of a frame* get, per method?
+/// Under pacing that is the frame's effective latency.
+fn analytic_comparison() {
+    let methods: [(&str, DeadlineMode); 3] = [
+        (
+            "frame-spread 10ms (paper)",
+            DeadlineMode::FrameSpread { target: SimDuration::from_ms(10) },
+        ),
+        (
+            "avg bandwidth 400KB/s",
+            DeadlineMode::AvgBandwidth(Bandwidth::bytes_per_sec(400_000)),
+        ),
+        (
+            "peak bandwidth 3MB/s",
+            DeadlineMode::AvgBandwidth(Bandwidth::mbytes_per_sec(3)),
+        ),
+    ];
+    println!(
+        "{:<28} {:>10} {:>10} {:>10} {:>10}",
+        "method / frame size", "2 KiB", "16 KiB", "80 KiB", "120 KiB"
+    );
+    for (name, mode) in methods {
+        print!("{name:<28}");
+        for size_kib in [2u64, 16, 80, 120] {
+            let mut s = Stamper::new(mode);
+            let parts = segment_message(size_kib * 1024, 2048);
+            let last = s.stamp_message(SimTime::ZERO, &parts).last().unwrap().deadline;
+            print!(" {:>8.2}ms", last.as_ns() as f64 / 1e6);
+        }
+        println!();
+    }
+    println!(
+        "\n(frame-spread: every frame due at the target, regardless of size;\n\
+         avg-bw: big frames 'intolerably' late; peak-bw: latency tracks size,\n\
+         small frames burst out early — exactly the paper's objections)"
+    );
+}
+
+/// Run the actual network per method and report realised frame latency.
+fn network_comparison() {
+    println!("=== realised frame latency through the network (Ideal switch, 16 hosts) ===\n");
+    let modes: [(&str, VideoDeadlines); 2] = [
+        ("frame-spread 10 ms", VideoDeadlines::FrameSpread { target_ns: 10_000_000 }),
+        ("peak bandwidth", VideoDeadlines::PeakBandwidth),
+    ];
+    println!(
+        "{:<22} {:>12} {:>12} {:>12} {:>14}",
+        "method", "avg ms", "p50 ms", "p99 ms", "<=10.5ms frac"
+    );
+    for (name, mode) in modes {
+        let mut cfg = SimConfig::bench(Architecture::Ideal, 0.8);
+        cfg.topology = deadline_qos::topology::ClosParams::scaled(16);
+        cfg.video_deadlines = mode;
+        // Peak-bw deadlines are tighter than 10 ms, the default warm-up
+        // still covers them.
+        let (report, summary) = Network::new(cfg).run();
+        assert_eq!(summary.out_of_order, 0);
+        let mm = report.class("Multimedia").unwrap();
+        println!(
+            "{:<22} {:>12.3} {:>12.3} {:>12.3} {:>13.1}%",
+            name,
+            mm.message_latency.mean() / 1e6,
+            mm.message_latency.quantile(0.5) as f64 / 1e6,
+            mm.message_latency.quantile(0.99) as f64 / 1e6,
+            mm.message_latency.fraction_at_or_below(10_500_000) * 100.0
+        );
+    }
+    println!(
+        "\n(frame-spread pins every frame near 10 ms with minimal jitter;\n\
+         peak-bw finishes small frames early and large frames late)"
+    );
+}

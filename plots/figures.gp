@@ -1,0 +1,56 @@
+# Gnuplot script for the regenerated paper figures.
+#
+# The figure benches write their data under target/figures/:
+#   cargo bench -p dqos-bench --bench fig2_control
+#   cargo bench -p dqos-bench --bench fig3_video
+#   cargo bench -p dqos-bench --bench fig4_besteffort
+# then:
+#   gnuplot -c plots/figures.gp
+# produces PNGs next to the data files.
+
+dir = "target/figures/"
+set terminal pngcairo size 900,600 enhanced
+set key top left
+set grid
+
+set output dir."fig2a_control_latency.png"
+set title "Figure 2a: Control traffic — average latency vs load"
+set xlabel "offered load (% of link)"
+set ylabel "average packet latency (us)"
+set logscale y
+plot dir."figure_2a_control_average_packet_latency_vs_load.dat" \
+        using 1:2 with linespoints title "Traditional 2 VCs", \
+     "" using 1:3 with linespoints title "Ideal", \
+     "" using 1:4 with linespoints title "Simple 2 VCs", \
+     "" using 1:5 with linespoints title "Advanced 2 VCs"
+unset logscale y
+
+set output dir."fig3a_video_latency.png"
+set title "Figure 3a: Multimedia — average frame latency vs load"
+set ylabel "average frame latency (ms)"
+plot dir."figure_3a_video_average_frame_latency_vs_load.dat" \
+        using 1:2 with linespoints title "Traditional 2 VCs", \
+     "" using 1:3 with linespoints title "Ideal", \
+     "" using 1:4 with linespoints title "Simple 2 VCs", \
+     "" using 1:5 with linespoints title "Advanced 2 VCs"
+
+set output dir."fig4_besteffort_throughput.png"
+set title "Figure 4: best-effort classes — delivered throughput vs load"
+set ylabel "delivered throughput (Gb/s)"
+plot dir."figure_4a_best_effort_throughput_vs_load.dat" \
+        using 1:2 with linespoints title "BE, Traditional", \
+     "" using 1:5 with linespoints title "BE, Advanced", \
+     dir."figure_4b_background_throughput_vs_load.dat" \
+        using 1:2 with linespoints title "BG, Traditional", \
+     "" using 1:5 with linespoints title "BG, Advanced"
+
+set output dir."fig2c_control_cdf.png"
+set title "Figure 2c: Control latency CDF at 100% load"
+set xlabel "latency (us)"
+set ylabel "cumulative fraction"
+set logscale x
+plot dir."figure_2c_control_latency_cdf.dat" \
+        index 0 using 1:2 with lines title "Traditional 2 VCs", \
+     "" index 1 using 1:2 with lines title "Ideal", \
+     "" index 2 using 1:2 with lines title "Simple 2 VCs", \
+     "" index 3 using 1:2 with lines title "Advanced 2 VCs"

@@ -1,0 +1,46 @@
+//! # deadline-qos
+//!
+//! A Rust reproduction of *"Deadline-based QoS Algorithms for
+//! High-performance Networks"* (Martínez, Alfaro, Sánchez, Duato —
+//! IPPS 2007): an efficient adaptation of the Earliest-Deadline-First
+//! family of scheduling algorithms to high-speed interconnection-network
+//! switches, using just two virtual channels and FIFO-grade buffers.
+//!
+//! This umbrella crate re-exports the workspace's public API:
+//!
+//! * [`core`] — deadline calculus, packets, flows, admission control,
+//!   TTD clock transport, the four architecture descriptors.
+//! * [`queues`] — the buffer structures, including the ordered +
+//!   take-over two-queue system of §3.4 with its proven invariants.
+//! * [`switch`] / [`endhost`] — the node models.
+//! * [`topology`] — folded-Clos / bidirectional-MIN networks and fixed
+//!   up/down routing.
+//! * [`traffic`] — the Table-1 workload generators.
+//! * [`netsim`] — the whole-network simulator and the paper's
+//!   experiments.
+//! * [`stats`] / [`sim_core`] — measurement and the discrete-event
+//!   kernel.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use deadline_qos::netsim::{Network, SimConfig};
+//! use deadline_qos::core::Architecture;
+//!
+//! // A small network, light load, short run.
+//! let mut cfg = SimConfig::tiny(Architecture::Advanced2Vc, 0.2);
+//! cfg.measure = deadline_qos::sim_core::SimDuration::from_ms(2);
+//! let (report, summary) = Network::new(cfg).run();
+//! assert_eq!(summary.out_of_order, 0);
+//! println!("{}", report.to_table());
+//! ```
+
+pub use dqos_core as core;
+pub use dqos_endhost as endhost;
+pub use dqos_netsim as netsim;
+pub use dqos_queues as queues;
+pub use dqos_sim_core as sim_core;
+pub use dqos_stats as stats;
+pub use dqos_switch as switch;
+pub use dqos_topology as topology;
+pub use dqos_traffic as traffic;

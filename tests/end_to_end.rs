@@ -1,0 +1,103 @@
+//! Whole-network correctness: conservation, losslessness, in-order
+//! delivery, drain — for all four architectures.
+//!
+//! These run small networks (debug builds are ~10x slower than release)
+//! but exercise every subsystem: generators → NIC → leaf → spine → leaf
+//! → sink with credits flowing back.
+
+use deadline_qos::core::Architecture;
+use deadline_qos::netsim::{Network, SimConfig};
+use deadline_qos::sim_core::SimDuration;
+
+fn small(arch: Architecture, load: f64) -> SimConfig {
+    let mut cfg = SimConfig::tiny(arch, load);
+    cfg.warmup = SimDuration::from_us(500);
+    cfg.measure = SimDuration::from_ms(2);
+    cfg
+}
+
+#[test]
+fn every_architecture_conserves_packets() {
+    for arch in Architecture::ALL {
+        let (_, summary) = Network::new(small(arch, 0.3)).run();
+        assert!(summary.injected_packets > 1000, "{arch:?}: too little traffic to be meaningful");
+        assert_eq!(
+            summary.injected_packets, summary.delivered_packets,
+            "{arch:?}: packets lost or duplicated"
+        );
+        assert_eq!(summary.residual_packets, 0, "{arch:?}: network failed to drain");
+    }
+}
+
+#[test]
+fn every_architecture_delivers_in_order() {
+    // The appendix's guarantee, end to end, under real contention.
+    for arch in Architecture::ALL {
+        let (_, summary) = Network::new(small(arch, 0.8)).run();
+        assert_eq!(summary.out_of_order, 0, "{arch:?}: out-of-order delivery");
+        assert_eq!(summary.broken_messages, 0, "{arch:?}: partial message");
+    }
+}
+
+#[test]
+fn all_classes_flow() {
+    let (report, _) = Network::new(small(Architecture::Advanced2Vc, 0.5)).run();
+    for class in ["Control", "Multimedia", "Best-effort", "Background"] {
+        let c = report.class(class).expect("class present");
+        assert!(c.delivered.packets() > 0, "{class}: nothing delivered");
+        assert!(c.packet_latency.count() > 0, "{class}: no latency samples");
+    }
+}
+
+#[test]
+fn no_admission_fallbacks_at_table1_load() {
+    // Table 1 reserves 25% of every link for video; admission must fit
+    // every stream even at full load.
+    for load in [0.5, 1.0] {
+        let (_, summary) = Network::new(small(Architecture::Ideal, load)).run();
+        assert_eq!(summary.admission_fallbacks, 0, "load {load}");
+    }
+}
+
+#[test]
+fn regulated_latency_beats_besteffort_under_congestion() {
+    // VC0's absolute priority: at full load, control packets must see far
+    // lower latency than the best-effort classes, under every
+    // architecture.
+    for arch in Architecture::ALL {
+        let (report, _) = Network::new(small(arch, 1.0)).run();
+        let control = report.class("Control").unwrap().packet_latency.mean();
+        let be = report.class("Best-effort").unwrap().packet_latency.mean();
+        assert!(
+            control * 3.0 < be,
+            "{arch:?}: control {control} ns not clearly ahead of best-effort {be} ns"
+        );
+    }
+}
+
+#[test]
+fn takeover_queue_active_only_in_advanced() {
+    for arch in Architecture::ALL {
+        let (_, summary) = Network::new(small(arch, 1.0)).run();
+        if arch == Architecture::Advanced2Vc {
+            assert!(
+                summary.take_over_total > 0,
+                "Advanced at full load must see order errors"
+            );
+        } else {
+            assert_eq!(summary.take_over_total, 0, "{arch:?} has no take-over queue");
+        }
+    }
+}
+
+#[test]
+fn empty_network_is_quiet() {
+    // Load so small that some classes may emit nothing within the window;
+    // the simulation must still terminate cleanly.
+    let mut cfg = SimConfig::tiny(Architecture::Simple2Vc, 0.01);
+    cfg.warmup = SimDuration::from_us(10);
+    cfg.measure = SimDuration::from_us(200);
+    let (_, summary) = Network::new(cfg).run();
+    assert_eq!(summary.injected_packets, summary.delivered_packets);
+    assert_eq!(summary.residual_packets, 0);
+}

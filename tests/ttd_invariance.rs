@@ -1,0 +1,43 @@
+//! §3.3's claim as a test: with deadlines transported as TTDs, the
+//! simulation's observable results are **bit-identical** under arbitrary
+//! per-node clock offsets — no clock synchronisation is needed.
+
+use deadline_qos::core::Architecture;
+use deadline_qos::netsim::{ClockOffsets, Network, SimConfig};
+use deadline_qos::sim_core::SimDuration;
+
+fn base(arch: Architecture) -> SimConfig {
+    let mut cfg = SimConfig::tiny(arch, 0.6);
+    cfg.warmup = SimDuration::from_us(500);
+    cfg.measure = SimDuration::from_ms(2);
+    cfg
+}
+
+fn run_with(arch: Architecture, clocks: ClockOffsets) -> (String, u64, u64) {
+    let mut cfg = base(arch);
+    cfg.clocks = clocks;
+    let (report, summary) = Network::new(cfg).run();
+    (report.to_json(), summary.events, summary.injected_packets)
+}
+
+#[test]
+fn results_invariant_to_clock_offsets() {
+    for arch in Architecture::ALL {
+        let synced = run_with(arch, ClockOffsets::Synced);
+        for max_off in [1_000u64, 1_000_000, 50_000_000] {
+            let skewed = run_with(arch, ClockOffsets::RandomUpTo(max_off));
+            assert_eq!(synced.1, skewed.1, "{arch:?} offsets<= {max_off}: event count differs");
+            assert_eq!(synced.2, skewed.2, "{arch:?}: injection count differs");
+            assert_eq!(synced.0, skewed.0, "{arch:?}: report differs under clock skew");
+        }
+    }
+}
+
+#[test]
+fn different_offset_draws_are_still_invariant() {
+    // Two different offset *patterns* (different max) must both match the
+    // synced baseline — not merely each other.
+    let a = run_with(Architecture::Advanced2Vc, ClockOffsets::RandomUpTo(123));
+    let b = run_with(Architecture::Advanced2Vc, ClockOffsets::RandomUpTo(987_654));
+    assert_eq!(a.0, b.0);
+}
