@@ -1,68 +1,196 @@
 //! **Micro-bench — simulation kernel.**
 //!
-//! Measures the discrete-event calendar (schedule+pop churn) and the
-//! end-to-end event rate of a small full-network simulation — the number
-//! that bounds how much simulated time a wall-clock second buys.
+//! Measures the discrete-event calendar (schedule+pop churn) against the
+//! reference binary heap, the cost of moving whole packets through the
+//! calendar versus arena handles, and the end-to-end event rate of a
+//! small full-network simulation — the number that bounds how much
+//! simulated time a wall-clock second buys.
+//!
+//! Results are printed and recorded in `BENCH_kernel.json` at the repo
+//! root (the events/sec baseline referenced by `scripts/check.sh`).
 //!
 //! Run: `cargo bench -p dqos-bench --bench event_kernel`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use dqos_core::Architecture;
+use dqos_bench::harness::{measure, write_json, Measurement};
+use dqos_bench::repo_root;
+use dqos_core::{Architecture, FlowId, MsgTag, Packet, PacketArena, TrafficClass};
 use dqos_netsim::{Network, SimConfig};
-use dqos_sim_core::{EventQueue, SimRng, SimTime};
+use dqos_sim_core::{BinaryHeapQueue, EventQueue, SimDuration, SimRng, SimTime};
+use dqos_topology::{HostId, Port, PortPath};
 use std::hint::black_box;
 
-fn bench_calendar(c: &mut Criterion) {
-    let mut group = c.benchmark_group("event_queue");
-    for pending in [64usize, 4096] {
-        group.throughput(Throughput::Elements(100_000));
-        group.bench_with_input(
-            BenchmarkId::new("schedule_pop", pending),
-            &pending,
-            |b, &pending| {
-                let mut rng = SimRng::new(1);
-                let jitter: Vec<u64> = (0..100_000).map(|_| rng.range_u64(1, 5_000)).collect();
-                b.iter(|| {
-                    let mut q = EventQueue::with_capacity(pending * 2);
-                    // Pre-fill.
-                    for i in 0..pending {
-                        q.schedule(SimTime::from_ns(i as u64), i as u64);
-                    }
-                    // Steady-state churn.
-                    let mut out = 0u64;
-                    for &j in &jitter {
-                        let e = q.pop().expect("non-empty");
-                        out ^= e.payload;
-                        q.schedule(e.time + dqos_sim_core::SimDuration::from_ns(j), e.payload);
-                    }
-                    black_box(out)
-                })
-            },
-        );
-    }
-    group.finish();
+const CHURN: usize = 100_000;
+
+/// Pre-generated jitter stream so both calendars see identical work.
+fn jitter(seed: u64) -> Vec<u64> {
+    let mut rng = SimRng::new(seed);
+    (0..CHURN).map(|_| rng.range_u64(1, 5_000)).collect()
 }
 
-fn bench_full_sim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("full_sim");
-    group.sample_size(10);
-    for arch in [Architecture::Traditional2Vc, Architecture::Advanced2Vc] {
-        group.bench_function(BenchmarkId::new("tiny_2ms", arch.slug()), |b| {
-            b.iter(|| {
-                let mut cfg = SimConfig::tiny(arch, 0.5);
-                cfg.warmup = dqos_sim_core::SimDuration::from_us(100);
-                cfg.measure = dqos_sim_core::SimDuration::from_ms(2);
-                let (_, summary) = Network::new(cfg).run();
-                black_box(summary.events)
-            })
+/// Hold-model churn on the bucketed calendar: pop the earliest event,
+/// reschedule it a small jitter ahead, repeat. This is the steady-state
+/// access pattern of the simulator's event loop.
+fn churn_bucketed(pending: usize, jit: &[u64]) -> u64 {
+    let mut q = EventQueue::with_capacity(pending * 2);
+    for i in 0..pending {
+        q.schedule(SimTime::from_ns(i as u64), i as u64);
+    }
+    let mut out = 0u64;
+    for &j in jit {
+        let e = q.pop().expect("non-empty");
+        out ^= e.payload;
+        q.schedule(e.time + SimDuration::from_ns(j), e.payload);
+    }
+    out
+}
+
+/// Identical churn on the reference binary heap.
+fn churn_heap(pending: usize, jit: &[u64]) -> u64 {
+    let mut q = BinaryHeapQueue::with_capacity(pending * 2);
+    for i in 0..pending {
+        q.schedule(SimTime::from_ns(i as u64), i as u64);
+    }
+    let mut out = 0u64;
+    for &j in jit {
+        let e = q.pop().expect("non-empty");
+        out ^= e.payload;
+        q.schedule(e.time + SimDuration::from_ns(j), e.payload);
+    }
+    out
+}
+
+fn sample_packet(id: u64) -> Packet {
+    Packet {
+        id,
+        flow: FlowId(id as u32 & 0xFF),
+        class: TrafficClass::Multimedia,
+        src: HostId(0),
+        dst: HostId(1),
+        len: 2048,
+        deadline: SimTime::from_ns(id),
+        eligible: None,
+        route: PortPath::new(&[Port(1), Port(2), Port(0)]),
+        hop: 0,
+        injected_at: SimTime::ZERO,
+        msg: MsgTag { msg_id: id, part: 0, parts: 1, created_at: SimTime::ZERO },
+    }
+}
+
+/// Churn with whole packets as event payloads (the pre-arena design:
+/// ~100 B moved through the calendar per hop).
+fn churn_owned_packets(pending: usize, jit: &[u64]) -> u64 {
+    let mut q = EventQueue::with_capacity(pending * 2);
+    for i in 0..pending {
+        q.schedule(SimTime::from_ns(i as u64), sample_packet(i as u64));
+    }
+    let mut out = 0u64;
+    for &j in jit {
+        let e = q.pop().expect("non-empty");
+        out ^= e.payload.id;
+        q.schedule(e.time + SimDuration::from_ns(j), e.payload);
+    }
+    out
+}
+
+/// Churn with packets parked in the arena and 4-byte handles as event
+/// payloads (the shipping design).
+fn churn_arena_packets(pending: usize, jit: &[u64]) -> u64 {
+    let mut arena = PacketArena::with_capacity(pending * 2);
+    let mut q = EventQueue::with_capacity(pending * 2);
+    for i in 0..pending {
+        q.schedule(SimTime::from_ns(i as u64), arena.insert(sample_packet(i as u64)));
+    }
+    let mut out = 0u64;
+    for &j in jit {
+        let e = q.pop().expect("non-empty");
+        let pkt = arena.take(e.payload);
+        out ^= pkt.id;
+        q.schedule(e.time + SimDuration::from_ns(j), arena.insert(pkt));
+    }
+    out
+}
+
+/// Full-simulation event rate: run a tiny network for 2 ms of simulated
+/// time and report events per wall-clock second.
+fn full_sim_rate(arch: Architecture) -> Measurement {
+    let run = || {
+        let mut cfg = SimConfig::tiny(arch, 0.5);
+        cfg.warmup = SimDuration::from_us(100);
+        cfg.measure = SimDuration::from_ms(2);
+        let (_, summary) = Network::new(cfg).run();
+        summary.events
+    };
+    let events = run();
+    measure(&format!("full_sim/tiny_2ms/{}", arch.slug()), events, 5, run)
+}
+
+fn main() {
+    println!("# event kernel micro-bench ({CHURN} churn ops per repetition)\n");
+    let jit = jitter(1);
+    let mut results: Vec<Measurement> = Vec::new();
+
+    // Pending-event populations from a near-idle fabric (64) up to a
+    // loaded 128-host paper network (tens of thousands of wake-ups,
+    // credits and serialisation completions in flight).
+    let pendings = [64usize, 1024, 4096, 65536];
+    for pending in pendings {
+        let b = measure(&format!("event_queue/bucketed/{pending}"), CHURN as u64, 9, || {
+            black_box(churn_bucketed(pending, &jit))
         });
+        let h = measure(&format!("event_queue/heap/{pending}"), CHURN as u64, 9, || {
+            black_box(churn_heap(pending, &jit))
+        });
+        println!(
+            "  -> bucketed speedup over heap at {pending} pending: {:.2}x\n",
+            h.ns_per_elem / b.ns_per_elem
+        );
+        results.push(b);
+        results.push(h);
     }
-    group.finish();
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_calendar, bench_full_sim
+    for pending in [64usize, 4096] {
+        let owned = measure(&format!("packet_events/owned/{pending}"), CHURN as u64, 9, || {
+            black_box(churn_owned_packets(pending, &jit))
+        });
+        let arena = measure(&format!("packet_events/arena/{pending}"), CHURN as u64, 9, || {
+            black_box(churn_arena_packets(pending, &jit))
+        });
+        println!(
+            "  -> arena handles vs owned packets at {pending} pending: {:.2}x\n",
+            owned.ns_per_elem / arena.ns_per_elem
+        );
+        results.push(owned);
+        results.push(arena);
+    }
+
+    for arch in [Architecture::Traditional2Vc, Architecture::Advanced2Vc] {
+        results.push(full_sim_rate(arch));
+    }
+
+    // Headline numbers: the churn-workload speedup the calendar overhaul
+    // buys (acceptance: >= 2x on the steady-state churn) and the
+    // full-sim event rate.
+    let of = |name: &str| {
+        results
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| m.ns_per_elem)
+            .expect("measured above")
+    };
+    let mut extra: Vec<(String, f64)> = Vec::new();
+    print!("\nchurn speedup (bucketed vs heap):");
+    for pending in pendings {
+        let s = of(&format!("event_queue/heap/{pending}"))
+            / of(&format!("event_queue/bucketed/{pending}"));
+        print!(" {s:.2}x @{pending}");
+        extra.push((format!("speedup_bucketed_vs_heap_{pending}"), s));
+    }
+    println!();
+    let steady = of("event_queue/heap/4096") / of("event_queue/bucketed/4096");
+    if steady < 2.0 {
+        eprintln!("warning: bucketed calendar below the 2x target at 4096 pending");
+    }
+
+    let extra_refs: Vec<(&str, f64)> = extra.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    write_json(&repo_root().join("BENCH_kernel.json"), &results, &extra_refs);
 }
-criterion_main!(benches);

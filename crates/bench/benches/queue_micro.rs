@@ -2,12 +2,12 @@
 //!
 //! The paper's case for the two-queue system is cost: a FIFO pair is
 //! hardware-trivial while a heap ("Ideal") is not. In software the same
-//! ordering shows up as per-operation cost. Criterion measures an
-//! enqueue+dequeue churn at several occupancies for each structure.
+//! ordering shows up as per-operation cost: an enqueue+dequeue churn at
+//! several occupancies for each structure.
 //!
 //! Run: `cargo bench -p dqos-bench --bench queue_micro`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dqos_bench::harness::measure;
 use dqos_queues::{DeadlineSortedQueue, FifoQueue, HeapQueue, SchedQueue, TwoQueue};
 use dqos_sim_core::{SimRng, SimTime};
 use std::hint::black_box;
@@ -62,34 +62,23 @@ fn churn<Q: SchedQueue<Item>>(q: &mut Q, stream: &[Item], occupancy: usize) -> u
     out
 }
 
-fn bench_queues(c: &mut Criterion) {
+fn main() {
     let stream = deadline_stream(4096, 42);
-    let mut group = c.benchmark_group("queue_churn");
-    group.throughput(Throughput::Elements(stream.len() as u64));
+    let n = stream.len() as u64;
+    println!("# queue churn micro-bench ({n} ops per repetition)\n");
     for occupancy in [4usize, 64, 1024] {
-        group.bench_with_input(BenchmarkId::new("fifo", occupancy), &occupancy, |b, &occ| {
-            b.iter(|| churn(&mut FifoQueue::new(), black_box(&stream), occ))
+        measure(&format!("queue_churn/fifo/{occupancy}"), n, 9, || {
+            black_box(churn(&mut FifoQueue::new(), &stream, occupancy))
         });
-        group.bench_with_input(
-            BenchmarkId::new("two_queue", occupancy),
-            &occupancy,
-            |b, &occ| b.iter(|| churn(&mut TwoQueue::new(), black_box(&stream), occ)),
-        );
-        group.bench_with_input(BenchmarkId::new("heap", occupancy), &occupancy, |b, &occ| {
-            b.iter(|| churn(&mut HeapQueue::new(), black_box(&stream), occ))
+        measure(&format!("queue_churn/two_queue/{occupancy}"), n, 9, || {
+            black_box(churn(&mut TwoQueue::new(), &stream, occupancy))
         });
-        group.bench_with_input(
-            BenchmarkId::new("sorted_insert", occupancy),
-            &occupancy,
-            |b, &occ| b.iter(|| churn(&mut DeadlineSortedQueue::new(), black_box(&stream), occ)),
-        );
+        measure(&format!("queue_churn/heap/{occupancy}"), n, 9, || {
+            black_box(churn(&mut HeapQueue::new(), &stream, occupancy))
+        });
+        measure(&format!("queue_churn/sorted_insert/{occupancy}"), n, 9, || {
+            black_box(churn(&mut DeadlineSortedQueue::new(), &stream, occupancy))
+        });
+        println!();
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_queues
-}
-criterion_main!(benches);

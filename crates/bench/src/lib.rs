@@ -18,12 +18,12 @@
 //!
 //! Figures 2, 3 and 4 all read the *same* simulations (the paper runs one
 //! workload and reports three views of it), so sweep results are cached
-//! under `target/dqos-cache/` keyed by the full config JSON — the second
-//! and third figure benches reuse the first one's runs.
+//! under `target/dqos-cache/` keyed by a hash of the full config — the
+//! second and third figure benches reuse the first one's runs.
 
 use dqos_core::Architecture;
 use dqos_netsim::{run_one, RunSummary, SimConfig};
-use dqos_stats::Report;
+use dqos_stats::{Json, Report};
 use dqos_topology::ClosParams;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
@@ -107,12 +107,33 @@ fn cache_dir() -> PathBuf {
 }
 
 fn cache_key(cfg: &SimConfig) -> String {
-    let json = serde_json::to_string(cfg).expect("config serialises");
+    // `SimConfig` is plain data with a total `Debug` rendering, so the
+    // debug string is a faithful serialisation for keying purposes.
+    let text = format!("{cfg:?}");
     let mut h = DefaultHasher::new();
-    json.hash(&mut h);
+    text.hash(&mut h);
     // Include a schema version so stale caches die on model changes.
-    2u32.hash(&mut h);
+    3u32.hash(&mut h);
     format!("{:016x}", h.finish())
+}
+
+fn decode_pair(data: &str) -> Result<(Report, RunSummary), String> {
+    let j = Json::parse(data)?;
+    let report = j
+        .get("report")
+        .and_then(Report::from_json_value)
+        .ok_or_else(|| "bad report".to_string())?;
+    let summary =
+        RunSummary::from_json_value(j.get("summary").ok_or_else(|| "missing summary".to_string())?)?;
+    Ok((report, summary))
+}
+
+fn encode_pair(report: &Report, summary: &RunSummary) -> String {
+    Json::obj(vec![
+        ("report", report.to_json_value()),
+        ("summary", summary.to_json_value()),
+    ])
+    .to_string_pretty()
 }
 
 /// Run one point, reading/writing the on-disk cache.
@@ -123,13 +144,13 @@ pub fn run_cached(env: &BenchEnv, cfg: SimConfig) -> (Report, RunSummary) {
     let dir = cache_dir();
     let path = dir.join(format!("{}.json", cache_key(&cfg)));
     if let Ok(data) = std::fs::read_to_string(&path) {
-        if let Ok(pair) = serde_json::from_str::<(Report, RunSummary)>(&data) {
+        if let Ok(pair) = decode_pair(&data) {
             return pair;
         }
     }
     let pair = run_one(cfg);
     let _ = std::fs::create_dir_all(&dir);
-    let _ = std::fs::write(&path, serde_json::to_string(&pair).expect("results serialise"));
+    let _ = std::fs::write(&path, encode_pair(&pair.0, &pair.1));
     pair
 }
 
@@ -242,6 +263,93 @@ pub fn print_cdf(
         dat.push_str("\n\n"); // gnuplot block separator
     }
     write_figure_file(&format!("{title} cdf"), &dat);
+}
+
+/// Dependency-free timing harness for the micro-benches.
+///
+/// Each measurement runs the workload once to warm caches, then `runs`
+/// timed repetitions; the *median* per-element time is reported (robust
+/// to scheduler noise without criterion's machinery).
+pub mod harness {
+    use std::hint::black_box;
+    use std::time::Instant;
+
+    /// One measured workload.
+    #[derive(Debug, Clone)]
+    pub struct Measurement {
+        /// Workload name (`group/case`).
+        pub name: String,
+        /// Elements processed per repetition.
+        pub elements: u64,
+        /// Median nanoseconds per element.
+        pub ns_per_elem: f64,
+        /// Median element rate per second.
+        pub rate_per_sec: f64,
+    }
+
+    /// Time `f`, which processes `elements` items per call.
+    pub fn measure<R>(
+        name: &str,
+        elements: u64,
+        runs: usize,
+        mut f: impl FnMut() -> R,
+    ) -> Measurement {
+        black_box(f()); // warm-up
+        let mut samples: Vec<f64> = (0..runs.max(1))
+            .map(|_| {
+                let t0 = Instant::now();
+                black_box(f());
+                t0.elapsed().as_nanos() as f64 / elements.max(1) as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let ns_per_elem = samples[samples.len() / 2];
+        let m = Measurement {
+            name: name.to_string(),
+            elements,
+            ns_per_elem,
+            rate_per_sec: 1e9 / ns_per_elem,
+        };
+        println!(
+            "{:<40} {:>10.1} ns/elem {:>14.0} elem/s",
+            m.name, m.ns_per_elem, m.rate_per_sec
+        );
+        m
+    }
+
+    /// Write measurements (plus extra scalar entries) as a JSON object to
+    /// `path`, one `name -> {ns_per_elem, rate_per_sec, elements}` entry
+    /// per measurement.
+    pub fn write_json(path: &std::path::Path, ms: &[Measurement], extra: &[(&str, f64)]) {
+        use dqos_stats::Json;
+        let mut fields: Vec<(&str, Json)> = ms
+            .iter()
+            .map(|m| {
+                (
+                    m.name.as_str(),
+                    Json::obj(vec![
+                        ("ns_per_elem", Json::Float(m.ns_per_elem)),
+                        ("rate_per_sec", Json::Float(m.rate_per_sec)),
+                        ("elements", Json::Int(m.elements as i128)),
+                    ]),
+                )
+            })
+            .collect();
+        for (k, v) in extra {
+            fields.push((k, Json::Float(*v)));
+        }
+        let doc = Json::obj(fields).to_string_pretty();
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("wrote {}", path.display());
+        }
+    }
+}
+
+/// The repository root (bench binaries run with `crates/bench` as CWD).
+pub fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
 }
 
 #[cfg(test)]

@@ -6,11 +6,10 @@
 //! design (except *Ideal*, whose heap buffers are declared unfeasible and
 //! serve as the upper bound).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Queue structure used inside switch buffers (per VC, per VOQ).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SwitchQueueKind {
     /// Plain FIFO.
     Fifo,
@@ -22,7 +21,7 @@ pub enum SwitchQueueKind {
 }
 
 /// One of the paper's four evaluated architectures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Architecture {
     /// PCI AS-style 2-VC switch: FIFO queues, round-robin within a VC,
     /// VC0 strict priority; **no deadlines anywhere**.

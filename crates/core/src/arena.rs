@@ -1,0 +1,185 @@
+//! Pooled storage for packets in flight.
+//!
+//! Events in the network simulator do not carry packets by value: the
+//! packet lives in a [`PacketArena`] slab and the event carries a
+//! [`PacketRef`] — a `u32` slot index. That keeps event-queue entries
+//! small (the calendar moves four-word entries instead of ~100-byte
+//! packets through its buckets) and reuses slots through a free list, so
+//! steady-state simulation does no per-packet allocation at all.
+//!
+//! References are single-use: [`PacketArena::insert`] hands one out and
+//! [`PacketArena::take`] consumes it. Taking a vacant slot panics — it
+//! means an event was duplicated or replayed, which is a simulator bug
+//! (the lossless fabric must neither drop nor duplicate packets).
+
+use crate::packet::Packet;
+
+/// A handle to a packet parked in a [`PacketArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PacketRef(u32);
+
+/// A slab of in-flight packets with free-list slot reuse.
+#[derive(Debug, Clone, Default)]
+pub struct PacketArena {
+    slots: Vec<Option<Packet>>,
+    free: Vec<u32>,
+    live: usize,
+    high_water: usize,
+}
+
+impl PacketArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty arena with room for `cap` packets before it reallocates.
+    pub fn with_capacity(cap: usize) -> Self {
+        PacketArena {
+            slots: Vec::with_capacity(cap),
+            free: Vec::with_capacity(cap),
+            live: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Park a packet; the returned handle is what the event carries.
+    pub fn insert(&mut self, packet: Packet) -> PacketRef {
+        self.live += 1;
+        self.high_water = self.high_water.max(self.live);
+        match self.free.pop() {
+            Some(idx) => {
+                debug_assert!(self.slots[idx as usize].is_none());
+                self.slots[idx as usize] = Some(packet);
+                PacketRef(idx)
+            }
+            None => {
+                let idx = u32::try_from(self.slots.len()).expect("arena overflow");
+                self.slots.push(Some(packet));
+                PacketRef(idx)
+            }
+        }
+    }
+
+    /// Retrieve a packet, freeing its slot. Panics on a vacant slot
+    /// (an event was duplicated or replayed).
+    pub fn take(&mut self, r: PacketRef) -> Packet {
+        let p = self.slots[r.0 as usize]
+            .take()
+            .expect("packet taken twice from arena");
+        self.free.push(r.0);
+        self.live -= 1;
+        p
+    }
+
+    /// Borrow a parked packet without freeing it.
+    pub fn get(&self, r: PacketRef) -> Option<&Packet> {
+        self.slots.get(r.0 as usize)?.as_ref()
+    }
+
+    /// Packets currently parked.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// True when nothing is parked (drain check at end of run).
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Most packets ever parked at once — the real buffering footprint a
+    /// run needed, reported next to the event-queue stats.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Total slots ever allocated (live + free-listed).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::TrafficClass;
+    use crate::flow::FlowId;
+    use crate::packet::MsgTag;
+    use dqos_sim_core::SimTime;
+    use dqos_topology::{HostId, Port, PortPath};
+
+    fn pkt(id: u64) -> Packet {
+        Packet {
+            id,
+            flow: FlowId(1),
+            class: TrafficClass::Control,
+            src: HostId(0),
+            dst: HostId(1),
+            len: 256,
+            deadline: SimTime::from_us(10),
+            eligible: None,
+            route: PortPath::new(&[Port(1)]),
+            hop: 0,
+            injected_at: SimTime::ZERO,
+            msg: MsgTag { msg_id: 0, part: 0, parts: 1, created_at: SimTime::ZERO },
+        }
+    }
+
+    #[test]
+    fn insert_take_roundtrip() {
+        let mut a = PacketArena::new();
+        let r = a.insert(pkt(7));
+        assert_eq!(a.live(), 1);
+        assert_eq!(a.get(r).unwrap().id, 7);
+        assert_eq!(a.take(r).id, 7);
+        assert!(a.is_empty());
+        assert!(a.get(r).is_none());
+    }
+
+    #[test]
+    fn slots_are_reused() {
+        let mut a = PacketArena::new();
+        let refs: Vec<_> = (0..100).map(|i| a.insert(pkt(i))).collect();
+        assert_eq!(a.capacity(), 100);
+        for r in refs {
+            a.take(r);
+        }
+        // Refill: no new slots allocated.
+        for i in 100..200 {
+            a.insert(pkt(i));
+        }
+        assert_eq!(a.capacity(), 100);
+        assert_eq!(a.live(), 100);
+        assert_eq!(a.high_water(), 100);
+    }
+
+    #[test]
+    fn distinct_refs_address_distinct_packets() {
+        let mut a = PacketArena::with_capacity(8);
+        let r1 = a.insert(pkt(1));
+        let r2 = a.insert(pkt(2));
+        assert_ne!(r1, r2);
+        assert_eq!(a.take(r2).id, 2);
+        assert_eq!(a.take(r1).id, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "taken twice")]
+    fn double_take_panics() {
+        let mut a = PacketArena::new();
+        let r = a.insert(pkt(1));
+        a.take(r);
+        a.take(r);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_not_current() {
+        let mut a = PacketArena::new();
+        let r1 = a.insert(pkt(1));
+        let r2 = a.insert(pkt(2));
+        a.take(r1);
+        a.take(r2);
+        assert_eq!(a.high_water(), 2);
+        assert_eq!(a.live(), 0);
+    }
+}

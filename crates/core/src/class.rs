@@ -11,7 +11,6 @@
 //! | Best-effort | 1  | no                 | aggregated record, weight 2 |
 //! | Background  | 1  | no                 | aggregated record, weight 1 |
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Number of traffic classes in the evaluation workload.
@@ -21,7 +20,7 @@ pub const NUM_CLASSES: usize = 4;
 pub const NUM_VCS: usize = 2;
 
 /// One of the four workload traffic classes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum TrafficClass {
     /// Small, latency-critical control messages.
     Control,
@@ -89,7 +88,7 @@ impl fmt::Display for TrafficClass {
 }
 
 /// A virtual channel index.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Vc(pub u8);
 
 impl Vc {

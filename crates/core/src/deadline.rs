@@ -22,10 +22,9 @@
 //! cause order errors downstream.
 
 use dqos_sim_core::{Bandwidth, SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// How a flow's packet deadlines advance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DeadlineMode {
     /// General flows: virtual clock advances by `len / bw` per packet.
     AvgBandwidth(
@@ -81,7 +80,7 @@ impl DeadlineMode {
 /// let second = stamper.stamp(SimTime::from_us(10), 1000, 1);
 /// assert_eq!(second.deadline, SimTime::from_ns(10_000 + 16_000));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Stamper {
     mode: DeadlineMode,
     last_deadline: SimTime,
@@ -162,7 +161,6 @@ pub fn segment_message(bytes: u64, mtu: u32) -> Vec<u32> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     const LINK: Bandwidth = Bandwidth::gbps(8); // 1 byte/ns
 
@@ -257,45 +255,111 @@ mod tests {
         assert_eq!(parts.iter().map(|&p| p as u64).sum::<u64>(), 5000);
     }
 
-    proptest! {
+    /// Dependency-free ports of the property suite, driven by the
+    /// in-house RNG so they run in the offline tier-1 build.
+    mod randomized {
+        use super::*;
+        use dqos_sim_core::SimRng;
+
         /// Hypothesis (1) of the appendix: deadlines within a flow
         /// strictly increase, whatever the arrival pattern.
         #[test]
-        fn prop_deadlines_strictly_increase(
-            arrivals in proptest::collection::vec((0u64..1_000_000, 1u32..100_000), 1..200),
-            bw_mb in 1u64..1000,
-        ) {
-            let mut s = Stamper::new(DeadlineMode::AvgBandwidth(Bandwidth::mbytes_per_sec(bw_mb)));
-            let mut t = 0;
-            let mut last = SimTime::ZERO;
-            for (gap, len) in arrivals {
-                t += gap;
-                let stamp = s.stamp(SimTime::from_ns(t), len, 1);
-                prop_assert!(stamp.deadline > last, "deadline did not increase");
-                last = stamp.deadline;
+        fn deadlines_strictly_increase() {
+            let mut rng = SimRng::new(0xDEAD);
+            for _ in 0..150 {
+                let bw_mb = rng.range_u64(1, 999);
+                let mut s =
+                    Stamper::new(DeadlineMode::AvgBandwidth(Bandwidth::mbytes_per_sec(bw_mb)));
+                let mut t = 0;
+                let mut last = SimTime::ZERO;
+                for _ in 0..1 + rng.index(200) {
+                    t += rng.range_u64(0, 999_999);
+                    let len = rng.range_u64(1, 99_999) as u32;
+                    let stamp = s.stamp(SimTime::from_ns(t), len, 1);
+                    assert!(stamp.deadline > last, "deadline did not increase");
+                    last = stamp.deadline;
+                }
             }
         }
 
         /// Segmentation conserves bytes and respects the MTU.
         #[test]
-        fn prop_segmentation_conserves(bytes in 1u64..1_000_000, mtu in 1u32..10_000) {
-            let parts = segment_message(bytes, mtu);
-            prop_assert_eq!(parts.iter().map(|&p| p as u64).sum::<u64>(), bytes);
-            prop_assert!(parts.iter().all(|&p| p > 0 && p <= mtu));
-            // Only the last part may be short.
-            for &p in &parts[..parts.len() - 1] {
-                prop_assert_eq!(p, mtu);
+        fn segmentation_conserves() {
+            let mut rng = SimRng::new(0x5E63);
+            for _ in 0..2_000 {
+                let bytes = rng.range_u64(1, 999_999);
+                let mtu = rng.range_u64(1, 9_999) as u32;
+                let parts = segment_message(bytes, mtu);
+                assert_eq!(parts.iter().map(|&p| p as u64).sum::<u64>(), bytes);
+                assert!(parts.iter().all(|&p| p > 0 && p <= mtu));
+                // Only the last part may be short.
+                for &p in &parts[..parts.len() - 1] {
+                    assert_eq!(p, mtu);
+                }
             }
         }
 
         /// Deadline of packet i is always >= now + its own increment
         /// (a packet can never be due before it could be sent).
         #[test]
-        fn prop_deadline_not_in_past(now in 0u64..10_000_000, len in 1u32..100_000) {
-            let bw = Bandwidth::gbps(8);
-            let mut s = Stamper::new(DeadlineMode::AvgBandwidth(bw));
-            let t = s.stamp(SimTime::from_ns(now), len, 1);
-            prop_assert!(t.deadline >= SimTime::from_ns(now) + bw.tx_time(len as u64));
+        fn deadline_not_in_past() {
+            let mut rng = SimRng::new(0xD11E);
+            for _ in 0..2_000 {
+                let now = rng.range_u64(0, 9_999_999);
+                let len = rng.range_u64(1, 99_999) as u32;
+                let bw = Bandwidth::gbps(8);
+                let mut s = Stamper::new(DeadlineMode::AvgBandwidth(bw));
+                let t = s.stamp(SimTime::from_ns(now), len, 1);
+                assert!(t.deadline >= SimTime::from_ns(now) + bw.tx_time(len as u64));
+            }
+        }
+    }
+
+    #[cfg(feature = "proptest")]
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Hypothesis (1) of the appendix: deadlines within a flow
+            /// strictly increase, whatever the arrival pattern.
+            #[test]
+            fn prop_deadlines_strictly_increase(
+                arrivals in proptest::collection::vec((0u64..1_000_000, 1u32..100_000), 1..200),
+                bw_mb in 1u64..1000,
+            ) {
+                let mut s = Stamper::new(DeadlineMode::AvgBandwidth(Bandwidth::mbytes_per_sec(bw_mb)));
+                let mut t = 0;
+                let mut last = SimTime::ZERO;
+                for (gap, len) in arrivals {
+                    t += gap;
+                    let stamp = s.stamp(SimTime::from_ns(t), len, 1);
+                    prop_assert!(stamp.deadline > last, "deadline did not increase");
+                    last = stamp.deadline;
+                }
+            }
+
+            /// Segmentation conserves bytes and respects the MTU.
+            #[test]
+            fn prop_segmentation_conserves(bytes in 1u64..1_000_000, mtu in 1u32..10_000) {
+                let parts = segment_message(bytes, mtu);
+                prop_assert_eq!(parts.iter().map(|&p| p as u64).sum::<u64>(), bytes);
+                prop_assert!(parts.iter().all(|&p| p > 0 && p <= mtu));
+                // Only the last part may be short.
+                for &p in &parts[..parts.len() - 1] {
+                    prop_assert_eq!(p, mtu);
+                }
+            }
+
+            /// Deadline of packet i is always >= now + its own increment
+            /// (a packet can never be due before it could be sent).
+            #[test]
+            fn prop_deadline_not_in_past(now in 0u64..10_000_000, len in 1u32..100_000) {
+                let bw = Bandwidth::gbps(8);
+                let mut s = Stamper::new(DeadlineMode::AvgBandwidth(bw));
+                let t = s.stamp(SimTime::from_ns(now), len, 1);
+                prop_assert!(t.deadline >= SimTime::from_ns(now) + bw.tx_time(len as u64));
+            }
         }
     }
 }

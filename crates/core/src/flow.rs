@@ -13,11 +13,10 @@ use crate::class::TrafficClass;
 use crate::deadline::{DeadlineMode, Stamper, StampedTimes};
 use dqos_sim_core::{SimDuration, SimTime};
 use dqos_topology::{HostId, Route};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Dense flow identifier, unique across the simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FlowId(pub u32);
 
 impl FlowId {

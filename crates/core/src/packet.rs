@@ -10,7 +10,7 @@
 use crate::class::{TrafficClass, Vc};
 use crate::flow::FlowId;
 use dqos_sim_core::SimTime;
-use dqos_topology::{HostId, Route};
+use dqos_topology::{HostId, PortPath};
 
 /// Globally unique packet identifier (simulator-side, for accounting).
 pub type PacketId = u64;
@@ -31,7 +31,12 @@ pub struct MsgTag {
 }
 
 /// A network packet in flight.
-#[derive(Debug, Clone)]
+///
+/// Plain old data: every field is `Copy`, the route is interned into a
+/// fixed-size [`PortPath`] at flow setup, so moving a packet between
+/// queues, events and the arena is a flat memcpy with no allocator or
+/// refcount traffic.
+#[derive(Debug, Clone, Copy)]
 pub struct Packet {
     /// Simulator-unique id.
     pub id: PacketId,
@@ -54,8 +59,9 @@ pub struct Packet {
     /// inject the packet. Not transmitted in the header (§3.1) and
     /// meaningless after injection.
     pub eligible: Option<SimTime>,
-    /// The fixed route assigned at flow setup.
-    pub route: Route,
+    /// The fixed route assigned at flow setup, interned to its output
+    /// ports (switches never read anything else from it).
+    pub route: PortPath,
     /// Index of the next hop in `route`.
     pub hop: u8,
     /// Global time of injection into the network (stats only).
@@ -75,9 +81,8 @@ impl Packet {
     #[inline]
     pub fn current_out_port(&self) -> dqos_topology::Port {
         self.route
-            .hop(self.hop as usize)
+            .port(self.hop as usize)
             .expect("packet hop index within route")
-            .out_port
     }
 
     /// Whether the current hop is the last switch before the destination.
@@ -96,7 +101,7 @@ impl Packet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dqos_topology::{Port, RouteHop, SwitchId};
+    use dqos_topology::{Port, Route, RouteHop, SwitchId};
 
     fn test_packet() -> Packet {
         let route = Route::new(
@@ -107,7 +112,8 @@ mod tests {
                 RouteHop { switch: SwitchId(2), out_port: Port(1) },
                 RouteHop { switch: SwitchId(1), out_port: Port(1) },
             ],
-        );
+        )
+        .port_path();
         Packet {
             id: 1,
             flow: FlowId(7),

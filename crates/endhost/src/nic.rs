@@ -226,7 +226,8 @@ mod tests {
                 HostId(0),
                 HostId(1),
                 vec![RouteHop { switch: SwitchId(0), out_port: Port(1) }],
-            ),
+            )
+            .port_path(),
             hop: 0,
             injected_at: SimTime::ZERO,
             msg: MsgTag { msg_id: id, part: 0, parts: 1, created_at: SimTime::ZERO },
@@ -390,48 +391,70 @@ mod tests {
         assert_eq!(tx_ids(&acts), vec![2]);
     }
 
+    /// Drive random regulated packets through the NIC, serving the
+    /// link to completion, and collect the injection order. Shared by the
+    /// randomized port below and the gated proptest suite.
+    fn injection_order(packets: Vec<(u32, u64)>) -> Vec<(u64, u64)> {
+        // Effectively infinite credit: this property is about
+        // ordering, not flow control.
+        let mut nic = Nic::new(NicConfig {
+            arch: Architecture::Ideal,
+            link_bw: Bandwidth::gbps(8),
+            peer_buffer_per_vc: u32::MAX / 2,
+        });
+        let batch: Vec<Packet> = packets
+            .iter()
+            .enumerate()
+            .map(|(i, &(len, deadline))| {
+                pkt(i as u64, TrafficClass::Control, len.max(1), deadline, None)
+            })
+            .collect();
+        let mut out = vec![];
+        let mut now = 0u64;
+        let mut acts = nic.enqueue_packets(batch, SimTime::ZERO);
+        loop {
+            let mut finished = None;
+            for a in &acts {
+                if let NodeAction::StartTx { packet, finish, .. } = a {
+                    out.push((packet.id, packet.deadline.as_ns()));
+                    finished = Some(finish.as_ns());
+                }
+            }
+            match finished {
+                Some(f) => {
+                    now = now.max(f);
+                    acts = nic.on_tx_done(SimTime::from_ns(now));
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Dependency-free port of the property: with every packet ready at
+    /// t=0, the EDF NIC injects in non-decreasing deadline order, and
+    /// injects everything.
+    #[test]
+    fn randomized_injection_is_deadline_sorted() {
+        use dqos_sim_core::SimRng;
+        let mut rng = SimRng::new(0x21C0);
+        for _ in 0..100 {
+            let packets: Vec<(u32, u64)> = (0..1 + rng.index(49))
+                .map(|_| (1 + rng.index(4095) as u32, rng.range_u64(0, 999_999)))
+                .collect();
+            let n = packets.len();
+            let order = injection_order(packets);
+            assert_eq!(order.len(), n, "every packet injected");
+            for w in order.windows(2) {
+                assert!(w[0].1 <= w[1].1, "deadline order violated: {w:?}");
+            }
+        }
+    }
+
+    #[cfg(feature = "proptest")]
     mod properties {
         use super::*;
         use proptest::prelude::*;
-
-        /// Drive random regulated packets through the NIC, serving the
-        /// link to completion, and collect the injection order.
-        fn injection_order(packets: Vec<(u32, u64)>) -> Vec<(u64, u64)> {
-            // Effectively infinite credit: this property is about
-            // ordering, not flow control.
-            let mut nic = Nic::new(NicConfig {
-                arch: Architecture::Ideal,
-                link_bw: Bandwidth::gbps(8),
-                peer_buffer_per_vc: u32::MAX / 2,
-            });
-            let batch: Vec<Packet> = packets
-                .iter()
-                .enumerate()
-                .map(|(i, &(len, deadline))| {
-                    pkt(i as u64, TrafficClass::Control, len.max(1), deadline, None)
-                })
-                .collect();
-            let mut out = vec![];
-            let mut now = 0u64;
-            let mut acts = nic.enqueue_packets(batch, SimTime::ZERO);
-            loop {
-                let mut finished = None;
-                for a in &acts {
-                    if let NodeAction::StartTx { packet, finish, .. } = a {
-                        out.push((packet.id, packet.deadline.as_ns()));
-                        finished = Some(finish.as_ns());
-                    }
-                }
-                match finished {
-                    Some(f) => {
-                        now = now.max(f);
-                        acts = nic.on_tx_done(SimTime::from_ns(now));
-                    }
-                    None => break,
-                }
-            }
-            out
-        }
 
         proptest! {
             /// With every packet ready at t=0, the EDF NIC injects in

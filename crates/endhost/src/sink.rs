@@ -179,7 +179,8 @@ mod tests {
                 HostId(0),
                 HostId(1),
                 vec![RouteHop { switch: SwitchId(0), out_port: Port(1) }],
-            ),
+            )
+            .port_path(),
             hop: 0,
             injected_at: SimTime::ZERO,
             msg: MsgTag { msg_id, part, parts, created_at: SimTime::from_us(5) },

@@ -4,11 +4,10 @@ use dqos_core::Architecture;
 use dqos_sim_core::{SimDuration, SimTime};
 use dqos_topology::ClosParams;
 use dqos_traffic::MixConfig;
-use serde::{Deserialize, Serialize};
 
 /// How multimedia deadlines are computed (§3.1 discusses all three; the
 /// paper's proposal — and default — is the frame-spread method).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum VideoDeadlines {
     /// `D += target / Parts(frame)`: every frame lands close to `target`
     /// regardless of size, packets smoothly spread (the proposal).
@@ -26,7 +25,7 @@ pub enum VideoDeadlines {
 }
 
 /// How per-node clocks relate to the hidden global clock.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ClockOffsets {
     /// All clocks synchronised (offset 0). The baseline.
     Synced,
@@ -40,7 +39,7 @@ pub enum ClockOffsets {
 }
 
 /// Everything one simulation run needs.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct SimConfig {
     /// The switch architecture under test.
     pub arch: Architecture,
@@ -162,11 +161,14 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn config_is_plain_data() {
+        // SimConfig is `Copy`: snapshotting a config (for result caching
+        // or job fan-out) is a bitwise copy, and a copy is
+        // indistinguishable from the original.
         let c = SimConfig::bench(Architecture::Simple2Vc, 0.7);
-        let j = serde_json::to_string(&c).unwrap();
-        let back: SimConfig = serde_json::from_str(&j).unwrap();
+        let back = c;
         assert_eq!(back.arch, c.arch);
         assert_eq!(back.topology.n_hosts(), 32);
+        assert_eq!(format!("{back:?}"), format!("{c:?}"));
     }
 }

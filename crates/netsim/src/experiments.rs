@@ -2,14 +2,15 @@
 //!
 //! The paper's figures sweep injected load 10 %–100 % for the four
 //! architectures. Each (architecture, load) point is one independent,
-//! deterministic simulation; the sweep runs them in parallel with rayon
-//! (determinism is unaffected — parallelism is across runs).
+//! deterministic simulation; the sweep runs them on a scoped worker
+//! pool ([`dqos_sim_core::par_map`]) — determinism is unaffected, since
+//! parallelism is across runs and results are returned in input order.
 
 use crate::config::SimConfig;
 use crate::network::{Network, RunSummary};
 use dqos_core::Architecture;
+use dqos_sim_core::{default_workers, par_map};
 use dqos_stats::Report;
-use rayon::prelude::*;
 
 /// One (load, results) point of a sweep.
 #[derive(Debug, Clone)]
@@ -48,13 +49,12 @@ pub fn run_load_sweep(
         .iter()
         .flat_map(|&a| loads.iter().map(move |&l| (a, l)))
         .collect();
-    let mut results: Vec<(Architecture, f64, Report, RunSummary)> = jobs
-        .par_iter()
-        .map(|&(arch, load)| {
+    let workers = default_workers(jobs.len());
+    let mut results: Vec<(Architecture, f64, Report, RunSummary)> =
+        par_map(jobs, workers, |(arch, load)| {
             let (report, summary) = run_one(make(arch, load));
             (arch, load, report, summary)
-        })
-        .collect();
+        });
     // Group back per architecture, ascending load.
     results.sort_by(|a, b| (a.0.slug(), a.1).partial_cmp(&(b.0.slug(), b.1)).unwrap());
     archs

@@ -23,7 +23,7 @@ use dqos_core::{
     AdmissionController, Architecture, DeadlineMode, FlowId, Stamper, StampedTimes, TrafficClass,
 };
 use dqos_sim_core::{Bandwidth, SimDuration, SimTime};
-use dqos_topology::{FoldedClos, HostId, Route};
+use dqos_topology::{FoldedClos, HostId, PortPath, Route};
 use std::collections::HashMap;
 
 /// One host's video stream: its stamper and fixed route.
@@ -32,8 +32,12 @@ pub struct VideoFlow {
     pub id: FlowId,
     /// Destination host.
     pub dst: HostId,
-    /// The admitted (or fallback) route.
+    /// The admitted (or fallback) route, with switch names — kept for
+    /// topology validation and the admission ledger.
     pub route: Route,
+    /// The same route interned to its output ports, stamped into every
+    /// packet of the flow (`Copy`, no per-packet allocation).
+    pub path: PortPath,
     /// Frame-spread stamper.
     pub stamper: Stamper,
 }
@@ -51,8 +55,9 @@ pub struct HostFlows {
 /// The fleet's flow table.
 pub struct FlowTable {
     hosts: Vec<HostFlows>,
-    /// Fixed route per (src, dst) for the aggregated classes.
-    routes: HashMap<(u32, u32), Route>,
+    /// Fixed route per (src, dst) for the aggregated classes, stored
+    /// with its interned port path (built once at first use).
+    routes: HashMap<(u32, u32), (Route, PortPath)>,
     /// Flow id per (src, dst, class) for the aggregated classes.
     ids: HashMap<(u32, u32, u8), FlowId>,
     next_id: u32,
@@ -97,7 +102,8 @@ impl FlowTable {
                 };
                 let id = FlowId(next_id);
                 next_id += 1;
-                video.push(VideoFlow { id, dst, route, stamper: Stamper::new(video_mode) });
+                let path = route.port_path();
+                video.push(VideoFlow { id, dst, route, path, stamper: Stamper::new(video_mode) });
             }
             hosts.push(HostFlows {
                 video,
@@ -131,12 +137,24 @@ impl FlowTable {
 
     /// The fixed route for an aggregated-class packet from `src` to
     /// `dst` (assigned round-robin over spines at first use, then fixed
-    /// forever — the paper's load-balanced fixed routing).
+    /// forever — the paper's load-balanced fixed routing). This is the
+    /// validation view; the hot path uses [`FlowTable::aggregated_path`].
     pub fn aggregated_route(&mut self, net: &FoldedClos, src: HostId, dst: HostId) -> Route {
-        self.routes
-            .entry((src.0, dst.0))
-            .or_insert_with(|| self.admission.assign_unregulated_path(net, src, dst))
-            .clone()
+        self.ensure_route(net, src, dst).0.clone()
+    }
+
+    /// The interned output-port path for an aggregated-class (src, dst)
+    /// pair — `Copy`, no allocation, what packets actually carry.
+    pub fn aggregated_path(&mut self, net: &FoldedClos, src: HostId, dst: HostId) -> PortPath {
+        self.ensure_route(net, src, dst).1
+    }
+
+    fn ensure_route(&mut self, net: &FoldedClos, src: HostId, dst: HostId) -> &(Route, PortPath) {
+        self.routes.entry((src.0, dst.0)).or_insert_with(|| {
+            let route = self.admission.assign_unregulated_path(net, src, dst);
+            let path = route.port_path();
+            (route, path)
+        })
     }
 
     /// The flow id for an aggregated-class (src, dst, class) triple.
@@ -250,6 +268,10 @@ mod tests {
         let b = ft.aggregated_route(&net, HostId(0), HostId(9));
         assert_eq!(a, b, "route fixed after first use");
         net.check_route(&a).unwrap();
+        // The interned path mirrors the validated route.
+        let p = ft.aggregated_path(&net, HostId(0), HostId(9));
+        assert_eq!(p, a.port_path());
+        assert_eq!(p.len(), a.len());
     }
 
     #[test]

@@ -7,11 +7,17 @@
 //! throughout: models see their *local* time, deadlines cross links as
 //! TTDs (§3.3), and only the statistics collector reads the hidden
 //! global clock.
+//!
+//! Packets crossing a wire are parked in a [`PacketArena`] and the
+//! arrival event carries only a `u32` [`PacketRef`] — the calendar never
+//! copies packets through its buckets, and steady-state forwarding does
+//! no allocation (routes are interned per flow, arena slots are
+//! free-listed).
 
 use crate::collect::Collector;
 use crate::config::{ClockOffsets, SimConfig};
 use crate::flows::FlowTable;
-use dqos_core::{ClockDomain, MsgTag, NodeAction, Packet, Vc};
+use dqos_core::{ClockDomain, MsgTag, NodeAction, Packet, PacketArena, PacketRef, Vc};
 use dqos_endhost::{Nic, NicConfig, Sink};
 use dqos_queues::SchedQueue;
 use dqos_sim_core::{EventQueue, SimDuration, SimRng, SimTime, SplitMix64};
@@ -30,16 +36,17 @@ enum Ev {
     HostTxDone { host: u32 },
     /// Credit returned to a NIC.
     HostCredit { host: u32, vc: Vc, bytes: u32 },
-    /// A packet fully arrived at a switch input.
-    SwitchArrive { sw: u32, port: Port, pkt: Packet },
+    /// A packet fully arrived at a switch input (packet in the arena).
+    SwitchArrive { sw: u32, port: Port, pkt: PacketRef },
     /// A switch's internal crossbar transfer completed.
     SwitchXbarDone { sw: u32, port: Port },
     /// A switch output link finished serialising.
     SwitchTxDone { sw: u32, port: Port },
     /// Credit returned to a switch output.
     SwitchCredit { sw: u32, port: Port, vc: Vc, bytes: u32 },
-    /// A packet fully arrived at its destination host.
-    HostArrive { host: u32, pkt: Packet },
+    /// A packet fully arrived at its destination host (packet in the
+    /// arena).
+    HostArrive { host: u32, pkt: PacketRef },
 }
 
 /// Who transmits into a given switch input port.
@@ -51,7 +58,7 @@ enum Feeder {
 
 /// End-of-run diagnostics (the correctness side of a run; the
 /// performance side is the [`Report`]).
-#[derive(Debug, Clone, Copy, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct RunSummary {
     /// Events processed.
     pub events: u64,
@@ -76,6 +83,9 @@ pub struct RunSummary {
     pub admission_fallbacks: u32,
     /// Messages handed to NICs by the generators.
     pub offered_messages: u64,
+    /// Most packets ever simultaneously in flight on wires (arena
+    /// high-water mark — the run's real pooled-storage footprint).
+    pub peak_in_flight: u64,
 }
 
 impl RunSummary {
@@ -92,6 +102,44 @@ impl RunSummary {
         assert_eq!(self.out_of_order, 0, "out-of-order deliveries: {}", self.out_of_order);
         assert_eq!(self.broken_messages, 0, "broken messages: {}", self.broken_messages);
         assert_eq!(self.residual_packets, 0, "undrained packets: {}", self.residual_packets);
+    }
+
+    /// JSON value (for result caches next to [`Report::to_json`]).
+    pub fn to_json_value(&self) -> dqos_stats::Json {
+        use dqos_stats::Json;
+        Json::obj(vec![
+            ("events", Json::Int(self.events as i128)),
+            ("injected_packets", Json::Int(self.injected_packets as i128)),
+            ("delivered_packets", Json::Int(self.delivered_packets as i128)),
+            ("out_of_order", Json::Int(self.out_of_order as i128)),
+            ("broken_messages", Json::Int(self.broken_messages as i128)),
+            ("residual_packets", Json::Int(self.residual_packets as i128)),
+            ("take_over_total", Json::Int(self.take_over_total as i128)),
+            ("order_errors", Json::Int(self.order_errors as i128)),
+            ("admission_fallbacks", Json::Int(self.admission_fallbacks as i128)),
+            ("offered_messages", Json::Int(self.offered_messages as i128)),
+            ("peak_in_flight", Json::Int(self.peak_in_flight as i128)),
+        ])
+    }
+
+    /// Inverse of [`RunSummary::to_json_value`].
+    pub fn from_json_value(j: &dqos_stats::Json) -> Result<Self, String> {
+        let u = |k: &str| -> Result<u64, String> {
+            j.get(k).and_then(|v| v.as_u64()).ok_or_else(|| format!("missing field {k}"))
+        };
+        Ok(RunSummary {
+            events: u("events")?,
+            injected_packets: u("injected_packets")?,
+            delivered_packets: u("delivered_packets")?,
+            out_of_order: u("out_of_order")?,
+            broken_messages: u("broken_messages")?,
+            residual_packets: u("residual_packets")?,
+            take_over_total: u("take_over_total")?,
+            order_errors: u("order_errors")?,
+            admission_fallbacks: u("admission_fallbacks")? as u32,
+            offered_messages: u("offered_messages")?,
+            peak_in_flight: u("peak_in_flight")?,
+        })
     }
 }
 
@@ -125,6 +173,8 @@ pub struct Network {
     host_feed: Vec<(u32, Port)>,
     collector: Collector,
     queue: EventQueue<Ev>,
+    /// Pooled storage for packets in flight on wires.
+    arena: PacketArena,
     next_msg_id: Vec<u64>,
     next_pkt_id: u64,
     offered_messages: u64,
@@ -262,6 +312,7 @@ impl Network {
             host_feed,
             collector,
             queue: EventQueue::with_capacity(1 << 16),
+            arena: PacketArena::with_capacity(1 << 12),
             next_msg_id: vec![0; n_hosts],
             next_pkt_id: 0,
             offered_messages: 0,
@@ -292,6 +343,11 @@ impl Network {
             events += 1;
             self.dispatch(ev.time, ev.payload);
         }
+        debug_assert!(
+            self.arena.is_empty(),
+            "arena holds {} packets after drain",
+            self.arena.live()
+        );
         self.finish(events)
     }
 
@@ -332,6 +388,7 @@ impl Network {
             order_errors,
             admission_fallbacks: self.flows.admission_fallbacks,
             offered_messages: self.offered_messages,
+            peak_in_flight: self.arena.high_water() as u64,
         };
         let report = self
             .collector
@@ -370,6 +427,7 @@ impl Network {
                 self.apply_host_actions(host, actions, now);
             }
             Ev::SwitchArrive { sw, port, pkt } => {
+                let pkt = self.arena.take(pkt);
                 let local = self.sw_clock[sw as usize].local(now);
                 let actions = self.switches[sw as usize].on_packet_arrival(port, pkt, local);
                 self.apply_switch_actions(sw, actions, now);
@@ -390,6 +448,7 @@ impl Network {
                 self.apply_switch_actions(sw, actions, now);
             }
             Ev::HostArrive { host, pkt } => {
+                let pkt = self.arena.take(pkt);
                 self.handle_delivery(host, pkt, now);
             }
         }
@@ -402,14 +461,16 @@ impl Network {
         let parts = dqos_core::segment_message(msg.bytes, self.cfg.mtu);
         let local = self.host_clock[host as usize].local(now);
         let lead = self.cfg.eligible_lead_ns.map(SimDuration::from_ns);
+        // The route is interned to a `Copy` port path once per flow;
+        // stamping it into each packet below is a plain field copy.
         let (flow_id, route, stamps) = match msg.stream {
             Some(s) => {
                 let stamps = self.flows.stamp_video(src, s, local, &parts, lead);
                 let vf = self.flows.video(src, s);
-                (vf.id, vf.route.clone(), stamps)
+                (vf.id, vf.path, stamps)
             }
             None => {
-                let route = self.flows.aggregated_route(&self.topo, src, msg.dst);
+                let route = self.flows.aggregated_path(&self.topo, src, msg.dst);
                 let id = self.flows.aggregated_flow_id(src, msg.dst, msg.class);
                 let stamps = self.flows.stamp_aggregated(src, msg.class, local, &parts);
                 (id, route, stamps)
@@ -434,7 +495,7 @@ impl Network {
                     len,
                     deadline: st.deadline,
                     eligible: st.eligible,
-                    route: route.clone(),
+                    route,
                     hop: 0,
                     injected_at: now,
                     msg: MsgTag { msg_id, part: i as u32, parts: n, created_at: now },
@@ -496,6 +557,7 @@ impl Network {
             ClockDomain::encode_ttd(pkt.deadline, self.host_clock[host as usize].local(finish_g));
         pkt.deadline = ClockDomain::decode_ttd(ttd, self.sw_clock[sw.idx()].local(arrive));
         pkt.eligible = None; // host-only field, not in the header
+        let pkt = self.arena.insert(pkt);
         self.queue
             .schedule(arrive, Ev::SwitchArrive { sw: sw.0, port: end.peer_port, pkt });
     }
@@ -554,10 +616,12 @@ impl Network {
                     self.sw_clock[sw as usize].local(finish_g),
                 );
                 pkt.deadline = ClockDomain::decode_ttd(ttd, self.sw_clock[next.idx()].local(arrive));
+                let pkt = self.arena.insert(pkt);
                 self.queue
                     .schedule(arrive, Ev::SwitchArrive { sw: next.0, port: end.peer_port, pkt });
             }
             NodeId::Host(h) => {
+                let pkt = self.arena.insert(pkt);
                 self.queue.schedule(arrive, Ev::HostArrive { host: h.0, pkt });
             }
         }

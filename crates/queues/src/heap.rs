@@ -101,7 +101,6 @@ impl<T: Deadlined> SchedQueue<T> for HeapQueue<T> {
 mod tests {
     use super::*;
     use crate::traits::test_util::Item;
-    use proptest::prelude::*;
 
     #[test]
     fn always_exposes_minimum() {
@@ -134,6 +133,40 @@ mod tests {
         q.dequeue();
         assert_eq!(q.bytes(), 0);
     }
+
+    /// Dependency-free port of the property suite: random interleaved
+    /// enqueue/dequeue against a linear-scan model.
+    #[test]
+    fn randomized_head_is_min() {
+        use dqos_sim_core::SimRng;
+        let mut rng = SimRng::new(0x4EA9);
+        for _ in 0..100 {
+            let mut q = HeapQueue::new();
+            let mut model: Vec<u64> = vec![];
+            for i in 0..1 + rng.index(300) {
+                if rng.chance(0.6) || model.is_empty() {
+                    let d = rng.range_u64(0, 999);
+                    q.enqueue(Item::new(0, i as u32, d));
+                    model.push(d);
+                } else {
+                    let got = q.dequeue().unwrap().deadline;
+                    let min_pos = model
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, &v)| v)
+                        .map(|(p, _)| p)
+                        .unwrap();
+                    assert_eq!(got, model.remove(min_pos));
+                }
+                assert_eq!(q.head_deadline().map(|t| t.as_ns()), model.iter().min().copied());
+            }
+        }
+    }
+
+    #[cfg(feature = "proptest")]
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
 
     proptest! {
         /// Dequeues come out in non-decreasing deadline order whatever
@@ -175,5 +208,6 @@ mod tests {
                 prop_assert_eq!(q.head_deadline().map(|t| t.as_ns()), model.iter().min().copied());
             }
         }
+    }
     }
 }

@@ -218,7 +218,6 @@ impl<T: Deadlined> SchedQueue<T> for TwoQueue<T> {
 mod tests {
     use super::*;
     use crate::traits::test_util::Item;
-    use proptest::prelude::*;
 
     #[test]
     fn in_order_arrivals_all_go_to_ordered() {
@@ -313,6 +312,155 @@ mod tests {
         }
         out
     }
+
+    /// Count, at each dequeue, whether some queued packet had a smaller
+    /// deadline than the one served (§3.4 "order errors"), serving once
+    /// every `period` arrivals and then draining.
+    fn count_errors<Q: SchedQueue<Item>>(mut q: Q, items: &[Item], period: usize) -> u64 {
+        let mut errors = 0u64;
+        let mut pending: Vec<u64> = vec![];
+        let serve = |q: &mut Q, pending: &mut Vec<u64>, errors: &mut u64| {
+            if let Some(it) = q.dequeue() {
+                if pending.iter().any(|&d| d < it.deadline) {
+                    *errors += 1;
+                }
+                let pos = pending.iter().position(|&d| d == it.deadline).unwrap();
+                pending.remove(pos);
+            }
+        };
+        for (i, it) in items.iter().enumerate() {
+            q.enqueue(*it);
+            pending.push(it.deadline);
+            if i % period == 0 {
+                serve(&mut q, &mut pending, &mut errors);
+            }
+        }
+        while !pending.is_empty() {
+            serve(&mut q, &mut pending, &mut errors);
+        }
+        errors
+    }
+
+    /// Dependency-free randomized ports of the appendix property suite
+    /// (Theorems 1–3, Lemma 1; DESIGN §5), driven by the in-house RNG so
+    /// they run in the offline tier-1 build. The proptest originals are
+    /// kept under the `proptest` feature.
+    mod randomized {
+        use super::*;
+        use crate::fifo::FifoQueue;
+        use dqos_sim_core::SimRng;
+
+        fn random_arrivals(rng: &mut SimRng, n_flows: u32, len_max: usize) -> Vec<(u32, u64)> {
+            let n = 1 + rng.index(len_max);
+            (0..n)
+                .map(|_| (rng.range_u64(0, (n_flows - 1) as u64) as u32, rng.range_u64(0, 499)))
+                .collect()
+        }
+
+        /// Theorem 3: no out-of-order delivery within any flow, plus
+        /// Theorems 1 & 2 and Lemma 1 at every step (checked inside
+        /// `run_model`), over many random interleavings.
+        #[test]
+        fn theorem3_no_out_of_order_delivery() {
+            let mut rng = SimRng::new(0x7EA3);
+            for _ in 0..150 {
+                let n_flows = 1 + rng.range_u64(0, 6) as u32;
+                let arrivals = random_arrivals(&mut rng, n_flows, 300);
+                let service: Vec<bool> =
+                    (0..1 + rng.index(15)).map(|_| rng.chance(0.5)).collect();
+                let out = run_model(n_flows, &arrivals, &service);
+                let mut last_seq = std::collections::HashMap::new();
+                for it in &out {
+                    if let Some(&prev) = last_seq.get(&it.flow) {
+                        assert!(
+                            it.seq > prev,
+                            "flow {} delivered seq {} after {}",
+                            it.flow,
+                            it.seq,
+                            prev
+                        );
+                    }
+                    last_seq.insert(it.flow, it.seq);
+                }
+                assert_eq!(out.len(), arrivals.len(), "conservation");
+            }
+        }
+
+        /// Exhaustive small-case sweep of the same invariants: every
+        /// arrival pattern of 2 flows × 5 arrivals × 2 gap choices, with
+        /// every service period. Complements the randomized sweep with
+        /// certainty on the small state space.
+        #[test]
+        fn theorem3_exhaustive_small_cases() {
+            // Each arrival is (flow ∈ {0,1}, gap ∈ {1, 60}): 4 choices,
+            // 5 arrivals -> 1024 patterns × 3 service patterns.
+            for pattern in 0..4u32.pow(5) {
+                let arrivals: Vec<(u32, u64)> = (0..5)
+                    .map(|i| {
+                        let c = (pattern / 4u32.pow(i)) % 4;
+                        (c % 2, if c / 2 == 0 { 1 } else { 60 })
+                    })
+                    .collect();
+                for service in [&[true][..], &[false, true][..], &[false][..]] {
+                    let out = run_model(2, &arrivals, service);
+                    assert_eq!(out.len(), 5);
+                    for f in 0..2 {
+                        let seqs: Vec<u32> =
+                            out.iter().filter(|it| it.flow == f).map(|it| it.seq).collect();
+                        assert!(seqs.windows(2).all(|w| w[0] < w[1]), "flow {f} reordered");
+                    }
+                }
+            }
+        }
+
+        /// The dequeue candidate is never worse than the best FIFO head.
+        #[test]
+        fn candidate_at_least_as_urgent_as_fifo() {
+            let mut rng = SimRng::new(0x51EF);
+            for _ in 0..150 {
+                let arrivals = random_arrivals(&mut rng, 4, 200);
+                let mut tq = TwoQueue::new();
+                let mut fifo = FifoQueue::new();
+                let mut next_deadline = [0u64; 4];
+                for &(f, gap) in &arrivals {
+                    next_deadline[f as usize] += gap.max(1);
+                    let item = Item::new(f, 0, next_deadline[f as usize]);
+                    tq.enqueue(item);
+                    fifo.enqueue(item);
+                    assert!(tq.head_deadline() <= fifo.head_deadline());
+                }
+            }
+        }
+
+        /// Order errors: two-queue <= plain FIFO under identical history.
+        #[test]
+        fn order_errors_not_worse_than_fifo() {
+            let mut rng = SimRng::new(0x0E44);
+            for _ in 0..150 {
+                let arrivals = random_arrivals(&mut rng, 4, 200);
+                if arrivals.len() < 2 {
+                    continue;
+                }
+                let period = 1 + rng.index(3);
+                let mut next_deadline = [0u64; 4];
+                let items: Vec<Item> = arrivals
+                    .iter()
+                    .map(|&(f, gap)| {
+                        next_deadline[f as usize] += gap.max(1);
+                        Item::new(f, 0, next_deadline[f as usize])
+                    })
+                    .collect();
+                let tq_err = count_errors(TwoQueue::new(), &items, period);
+                let fifo_err = count_errors(FifoQueue::new(), &items, period);
+                assert!(tq_err <= fifo_err, "two-queue errors {tq_err} > fifo errors {fifo_err}");
+            }
+        }
+    }
+
+    #[cfg(feature = "proptest")]
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
 
     proptest! {
         /// Theorem 3: no out-of-order delivery within any flow.
@@ -421,5 +569,6 @@ mod tests {
                 "two-queue errors {tq_err} > fifo errors {fifo_err}"
             );
         }
+    }
     }
 }

@@ -9,15 +9,21 @@
 //! * [`SimTime`] / [`SimDuration`] — integer nanosecond timestamps. One
 //!   simulation tick is one nanosecond, so at the paper's 8 Gb/s link rate
 //!   a packet's serialisation time in ticks equals its length in bytes.
-//! * [`EventQueue`] — a binary-heap calendar with a monotonically
-//!   increasing sequence number so that events scheduled for the same tick
-//!   are delivered in FIFO order (stable, deterministic tie-breaking).
+//! * [`EventQueue`] — a two-level bucketed calendar queue (timing-wheel
+//!   near buckets + sorted overflow) with a monotonically increasing
+//!   sequence number so that events scheduled for the same tick are
+//!   delivered in FIFO order (stable, deterministic tie-breaking).
+//!   [`BinaryHeapQueue`] is the original heap calendar, kept as the
+//!   reference oracle for differential tests and benches.
 //! * [`Engine`] / [`World`] — a minimal driver loop for simulations that
 //!   want one; larger simulations (the full network model in
 //!   `dqos-netsim`) own their loop and use [`EventQueue`] directly.
 //! * [`rng`] / [`dist`] — a seedable, version-stable PRNG
-//!   (xoshiro256\*\*) plus the distributions the paper's workloads need
-//!   (exponential, bounded Pareto, log-normal).
+//!   (xoshiro256\*\*, implemented in-tree — no `rand` dependency) plus
+//!   the distributions the paper's workloads need (exponential, bounded
+//!   Pareto, log-normal).
+//! * [`pool`] — a scoped std::thread worker pool for parallel sweeps
+//!   (one deterministic single-threaded simulation per worker).
 //!
 //! Determinism contract: given the same seed and the same sequence of
 //! `schedule` calls, a simulation built on this kernel replays exactly.
@@ -26,11 +32,13 @@
 
 pub mod dist;
 pub mod engine;
+pub mod pool;
 pub mod queue;
 pub mod rng;
 pub mod time;
 
 pub use engine::{Engine, World};
-pub use queue::{EventQueue, ScheduledEvent};
+pub use pool::{default_workers, par_map};
+pub use queue::{BinaryHeapQueue, EventQueue, ScheduledEvent};
 pub use rng::{SimRng, SplitMix64};
 pub use time::{Bandwidth, SimDuration, SimTime};

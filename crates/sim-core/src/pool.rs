@@ -1,0 +1,155 @@
+//! A small scoped worker pool for embarrassingly parallel sweeps.
+//!
+//! Replaces the former `rayon` dependency: each worker thread runs one
+//! deterministic single-threaded simulation at a time (the rustasim
+//! model), claims work items off a shared atomic counter, and sends
+//! `(index, result)` pairs back over `std::sync::mpsc`. Results are
+//! returned **in input order**, so a parallel sweep produces the exact
+//! output a serial loop would — parallelism never changes observable
+//! results, only wall-clock time.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Number of worker threads to use for `n_items` independent jobs:
+/// available parallelism capped by the item count (never zero).
+pub fn default_workers(n_items: usize) -> usize {
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    hw.min(n_items).max(1)
+}
+
+/// Apply `f` to every item on a scoped worker pool and return the results
+/// in input order.
+///
+/// Work is claimed dynamically (one shared atomic index), so uneven job
+/// durations — e.g. high-load sweep points simulating far more packets
+/// than low-load ones — balance across workers automatically. With
+/// `workers == 1`, or one item, this degenerates to a plain serial map on
+/// the calling thread.
+///
+/// Panics in `f` are propagated: the pool finishes outstanding sends,
+/// then re-panics on the caller's thread.
+pub fn par_map<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    if workers == 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Workers claim indices from `next`; each item is moved out of its
+    // slot exactly once (guarded by the unique index from fetch_add).
+    let slots: Vec<std::sync::Mutex<Option<T>>> =
+        items.into_iter().map(|it| std::sync::Mutex::new(Some(it))).collect();
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let slots = &slots;
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("work slot poisoned")
+                    .take()
+                    .expect("work item claimed twice");
+                // A send can only fail if the receiver was dropped, which
+                // happens when another worker panicked; stop quietly and
+                // let the scope propagate that panic.
+                if tx.send((i, f(item))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, r) in rx {
+            out[i] = Some(r);
+        }
+        // If a worker panicked, leaving holes, the scope re-panics on
+        // join before this unwrap can misfire... except when the panic
+        // races the drain — so check explicitly.
+        if out.iter().any(Option::is_none) {
+            // Wait for scope exit to propagate the worker panic.
+            return None;
+        }
+        Some(out.into_iter().map(|r| r.expect("checked above")).collect())
+    })
+    .expect("worker panicked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let got = par_map(items.clone(), 8, |x| x * x);
+        let want: Vec<u64> = items.iter().map(|x| x * x).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn serial_fallback_matches() {
+        let items: Vec<u64> = (0..10).collect();
+        assert_eq!(par_map(items.clone(), 1, |x| x + 1), par_map(items, 4, |x| x + 1));
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(par_map(Vec::<u32>::new(), 4, |x| x), Vec::<u32>::new());
+        assert_eq!(par_map(vec![7], 4, |x| x * 3), vec![21]);
+    }
+
+    #[test]
+    fn uneven_work_balances() {
+        // Items with wildly different costs still come back in order.
+        let items: Vec<u64> = (0..32).collect();
+        let got = par_map(items, 4, |x| {
+            let spin = if x % 7 == 0 { 200_000 } else { 10 };
+            let mut acc = x;
+            for _ in 0..spin {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (x, acc)
+        });
+        for (i, (x, _)) in got.iter().enumerate() {
+            assert_eq!(i as u64, *x);
+        }
+    }
+
+    #[test]
+    fn default_workers_is_sane() {
+        assert_eq!(default_workers(0), 1);
+        assert_eq!(default_workers(1), 1);
+        assert!(default_workers(1000) >= 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        // std::thread::scope re-panics on join when a worker panicked.
+        let _ = par_map((0..16).collect::<Vec<u32>>(), 4, |x| {
+            if x == 9 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

@@ -1,12 +1,13 @@
 //! Seedable, version-stable pseudo-random number generation.
 //!
 //! The simulation's determinism contract requires that the same seed
-//! produce the same stream across crate versions, so rather than relying
-//! on `rand`'s unspecified `SmallRng` algorithm we implement
-//! xoshiro256\*\* (Blackman & Vigna) directly and expose it through
-//! `rand::RngCore` so all of `rand`'s adapters still work.
-
-use rand::{Error, RngCore, SeedableRng};
+//! produce the same stream across crate versions (and across toolchains —
+//! the build is fully offline), so we implement SplitMix64 and
+//! xoshiro256\*\* (Blackman & Vigna) directly from the reference
+//! algorithms instead of depending on `rand`. Seed-stability guarantee:
+//! the known-answer vectors in this module's tests pin the exact output
+//! streams; any change to them is a breaking change to every recorded
+//! simulation result.
 
 /// SplitMix64: the recommended seeder for xoshiro-family generators, and a
 /// handy way to derive independent sub-streams from one master seed.
@@ -132,18 +133,22 @@ impl SimRng {
     pub fn chance(&mut self, p: f64) -> bool {
         self.f64() < p
     }
-}
 
-impl RngCore for SimRng {
+    /// Next raw 64-bit output.
     #[inline]
-    fn next_u32(&mut self) -> u32 {
-        (self.next() >> 32) as u32
-    }
-    #[inline]
-    fn next_u64(&mut self) -> u64 {
+    pub fn next_u64(&mut self) -> u64 {
         self.next()
     }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+
+    /// Next raw 32-bit output (upper half of a 64-bit draw — the \*\*
+    /// scrambler's high bits are its strongest).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next() >> 32) as u32
+    }
+
+    /// Fill `dest` with pseudo-random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         let mut chunks = dest.chunks_exact_mut(8);
         for chunk in &mut chunks {
             chunk.copy_from_slice(&self.next().to_le_bytes());
@@ -153,17 +158,6 @@ impl RngCore for SimRng {
             let bytes = self.next().to_le_bytes();
             rem.copy_from_slice(&bytes[..rem.len()]);
         }
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
-        self.fill_bytes(dest);
-        Ok(())
-    }
-}
-
-impl SeedableRng for SimRng {
-    type Seed = [u8; 8];
-    fn from_seed(seed: [u8; 8]) -> Self {
-        SimRng::new(u64::from_le_bytes(seed))
     }
 }
 

@@ -4,16 +4,15 @@
 //! in `u64` ticks; floating point only appears at the configuration
 //! boundary (e.g. "8 Gb/s", "40 ms") and in statistics output.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// An absolute simulation timestamp, in nanoseconds since simulation start.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(pub u64);
 
 /// A span of simulation time, in nanoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(pub u64);
 
 impl SimTime {
@@ -234,7 +233,7 @@ fn write_time(f: &mut fmt::Formatter<'_>, ns: u64) -> fmt::Result {
 ///
 /// The paper evaluates 8 Gb/s links; at the 1 ns tick this is exactly
 /// 1 byte per tick, which keeps serialisation times integral.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Bandwidth(pub u64);
 
 impl Bandwidth {

@@ -5,7 +5,6 @@
 //! error below `1/SUB` of the value — plenty for CDF plots — with a
 //! fixed, small footprint.
 
-use serde::{Deserialize, Serialize};
 
 /// Sub-buckets per power-of-two range (relative error ≤ 1/32 ≈ 3 %).
 const SUB: usize = 32;
@@ -27,7 +26,7 @@ const SUB_BITS: u32 = 5;
 /// let cdf = h.cdf();                       // (value, cumulative fraction)
 /// assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LogHistogram {
     counts: Vec<u64>,
     total: u64,
@@ -172,12 +171,49 @@ impl LogHistogram {
         let cum: u64 = self.counts[..=b].iter().sum();
         cum as f64 / self.total as f64
     }
+
+    /// Serialise to a JSON tree. Bucket counts are stored sparsely as
+    /// `[index, count]` pairs — most of the 2048 buckets are empty.
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        let counts: Vec<Json> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| Json::Arr(vec![Json::Int(i as i128), Json::Int(c as i128)]))
+            .collect();
+        Json::obj(vec![
+            ("counts", Json::Arr(counts)),
+            ("total", Json::Int(self.total as i128)),
+            ("sum", Json::Int(self.sum as i128)),
+            ("min", Json::Int(self.min as i128)),
+            ("max", Json::Int(self.max as i128)),
+        ])
+    }
+
+    /// Rebuild from [`LogHistogram::to_json`] output.
+    pub fn from_json(j: &crate::json::Json) -> Option<Self> {
+        let mut h = LogHistogram::new();
+        for pair in j.get("counts")?.as_arr()? {
+            let pair = pair.as_arr()?;
+            let i = pair.first()?.as_u64()? as usize;
+            if i >= h.counts.len() {
+                return None;
+            }
+            h.counts[i] = pair.get(1)?.as_u64()?;
+        }
+        h.total = j.get("total")?.as_u64()?;
+        h.sum = j.get("sum")?.as_u128()?;
+        h.min = j.get("min")?.as_u64()?;
+        h.max = j.get("max")?.as_u64()?;
+        Some(h)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn empty_histogram() {
@@ -270,42 +306,99 @@ mod tests {
         assert_eq!(a.mean(), 300.0);
     }
 
-    proptest! {
-        /// Every value lands in a bucket whose representative is within
-        /// 1/32 relative error above it.
+    #[cfg(feature = "proptest")]
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Every value lands in a bucket whose representative is within
+            /// 1/32 relative error above it.
+            #[test]
+            fn prop_bucket_error_bounded(v in 0u64..u64::MAX / 2) {
+                let b = LogHistogram::bucket_of(v);
+                let rep = LogHistogram::bucket_value(b);
+                prop_assert!(rep >= v, "representative below value");
+                if v >= 32 {
+                    prop_assert!((rep - v) as f64 / v as f64 <= 1.0 / 32.0);
+                } else {
+                    prop_assert_eq!(rep, v);
+                }
+            }
+
+            /// Bucket index is monotone in the value.
+            #[test]
+            fn prop_bucket_monotone(a in 0u64..1 << 50, b in 0u64..1 << 50) {
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                prop_assert!(LogHistogram::bucket_of(lo) <= LogHistogram::bucket_of(hi));
+            }
+
+            /// Quantiles are monotone in q and bracketed by min/max.
+            #[test]
+            fn prop_quantiles_monotone(values in proptest::collection::vec(0u64..10_000_000, 1..200)) {
+                let mut h = LogHistogram::new();
+                for &v in &values {
+                    h.record(v);
+                }
+                let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+                let mut last = 0;
+                for &q in &qs {
+                    let v = h.quantile(q);
+                    prop_assert!(v >= last);
+                    prop_assert!(v >= h.min() && v <= h.max());
+                    last = v;
+                }
+            }
+        }
+    }
+
+    /// Dependency-free ports of the property suite above, driven by the
+    /// in-house RNG so they run in the offline tier-1 build.
+    mod randomized {
+        use super::*;
+        use dqos_sim_core::SimRng;
+
         #[test]
-        fn prop_bucket_error_bounded(v in 0u64..u64::MAX / 2) {
-            let b = LogHistogram::bucket_of(v);
-            let rep = LogHistogram::bucket_value(b);
-            prop_assert!(rep >= v, "representative below value");
-            if v >= 32 {
-                prop_assert!((rep - v) as f64 / v as f64 <= 1.0 / 32.0);
-            } else {
-                prop_assert_eq!(rep, v);
+        fn bucket_error_bounded_and_monotone() {
+            let mut rng = SimRng::new(0xBEEF);
+            let mut prev: Option<(u64, usize)> = None;
+            let mut values: Vec<u64> =
+                (0..20_000).map(|_| rng.range_u64(0, u64::MAX / 2)).collect();
+            values.extend(0..64); // exercise the exact small-value region
+            values.sort_unstable();
+            for v in values {
+                let b = LogHistogram::bucket_of(v);
+                let rep = LogHistogram::bucket_value(b);
+                assert!(rep >= v, "representative below value for {v}");
+                if v >= 32 {
+                    assert!((rep - v) as f64 / v as f64 <= 1.0 / 32.0, "error too large for {v}");
+                } else {
+                    assert_eq!(rep, v);
+                }
+                if let Some((pv, pb)) = prev {
+                    assert!(b >= pb, "bucket_of not monotone at {pv} -> {v}");
+                }
+                prev = Some((v, b));
             }
         }
 
-        /// Bucket index is monotone in the value.
         #[test]
-        fn prop_bucket_monotone(a in 0u64..1 << 50, b in 0u64..1 << 50) {
-            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-            prop_assert!(LogHistogram::bucket_of(lo) <= LogHistogram::bucket_of(hi));
-        }
-
-        /// Quantiles are monotone in q and bracketed by min/max.
-        #[test]
-        fn prop_quantiles_monotone(values in proptest::collection::vec(0u64..10_000_000, 1..200)) {
-            let mut h = LogHistogram::new();
-            for &v in &values {
-                h.record(v);
-            }
-            let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
-            let mut last = 0;
-            for &q in &qs {
-                let v = h.quantile(q);
-                prop_assert!(v >= last);
-                prop_assert!(v >= h.min() && v <= h.max());
-                last = v;
+        fn quantiles_monotone_randomized() {
+            let mut rng = SimRng::new(0xCAFE);
+            for _ in 0..100 {
+                let n = 1 + rng.index(200);
+                let mut h = LogHistogram::new();
+                for _ in 0..n {
+                    h.record(rng.range_u64(0, 9_999_999));
+                }
+                let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+                let mut last = 0;
+                for &q in &qs {
+                    let v = h.quantile(q);
+                    assert!(v >= last);
+                    assert!(v >= h.min() && v <= h.max());
+                    last = v;
+                }
             }
         }
     }

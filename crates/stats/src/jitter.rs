@@ -8,11 +8,10 @@
 //!   interarrival jitter, un-smoothed), and
 //! * the standard deviation of latency (via Welford's online algorithm).
 
-use serde::{Deserialize, Serialize};
 
 /// Online jitter estimator for one flow (or one class, if fed per-flow
 /// streams through [`JitterTracker::merge`]d instances).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct JitterTracker {
     last: Option<u64>,
     abs_diff_sum: u128,
@@ -85,6 +84,36 @@ impl JitterTracker {
         self.mean += delta * nb / n;
         self.m2 += other.m2 + delta * delta * na * nb / n;
         self.n += other.n;
+    }
+
+    /// Serialise to a JSON tree (floats roundtrip bit-exactly).
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj(vec![
+            ("last", self.last.map_or(Json::Null, |v| Json::Int(v as i128))),
+            ("abs_diff_sum", Json::Int(self.abs_diff_sum as i128)),
+            ("abs_diff_count", Json::Int(self.abs_diff_count as i128)),
+            ("n", Json::Int(self.n as i128)),
+            ("mean", Json::Float(self.mean)),
+            ("m2", Json::Float(self.m2)),
+        ])
+    }
+
+    /// Rebuild from [`JitterTracker::to_json`] output.
+    pub fn from_json(j: &crate::json::Json) -> Option<Self> {
+        use crate::json::Json;
+        let last = match j.get("last")? {
+            Json::Null => None,
+            v => Some(v.as_u64()?),
+        };
+        Some(JitterTracker {
+            last,
+            abs_diff_sum: j.get("abs_diff_sum")?.as_u128()?,
+            abs_diff_count: j.get("abs_diff_count")?.as_u64()?,
+            n: j.get("n")?.as_u64()?,
+            mean: j.get("mean")?.as_f64()?,
+            m2: j.get("m2")?.as_f64()?,
+        })
     }
 }
 

@@ -20,10 +20,12 @@
 
 pub mod hist;
 pub mod jitter;
+pub mod json;
 pub mod meter;
 pub mod report;
 
 pub use hist::LogHistogram;
 pub use jitter::JitterTracker;
+pub use json::Json;
 pub use meter::ThroughputMeter;
 pub use report::{cdf_to_text, ClassStats, Report};

@@ -1,11 +1,10 @@
 //! Throughput accounting.
 
 use dqos_sim_core::{Bandwidth, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Counts bytes (and messages) delivered inside a measurement window and
 /// converts them to throughput.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ThroughputMeter {
     bytes: u64,
     packets: u64,
@@ -60,6 +59,25 @@ impl ThroughputMeter {
         self.bytes += other.bytes;
         self.packets += other.packets;
         self.messages += other.messages;
+    }
+
+    /// Serialise to a JSON tree.
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj(vec![
+            ("bytes", Json::Int(self.bytes as i128)),
+            ("packets", Json::Int(self.packets as i128)),
+            ("messages", Json::Int(self.messages as i128)),
+        ])
+    }
+
+    /// Rebuild from [`ThroughputMeter::to_json`] output.
+    pub fn from_json(j: &crate::json::Json) -> Option<Self> {
+        Some(ThroughputMeter {
+            bytes: j.get("bytes")?.as_u64()?,
+            packets: j.get("packets")?.as_u64()?,
+            messages: j.get("messages")?.as_u64()?,
+        })
     }
 }
 

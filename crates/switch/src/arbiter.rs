@@ -113,6 +113,78 @@ mod tests {
         }
     }
 
+    /// Dependency-free ports of the property suite, driven by the
+    /// in-house RNG so they run in the offline tier-1 build.
+    mod randomized {
+        use super::*;
+        use dqos_sim_core::SimRng;
+
+        /// EDF always returns the candidate with the smallest
+        /// (deadline, input) pair.
+        #[test]
+        fn edf_is_min() {
+            let mut rng = SimRng::new(0xA6B1);
+            for _ in 0..500 {
+                let mut seen = std::collections::HashSet::new();
+                let cands: Vec<Candidate> = (0..1 + rng.index(15))
+                    .map(|_| (rng.index(16), rng.range_u64(0, 9_999)))
+                    .filter(|(i, _)| seen.insert(*i))
+                    .map(|(input, d)| c(input, d))
+                    .collect();
+                let winner = pick_edf(&cands).unwrap();
+                let wd = cands.iter().find(|x| x.input == winner).unwrap().deadline;
+                for x in &cands {
+                    assert!(
+                        (wd, winner) <= (x.deadline, x.input),
+                        "candidate {x:?} beats winner {winner} @ {wd:?}"
+                    );
+                }
+            }
+        }
+
+        /// Round-robin with a persistent candidate set is fair: over
+        /// n_rounds = k * |set| picks, every candidate wins exactly k.
+        #[test]
+        fn round_robin_fair() {
+            let mut rng = SimRng::new(0x66A1);
+            for _ in 0..200 {
+                let mut inputs = std::collections::HashSet::new();
+                for _ in 0..1 + rng.index(11) {
+                    inputs.insert(rng.index(12));
+                }
+                let k = 1 + rng.index(4);
+                let cands: Vec<Candidate> = inputs.iter().map(|&i| c(i, 1)).collect();
+                let mut ptr = 0;
+                let mut wins = std::collections::HashMap::new();
+                for _ in 0..k * cands.len() {
+                    let w = pick_round_robin(&cands, 12, &mut ptr).unwrap();
+                    *wins.entry(w).or_insert(0usize) += 1;
+                }
+                for &i in &inputs {
+                    assert_eq!(wins.get(&i).copied().unwrap_or(0), k, "input {i} starved");
+                }
+            }
+        }
+
+        /// The round-robin pointer always stays in range.
+        #[test]
+        fn round_robin_ptr_in_range() {
+            let mut rng = SimRng::new(0x3019);
+            let mut ptr = 0;
+            for _ in 0..1_000 {
+                let mut seen = std::collections::HashSet::new();
+                let cands: Vec<Candidate> = (0..rng.index(8))
+                    .map(|_| rng.index(8))
+                    .filter(|i| seen.insert(*i))
+                    .map(|i| c(i, 1))
+                    .collect();
+                let _ = pick_round_robin(&cands, 8, &mut ptr);
+                assert!(ptr < 8);
+            }
+        }
+    }
+
+    #[cfg(feature = "proptest")]
     mod properties {
         use super::*;
         use proptest::prelude::*;

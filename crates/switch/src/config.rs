@@ -2,10 +2,9 @@
 
 use dqos_core::Architecture;
 use dqos_sim_core::Bandwidth;
-use serde::{Deserialize, Serialize};
 
 /// Parameters of one switch (§4.1 values as defaults).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SwitchConfig {
     /// Which of the four evaluated architectures this switch implements.
     pub arch: Architecture,

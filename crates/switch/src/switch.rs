@@ -497,7 +497,8 @@ mod tests {
             HostId(0),
             HostId(1),
             vec![RouteHop { switch: SwitchId(0), out_port: Port(out_port) }],
-        );
+        )
+        .port_path();
         Packet {
             id,
             flow: FlowId(id as u32),

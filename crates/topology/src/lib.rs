@@ -29,4 +29,4 @@ pub mod route;
 
 pub use clos::{ClosParams, FoldedClos, LinkEnd};
 pub use ids::{HostId, LinkId, NodeId, Port, SwitchId};
-pub use route::{Route, RouteHop};
+pub use route::{PortPath, Route, RouteHop, MAX_ROUTE_HOPS};

@@ -7,10 +7,9 @@ use crate::video::VideoSource;
 use dqos_core::TrafficClass;
 use dqos_sim_core::{Bandwidth, SimDuration, SimRng};
 use dqos_topology::HostId;
-use serde::{Deserialize, Serialize};
 
 /// Workload parameters (§4.2 defaults).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct MixConfig {
     /// Link bandwidth (8 Gb/s in the paper).
     pub link_bw: Bandwidth,
@@ -38,7 +37,7 @@ pub struct MixConfig {
 }
 
 /// Hotspot overlay parameters.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct HotspotSpec {
     /// The victim destination.
     pub dst: u32,

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 gate: offline build, full test suite, and the event-kernel
+# smoke bench. Everything runs with --offline — the workspace has zero
+# external dependencies, so this must pass on a machine with no network
+# and no pre-populated registry cache.
+#
+# The bench step refreshes BENCH_kernel.json at the repo root with the
+# current events/sec baseline and the bucketed-vs-heap churn speedups.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline --workspace
+cargo bench -q --offline -p dqos-bench --bench event_kernel
