@@ -73,6 +73,7 @@ fn sample_packet(id: u64) -> Packet {
         hop: 0,
         injected_at: SimTime::ZERO,
         msg: MsgTag { msg_id: id, part: 0, parts: 1, created_at: SimTime::ZERO },
+        corrupted: false,
     }
 }
 

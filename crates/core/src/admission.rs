@@ -22,6 +22,19 @@ pub enum AdmissionError {
         /// The bandwidth that was requested.
         requested_bytes_per_sec: u64,
     },
+    /// Every candidate path crosses at least one failed link.
+    NoUsablePath,
+    /// A release would take a link's reservation below zero — the route
+    /// was never admitted at this bandwidth, or was released twice. The
+    /// ledger is left untouched.
+    ReleaseUnderflow {
+        /// The first offending link.
+        link: LinkId,
+        /// Bytes/sec currently reserved on it.
+        reserved_bytes_per_sec: u64,
+        /// Bytes/sec the release asked to return.
+        requested_bytes_per_sec: u64,
+    },
 }
 
 impl fmt::Display for AdmissionError {
@@ -30,9 +43,22 @@ impl fmt::Display for AdmissionError {
             AdmissionError::NoCapacity { requested_bytes_per_sec } => {
                 write!(f, "no path can fit {requested_bytes_per_sec} B/s")
             }
+            AdmissionError::NoUsablePath => {
+                write!(f, "every candidate path crosses a failed link")
+            }
+            AdmissionError::ReleaseUnderflow {
+                link,
+                reserved_bytes_per_sec,
+                requested_bytes_per_sec,
+            } => write!(
+                f,
+                "release of {requested_bytes_per_sec} B/s exceeds the {reserved_bytes_per_sec} B/s reserved on {link:?}"
+            ),
         }
     }
 }
+
+impl std::error::Error for AdmissionError {}
 
 /// A successfully admitted flow: the chosen route and spine index.
 #[derive(Debug, Clone)]
@@ -57,7 +83,7 @@ pub struct AdmittedFlow {
 /// assert_eq!(flow.route.len(), 3); // leaf -> spine -> leaf
 /// // The ledger now carries the reservation on every link of the route.
 /// assert!(ac.max_utilization() > 0.0);
-/// ac.release(&net, &flow.route, Bandwidth::gbps(2));
+/// ac.release(&net, &flow.route, Bandwidth::gbps(2)).unwrap();
 /// assert_eq!(ac.max_utilization(), 0.0);
 /// ```
 #[derive(Debug, Clone)]
@@ -66,6 +92,9 @@ pub struct AdmissionController {
     capacity: u64,
     /// Reserved bytes/sec per directed link.
     reserved: Vec<u64>,
+    /// Link health per directed link; failed links are excluded from
+    /// every candidate path until restored (fault injection).
+    link_up: Vec<bool>,
     /// Unregulated path counter per (src leaf): round-robin spine
     /// assignment for best-effort flows.
     rr_spine: Vec<u16>,
@@ -80,6 +109,7 @@ impl AdmissionController {
         AdmissionController {
             capacity: (link_capacity.as_bytes_per_sec() as f64 * max_util) as u64,
             reserved: vec![0; net.n_links() as usize],
+            link_up: vec![true; net.n_links() as usize],
             rr_spine: vec![0; net.params().leaves as usize],
         }
     }
@@ -87,6 +117,24 @@ impl AdmissionController {
     /// Reserved bandwidth on `link`, bytes/sec.
     pub fn reserved(&self, link: LinkId) -> u64 {
         self.reserved[link.idx()]
+    }
+
+    /// Whether `link` is currently healthy.
+    pub fn link_is_up(&self, link: LinkId) -> bool {
+        self.link_up[link.idx()]
+    }
+
+    /// Mark `link` failed: it is excluded from every candidate path until
+    /// [`AdmissionController::restore_link`]. Reservations already
+    /// charged to it are untouched — revoking the flows that hold them is
+    /// the caller's job (the flow table knows which flows those are).
+    pub fn fail_link(&mut self, link: LinkId) {
+        self.link_up[link.idx()] = false;
+    }
+
+    /// Mark `link` healthy again.
+    pub fn restore_link(&mut self, link: LinkId) {
+        self.link_up[link.idx()] = true;
     }
 
     /// Utilisation of `link` as a fraction of reservable capacity.
@@ -114,9 +162,14 @@ impl AdmissionController {
         let request = bw.as_bytes_per_sec();
         let choices = net.route_choices(src, dst);
         let mut best: Option<(u16, (u64, u64), Route)> = None;
+        let mut any_usable = false;
         for choice in 0..choices {
             let route = net.route(src, dst, choice);
             let links = net.links_on_route(&route);
+            if links.iter().any(|l| !self.link_up[l.idx()]) {
+                continue;
+            }
+            any_usable = true;
             let worst_after = links
                 .iter()
                 .map(|l| self.reserved[l.idx()] + request)
@@ -142,34 +195,69 @@ impl AdmissionController {
                 }
                 Ok(AdmittedFlow { route, choice })
             }
+            None if !any_usable => Err(AdmissionError::NoUsablePath),
             None => Err(AdmissionError::NoCapacity { requested_bytes_per_sec: request }),
         }
     }
 
     /// Release a previously admitted reservation.
-    pub fn release(&mut self, net: &FoldedClos, route: &Route, bw: Bandwidth) {
+    ///
+    /// The whole route is validated before any link is touched: releasing
+    /// a route that was never admitted at this bandwidth (or releasing
+    /// the same admission twice) returns
+    /// [`AdmissionError::ReleaseUnderflow`] and leaves the ledger exactly
+    /// as it was.
+    pub fn release(
+        &mut self,
+        net: &FoldedClos,
+        route: &Route,
+        bw: Bandwidth,
+    ) -> Result<(), AdmissionError> {
         let request = bw.as_bytes_per_sec();
-        for l in net.links_on_route(route) {
-            let r = &mut self.reserved[l.idx()];
-            debug_assert!(*r >= request, "releasing more than reserved on {l:?}");
-            *r = r.saturating_sub(request);
+        let links = net.links_on_route(route);
+        for l in &links {
+            let r = self.reserved[l.idx()];
+            if r < request {
+                return Err(AdmissionError::ReleaseUnderflow {
+                    link: *l,
+                    reserved_bytes_per_sec: r,
+                    requested_bytes_per_sec: request,
+                });
+            }
         }
+        for l in &links {
+            self.reserved[l.idx()] -= request;
+        }
+        Ok(())
     }
 
     /// Assign a fixed path to an unregulated flow (no reservation).
     ///
     /// Inter-leaf flows round-robin over spines per source leaf, which is
     /// the "admission control can ensure load balancing when assigning
-    /// paths" behaviour of §3.
+    /// paths" behaviour of §3. Candidates crossing a failed link are
+    /// skipped (the pointer starts at the round-robin position, so with
+    /// every link healthy the choice sequence is exactly the original);
+    /// if *every* candidate is degraded the round-robin choice is
+    /// returned anyway — its packets will be dropped (and counted) at the
+    /// failed link rather than silently rerouted.
     pub fn assign_unregulated_path(&mut self, net: &FoldedClos, src: HostId, dst: HostId) -> Route {
         let choices = net.route_choices(src, dst);
         if choices == 1 {
             return net.route(src, dst, 0);
         }
         let leaf = net.leaf_of(src).idx();
-        let choice = self.rr_spine[leaf] % choices;
-        self.rr_spine[leaf] = (self.rr_spine[leaf] + 1) % choices;
-        net.route(src, dst, choice)
+        let start = self.rr_spine[leaf] % choices;
+        for k in 0..choices {
+            let choice = (start + k) % choices;
+            let route = net.route(src, dst, choice);
+            if net.links_on_route(&route).iter().all(|l| self.link_up[l.idx()]) {
+                self.rr_spine[leaf] = (choice + 1) % choices;
+                return route;
+            }
+        }
+        self.rr_spine[leaf] = (start + 1) % choices;
+        net.route(src, dst, start)
     }
 
     /// The maximum utilisation over all links (diagnostics / tests).
@@ -215,8 +303,95 @@ mod tests {
         let bw = Bandwidth::gbps(8);
         let adm = ac.admit(&net, HostId(0), HostId(127), bw).unwrap();
         assert!(ac.admit(&net, HostId(1), HostId(127), bw).is_err());
-        ac.release(&net, &adm.route, bw);
+        ac.release(&net, &adm.route, bw).unwrap();
         assert!(ac.admit(&net, HostId(1), HostId(127), bw).is_ok());
+    }
+
+    #[test]
+    fn double_release_is_an_error_and_leaves_ledger_intact() {
+        let net = net();
+        let mut ac = AdmissionController::new(&net, LINK, 1.0);
+        let bw = Bandwidth::gbps(2);
+        let adm = ac.admit(&net, HostId(0), HostId(127), bw).unwrap();
+        ac.release(&net, &adm.route, bw).unwrap();
+        assert_eq!(ac.max_utilization(), 0.0);
+        let err = ac.release(&net, &adm.route, bw).unwrap_err();
+        assert!(matches!(err, AdmissionError::ReleaseUnderflow { .. }));
+        // Nothing was partially subtracted.
+        assert_eq!(ac.max_utilization(), 0.0);
+    }
+
+    #[test]
+    fn release_of_unknown_route_fails_without_partial_mutation() {
+        let net = net();
+        let mut ac = AdmissionController::new(&net, LINK, 1.0);
+        let bw = Bandwidth::gbps(2);
+        // Reserve via spine choice 0; attempt release on a different route
+        // that shares the endpoint links but not the transit links.
+        let adm = ac.admit(&net, HostId(0), HostId(127), bw).unwrap();
+        let other = net.route(HostId(0), HostId(127), (adm.choice + 1) % 8);
+        let before: Vec<u64> =
+            net.links_on_route(&other).iter().map(|l| ac.reserved(*l)).collect();
+        assert!(ac.release(&net, &other, bw).is_err());
+        let after: Vec<u64> =
+            net.links_on_route(&other).iter().map(|l| ac.reserved(*l)).collect();
+        assert_eq!(before, after, "failed release must not touch any link");
+    }
+
+    #[test]
+    fn ledger_zero_after_admit_revoke_readmit_cycles() {
+        let net = net();
+        let mut ac = AdmissionController::new(&net, LINK, 1.0);
+        let bw = Bandwidth::mbps(400);
+        for cycle in 0..10 {
+            let a = ac.admit(&net, HostId(0), HostId(100), bw).unwrap();
+            let b = ac.admit(&net, HostId(1), HostId(101), bw).unwrap();
+            ac.release(&net, &a.route, bw).unwrap();
+            // Re-admit in the freed space, then tear everything down.
+            let c = ac.admit(&net, HostId(0), HostId(100), bw).unwrap();
+            ac.release(&net, &b.route, bw).unwrap();
+            ac.release(&net, &c.route, bw).unwrap();
+            assert_eq!(ac.max_utilization(), 0.0, "cycle {cycle}: ledger not empty");
+        }
+    }
+
+    #[test]
+    fn failed_links_are_avoided_then_reused_after_restore() {
+        let net = net();
+        let mut ac = AdmissionController::new(&net, LINK, 1.0);
+        let bw = Bandwidth::gbps(1);
+        // Fail leaf 0's uplink to spine 0 (and the return direction).
+        let [up, down] = net.leaf_spine_links(0, 0);
+        ac.fail_link(up);
+        ac.fail_link(down);
+        assert!(!ac.link_is_up(up));
+        for _ in 0..16 {
+            let adm = ac.admit(&net, HostId(0), HostId(127), bw).unwrap();
+            assert_ne!(adm.choice, 0, "failed spine must not be chosen");
+            ac.release(&net, &adm.route, bw).unwrap();
+            let r = ac.assign_unregulated_path(&net, HostId(0), HostId(127));
+            assert_ne!(r.hop(1).unwrap().switch, net.spine(0), "unregulated too");
+        }
+        ac.restore_link(up);
+        ac.restore_link(down);
+        let mut used = std::collections::HashSet::new();
+        for _ in 0..8 {
+            used.insert(ac.assign_unregulated_path(&net, HostId(0), HostId(127)).hop(1).unwrap().switch);
+        }
+        assert!(used.contains(&net.spine(0)), "restored spine is used again");
+    }
+
+    #[test]
+    fn all_paths_failed_reports_no_usable_path() {
+        let net = net();
+        let mut ac = AdmissionController::new(&net, LINK, 1.0);
+        // Kill the destination's delivery link: every candidate crosses it.
+        ac.fail_link(net.host_delivery_link(HostId(127)));
+        let err = ac.admit(&net, HostId(0), HostId(127), Bandwidth::gbps(1)).unwrap_err();
+        assert_eq!(err, AdmissionError::NoUsablePath);
+        // The unregulated fallback still returns a (doomed) fixed route.
+        let r = ac.assign_unregulated_path(&net, HostId(0), HostId(127));
+        assert!(net.check_route(&r).is_ok());
     }
 
     #[test]

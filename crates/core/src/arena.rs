@@ -122,6 +122,7 @@ mod tests {
             hop: 0,
             injected_at: SimTime::ZERO,
             msg: MsgTag { msg_id: 0, part: 0, parts: 1, created_at: SimTime::ZERO },
+            corrupted: false,
         }
     }
 

@@ -31,21 +31,38 @@ pub struct ClockDomain {
     /// Nanoseconds this node's clock is ahead of the global clock
     /// (may be negative).
     pub offset: i64,
+    /// Rate skew in parts per million: the local clock advances
+    /// `1 + skew_ppm/1e6` local nanoseconds per global nanosecond. Zero
+    /// (the default everywhere outside fault-injection runs) preserves
+    /// the original pure-offset arithmetic bit for bit.
+    pub skew_ppm: i32,
 }
 
 impl ClockDomain {
     /// A perfectly synchronised clock.
-    pub const SYNCED: ClockDomain = ClockDomain { offset: 0 };
+    pub const SYNCED: ClockDomain = ClockDomain { offset: 0, skew_ppm: 0 };
 
-    /// Create a domain with the given offset.
+    /// Create a domain with the given offset (no rate skew).
     pub fn new(offset: i64) -> Self {
-        ClockDomain { offset }
+        ClockDomain { offset, skew_ppm: 0 }
+    }
+
+    /// Create a domain with an offset and a rate skew (fault injection's
+    /// clock-drift model).
+    pub fn with_skew(offset: i64, skew_ppm: i32) -> Self {
+        ClockDomain { offset, skew_ppm }
     }
 
     /// The local reading of a global timestamp.
     #[inline]
     pub fn local(&self, global: SimTime) -> SimTime {
-        let v = global.as_ns() as i64 + self.offset;
+        if self.skew_ppm == 0 {
+            let v = global.as_ns() as i64 + self.offset;
+            debug_assert!(v >= 0, "local clock underflow: offset too negative for this time");
+            return SimTime::from_ns(v as u64);
+        }
+        let g = global.as_ns() as i128;
+        let v = g + self.offset as i128 + g * self.skew_ppm as i128 / 1_000_000;
         debug_assert!(v >= 0, "local clock underflow: offset too negative for this time");
         SimTime::from_ns(v as u64)
     }
@@ -53,9 +70,24 @@ impl ClockDomain {
     /// The global timestamp a local reading corresponds to (inverse of
     /// [`ClockDomain::local`]; the simulator uses it to schedule events
     /// that nodes request in their own domain).
+    ///
+    /// With a rate skew the inverse involves integer division and may be
+    /// off by one nanosecond from a strict round trip — deterministic,
+    /// and harmless at simulation granularity. The division rounds *up*
+    /// so that `local(global_of(l)) >= l` always holds: a node asking to
+    /// be woken at local time `l` must not observe a pre-`l` clock when
+    /// the wake fires, or it would re-request the identical wake forever
+    /// (a same-tick livelock the stall watchdog catches).
     #[inline]
     pub fn global_of(&self, local: SimTime) -> SimTime {
-        let v = local.as_ns() as i64 - self.offset;
+        if self.skew_ppm == 0 {
+            let v = local.as_ns() as i64 - self.offset;
+            debug_assert!(v >= 0, "global clock underflow");
+            return SimTime::from_ns(v as u64);
+        }
+        let l = local.as_ns() as i128 - self.offset as i128;
+        let rate = 1_000_000 + self.skew_ppm as i128;
+        let v = (l * 1_000_000 + rate - 1).div_euclid(rate);
         debug_assert!(v >= 0, "global clock underflow");
         SimTime::from_ns(v as u64)
     }
@@ -95,6 +127,55 @@ mod tests {
         assert_eq!(ahead.local(SimTime::from_ns(500)), SimTime::from_ns(1_500));
         let behind = ClockDomain::new(-200);
         assert_eq!(behind.local(SimTime::from_ns(500)), SimTime::from_ns(300));
+    }
+
+    #[test]
+    fn skewed_clock_runs_fast_or_slow() {
+        let fast = ClockDomain::with_skew(0, 1_000); // +0.1%
+        assert_eq!(fast.local(SimTime::from_ms(1)), SimTime::from_ns(1_001_000));
+        let slow = ClockDomain::with_skew(0, -1_000);
+        assert_eq!(slow.local(SimTime::from_ms(1)), SimTime::from_ns(999_000));
+        // Offset composes with skew.
+        let both = ClockDomain::with_skew(500, 1_000);
+        assert_eq!(both.local(SimTime::from_ms(1)), SimTime::from_ns(1_001_500));
+    }
+
+    #[test]
+    fn skewed_global_of_inverts_within_a_nanosecond() {
+        for ppm in [-5_000i32, -37, 0, 1, 250, 10_000] {
+            let d = ClockDomain::with_skew(1_234, ppm);
+            for g in [0u64, 1, 999, 1_000_000, 987_654_321, 60_000_000_000] {
+                let g = SimTime::from_ns(g);
+                let back = d.global_of(d.local(g));
+                let err = back.as_ns().abs_diff(g.as_ns());
+                assert!(err <= 1, "ppm {ppm} t {g:?}: round trip off by {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_wake_requests_never_fire_early() {
+        // local(global_of(l)) >= l: the scheduling contract. If this ever
+        // regresses, a node waking "at local l" sees a pre-l clock and
+        // re-requests the same wake — a same-tick livelock.
+        for ppm in [-5_000i32, -37, 1, 250, 10_000] {
+            let d = ClockDomain::with_skew(-321, ppm);
+            for l in [1u64, 999, 1_000_001, 987_654_321, 60_000_000_000] {
+                let l = SimTime::from_ns(l);
+                assert!(d.local(d.global_of(l)) >= l, "ppm {ppm}, local {l:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_skew_matches_pure_offset_arithmetic_exactly() {
+        let a = ClockDomain::new(7_777);
+        let b = ClockDomain::with_skew(7_777, 0);
+        for g in [0u64, 5, 123_456_789] {
+            let g = SimTime::from_ns(g);
+            assert_eq!(a.local(g), b.local(g));
+            assert_eq!(a.global_of(a.local(g)), g);
+        }
     }
 
     #[test]

@@ -68,6 +68,11 @@ pub struct Packet {
     pub injected_at: SimTime,
     /// Message/frame reassembly tag (stats only).
     pub msg: MsgTag,
+    /// Payload was damaged in flight (models a CRC failure detected at
+    /// the destination: the packet traverses the fabric and consumes
+    /// resources, but the sink discards it). Only fault injection sets
+    /// this.
+    pub corrupted: bool,
 }
 
 impl Packet {
@@ -127,6 +132,7 @@ mod tests {
             hop: 0,
             injected_at: SimTime::ZERO,
             msg: MsgTag { msg_id: 3, part: 0, parts: 4, created_at: SimTime::ZERO },
+            corrupted: false,
         }
     }
 

@@ -110,6 +110,13 @@ impl Nic {
         self.eligible_q.len() + self.ready[0].len() + self.ready[1].len()
     }
 
+    /// Remaining injection credit toward the leaf switch on `vc`
+    /// (stall diagnostics: a stuck NIC with zero credit means the
+    /// returning credit was lost or the switch buffer never drained).
+    pub fn credits(&self, vc: Vc) -> u32 {
+        self.credits[vc.idx()]
+    }
+
     /// Hand freshly stamped packets to the NIC at local time `now`.
     pub fn enqueue_packets(&mut self, pkts: Vec<Packet>, now: SimTime) -> Vec<NodeAction> {
         for p in pkts {
@@ -231,6 +238,7 @@ mod tests {
             hop: 0,
             injected_at: SimTime::ZERO,
             msg: MsgTag { msg_id: id, part: 0, parts: 1, created_at: SimTime::ZERO },
+            corrupted: false,
         }
     }
 

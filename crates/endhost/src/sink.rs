@@ -184,6 +184,7 @@ mod tests {
             hop: 0,
             injected_at: SimTime::ZERO,
             msg: MsgTag { msg_id, part, parts, created_at: SimTime::from_us(5) },
+            corrupted: false,
         }
     }
 

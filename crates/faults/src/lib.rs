@@ -1,0 +1,514 @@
+//! # dqos-faults
+//!
+//! Deterministic fault injection for the network simulator.
+//!
+//! The paper evaluates its deadline-based QoS algorithms on a perfect
+//! lossless fabric; this crate provides the machinery to ask what
+//! survives a *degraded* one. A [`FaultPlan`] is a declarative, seeded
+//! description of everything that goes wrong during a run:
+//!
+//! * **Timed events** — a link (or a whole switch, meaning all of its
+//!   links) goes down at a given simulation time and optionally comes
+//!   back up later.
+//! * **Per-link impairments** — independent per-packet drop and
+//!   corruption probabilities, and a per-credit loss probability on the
+//!   reverse channel (lost credits are never resynthesised, so a high
+//!   enough loss rate manufactures a genuine credit deadlock — the
+//!   stall-watchdog test case).
+//! * **Clock drift** — per-node rate skew in parts-per-million,
+//!   generalising the constant-offset clock-domain ablation of §3.3.
+//!
+//! Plans are *compiled* against a concrete [`FoldedClos`] into a
+//! [`CompiledFaults`] table: selectors resolve to directed [`LinkId`]s,
+//! probabilities to integer thresholds, and all randomness comes from a
+//! dedicated SplitMix64 stream seeded from the plan — so a fault run is
+//! bit-reproducible for a fixed (config seed, plan) pair, and an empty
+//! plan draws nothing and perturbs nothing.
+
+#![warn(missing_docs)]
+
+use dqos_sim_core::{SimTime, SplitMix64};
+use dqos_topology::{FoldedClos, HostId, LinkId, SwitchId};
+
+/// A node reference for clock-drift specs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeRef {
+    /// A host, by index.
+    Host(u32),
+    /// A switch, by index (leaves first, then spines).
+    Switch(u32),
+}
+
+/// Selects one or more directed links of the topology.
+///
+/// Selectors are resolved at compile time against the concrete network;
+/// the symbolic forms exist so plans can be written without knowing the
+/// topology's link numbering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkSelector {
+    /// One directed link by id.
+    Link(LinkId),
+    /// Both directions of the cable between a leaf and a spine
+    /// (identified by leaf index and spine index).
+    LeafSpine {
+        /// Leaf switch index.
+        leaf: u16,
+        /// Spine index (`0 ..` spines, *not* a switch id).
+        spine: u16,
+    },
+    /// Both directions of a host's cable (injection + delivery link).
+    HostLink(u32),
+}
+
+/// What a timed fault event does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The selected link(s) stop carrying packets.
+    LinkDown(LinkSelector),
+    /// The selected link(s) carry packets again.
+    LinkUp(LinkSelector),
+    /// Every link touching the switch goes down (whole-switch failure).
+    SwitchDown(
+        /// Switch index.
+        u32,
+    ),
+    /// Every link touching the switch comes back.
+    SwitchUp(
+        /// Switch index.
+        u32,
+    ),
+}
+
+/// One timed fault event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedFault {
+    /// Global simulation time at which the fault applies.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// Stochastic impairment of one link (applied to every packet or credit
+/// that crosses it, independently, for the whole run).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkImpairment {
+    /// Which link(s) the impairment applies to.
+    pub selector: LinkSelector,
+    /// Probability a packet crossing the link is silently dropped
+    /// (the sender's consumed credit is resynthesised, as real hardware
+    /// frees the never-filled buffer slot).
+    pub drop_prob: f64,
+    /// Probability a packet arrives with a bad CRC: it traverses the
+    /// fabric but is discarded at the destination sink.
+    pub corrupt_prob: f64,
+    /// Probability a credit returning over the link's reverse channel is
+    /// lost. Lost credits are **not** resynthesised: buffer accounting
+    /// leaks, which can starve the sender into a credit deadlock.
+    pub credit_loss_prob: f64,
+}
+
+/// Per-node clock rate skew: the node's local clock runs at
+/// `1 + ppm/1e6` times the global rate (on top of any constant offset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClockDriftSpec {
+    /// The node whose clock drifts.
+    pub node: NodeRef,
+    /// Rate skew in parts per million (positive = fast clock).
+    pub skew_ppm: i32,
+}
+
+/// A declarative, seeded fault scenario. An empty (default) plan injects
+/// nothing and must leave simulation results bit-identical to a run
+/// without any fault machinery.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the impairment rolls (independent of the traffic seed).
+    pub seed: u64,
+    /// Timed link/switch down/up events.
+    pub timed: Vec<TimedFault>,
+    /// Stochastic per-link impairments.
+    pub impairments: Vec<LinkImpairment>,
+    /// Per-node clock rate skews.
+    pub drift: Vec<ClockDriftSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given impairment seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, ..Default::default() }
+    }
+
+    /// True when the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.timed.is_empty() && self.impairments.is_empty() && self.drift.is_empty()
+    }
+
+    /// Add a timed fault.
+    pub fn at(mut self, at: SimTime, kind: FaultKind) -> Self {
+        self.timed.push(TimedFault { at, kind });
+        self
+    }
+
+    /// Kill spine `j` (all its links) at `at`.
+    pub fn spine_down(self, at: SimTime, spine: u16, net: &FoldedClos) -> Self {
+        self.at(at, FaultKind::SwitchDown(net.spine(spine).0))
+    }
+
+    /// Restore spine `j` at `at`.
+    pub fn spine_up(self, at: SimTime, spine: u16, net: &FoldedClos) -> Self {
+        self.at(at, FaultKind::SwitchUp(net.spine(spine).0))
+    }
+
+    /// Add a stochastic impairment.
+    pub fn impair(mut self, imp: LinkImpairment) -> Self {
+        self.impairments.push(imp);
+        self
+    }
+
+    /// Add a clock rate skew.
+    pub fn with_drift(mut self, node: NodeRef, skew_ppm: i32) -> Self {
+        self.drift.push(ClockDriftSpec { node, skew_ppm });
+        self
+    }
+
+    /// Resolve the plan against a concrete network.
+    pub fn compile(&self, net: &FoldedClos) -> CompiledFaults {
+        let n = net.n_links() as usize;
+        let mut c = CompiledFaults {
+            enabled: true,
+            timed: Vec::with_capacity(self.timed.len()),
+            drop_thresh: vec![0; n],
+            corrupt_thresh: vec![0; n],
+            credit_thresh: vec![0; n],
+            any_impairment: false,
+            link_down: vec![false; n],
+            host_skew: vec![0; net.n_hosts() as usize],
+            sw_skew: vec![0; net.n_switches() as usize],
+            rng: SplitMix64::new(self.seed ^ 0xFA17_0BAD_5EED_0001),
+        };
+        for tf in &self.timed {
+            let (links, down) = match tf.kind {
+                FaultKind::LinkDown(sel) => (resolve(sel, net), true),
+                FaultKind::LinkUp(sel) => (resolve(sel, net), false),
+                FaultKind::SwitchDown(sw) => (net.switch_links(SwitchId(sw)), true),
+                FaultKind::SwitchUp(sw) => (net.switch_links(SwitchId(sw)), false),
+            };
+            c.timed.push(CompiledTimed { at: tf.at, links, down });
+        }
+        c.timed.sort_by_key(|t| t.at);
+        for imp in &self.impairments {
+            for l in resolve(imp.selector, net) {
+                c.drop_thresh[l.idx()] = threshold(imp.drop_prob);
+                c.corrupt_thresh[l.idx()] = threshold(imp.corrupt_prob);
+                c.credit_thresh[l.idx()] = threshold(imp.credit_loss_prob);
+            }
+            c.any_impairment = true;
+        }
+        for d in &self.drift {
+            match d.node {
+                NodeRef::Host(h) => c.host_skew[h as usize] = d.skew_ppm,
+                NodeRef::Switch(s) => c.sw_skew[s as usize] = d.skew_ppm,
+            }
+        }
+        c
+    }
+}
+
+/// Resolve a selector to concrete directed links.
+fn resolve(sel: LinkSelector, net: &FoldedClos) -> Vec<LinkId> {
+    match sel {
+        LinkSelector::Link(l) => vec![l],
+        LinkSelector::LeafSpine { leaf, spine } => {
+            net.leaf_spine_links(leaf, spine).to_vec()
+        }
+        LinkSelector::HostLink(h) => {
+            vec![net.host_out_link(HostId(h)).link, net.host_delivery_link(HostId(h))]
+        }
+    }
+}
+
+/// Probability → 64-bit comparison threshold. `p >= 1` maps to the
+/// sentinel `u64::MAX` ("always, no draw needed"), `p <= 0` to 0
+/// ("never, no draw needed").
+fn threshold(p: f64) -> u64 {
+    if p >= 1.0 {
+        u64::MAX
+    } else if p <= 0.0 {
+        0
+    } else {
+        (p * 18_446_744_073_709_551_616.0) as u64
+    }
+}
+
+/// One resolved timed fault: the links to flip and their new state.
+#[derive(Debug, Clone)]
+pub struct CompiledTimed {
+    /// When it applies (global time).
+    pub at: SimTime,
+    /// The directed links affected.
+    pub links: Vec<LinkId>,
+    /// `true` = links go down, `false` = links come back up.
+    pub down: bool,
+}
+
+/// A [`FaultPlan`] resolved against a concrete topology, ready for the
+/// event loop: O(1) per-link state/threshold lookups, a private RNG for
+/// the impairment rolls.
+#[derive(Debug, Clone)]
+pub struct CompiledFaults {
+    enabled: bool,
+    timed: Vec<CompiledTimed>,
+    drop_thresh: Vec<u64>,
+    corrupt_thresh: Vec<u64>,
+    credit_thresh: Vec<u64>,
+    any_impairment: bool,
+    link_down: Vec<bool>,
+    host_skew: Vec<i32>,
+    sw_skew: Vec<i32>,
+    rng: SplitMix64,
+}
+
+impl CompiledFaults {
+    /// The no-faults table used by plain (fault-free) simulations: every
+    /// query short-circuits and no state is allocated.
+    pub fn disabled() -> Self {
+        CompiledFaults {
+            enabled: false,
+            timed: Vec::new(),
+            drop_thresh: Vec::new(),
+            corrupt_thresh: Vec::new(),
+            credit_thresh: Vec::new(),
+            any_impairment: false,
+            link_down: Vec::new(),
+            host_skew: Vec::new(),
+            sw_skew: Vec::new(),
+            rng: SplitMix64::new(0),
+        }
+    }
+
+    /// Whether any fault machinery is active for this run.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The timed fault schedule (sorted by time).
+    pub fn timed(&self) -> &[CompiledTimed] {
+        &self.timed
+    }
+
+    /// Flip the state of timed fault `idx` and return its link list and
+    /// new state (`true` = now down).
+    pub fn apply_timed(&mut self, idx: usize) -> (Vec<LinkId>, bool) {
+        let t = &self.timed[idx];
+        let (links, down) = (t.links.clone(), t.down);
+        for l in &links {
+            self.link_down[l.idx()] = down;
+        }
+        (links, down)
+    }
+
+    /// Whether `link` is currently failed.
+    #[inline]
+    pub fn is_link_down(&self, link: LinkId) -> bool {
+        self.enabled && self.link_down[link.idx()]
+    }
+
+    #[inline]
+    fn roll(&mut self, thresh: u64) -> bool {
+        if thresh == 0 {
+            false
+        } else if thresh == u64::MAX {
+            true
+        } else {
+            self.rng.next_u64() < thresh
+        }
+    }
+
+    /// Roll the per-packet drop impairment for `link`.
+    #[inline]
+    pub fn roll_drop(&mut self, link: LinkId) -> bool {
+        self.any_impairment && {
+            let t = self.drop_thresh[link.idx()];
+            self.roll(t)
+        }
+    }
+
+    /// Roll the per-packet corruption impairment for `link`.
+    #[inline]
+    pub fn roll_corrupt(&mut self, link: LinkId) -> bool {
+        self.any_impairment && {
+            let t = self.corrupt_thresh[link.idx()];
+            self.roll(t)
+        }
+    }
+
+    /// Roll the per-credit loss impairment for the reverse channel of
+    /// data link `link`.
+    #[inline]
+    pub fn roll_credit_loss(&mut self, link: LinkId) -> bool {
+        self.any_impairment && {
+            let t = self.credit_thresh[link.idx()];
+            self.roll(t)
+        }
+    }
+
+    /// Clock rate skew for a host, ppm.
+    pub fn host_skew_ppm(&self, host: u32) -> i32 {
+        if self.enabled { self.host_skew[host as usize] } else { 0 }
+    }
+
+    /// Clock rate skew for a switch, ppm.
+    pub fn switch_skew_ppm(&self, sw: u32) -> i32 {
+        if self.enabled { self.sw_skew[sw as usize] } else { 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqos_topology::ClosParams;
+
+    fn net() -> FoldedClos {
+        FoldedClos::build(ClosParams::scaled(16))
+    }
+
+    #[test]
+    fn empty_plan_compiles_inert() {
+        let net = net();
+        let plan = FaultPlan::default();
+        assert!(plan.is_empty());
+        let c = plan.compile(&net);
+        assert!(c.enabled());
+        assert!(c.timed().is_empty());
+        let mut c2 = c.clone();
+        for l in 0..net.n_links() {
+            assert!(!c2.is_link_down(LinkId(l)));
+            assert!(!c2.roll_drop(LinkId(l)));
+            assert!(!c2.roll_corrupt(LinkId(l)));
+        }
+        // No randomness was consumed by any of those queries.
+        assert_eq!(format!("{:?}", c.rng), format!("{:?}", c2.rng));
+    }
+
+    #[test]
+    fn disabled_table_answers_everything_without_state() {
+        let mut d = CompiledFaults::disabled();
+        assert!(!d.enabled());
+        assert!(!d.is_link_down(LinkId(0)));
+        assert!(!d.roll_drop(LinkId(123)));
+        assert_eq!(d.host_skew_ppm(5), 0);
+    }
+
+    #[test]
+    fn switch_down_resolves_all_its_links() {
+        let net = net();
+        let spine0 = net.spine(0);
+        let plan = FaultPlan::new(1).at(SimTime::from_ms(1), FaultKind::SwitchDown(spine0.0));
+        let mut c = plan.compile(&net);
+        assert_eq!(c.timed().len(), 1);
+        // A spine in a 2-leaf network touches 2 leaves × 2 directions.
+        assert_eq!(c.timed()[0].links.len(), 4);
+        let (links, down) = c.apply_timed(0);
+        assert!(down);
+        for l in links {
+            assert!(c.is_link_down(l));
+        }
+        // The leaf-spine selector agrees with the switch-wide one.
+        let pair = net.leaf_spine_links(0, 0);
+        assert!(c.is_link_down(pair[0]) && c.is_link_down(pair[1]));
+        // Links of other spines are untouched.
+        let other = net.leaf_spine_links(0, 1);
+        assert!(!c.is_link_down(other[0]));
+    }
+
+    #[test]
+    fn down_then_up_restores() {
+        let net = net();
+        let sel = LinkSelector::HostLink(3);
+        let plan = FaultPlan::new(2)
+            .at(SimTime::from_ms(1), FaultKind::LinkDown(sel))
+            .at(SimTime::from_ms(2), FaultKind::LinkUp(sel));
+        let mut c = plan.compile(&net);
+        let up_link = net.host_out_link(HostId(3)).link;
+        c.apply_timed(0);
+        assert!(c.is_link_down(up_link));
+        c.apply_timed(1);
+        assert!(!c.is_link_down(up_link));
+    }
+
+    #[test]
+    fn timed_schedule_is_sorted() {
+        let net = net();
+        let sel = LinkSelector::HostLink(0);
+        let plan = FaultPlan::new(3)
+            .at(SimTime::from_ms(5), FaultKind::LinkUp(sel))
+            .at(SimTime::from_ms(1), FaultKind::LinkDown(sel));
+        let c = plan.compile(&net);
+        assert!(c.timed()[0].at < c.timed()[1].at);
+        assert!(c.timed()[0].down);
+    }
+
+    #[test]
+    fn probability_thresholds() {
+        assert_eq!(threshold(0.0), 0);
+        assert_eq!(threshold(-1.0), 0);
+        assert_eq!(threshold(1.0), u64::MAX);
+        assert_eq!(threshold(2.0), u64::MAX);
+        let half = threshold(0.5);
+        assert!(half > u64::MAX / 2 - 2 && half < u64::MAX / 2 + 2);
+    }
+
+    #[test]
+    fn certain_probabilities_do_not_draw() {
+        let net = net();
+        let link = net.host_out_link(HostId(0)).link;
+        let plan = FaultPlan::new(7).impair(LinkImpairment {
+            selector: LinkSelector::Link(link),
+            drop_prob: 1.0,
+            corrupt_prob: 0.0,
+            credit_loss_prob: 0.0,
+        });
+        let mut c = plan.compile(&net);
+        let before = format!("{:?}", c.rng);
+        assert!(c.roll_drop(link));
+        assert!(!c.roll_corrupt(link));
+        assert_eq!(before, format!("{:?}", c.rng), "p=1 and p=0 draw nothing");
+    }
+
+    #[test]
+    fn rolls_are_seed_deterministic() {
+        let net = net();
+        let link = net.host_out_link(HostId(1)).link;
+        let mk = |seed| {
+            FaultPlan::new(seed).impair(LinkImpairment {
+                selector: LinkSelector::Link(link),
+                drop_prob: 0.3,
+                corrupt_prob: 0.0,
+                credit_loss_prob: 0.0,
+            })
+        };
+        let mut a = mk(42).compile(&net);
+        let mut b = mk(42).compile(&net);
+        let sa: Vec<bool> = (0..256).map(|_| a.roll_drop(link)).collect();
+        let sb: Vec<bool> = (0..256).map(|_| b.roll_drop(link)).collect();
+        assert_eq!(sa, sb);
+        assert!(sa.iter().any(|&x| x) && sa.iter().any(|&x| !x));
+        let mut c = mk(43).compile(&net);
+        let sc: Vec<bool> = (0..256).map(|_| c.roll_drop(link)).collect();
+        assert_ne!(sa, sc, "different seeds give different streams");
+    }
+
+    #[test]
+    fn drift_specs_land_on_nodes() {
+        let net = net();
+        let plan = FaultPlan::new(0)
+            .with_drift(NodeRef::Host(2), 150)
+            .with_drift(NodeRef::Switch(1), -80);
+        let c = plan.compile(&net);
+        assert_eq!(c.host_skew_ppm(2), 150);
+        assert_eq!(c.host_skew_ppm(3), 0);
+        assert_eq!(c.switch_skew_ppm(1), -80);
+        assert_eq!(c.switch_skew_ppm(0), 0);
+    }
+}

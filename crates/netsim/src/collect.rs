@@ -96,6 +96,9 @@ impl Collector {
             window_start: self.start,
             window_end: self.end,
             classes: self.classes.to_vec(),
+            // Fault accounting lives in the event loop, which overwrites
+            // this after `finish` when a fault plan was active.
+            faults: None,
         }
     }
 }

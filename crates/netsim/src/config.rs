@@ -64,6 +64,12 @@ pub struct SimConfig {
     pub warmup: SimDuration,
     /// Measurement window length (after warm-up).
     pub measure: SimDuration,
+    /// How long the generators keep producing traffic. `None` (the
+    /// default) stops them at `window_end()`. Setting it past the
+    /// measurement window lets several runs share one traffic trajectory
+    /// while measuring different windows of it — how the fault examples
+    /// compare before/during/after-failure behaviour of the *same* run.
+    pub source_horizon: Option<SimDuration>,
     /// Master seed: same seed, same run, bit for bit.
     pub seed: u64,
     /// Per-node clock offsets.
@@ -100,6 +106,7 @@ impl SimConfig {
             // pipeline so the measurement window sees steady state.
             warmup: SimDuration::from_ms(15),
             measure: SimDuration::from_ms(50),
+            source_horizon: None,
             seed: 0xD0_5E,
             clocks: ClockOffsets::Synced,
             input_voq: false,
@@ -136,6 +143,14 @@ impl SimConfig {
     pub fn window_end(&self) -> SimTime {
         SimTime::ZERO + self.warmup + self.measure
     }
+
+    /// When the traffic generators stop producing (global time).
+    pub fn source_stop(&self) -> SimTime {
+        match self.source_horizon {
+            Some(h) => SimTime::ZERO + h,
+            None => self.window_end(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -158,6 +173,15 @@ mod tests {
         let c = SimConfig::tiny(Architecture::Ideal, 0.5);
         assert_eq!(c.window_start(), SimTime::from_ms(1));
         assert_eq!(c.window_end(), SimTime::from_ms(6));
+        assert_eq!(c.source_stop(), c.window_end());
+    }
+
+    #[test]
+    fn source_horizon_decouples_generation_from_measurement() {
+        let mut c = SimConfig::tiny(Architecture::Ideal, 0.5);
+        c.source_horizon = Some(SimDuration::from_ms(20));
+        assert_eq!(c.source_stop(), SimTime::from_ms(20));
+        assert_eq!(c.window_end(), SimTime::from_ms(6), "window unchanged");
     }
 
     #[test]

@@ -23,7 +23,7 @@ use dqos_core::{
     AdmissionController, Architecture, DeadlineMode, FlowId, Stamper, StampedTimes, TrafficClass,
 };
 use dqos_sim_core::{Bandwidth, SimDuration, SimTime};
-use dqos_topology::{FoldedClos, HostId, PortPath, Route};
+use dqos_topology::{FoldedClos, HostId, LinkId, PortPath, Route};
 use std::collections::HashMap;
 
 /// One host's video stream: its stamper and fixed route.
@@ -40,6 +40,34 @@ pub struct VideoFlow {
     pub path: PortPath,
     /// Frame-spread stamper.
     pub stamper: Stamper,
+    /// Whether the route currently holds a bandwidth reservation in the
+    /// admission ledger. `false` for admission fallbacks and for flows
+    /// rejected during degraded (post-failure) operation.
+    pub reserved: bool,
+}
+
+/// What a round of degraded-mode route maintenance did (link failure or
+/// repair): counts accumulated into the run summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RerouteStats {
+    /// Regulated flows moved to a surviving path with their reservation
+    /// intact.
+    pub rerouted: u32,
+    /// Regulated flows that no longer fit anywhere: reservation revoked,
+    /// now flowing unregulated.
+    pub rejected: u32,
+    /// Previously rejected flows whose reservation was re-established
+    /// after a repair.
+    pub readmitted: u32,
+}
+
+impl RerouteStats {
+    /// Accumulate another round's counts.
+    pub fn absorb(&mut self, other: RerouteStats) {
+        self.rerouted += other.rerouted;
+        self.rejected += other.rejected;
+        self.readmitted += other.readmitted;
+    }
 }
 
 /// Per-host flow state.
@@ -66,6 +94,8 @@ pub struct FlowTable {
     pub admission_fallbacks: u32,
     admission: AdmissionController,
     uses_deadlines: bool,
+    /// Per-stream video bandwidth, kept for degraded-mode re-admission.
+    video_bw: Bandwidth,
 }
 
 impl FlowTable {
@@ -93,17 +123,24 @@ impl FlowTable {
             let src = HostId(h as u32);
             let mut video = Vec::with_capacity(dsts.len());
             for &dst in dsts {
-                let route = match admission.admit(net, src, dst, video_stream_bw) {
-                    Ok(adm) => adm.route,
+                let (route, reserved) = match admission.admit(net, src, dst, video_stream_bw) {
+                    Ok(adm) => (adm.route, true),
                     Err(_) => {
                         admission_fallbacks += 1;
-                        admission.assign_unregulated_path(net, src, dst)
+                        (admission.assign_unregulated_path(net, src, dst), false)
                     }
                 };
                 let id = FlowId(next_id);
                 next_id += 1;
                 let path = route.port_path();
-                video.push(VideoFlow { id, dst, route, path, stamper: Stamper::new(video_mode) });
+                video.push(VideoFlow {
+                    id,
+                    dst,
+                    route,
+                    path,
+                    stamper: Stamper::new(video_mode),
+                    reserved,
+                });
             }
             hosts.push(HostFlows {
                 video,
@@ -122,7 +159,88 @@ impl FlowTable {
             admission_fallbacks,
             admission,
             uses_deadlines: arch.uses_deadlines(),
+            video_bw: video_stream_bw,
         }
+    }
+
+    /// Degraded-mode response to `links` going down.
+    ///
+    /// Every regulated flow whose fixed route crosses a failed link has
+    /// its reservation revoked and is re-admitted over the surviving
+    /// paths; flows that no longer fit anywhere keep flowing on an
+    /// unregulated fallback path (and count as rejections — plus
+    /// [`FlowTable::admission_fallbacks`], which tier-1 tests watch).
+    /// Cached aggregated routes crossing a failed link are forgotten and
+    /// lazily re-assigned on next use.
+    pub fn fail_links(&mut self, net: &FoldedClos, links: &[LinkId]) -> RerouteStats {
+        for &l in links {
+            self.admission.fail_link(l);
+        }
+        let mut stats = RerouteStats::default();
+        for (h, host) in self.hosts.iter_mut().enumerate() {
+            let src = HostId(h as u32);
+            for flow in &mut host.video {
+                let crosses_down =
+                    net.links_on_route(&flow.route).iter().any(|l| !self.admission.link_is_up(*l));
+                if !crosses_down {
+                    continue;
+                }
+                if flow.reserved {
+                    // The ledger held this exact reservation; failure to
+                    // release it is a simulator bug, not a user error.
+                    self.admission
+                        .release(net, &flow.route, self.video_bw)
+                        .expect("revoking an admitted route");
+                }
+                match self.admission.admit(net, src, flow.dst, self.video_bw) {
+                    Ok(adm) => {
+                        flow.route = adm.route;
+                        flow.path = flow.route.port_path();
+                        flow.reserved = true;
+                        stats.rerouted += 1;
+                    }
+                    Err(_) => {
+                        flow.route = self.admission.assign_unregulated_path(net, src, flow.dst);
+                        flow.path = flow.route.port_path();
+                        if flow.reserved {
+                            stats.rejected += 1;
+                            self.admission_fallbacks += 1;
+                        }
+                        flow.reserved = false;
+                    }
+                }
+            }
+        }
+        self.routes.retain(|_, (route, _)| {
+            net.links_on_route(route).iter().all(|l| self.admission.link_is_up(*l))
+        });
+        stats
+    }
+
+    /// Repair response: `links` are healthy again; previously rejected
+    /// flows are re-admitted where capacity allows. Flows rerouted while
+    /// the links were down keep their (reserved) detour routes — fixed
+    /// routing means a repair must not shuffle working flows.
+    pub fn restore_links(&mut self, net: &FoldedClos, links: &[LinkId]) -> RerouteStats {
+        for &l in links {
+            self.admission.restore_link(l);
+        }
+        let mut stats = RerouteStats::default();
+        for (h, host) in self.hosts.iter_mut().enumerate() {
+            let src = HostId(h as u32);
+            for flow in &mut host.video {
+                if flow.reserved {
+                    continue;
+                }
+                if let Ok(adm) = self.admission.admit(net, src, flow.dst, self.video_bw) {
+                    flow.route = adm.route;
+                    flow.path = flow.route.port_path();
+                    flow.reserved = true;
+                    stats.readmitted += 1;
+                }
+            }
+        }
+        stats
     }
 
     /// Total flow ids handed out so far (sinks size their tables off it).
@@ -317,6 +435,81 @@ mod tests {
         assert_eq!(stamps[0].deadline, SimTime::from_ms(2));
         let e = stamps[0].eligible.unwrap();
         assert_eq!(stamps[0].deadline.as_ns() - e.as_ns(), 20_000);
+    }
+
+    #[test]
+    fn failing_a_spine_reroutes_reserved_flows() {
+        let (net, mut ft) = table(2);
+        assert_eq!(ft.admission_fallbacks, 0);
+        let spine_links = net.switch_links(net.spine(0));
+        let stats = ft.fail_links(&net, &spine_links);
+        // Plenty of capacity at 400 KB/s per stream: everything refits.
+        assert_eq!(stats.rejected, 0);
+        assert!(stats.rerouted > 0, "some flow crossed spine 0");
+        for host in &ft.hosts {
+            for flow in &host.video {
+                assert!(flow.reserved);
+                for l in net.links_on_route(&flow.route) {
+                    assert!(ft.admission().link_is_up(l), "reserved route on a dead link");
+                }
+                net.check_route(&flow.route).unwrap();
+            }
+        }
+        assert!(ft.admission().max_utilization() <= 1.0);
+        // Repair: nothing was rejected, so nothing to re-admit.
+        let back = ft.restore_links(&net, &spine_links);
+        assert_eq!(back, RerouteStats::default());
+    }
+
+    #[test]
+    fn overloaded_failure_rejects_then_repair_readmits() {
+        let net = FoldedClos::build(ClosParams::scaled(16));
+        // Every host sends one 4 Gb/s stream to the opposite leaf: after
+        // seven of eight spines die, the survivors cannot carry them all.
+        let dsts: Vec<Vec<HostId>> = (0..16u32).map(|h| vec![HostId((h + 8) % 16)]).collect();
+        let mut ft = FlowTable::new(
+            &net,
+            Architecture::Advanced2Vc,
+            Bandwidth::gbps(8),
+            &dsts,
+            Bandwidth::gbps(4),
+            DeadlineMode::FrameSpread { target: SimDuration::from_ms(10) },
+            None,
+            (0.5, 0.25),
+        );
+        assert_eq!(ft.admission_fallbacks, 0);
+        let mut dead = Vec::new();
+        for spine in 1..8u16 {
+            dead.extend(net.switch_links(net.spine(spine)));
+        }
+        let stats = ft.fail_links(&net, &dead);
+        assert!(stats.rejected > 0, "one spine cannot carry 64 Gb/s");
+        assert!(ft.admission().max_utilization() <= 1.0, "ledger never oversubscribes");
+        let unreserved = ft.hosts.iter().flat_map(|h| &h.video).filter(|v| !v.reserved).count();
+        assert_eq!(unreserved as u32, stats.rejected);
+        // Rejected flows still have a valid (unregulated) route.
+        for host in &ft.hosts {
+            for flow in &host.video {
+                net.check_route(&flow.route).unwrap();
+            }
+        }
+        let back = ft.restore_links(&net, &dead);
+        assert_eq!(back.readmitted, stats.rejected, "repair re-admits everyone");
+        assert!(ft.hosts.iter().flat_map(|h| &h.video).all(|v| v.reserved));
+        assert!(ft.admission().max_utilization() <= 1.0);
+    }
+
+    #[test]
+    fn cached_aggregated_routes_avoid_failed_links() {
+        let (net, mut ft) = table(0);
+        // Prime the cache with a route, then kill whatever spine it uses.
+        let before = ft.aggregated_route(&net, HostId(0), HostId(9));
+        let spine = before.hop(1).unwrap().switch;
+        let stats = ft.fail_links(&net, &net.switch_links(spine));
+        assert_eq!(stats, RerouteStats::default(), "no video flows to touch");
+        let after = ft.aggregated_route(&net, HostId(0), HostId(9));
+        assert_ne!(before, after, "cached route through the dead spine was dropped");
+        assert_ne!(after.hop(1).unwrap().switch, spine);
     }
 
     #[test]

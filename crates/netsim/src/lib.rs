@@ -25,12 +25,14 @@
 
 pub mod collect;
 pub mod config;
+pub mod error;
 pub mod experiments;
 pub mod flows;
 pub mod network;
 
 pub use collect::Collector;
 pub use config::{ClockOffsets, SimConfig, VideoDeadlines};
-pub use flows::FlowTable;
+pub use error::{SimError, StallSnapshot, Violation};
+pub use flows::{FlowTable, RerouteStats};
 pub use experiments::{run_load_sweep, run_one, ExperimentResult, SweepPoint};
 pub use network::{Network, RunSummary};

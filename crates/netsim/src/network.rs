@@ -16,15 +16,24 @@
 
 use crate::collect::Collector;
 use crate::config::{ClockOffsets, SimConfig};
-use crate::flows::FlowTable;
-use dqos_core::{ClockDomain, MsgTag, NodeAction, Packet, PacketArena, PacketRef, Vc};
+use crate::error::{SimError, StallSnapshot, Violation};
+use crate::flows::{FlowTable, RerouteStats};
+use dqos_core::{
+    ClockDomain, MsgTag, NodeAction, Packet, PacketArena, PacketRef, TrafficClass, Vc, NUM_CLASSES,
+};
 use dqos_endhost::{Nic, NicConfig, Sink};
+use dqos_faults::{CompiledFaults, FaultPlan};
 use dqos_queues::SchedQueue;
 use dqos_sim_core::{EventQueue, SimDuration, SimRng, SimTime, SplitMix64};
-use dqos_stats::Report;
+use dqos_stats::{FaultClassLoss, FaultReport, Report};
 use dqos_switch::{Switch, SwitchConfig};
 use dqos_topology::{FoldedClos, HostId, NodeId, Port, SwitchId};
 use dqos_traffic::{build_host_sources, AppMessage, TrafficSource};
+
+/// Watchdog limit on events processed at a single timestamp: a healthy
+/// run's same-tick bursts are bounded by the port count, so crossing
+/// this means the loop is rescheduling work without advancing time.
+const SAME_TICK_LIMIT: u64 = 10_000_000;
 
 /// Events of the network simulation.
 enum Ev {
@@ -47,6 +56,8 @@ enum Ev {
     /// A packet fully arrived at its destination host (packet in the
     /// arena).
     HostArrive { host: u32, pkt: PacketRef },
+    /// A timed fault-plan entry fires (index into the compiled schedule).
+    Fault { idx: u32 },
 }
 
 /// Who transmits into a given switch input port.
@@ -86,28 +97,83 @@ pub struct RunSummary {
     /// Most packets ever simultaneously in flight on wires (arena
     /// high-water mark — the run's real pooled-storage footprint).
     pub peak_in_flight: u64,
+    /// Packets dropped at failed or lossy links (fault injection only).
+    pub dropped_packets: u64,
+    /// Packets discarded at the destination as corrupted (fault
+    /// injection only).
+    pub corrupted_packets: u64,
+    /// Flow-control credits destroyed in flight (fault injection only).
+    pub credits_lost: u64,
+    /// Regulated flows rerouted with their reservation intact after a
+    /// failure.
+    pub reroutes: u32,
+    /// Regulated flows whose reservation was revoked because no
+    /// surviving path could carry them.
+    pub reroute_rejections: u32,
+    /// Revoked flows re-admitted after a repair.
+    pub readmissions: u32,
 }
 
 impl RunSummary {
-    /// Assert every correctness invariant of a drained run: conservation,
-    /// in-order delivery, complete reassembly, empty queues. Panics with
-    /// a description on violation — tests, benches and examples call this
-    /// after [`Network::run`].
-    pub fn check(&self) {
-        assert_eq!(
-            self.injected_packets, self.delivered_packets,
-            "conservation violated: {} injected, {} delivered",
-            self.injected_packets, self.delivered_packets
-        );
-        assert_eq!(self.out_of_order, 0, "out-of-order deliveries: {}", self.out_of_order);
-        assert_eq!(self.broken_messages, 0, "broken messages: {}", self.broken_messages);
-        assert_eq!(self.residual_packets, 0, "undrained packets: {}", self.residual_packets);
+    /// Check every correctness invariant of a drained run, returning the
+    /// full list of violations instead of panicking.
+    ///
+    /// Conservation in a fault-injected run reads *injected = delivered +
+    /// dropped + corrupted*; with no faults the loss terms are zero and
+    /// this degenerates to the seed's strict equality. Broken messages
+    /// are a violation only when nothing was dropped or corrupted —
+    /// losing a mid-message packet legitimately abandons its reassembly.
+    /// Likewise out-of-order deliveries are a violation only when no flow
+    /// changed path: fixed routing guarantees ordering *per route*, so a
+    /// mid-run reroute or post-repair re-admission can let a packet on
+    /// the new path overtake one still in flight on the old path. The
+    /// count stays visible either way.
+    pub fn check(&self) -> Result<(), SimError> {
+        let mut violations = Vec::new();
+        if self.injected_packets
+            != self.delivered_packets + self.dropped_packets + self.corrupted_packets
+        {
+            violations.push(Violation::Conservation {
+                injected: self.injected_packets,
+                delivered: self.delivered_packets,
+                dropped: self.dropped_packets,
+                corrupted: self.corrupted_packets,
+            });
+        }
+        let paths_changed = self.reroutes != 0 || self.readmissions != 0;
+        if self.out_of_order != 0 && !paths_changed {
+            violations.push(Violation::OutOfOrder { count: self.out_of_order });
+        }
+        if self.broken_messages != 0 && self.dropped_packets == 0 && self.corrupted_packets == 0 {
+            violations.push(Violation::BrokenMessages { count: self.broken_messages });
+        }
+        if self.residual_packets != 0 {
+            violations.push(Violation::Residual { count: self.residual_packets });
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(SimError::Violations(violations))
+        }
+    }
+
+    /// Assert every invariant, panicking with a description on violation
+    /// — the strict mode tests, benches and examples use after
+    /// [`Network::run`] on fault-free configurations.
+    pub fn check_strict(&self) {
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
     }
 
     /// JSON value (for result caches next to [`Report::to_json`]).
+    ///
+    /// The fault counters are emitted only when nonzero, so fault-free
+    /// summaries stay byte-identical to pre-fault builds (and old cached
+    /// documents parse unchanged).
     pub fn to_json_value(&self) -> dqos_stats::Json {
         use dqos_stats::Json;
-        Json::obj(vec![
+        let mut fields = vec![
             ("events", Json::Int(self.events as i128)),
             ("injected_packets", Json::Int(self.injected_packets as i128)),
             ("delivered_packets", Json::Int(self.delivered_packets as i128)),
@@ -119,7 +185,20 @@ impl RunSummary {
             ("admission_fallbacks", Json::Int(self.admission_fallbacks as i128)),
             ("offered_messages", Json::Int(self.offered_messages as i128)),
             ("peak_in_flight", Json::Int(self.peak_in_flight as i128)),
-        ])
+        ];
+        for (k, v) in [
+            ("dropped_packets", self.dropped_packets),
+            ("corrupted_packets", self.corrupted_packets),
+            ("credits_lost", self.credits_lost),
+            ("reroutes", self.reroutes as u64),
+            ("reroute_rejections", self.reroute_rejections as u64),
+            ("readmissions", self.readmissions as u64),
+        ] {
+            if v != 0 {
+                fields.push((k, Json::Int(v as i128)));
+            }
+        }
+        Json::obj(fields)
     }
 
     /// Inverse of [`RunSummary::to_json_value`].
@@ -127,6 +206,8 @@ impl RunSummary {
         let u = |k: &str| -> Result<u64, String> {
             j.get(k).and_then(|v| v.as_u64()).ok_or_else(|| format!("missing field {k}"))
         };
+        // Fault counters are optional: absent means zero.
+        let opt = |k: &str| -> u64 { j.get(k).and_then(|v| v.as_u64()).unwrap_or(0) };
         Ok(RunSummary {
             events: u("events")?,
             injected_packets: u("injected_packets")?,
@@ -139,6 +220,12 @@ impl RunSummary {
             admission_fallbacks: u("admission_fallbacks")? as u32,
             offered_messages: u("offered_messages")?,
             peak_in_flight: u("peak_in_flight")?,
+            dropped_packets: opt("dropped_packets"),
+            corrupted_packets: opt("corrupted_packets"),
+            credits_lost: opt("credits_lost"),
+            reroutes: opt("reroutes") as u32,
+            reroute_rejections: opt("reroute_rejections") as u32,
+            readmissions: opt("readmissions") as u32,
         })
     }
 }
@@ -180,6 +267,20 @@ pub struct Network {
     offered_messages: u64,
     /// Sources stop emitting after this time.
     source_stop: SimTime,
+    /// Compiled fault plan; `disabled()` (no branches taken, no RNG
+    /// drawn) for [`Network::new`] runs.
+    faults: CompiledFaults,
+    /// Per-class packets dropped at failed/lossy links.
+    fault_dropped: [u64; NUM_CLASSES],
+    /// Per-class packets discarded at the destination as corrupted.
+    fault_corrupted: [u64; NUM_CLASSES],
+    /// Per-class regulated packets delivered past their deadline
+    /// (fault-injected, deadline-scheduled runs only).
+    fault_deadline_miss: [u64; NUM_CLASSES],
+    /// Credits destroyed by the credit-loss impairment.
+    credits_lost: u64,
+    /// Accumulated degraded-mode admission activity.
+    reroute: RerouteStats,
 }
 
 impl Network {
@@ -317,8 +418,46 @@ impl Network {
             next_pkt_id: 0,
             offered_messages: 0,
             source_stop,
+            faults: CompiledFaults::disabled(),
+            fault_dropped: [0; NUM_CLASSES],
+            fault_corrupted: [0; NUM_CLASSES],
+            fault_deadline_miss: [0; NUM_CLASSES],
+            credits_lost: 0,
+            reroute: RerouteStats::default(),
         };
         net.schedule_first_arrivals();
+        net
+    }
+
+    /// Build the simulation with a fault plan compiled into the event
+    /// loop.
+    ///
+    /// An empty plan is inert by construction — no fault events are
+    /// scheduled, no RNG is drawn, no clock is skewed — so the run is
+    /// bit-identical to [`Network::new`] with the same config. A
+    /// non-empty plan is itself deterministic: same config + same plan ⇒
+    /// same run, bit for bit.
+    pub fn with_faults(cfg: SimConfig, plan: &FaultPlan) -> Self {
+        let mut net = Network::new(cfg);
+        if plan.is_empty() {
+            return net;
+        }
+        net.faults = plan.compile(&net.topo);
+        for h in 0..net.host_clock.len() {
+            let ppm = net.faults.host_skew_ppm(h as u32);
+            if ppm != 0 {
+                net.host_clock[h] = ClockDomain::with_skew(net.host_clock[h].offset, ppm);
+            }
+        }
+        for s in 0..net.sw_clock.len() {
+            let ppm = net.faults.switch_skew_ppm(s as u32);
+            if ppm != 0 {
+                net.sw_clock[s] = ClockDomain::with_skew(net.sw_clock[s].offset, ppm);
+            }
+        }
+        for (i, t) in net.faults.timed().iter().enumerate() {
+            net.queue.schedule(t.at, Ev::Fault { idx: i as u32 });
+        }
         net
     }
 
@@ -336,19 +475,47 @@ impl Network {
 
     /// Run to completion: sources stop at the window end, then the
     /// network drains. Returns the measurement [`Report`] plus the
-    /// correctness [`RunSummary`].
-    pub fn run(mut self) -> (Report, RunSummary) {
+    /// correctness [`RunSummary`]. Panics on [`SimError`] — the right
+    /// contract for fault-free runs, where any error is a simulator bug;
+    /// fault-injected callers that want to observe failure use
+    /// [`Network::try_run`].
+    pub fn run(self) -> (Report, RunSummary) {
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Run to completion, surfacing wedged or miswired fabrics as
+    /// structured [`SimError`]s instead of hanging or panicking.
+    ///
+    /// Two watchdogs guard the loop: a same-timestamp event bound
+    /// (livelock — time stopped advancing), and a post-drain occupancy
+    /// check (credit deadlock — the calendar is empty but packets are
+    /// still buffered, which happens when fault injection destroys
+    /// credits). Both return a [`StallSnapshot`] describing exactly
+    /// where packets and credits got stuck.
+    pub fn try_run(mut self) -> Result<(Report, RunSummary), SimError> {
         let mut events = 0u64;
+        let mut last_t = SimTime::ZERO;
+        let mut same_tick = 0u64;
         while let Some(ev) = self.queue.pop() {
             events += 1;
-            self.dispatch(ev.time, ev.payload);
+            if ev.time == last_t {
+                same_tick += 1;
+                if same_tick > SAME_TICK_LIMIT {
+                    return Err(SimError::Stall(Box::new(self.stall_snapshot(ev.time, events))));
+                }
+            } else {
+                last_t = ev.time;
+                same_tick = 0;
+            }
+            self.dispatch(ev.time, ev.payload)?;
         }
-        debug_assert!(
-            self.arena.is_empty(),
-            "arena holds {} packets after drain",
-            self.arena.live()
-        );
-        self.finish(events)
+        if self.arena.live() != 0
+            || self.nics.iter().any(|n| n.queued_packets() != 0)
+            || self.switches.iter().any(|s| s.occupancy_packets() != 0)
+        {
+            return Err(SimError::Stall(Box::new(self.stall_snapshot(last_t, events))));
+        }
+        Ok(self.finish(events))
     }
 
     /// Run but stop processing at the window end, leaving in-flight
@@ -363,9 +530,43 @@ impl Network {
             }
             let ev = self.queue.pop().expect("peeked");
             events += 1;
-            self.dispatch(ev.time, ev.payload);
+            self.dispatch(ev.time, ev.payload).unwrap_or_else(|e| panic!("{e}"));
         }
         self.finish(events)
+    }
+
+    /// Where is everything? Taken when a watchdog fires.
+    fn stall_snapshot(&self, now: SimTime, events: u64) -> StallSnapshot {
+        let mut stuck_ports = Vec::new();
+        for (s, sw) in self.switches.iter().enumerate() {
+            if sw.occupancy_packets() == 0 {
+                continue;
+            }
+            for d in sw.diag() {
+                if d.input_queued != 0 || d.output_queued != 0 || d.credits == 0 {
+                    stuck_ports.push((SwitchId(s as u32), d));
+                }
+            }
+        }
+        let stuck_hosts: Vec<(u32, usize, [u32; 2])> = self
+            .nics
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.queued_packets() != 0)
+            .map(|(h, n)| {
+                (h as u32, n.queued_packets(), [n.credits(Vc::REGULATED), n.credits(Vc::BEST_EFFORT)])
+            })
+            .collect();
+        StallSnapshot {
+            now,
+            events,
+            arena_live: self.arena.live(),
+            nic_queued: self.nics.iter().map(|n| n.queued_packets()).sum(),
+            switch_queued: self.switches.iter().map(|s| s.occupancy_packets()).sum(),
+            credits_lost: self.credits_lost,
+            stuck_ports,
+            stuck_hosts,
+        }
     }
 
     fn finish(self, events: u64) -> (Report, RunSummary) {
@@ -389,10 +590,33 @@ impl Network {
             admission_fallbacks: self.flows.admission_fallbacks,
             offered_messages: self.offered_messages,
             peak_in_flight: self.arena.high_water() as u64,
+            dropped_packets: self.fault_dropped.iter().sum(),
+            corrupted_packets: self.fault_corrupted.iter().sum(),
+            credits_lost: self.credits_lost,
+            reroutes: self.reroute.rerouted,
+            reroute_rejections: self.reroute.rejected,
+            readmissions: self.reroute.readmitted,
         };
-        let report = self
+        let mut report = self
             .collector
             .finish(self.cfg.arch.label(), self.cfg.mix.load);
+        if self.faults.enabled() {
+            report.faults = Some(FaultReport {
+                classes: TrafficClass::ALL
+                    .iter()
+                    .map(|c| FaultClassLoss {
+                        class: c.name().to_string(),
+                        dropped: self.fault_dropped[c.idx()],
+                        corrupted: self.fault_corrupted[c.idx()],
+                        deadline_miss: self.fault_deadline_miss[c.idx()],
+                    })
+                    .collect(),
+                credits_lost: self.credits_lost,
+                reroutes: self.reroute.rerouted,
+                reroute_rejections: self.reroute.rejected,
+                readmissions: self.reroute.readmitted,
+            });
+        }
         (report, summary)
     }
 
@@ -400,7 +624,7 @@ impl Network {
     // Dispatch
     // ------------------------------------------------------------------
 
-    fn dispatch(&mut self, now: SimTime, ev: Ev) {
+    fn dispatch(&mut self, now: SimTime, ev: Ev) -> Result<(), SimError> {
         match ev {
             Ev::SourceFire { host, idx } => {
                 let h = host as usize;
@@ -430,28 +654,42 @@ impl Network {
                 let pkt = self.arena.take(pkt);
                 let local = self.sw_clock[sw as usize].local(now);
                 let actions = self.switches[sw as usize].on_packet_arrival(port, pkt, local);
-                self.apply_switch_actions(sw, actions, now);
+                self.apply_switch_actions(sw, actions, now)?;
             }
             Ev::SwitchXbarDone { sw, port } => {
                 let local = self.sw_clock[sw as usize].local(now);
                 let actions = self.switches[sw as usize].on_xbar_done(port, local);
-                self.apply_switch_actions(sw, actions, now);
+                self.apply_switch_actions(sw, actions, now)?;
             }
             Ev::SwitchTxDone { sw, port } => {
                 let local = self.sw_clock[sw as usize].local(now);
                 let actions = self.switches[sw as usize].on_tx_done(port, local);
-                self.apply_switch_actions(sw, actions, now);
+                self.apply_switch_actions(sw, actions, now)?;
             }
             Ev::SwitchCredit { sw, port, vc, bytes } => {
                 let local = self.sw_clock[sw as usize].local(now);
                 let actions = self.switches[sw as usize].on_credit(port, vc, bytes, local);
-                self.apply_switch_actions(sw, actions, now);
+                self.apply_switch_actions(sw, actions, now)?;
             }
             Ev::HostArrive { host, pkt } => {
                 let pkt = self.arena.take(pkt);
                 self.handle_delivery(host, pkt, now);
             }
+            Ev::Fault { idx } => {
+                let (links, down) = self.faults.apply_timed(idx as usize);
+                let stats = if down {
+                    self.flows.fail_links(&self.topo, &links)
+                } else {
+                    self.flows.restore_links(&self.topo, &links)
+                };
+                self.reroute.absorb(stats);
+                debug_assert!(
+                    self.flows.admission().max_utilization() <= 1.0,
+                    "degraded re-admission oversubscribed the ledger"
+                );
+            }
         }
+        Ok(())
     }
 
     fn handle_message(&mut self, host: u32, msg: AppMessage, now: SimTime) {
@@ -499,6 +737,7 @@ impl Network {
                     hop: 0,
                     injected_at: now,
                     msg: MsgTag { msg_id, part: i as u32, parts: n, created_at: now },
+                    corrupted: false,
                 }
             })
             .collect();
@@ -507,6 +746,26 @@ impl Network {
     }
 
     fn handle_delivery(&mut self, host: u32, pkt: Packet, now: SimTime) {
+        if pkt.corrupted {
+            // CRC failure at the destination: the payload is discarded
+            // before the sink sees it (so reassembly and order tracking
+            // treat it as a loss), but the buffer space it occupied still
+            // frees — the credit returns exactly as for a good packet.
+            self.fault_corrupted[pkt.class.idx()] += 1;
+            self.schedule_delivery_credit(host, pkt.vc(), pkt.len, now);
+            return;
+        }
+        if self.faults.enabled() && self.cfg.arch.uses_deadlines() && pkt.class.is_regulated() {
+            // Only the regulated classes carry real deadlines; the VC1
+            // classes' virtual-clock deadlines lag by design whenever a
+            // class offers more than its record. The final hop carries no
+            // TTD, so the deadline is still in the transmitting leaf's
+            // clock domain.
+            let (leaf, _) = self.host_feed[host as usize];
+            if now > self.sw_clock[leaf as usize].global_of(pkt.deadline) {
+                self.fault_deadline_miss[pkt.class.idx()] += 1;
+            }
+        }
         let (credit, completed) = self.sinks[host as usize].on_packet(&pkt, now);
         self.collector
             .packet_delivered(pkt.class, pkt.len, pkt.msg.created_at, now);
@@ -517,6 +776,18 @@ impl Network {
         let NodeAction::SendCredit { vc, bytes, .. } = credit else {
             unreachable!("sink returns exactly one credit")
         };
+        self.schedule_delivery_credit(host, vc, bytes, now);
+    }
+
+    /// Return delivery-link buffer credit to the feeding leaf — unless
+    /// the credit-loss impairment eats it.
+    fn schedule_delivery_credit(&mut self, host: u32, vc: Vc, bytes: u32, now: SimTime) {
+        if self.faults.enabled()
+            && self.faults.roll_credit_loss(self.topo.host_delivery_link(HostId(host)))
+        {
+            self.credits_lost += 1;
+            return;
+        }
         let (leaf, port) = self.host_feed[host as usize];
         self.queue.schedule(
             now + self.cfg.credit_delay,
@@ -547,6 +818,25 @@ impl Network {
         let end = self.topo.host_out_link(HostId(host));
         let NodeId::Switch(sw) = end.peer else { unreachable!("hosts attach to switches") };
         let arrive = finish_g + self.cfg.wire_delay;
+        if self.faults.enabled() {
+            if self.faults.is_link_down(end.link) || self.faults.roll_drop(end.link) {
+                // The wire ate the packet. The NIC already spent a credit
+                // for it, and the switch buffer it would have occupied
+                // never fills — so the credit synthesizes straight back,
+                // exactly as if the switch had received and instantly
+                // freed it. (Without this, every drop leaks injection
+                // credit and the host eventually wedges.)
+                self.fault_dropped[pkt.class.idx()] += 1;
+                self.queue.schedule(
+                    arrive + self.cfg.credit_delay,
+                    Ev::HostCredit { host, vc: pkt.vc(), bytes: pkt.len },
+                );
+                return;
+            }
+            if self.faults.roll_corrupt(end.link) {
+                pkt.corrupted = true;
+            }
+        }
         // TTD transport (§3.3): relative deadline on the wire. The TTD is
         // part of the header and is rewritten as the packet transits, so
         // encode and decode straddle only the wire propagation — a
@@ -562,7 +852,12 @@ impl Network {
             .schedule(arrive, Ev::SwitchArrive { sw: sw.0, port: end.peer_port, pkt });
     }
 
-    fn apply_switch_actions(&mut self, sw: u32, actions: Vec<NodeAction>, now: SimTime) {
+    fn apply_switch_actions(
+        &mut self,
+        sw: u32,
+        actions: Vec<NodeAction>,
+        now: SimTime,
+    ) -> Result<(), SimError> {
         let clock = self.sw_clock[sw as usize];
         for a in actions {
             match a {
@@ -570,19 +865,36 @@ impl Network {
                     let finish_g = clock.global_of(finish);
                     self.queue
                         .schedule(finish_g, Ev::SwitchTxDone { sw, port: out_port });
-                    self.ship_from_switch(sw, out_port, packet, now, finish_g);
+                    self.ship_from_switch(sw, out_port, packet, now, finish_g)?;
                 }
                 NodeAction::SendCredit { in_port, vc, bytes } => {
                     let at = now + self.cfg.credit_delay;
-                    match self.feeder[sw as usize][in_port.idx()] {
-                        Feeder::Host(h) => {
-                            debug_assert!(h != u32::MAX, "unwired feeder");
-                            self.queue.schedule(at, Ev::HostCredit { host: h, vc, bytes });
+                    // The data link feeding `in_port`; the returning
+                    // credit travels its reverse wire, so the credit-loss
+                    // impairment is keyed on it.
+                    let (target, data_link) = match self.feeder[sw as usize][in_port.idx()] {
+                        Feeder::Host(h) if h == u32::MAX => {
+                            return Err(SimError::UnwiredFeeder {
+                                switch: SwitchId(sw),
+                                port: in_port,
+                            });
                         }
+                        Feeder::Host(h) => (
+                            Ev::HostCredit { host: h, vc, bytes },
+                            self.topo.host_out_link(HostId(h)).link,
+                        ),
                         Feeder::Switch(s2, p2) => {
-                            self.queue
-                                .schedule(at, Ev::SwitchCredit { sw: s2, port: p2, vc, bytes });
+                            let end = self
+                                .topo
+                                .switch_out_link(SwitchId(s2), p2)
+                                .ok_or(SimError::UnwiredPort { switch: SwitchId(s2), port: p2 })?;
+                            (Ev::SwitchCredit { sw: s2, port: p2, vc, bytes }, end.link)
                         }
+                    };
+                    if self.faults.enabled() && self.faults.roll_credit_loss(data_link) {
+                        self.credits_lost += 1;
+                    } else {
+                        self.queue.schedule(at, target);
                     }
                 }
                 NodeAction::ScheduleXbarDone { out_port, at } => {
@@ -592,6 +904,7 @@ impl Network {
                 NodeAction::WakeAt { .. } => unreachable!("switches don't sleep"),
             }
         }
+        Ok(())
     }
 
     fn ship_from_switch(
@@ -601,12 +914,28 @@ impl Network {
         mut pkt: Packet,
         _depart: SimTime,
         finish_g: SimTime,
-    ) {
+    ) -> Result<(), SimError> {
         let end = self
             .topo
             .switch_out_link(SwitchId(sw), out_port)
-            .expect("switch transmits on a wired port");
+            .ok_or(SimError::UnwiredPort { switch: SwitchId(sw), port: out_port })?;
         let arrive = finish_g + self.cfg.wire_delay;
+        if self.faults.enabled() {
+            if self.faults.is_link_down(end.link) || self.faults.roll_drop(end.link) {
+                // Dropped on the wire: the downstream buffer never fills,
+                // so this switch's output credit for the hop synthesizes
+                // back (see ship_from_host).
+                self.fault_dropped[pkt.class.idx()] += 1;
+                self.queue.schedule(
+                    arrive + self.cfg.credit_delay,
+                    Ev::SwitchCredit { sw, port: out_port, vc: pkt.vc(), bytes: pkt.len },
+                );
+                return Ok(());
+            }
+            if self.faults.roll_corrupt(end.link) {
+                pkt.corrupted = true;
+            }
+        }
         match end.peer {
             NodeId::Switch(next) => {
                 // See ship_from_host for why the TTD is encoded at
@@ -625,6 +954,7 @@ impl Network {
                 self.queue.schedule(arrive, Ev::HostArrive { host: h.0, pkt });
             }
         }
+        Ok(())
     }
 }
 
@@ -691,13 +1021,65 @@ mod tests {
         cfg.warmup = SimDuration::from_us(100);
         cfg.measure = SimDuration::from_ms(1);
         let (_, summary) = Network::new(cfg).run();
-        summary.check(); // must not panic
+        summary.check().unwrap();
+        summary.check_strict(); // must not panic
         let mut bad = summary;
         bad.out_of_order = 1;
-        assert!(std::panic::catch_unwind(move || bad.check()).is_err());
+        assert!(matches!(
+            bad.check(),
+            Err(SimError::Violations(v)) if v == [Violation::OutOfOrder { count: 1 }]
+        ));
+        assert!(std::panic::catch_unwind(move || bad.check_strict()).is_err());
         let mut bad2 = summary;
         bad2.delivered_packets -= 1;
-        assert!(std::panic::catch_unwind(move || bad2.check()).is_err());
+        let Err(SimError::Violations(v)) = bad2.check() else { panic!("must fail") };
+        assert!(matches!(v[0], Violation::Conservation { .. }));
+        // A drop makes the reduced delivery count add up again...
+        bad2.dropped_packets = 1;
+        bad2.check().unwrap();
+        // ...and excuses broken messages, but not reordering: losses do
+        // not change any path.
+        bad2.broken_messages = 3;
+        bad2.check().unwrap();
+        bad2.out_of_order = 2;
+        assert!(bad2.check().is_err());
+        // A reroute does change a path — transition-window reordering is
+        // expected degraded-mode behaviour, not a violation.
+        bad2.reroutes = 1;
+        bad2.check().unwrap();
+    }
+
+    #[test]
+    fn summary_json_roundtrips_and_hides_zero_fault_counters() {
+        let mut cfg = SimConfig::tiny(Architecture::Ideal, 0.2);
+        cfg.warmup = SimDuration::from_us(100);
+        cfg.measure = SimDuration::from_ms(1);
+        let (_, summary) = Network::new(cfg).run();
+        let j = summary.to_json_value();
+        assert!(j.get("dropped_packets").is_none(), "zero counters stay invisible");
+        let back = RunSummary::from_json_value(&j).unwrap();
+        assert_eq!(back.events, summary.events);
+        assert_eq!(back.dropped_packets, 0);
+        let mut faulty = summary;
+        faulty.dropped_packets = 7;
+        faulty.reroutes = 2;
+        let j2 = faulty.to_json_value();
+        let back2 = RunSummary::from_json_value(&j2).unwrap();
+        assert_eq!(back2.dropped_packets, 7);
+        assert_eq!(back2.reroutes, 2);
+        assert_eq!(back2.credits_lost, 0);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_plain_run() {
+        let mut cfg = SimConfig::tiny(Architecture::Advanced2Vc, 0.2);
+        cfg.warmup = SimDuration::from_us(200);
+        cfg.measure = SimDuration::from_ms(1);
+        let (r1, s1) = Network::new(cfg).run();
+        let (r2, s2) = Network::with_faults(cfg, &FaultPlan::default()).run();
+        assert_eq!(s1.events, s2.events);
+        assert_eq!(r1.to_json(), r2.to_json(), "empty plan must be inert");
+        assert!(r2.faults.is_none(), "no fault section for inert plans");
     }
 
     #[test]

@@ -28,4 +28,4 @@ pub use hist::LogHistogram;
 pub use jitter::JitterTracker;
 pub use json::Json;
 pub use meter::ThroughputMeter;
-pub use report::{cdf_to_text, ClassStats, Report};
+pub use report::{cdf_to_text, ClassStats, FaultClassLoss, FaultReport, Report};

@@ -71,6 +71,102 @@ impl ClassStats {
     }
 }
 
+/// Per-class loss accounting for a fault-injected run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultClassLoss {
+    /// Class label ("Control", "Multimedia", ...).
+    pub class: String,
+    /// Packets dropped on a failed or lossy link.
+    pub dropped: u64,
+    /// Packets delivered with a corrupted payload (discarded at the
+    /// destination, like a CRC failure).
+    pub corrupted: u64,
+    /// Regulated packets delivered after their deadline (only counted
+    /// for deadline-scheduled architectures).
+    pub deadline_miss: u64,
+}
+
+impl FaultClassLoss {
+    fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("class", Json::Str(self.class.clone())),
+            ("dropped", Json::Int(self.dropped as i128)),
+            ("corrupted", Json::Int(self.corrupted as i128)),
+            ("deadline_miss", Json::Int(self.deadline_miss as i128)),
+        ])
+    }
+
+    fn from_json_value(j: &Json) -> Option<Self> {
+        Some(FaultClassLoss {
+            class: j.get("class")?.as_str()?.to_string(),
+            dropped: j.get("dropped")?.as_u64()?,
+            corrupted: j.get("corrupted")?.as_u64()?,
+            deadline_miss: j.get("deadline_miss")?.as_u64()?,
+        })
+    }
+}
+
+/// Fault-injection outcome attached to a run report: what was lost and
+/// how admission reacted. Present only when a fault plan was active.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Per-class losses, Table-1 order (classes with no losses included).
+    pub classes: Vec<FaultClassLoss>,
+    /// Flow-control credits destroyed in flight.
+    pub credits_lost: u64,
+    /// Regulated flows successfully moved to a surviving path.
+    pub reroutes: u32,
+    /// Regulated flows that no longer fit anywhere and lost their
+    /// reservation (they keep flowing unregulated).
+    pub reroute_rejections: u32,
+    /// Previously rejected flows re-admitted after a repair.
+    pub readmissions: u32,
+}
+
+impl FaultReport {
+    /// Look up a class block by name.
+    pub fn class(&self, name: &str) -> Option<&FaultClassLoss> {
+        self.classes.iter().find(|c| c.class == name)
+    }
+
+    /// Total packets dropped across classes.
+    pub fn total_dropped(&self) -> u64 {
+        self.classes.iter().map(|c| c.dropped).sum()
+    }
+
+    /// Total packets corrupted across classes.
+    pub fn total_corrupted(&self) -> u64 {
+        self.classes.iter().map(|c| c.corrupted).sum()
+    }
+
+    /// Serialise to a JSON tree.
+    pub fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("classes", Json::Arr(self.classes.iter().map(FaultClassLoss::to_json_value).collect())),
+            ("credits_lost", Json::Int(self.credits_lost as i128)),
+            ("reroutes", Json::Int(self.reroutes as i128)),
+            ("reroute_rejections", Json::Int(self.reroute_rejections as i128)),
+            ("readmissions", Json::Int(self.readmissions as i128)),
+        ])
+    }
+
+    /// Rebuild from [`FaultReport::to_json_value`] output.
+    pub fn from_json_value(j: &Json) -> Option<Self> {
+        Some(FaultReport {
+            classes: j
+                .get("classes")?
+                .as_arr()?
+                .iter()
+                .map(FaultClassLoss::from_json_value)
+                .collect::<Option<Vec<_>>>()?,
+            credits_lost: j.get("credits_lost")?.as_u64()?,
+            reroutes: j.get("reroutes")?.as_u64()? as u32,
+            reroute_rejections: j.get("reroute_rejections")?.as_u64()? as u32,
+            readmissions: j.get("readmissions")?.as_u64()? as u32,
+        })
+    }
+}
+
 /// One simulation run's results: the architecture, the load point, the
 /// measurement window, and a stats block per class.
 #[derive(Debug, Clone)]
@@ -85,6 +181,10 @@ pub struct Report {
     pub window_end: SimTime,
     /// Per-class statistics, Table-1 order.
     pub classes: Vec<ClassStats>,
+    /// Fault-injection outcome; `None` for fault-free runs (the JSON
+    /// rendering omits the key entirely, keeping fault-free output
+    /// byte-identical to pre-fault builds).
+    pub faults: Option<FaultReport>,
 }
 
 impl Report {
@@ -126,6 +226,27 @@ impl Report {
                 c.jitter.mean_abs_delta() / 1e3,
             );
         }
+        if let Some(f) = &self.faults {
+            let _ = writeln!(
+                s,
+                "# faults: dropped {} corrupted {} credits_lost {} reroutes {} rejections {} readmissions {}",
+                f.total_dropped(),
+                f.total_corrupted(),
+                f.credits_lost,
+                f.reroutes,
+                f.reroute_rejections,
+                f.readmissions
+            );
+            for c in &f.classes {
+                if c.dropped != 0 || c.corrupted != 0 || c.deadline_miss != 0 {
+                    let _ = writeln!(
+                        s,
+                        "#   {:<12} dropped {:>8} corrupted {:>8} deadline_miss {:>8}",
+                        c.class, c.dropped, c.corrupted, c.deadline_miss
+                    );
+                }
+            }
+        }
         s
     }
 
@@ -137,13 +258,17 @@ impl Report {
 
     /// Serialise to a JSON tree.
     pub fn to_json_value(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
             ("architecture", Json::Str(self.architecture.clone())),
             ("load", Json::Float(self.load)),
             ("window_start_ns", Json::Int(self.window_start.as_ns() as i128)),
             ("window_end_ns", Json::Int(self.window_end.as_ns() as i128)),
             ("classes", Json::Arr(self.classes.iter().map(ClassStats::to_json_value).collect())),
-        ])
+        ];
+        if let Some(f) = &self.faults {
+            fields.push(("faults", f.to_json_value()));
+        }
+        Json::obj(fields)
     }
 
     /// Parse a report previously rendered by [`Report::to_json`].
@@ -165,6 +290,10 @@ impl Report {
                 .iter()
                 .map(ClassStats::from_json_value)
                 .collect::<Option<Vec<_>>>()?,
+            faults: match j.get("faults") {
+                Some(f) => Some(FaultReport::from_json_value(f)?),
+                None => None,
+            },
         })
     }
 }
@@ -202,6 +331,7 @@ mod tests {
             window_start: SimTime::from_ms(10),
             window_end: SimTime::from_ms(20),
             classes: vec![control, video],
+            faults: None,
         }
     }
 
@@ -240,6 +370,39 @@ mod tests {
         assert_eq!(a.jitter.count(), b.jitter.count());
         assert_eq!(a.jitter.std_dev().to_bits(), b.jitter.std_dev().to_bits());
         assert_eq!(a.message_latency.quantile(0.5), b.message_latency.quantile(0.5));
+    }
+
+    #[test]
+    fn faults_key_is_omitted_for_fault_free_runs() {
+        let r = sample_report();
+        assert!(!r.to_json().contains("faults"));
+    }
+
+    #[test]
+    fn fault_report_roundtrips() {
+        let mut r = sample_report();
+        r.faults = Some(FaultReport {
+            classes: vec![
+                FaultClassLoss { class: "Control".into(), dropped: 3, corrupted: 0, deadline_miss: 0 },
+                FaultClassLoss { class: "Multimedia".into(), dropped: 17, corrupted: 2, deadline_miss: 5 },
+            ],
+            credits_lost: 1,
+            reroutes: 4,
+            reroute_rejections: 2,
+            readmissions: 4,
+        });
+        let j = r.to_json();
+        assert!(j.contains("faults"));
+        let back = Report::from_json(&j).unwrap();
+        assert_eq!(back.faults, r.faults);
+        assert_eq!(back.to_json(), j, "render → parse → render is a fixed point");
+        let f = back.faults.unwrap();
+        assert_eq!(f.total_dropped(), 20);
+        assert_eq!(f.class("Multimedia").unwrap().deadline_miss, 5);
+        // The table gains a faults footer.
+        let mut r2 = sample_report();
+        r2.faults = Some(f);
+        assert!(r2.to_table().contains("# faults: dropped 20"));
     }
 
     #[test]

@@ -42,4 +42,4 @@ pub mod switch;
 
 pub use arbiter::{pick_edf, pick_round_robin, Candidate};
 pub use config::SwitchConfig;
-pub use switch::{Switch, SwitchStats};
+pub use switch::{PortDiag, Switch, SwitchStats};

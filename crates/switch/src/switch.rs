@@ -59,6 +59,22 @@ pub struct SwitchStats {
     pub order_errors: u64,
 }
 
+/// Occupancy / credit snapshot of one (port, VC) pair, taken by
+/// [`Switch::diag`] for stall diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortDiag {
+    /// The port.
+    pub port: Port,
+    /// The virtual channel index.
+    pub vc: u8,
+    /// Bytes of downstream credit still available on (port, vc).
+    pub credits: u32,
+    /// Packets waiting in the input stage.
+    pub input_queued: usize,
+    /// Packets waiting in the output buffer.
+    pub output_queued: usize,
+}
+
 struct OutputBuf {
     q: AnyQueue<Packet>,
     /// Bytes reserved by an in-flight crossbar transfer (space is claimed
@@ -255,6 +271,23 @@ impl Switch {
             .sum();
         let xbar: usize = self.xbar_pkt.iter().filter(|x| x.is_some()).count();
         inputs + outputs + xbar
+    }
+
+    /// Per-(port, VC) occupancy and credit snapshot for one switch —
+    /// the stall watchdog prints these to show *where* packets are stuck
+    /// and which downstream buffers ran out of credit.
+    pub fn diag(&self) -> Vec<PortDiag> {
+        (0..self.cfg.n_ports as usize)
+            .flat_map(|p| {
+                (0..NUM_VCS).map(move |vc| PortDiag {
+                    port: Port(p as u8),
+                    vc: vc as u8,
+                    credits: self.credits[p][vc],
+                    input_queued: self.inputs[p][vc].len(),
+                    output_queued: SchedQueue::len(&self.outputs[p][vc].q),
+                })
+            })
+            .collect()
     }
 
     /// Cumulative take-over-queue admissions across all buffers
@@ -512,6 +545,7 @@ mod tests {
             hop: 0,
             injected_at: SimTime::ZERO,
             msg: MsgTag { msg_id: id, part: 0, parts: 1, created_at: SimTime::ZERO },
+            corrupted: false,
         }
     }
 

@@ -275,6 +275,33 @@ impl FoldedClos {
         Some(LinkEnd { link: id, peer: info.dst, peer_port: info.dst_port })
     }
 
+    /// Every directed link touching switch `sw`, in both directions —
+    /// what "the whole switch failed" means to the fault injector.
+    pub fn switch_links(&self, sw: SwitchId) -> Vec<LinkId> {
+        let node = NodeId::Switch(sw);
+        self.links
+            .iter()
+            .enumerate()
+            .filter(|(_, info)| info.src == node || info.dst == node)
+            .map(|(i, _)| LinkId(i as u32))
+            .collect()
+    }
+
+    /// The two directed links of the cable between leaf `leaf` and spine
+    /// index `spine`: `[up (leaf → spine), down (spine → leaf)]`.
+    pub fn leaf_spine_links(&self, leaf: u16, spine: u16) -> [LinkId; 2] {
+        assert!(leaf < self.params.leaves, "leaf index out of range");
+        assert!(spine < self.params.spines, "spine index out of range");
+        let d = self.params.hosts_per_leaf as u32;
+        let leaf_sw = SwitchId(leaf as u32);
+        let up_port = Port((d + spine as u32) as u8);
+        let up = self.switch_out[leaf_sw.idx()][up_port.idx()].expect("leaf uplink wired");
+        let spine_sw = self.spine(spine);
+        let down_port = Port(leaf as u8);
+        let down = self.switch_out[spine_sw.idx()][down_port.idx()].expect("spine downlink wired");
+        [up, down]
+    }
+
     /// How many distinct fixed routes exist from `src` to `dst`
     /// (one per spine for inter-leaf pairs, exactly one intra-leaf).
     pub fn route_choices(&self, src: HostId, dst: HostId) -> u16 {
@@ -449,6 +476,26 @@ mod tests {
         assert_eq!(sorted.len(), links.len());
         // The last link is the destination's delivery link.
         assert_eq!(*links.last().unwrap(), net.host_delivery_link(HostId(127)));
+    }
+
+    #[test]
+    fn switch_links_cover_both_directions() {
+        let net = FoldedClos::build(ClosParams::paper());
+        // A spine touches 16 leaves × 2 directions.
+        let spine_links = net.switch_links(net.spine(3));
+        assert_eq!(spine_links.len(), 32);
+        // A leaf touches 8 hosts × 2 + 8 spines × 2.
+        let leaf_links = net.switch_links(SwitchId(0));
+        assert_eq!(leaf_links.len(), 32);
+        // The leaf-spine pair helper returns one link from each side's set.
+        let [up, down] = net.leaf_spine_links(0, 3);
+        assert!(leaf_links.contains(&up) && leaf_links.contains(&down));
+        assert!(spine_links.contains(&up) && spine_links.contains(&down));
+        assert_ne!(up, down);
+        // And they are exactly the middle links of a route via spine 3.
+        let r = net.route(HostId(0), HostId(127), 3);
+        let on_route = net.links_on_route(&r);
+        assert_eq!(on_route[1], up);
     }
 
     #[test]

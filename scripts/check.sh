@@ -6,9 +6,16 @@
 #
 # The bench step refreshes BENCH_kernel.json at the repo root with the
 # current events/sec baseline and the bucketed-vs-heap churn speedups.
+#
+# The fault-matrix step smokes the fault-injection subsystem: one seed
+# across {link-drop, spine-down, clock-drift}, each run twice, asserting
+# byte-identical reports (and that an empty plan is perfectly inert).
+# The dqos-faults crate itself must build warning-free.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline
+RUSTFLAGS="-D warnings" cargo build --release --offline -p dqos-faults
 cargo test -q --offline --workspace
 cargo bench -q --offline -p dqos-bench --bench event_kernel
+cargo run --release --offline --example fault_matrix

@@ -18,6 +18,8 @@
 //! * [`traffic`] — the Table-1 workload generators.
 //! * [`netsim`] — the whole-network simulator and the paper's
 //!   experiments.
+//! * [`faults`] — deterministic fault-injection plans (link/switch
+//!   failures, packet corruption, credit loss, clock drift).
 //! * [`stats`] / [`sim_core`] — measurement and the discrete-event
 //!   kernel.
 //!
@@ -37,6 +39,7 @@
 
 pub use dqos_core as core;
 pub use dqos_endhost as endhost;
+pub use dqos_faults as faults;
 pub use dqos_netsim as netsim;
 pub use dqos_queues as queues;
 pub use dqos_sim_core as sim_core;

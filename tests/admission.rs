@@ -64,7 +64,7 @@ fn released_bandwidth_is_reusable_repeatedly() {
     let bw = Bandwidth::gbps(8);
     for _ in 0..50 {
         let adm = ac.admit(&net, HostId(0), HostId(9), bw).expect("fits when empty");
-        ac.release(&net, &adm.route, bw);
+        ac.release(&net, &adm.route, bw).unwrap();
     }
     assert_eq!(ac.max_utilization(), 0.0, "ledger must return to zero");
 }

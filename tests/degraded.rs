@@ -1,0 +1,159 @@
+//! Degraded-mode QoS: the fault-injection subsystem end to end.
+//!
+//! Covers the PR's acceptance contract:
+//! * an **empty** fault plan is bit-identical to a run without any fault
+//!   machinery (same events, same JSON report, no `faults` section);
+//! * seeded plans are bit-reproducible run to run;
+//! * the `ablation_spines` configurations (4/2/1 spines) keep the
+//!   conservation / ordering / lossless invariants as tier-1 tests;
+//! * a mid-run spine failure completes without panicking: reserved flows
+//!   re-route over surviving spines, the repair re-admits revoked flows,
+//!   and the report grows a fault section;
+//! * an induced credit deadlock trips the stall watchdog with a
+//!   diagnostic snapshot instead of hanging.
+
+use deadline_qos::core::Architecture;
+use deadline_qos::faults::{FaultPlan, LinkImpairment, LinkSelector, NodeRef};
+use deadline_qos::netsim::{Network, SimConfig, SimError};
+use deadline_qos::sim_core::{SimDuration, SimTime};
+use deadline_qos::topology::{ClosParams, FoldedClos};
+
+fn cfg(seed: u64, load: f64) -> SimConfig {
+    let mut c = SimConfig::tiny(Architecture::Advanced2Vc, load);
+    c.warmup = SimDuration::from_us(500);
+    c.measure = SimDuration::from_ms(3);
+    c.seed = seed;
+    c
+}
+
+#[test]
+fn empty_plan_is_bit_identical_and_reports_no_faults() {
+    let c = cfg(0xFA_11, 0.5);
+    let (r1, s1) = Network::new(c).run();
+    let (r2, s2) = Network::with_faults(c, &FaultPlan::default()).run();
+    assert_eq!(s1.events, s2.events);
+    assert_eq!(r1.to_json(), r2.to_json());
+    assert!(r2.faults.is_none(), "empty plan must not grow a fault section");
+    assert_eq!(s2.dropped_packets, 0);
+    assert_eq!(s2.credits_lost, 0);
+}
+
+#[test]
+fn oversubscribed_spine_counts_keep_invariants() {
+    // The ablation_spines bench configurations, promoted to tier-1
+    // correctness tests: shrinking the bisection must never break
+    // conservation, ordering, or losslessness — only slow things down.
+    for spines in [4u16, 2, 1] {
+        let mut c = cfg(0x5905 + spines as u64, 0.5);
+        c.topology = ClosParams { hosts_per_leaf: 8, leaves: 2, spines };
+        let (report, summary) = Network::new(c).run();
+        summary.check().unwrap_or_else(|e| panic!("{spines} spines: {e}"));
+        assert_eq!(summary.out_of_order, 0, "{spines} spines reordered");
+        assert_eq!(summary.injected_packets, summary.delivered_packets);
+        assert!(report.class("Control").is_some());
+    }
+}
+
+#[test]
+fn mid_run_spine_failure_reroutes_and_repair_readmits() {
+    let c = cfg(0xDE_AD, 0.6);
+    let topo = FoldedClos::build(c.topology);
+    let plan = FaultPlan::new(7)
+        .spine_down(SimTime::from_ms(1), 0, &topo)
+        .spine_up(SimTime::from_ms(2), 0, &topo);
+    let (report, summary) = Network::with_faults(c, &plan).try_run().expect("degraded run");
+    summary.check().expect("degraded invariants");
+    assert!(summary.reroutes > 0, "no reserved flow crossed spine 0? {summary:?}");
+    let f = report.faults.as_ref().expect("fault section present");
+    assert_eq!(f.reroutes, summary.reroutes);
+    assert_eq!(f.reroute_rejections, summary.reroute_rejections);
+    // Packets queued towards the dead spine at failure time are lost;
+    // conservation absorbs them as drops, not as missing packets.
+    assert_eq!(
+        summary.injected_packets,
+        summary.delivered_packets + summary.dropped_packets + summary.corrupted_packets
+    );
+}
+
+#[test]
+fn seeded_plans_are_bit_reproducible() {
+    let c = cfg(0x0BAD, 0.5);
+    let topo = FoldedClos::build(c.topology);
+    let plan = || {
+        FaultPlan::new(99)
+            .spine_down(SimTime::from_ms(1), 1, &topo)
+            .spine_up(SimTime::from_ms(2), 1, &topo)
+            .impair(LinkImpairment {
+                selector: LinkSelector::LeafSpine { leaf: 0, spine: 2 },
+                drop_prob: 0.02,
+                corrupt_prob: 0.01,
+                credit_loss_prob: 0.0,
+            })
+    };
+    let (r1, s1) = Network::with_faults(c, &plan()).try_run().unwrap();
+    let (r2, s2) = Network::with_faults(c, &plan()).try_run().unwrap();
+    assert_eq!(s1.events, s2.events);
+    assert_eq!(s1.dropped_packets, s2.dropped_packets);
+    assert_eq!(s1.corrupted_packets, s2.corrupted_packets);
+    assert_eq!(r1.to_json(), r2.to_json());
+}
+
+#[test]
+fn lossy_link_surfaces_per_class_loss_not_asserts() {
+    let c = cfg(0xC4C, 0.5);
+    let plan = FaultPlan::new(3).impair(LinkImpairment {
+        selector: LinkSelector::LeafSpine { leaf: 0, spine: 0 },
+        drop_prob: 0.05,
+        corrupt_prob: 0.05,
+        credit_loss_prob: 0.0,
+    });
+    let (report, summary) = Network::with_faults(c, &plan).try_run().expect("lossy run");
+    summary.check().expect("loss is accounted, not a violation");
+    let f = report.faults.as_ref().expect("fault section");
+    assert!(
+        summary.dropped_packets + summary.corrupted_packets > 0,
+        "a 5% impairment on a spine cable should hit something"
+    );
+    assert_eq!(f.total_dropped(), summary.dropped_packets);
+    assert_eq!(f.total_corrupted(), summary.corrupted_packets);
+}
+
+#[test]
+fn credit_deadlock_trips_the_watchdog() {
+    let c = cfg(0xDEAD_10C5, 0.5);
+    // Destroy every credit returning to host 0's NIC: its buffer
+    // accounting leaks until it can no longer send, and the run can
+    // never drain. The watchdog must diagnose this, not hang.
+    let plan = FaultPlan::new(11).impair(LinkImpairment {
+        selector: LinkSelector::HostLink(0),
+        drop_prob: 0.0,
+        corrupt_prob: 0.0,
+        credit_loss_prob: 1.0,
+    });
+    match Network::with_faults(c, &plan).try_run() {
+        Err(SimError::Stall(snap)) => {
+            assert!(snap.credits_lost > 0, "snapshot records the leak: {snap}");
+            assert!(
+                !snap.stuck_hosts.is_empty() || !snap.stuck_ports.is_empty(),
+                "snapshot names the starved queues: {snap}"
+            );
+        }
+        Err(e) => panic!("expected a stall diagnosis, got: {e}"),
+        Ok((_, s)) => panic!("run drained despite a total credit leak: {s:?}"),
+    }
+}
+
+#[test]
+fn clock_drift_does_not_break_correctness() {
+    let c = cfg(0xD81F7, 0.5);
+    let plan = FaultPlan::new(5)
+        .with_drift(NodeRef::Host(0), 200)
+        .with_drift(NodeRef::Host(3), -150)
+        .with_drift(NodeRef::Switch(0), 80);
+    let (report, summary) = Network::with_faults(c, &plan).try_run().expect("drifted run");
+    summary.check().expect("drift must not lose or reorder packets");
+    assert_eq!(summary.dropped_packets, 0);
+    // Drifted clocks can mis-time deadlines (that is the point of the
+    // TTD ablation) but the fabric itself stays lossless and ordered.
+    assert!(report.faults.is_some());
+}
