@@ -172,6 +172,12 @@ impl FaultPlan {
     }
 
     /// Resolve the plan against a concrete network.
+    ///
+    /// Impairments whose selectors overlap on a link (say a
+    /// [`LinkSelector::Link`] and a [`LinkSelector::LeafSpine`] covering
+    /// it) compose as independent loss processes — the link's effective
+    /// probability is `1 - (1-p1)(1-p2)` — so a later impairment can
+    /// only add risk, never silently erase an earlier one.
     pub fn compile(&self, net: &FoldedClos) -> CompiledFaults {
         let n = net.n_links() as usize;
         let mut c = CompiledFaults {
@@ -181,7 +187,7 @@ impl FaultPlan {
             corrupt_thresh: vec![0; n],
             credit_thresh: vec![0; n],
             any_impairment: false,
-            link_down: vec![false; n],
+            down_causes: vec![0; n],
             host_skew: vec![0; net.n_hosts() as usize],
             sw_skew: vec![0; net.n_switches() as usize],
             rng: SplitMix64::new(self.seed ^ 0xFA17_0BAD_5EED_0001),
@@ -196,13 +202,22 @@ impl FaultPlan {
             c.timed.push(CompiledTimed { at: tf.at, links, down });
         }
         c.timed.sort_by_key(|t| t.at);
+        let mut drop_p = vec![0.0f64; n];
+        let mut corrupt_p = vec![0.0f64; n];
+        let mut credit_p = vec![0.0f64; n];
         for imp in &self.impairments {
             for l in resolve(imp.selector, net) {
-                c.drop_thresh[l.idx()] = threshold(imp.drop_prob);
-                c.corrupt_thresh[l.idx()] = threshold(imp.corrupt_prob);
-                c.credit_thresh[l.idx()] = threshold(imp.credit_loss_prob);
+                let i = l.idx();
+                drop_p[i] = union(drop_p[i], imp.drop_prob);
+                corrupt_p[i] = union(corrupt_p[i], imp.corrupt_prob);
+                credit_p[i] = union(credit_p[i], imp.credit_loss_prob);
             }
             c.any_impairment = true;
+        }
+        for i in 0..n {
+            c.drop_thresh[i] = threshold(drop_p[i]);
+            c.corrupt_thresh[i] = threshold(corrupt_p[i]);
+            c.credit_thresh[i] = threshold(credit_p[i]);
         }
         for d in &self.drift {
             match d.node {
@@ -211,6 +226,20 @@ impl FaultPlan {
             }
         }
         c
+    }
+}
+
+/// Independent-union of two probabilities, `1 - (1-a)(1-b)`. The
+/// identity cases short-circuit so a lone impairment keeps its exact
+/// threshold (bit-identical to composing with nothing).
+fn union(a: f64, b: f64) -> f64 {
+    let b = b.clamp(0.0, 1.0);
+    if a <= 0.0 {
+        b
+    } else if b <= 0.0 {
+        a
+    } else {
+        1.0 - (1.0 - a) * (1.0 - b)
     }
 }
 
@@ -262,7 +291,10 @@ pub struct CompiledFaults {
     corrupt_thresh: Vec<u64>,
     credit_thresh: Vec<u64>,
     any_impairment: bool,
-    link_down: Vec<bool>,
+    /// Per-link count of active down-causes: a link can be covered by
+    /// several overlapping down intervals (a `SwitchDown` plus a
+    /// `LinkDown`, say) and only comes back up when the last one lifts.
+    down_causes: Vec<u32>,
     host_skew: Vec<i32>,
     sw_skew: Vec<i32>,
     rng: SplitMix64,
@@ -279,7 +311,7 @@ impl CompiledFaults {
             corrupt_thresh: Vec::new(),
             credit_thresh: Vec::new(),
             any_impairment: false,
-            link_down: Vec::new(),
+            down_causes: Vec::new(),
             host_skew: Vec::new(),
             sw_skew: Vec::new(),
             rng: SplitMix64::new(0),
@@ -297,21 +329,42 @@ impl CompiledFaults {
         &self.timed
     }
 
-    /// Flip the state of timed fault `idx` and return its link list and
-    /// new state (`true` = now down).
+    /// Apply timed fault `idx`, returning the links whose state actually
+    /// *changed* and the new state (`true` = now down).
+    ///
+    /// Down-causes are refcounted per link, so with overlapping down
+    /// intervals the first Up event does not resurrect a link another
+    /// interval still holds down — it is omitted from the returned list
+    /// (which is what drives flow re-routing and the admission
+    /// controller's link state), and `is_link_down` keeps reporting it
+    /// failed until the last cause lifts. An Up with no matching Down is
+    /// ignored rather than underflowing.
     pub fn apply_timed(&mut self, idx: usize) -> (Vec<LinkId>, bool) {
         let t = &self.timed[idx];
-        let (links, down) = (t.links.clone(), t.down);
-        for l in &links {
-            self.link_down[l.idx()] = down;
+        let down = t.down;
+        let links = t.links.clone();
+        let mut changed = Vec::with_capacity(links.len());
+        for l in links {
+            let causes = &mut self.down_causes[l.idx()];
+            if down {
+                *causes += 1;
+                if *causes == 1 {
+                    changed.push(l);
+                }
+            } else if *causes > 0 {
+                *causes -= 1;
+                if *causes == 0 {
+                    changed.push(l);
+                }
+            }
         }
-        (links, down)
+        (changed, down)
     }
 
     /// Whether `link` is currently failed.
     #[inline]
     pub fn is_link_down(&self, link: LinkId) -> bool {
-        self.enabled && self.link_down[link.idx()]
+        self.enabled && self.down_causes[link.idx()] > 0
     }
 
     #[inline]
@@ -435,6 +488,76 @@ mod tests {
         assert!(c.is_link_down(up_link));
         c.apply_timed(1);
         assert!(!c.is_link_down(up_link));
+    }
+
+    #[test]
+    fn overlapping_down_intervals_are_refcounted() {
+        let net = net();
+        let spine0 = net.spine(0);
+        let cable = LinkSelector::LeafSpine { leaf: 0, spine: 0 };
+        // The switch-wide failure and the leaf-0 cable failure overlap
+        // on two links; the first Up must not resurrect them.
+        let plan = FaultPlan::new(4)
+            .at(SimTime::from_ms(1), FaultKind::SwitchDown(spine0.0))
+            .at(SimTime::from_ms(2), FaultKind::LinkDown(cable))
+            .at(SimTime::from_ms(3), FaultKind::SwitchUp(spine0.0))
+            .at(SimTime::from_ms(4), FaultKind::LinkUp(cable));
+        let mut c = plan.compile(&net);
+        let pair = net.leaf_spine_links(0, 0);
+        let (ch, down) = c.apply_timed(0);
+        assert!(down);
+        assert_eq!(ch.len(), 4, "fresh failure changes every spine link");
+        let (ch, _) = c.apply_timed(1);
+        assert!(ch.is_empty(), "already-down links do not change state");
+        let (ch, down) = c.apply_timed(2);
+        assert!(!down);
+        assert_eq!(ch.len(), 2, "only the other leaf's links come back");
+        assert!(!ch.contains(&pair[0]) && !ch.contains(&pair[1]));
+        assert!(c.is_link_down(pair[0]) && c.is_link_down(pair[1]), "cable fault still holds");
+        let (ch, _) = c.apply_timed(3);
+        assert_eq!(ch.len(), 2);
+        assert!(!c.is_link_down(pair[0]) && !c.is_link_down(pair[1]));
+    }
+
+    #[test]
+    fn stray_up_event_is_ignored() {
+        let net = net();
+        let sel = LinkSelector::HostLink(1);
+        let plan = FaultPlan::new(6).at(SimTime::from_ms(1), FaultKind::LinkUp(sel));
+        let mut c = plan.compile(&net);
+        let (ch, down) = c.apply_timed(0);
+        assert!(!down);
+        assert!(ch.is_empty(), "an Up with no matching Down changes nothing");
+        assert!(!c.is_link_down(net.host_out_link(HostId(1)).link));
+    }
+
+    #[test]
+    fn overlapping_impairments_compose_instead_of_overwriting() {
+        let net = net();
+        let link = net.host_out_link(HostId(0)).link;
+        let plan = FaultPlan::new(9)
+            .impair(LinkImpairment {
+                selector: LinkSelector::Link(link),
+                drop_prob: 0.5,
+                corrupt_prob: 0.3,
+                credit_loss_prob: 0.0,
+            })
+            // HostLink(0) covers `link` too: drop composes, and its zero
+            // corrupt/credit probabilities must not erase the first
+            // impairment's.
+            .impair(LinkImpairment {
+                selector: LinkSelector::HostLink(0),
+                drop_prob: 0.5,
+                corrupt_prob: 0.0,
+                credit_loss_prob: 0.0,
+            });
+        let c = plan.compile(&net);
+        assert_eq!(c.drop_thresh[link.idx()], threshold(0.75), "1-(1-0.5)(1-0.5)");
+        assert_eq!(c.corrupt_thresh[link.idx()], threshold(0.3), "0.0 erased 0.3");
+        // The delivery link only appears in the second impairment.
+        let delivery = net.host_delivery_link(HostId(0));
+        assert_eq!(c.drop_thresh[delivery.idx()], threshold(0.5));
+        assert_eq!(c.corrupt_thresh[delivery.idx()], 0);
     }
 
     #[test]

@@ -59,6 +59,12 @@ pub struct RerouteStats {
     /// Previously rejected flows whose reservation was re-established
     /// after a repair.
     pub readmitted: u32,
+    /// Cached aggregated (src, dst) routes forgotten because they
+    /// crossed a failed link. Each is lazily re-assigned over surviving
+    /// spines on next use — a path change for every aggregated flow on
+    /// that (src, dst) pair, so it excuses transition-window reordering
+    /// the same way an explicit reroute does.
+    pub invalidated: u32,
 }
 
 impl RerouteStats {
@@ -67,6 +73,7 @@ impl RerouteStats {
         self.rerouted += other.rerouted;
         self.rejected += other.rejected;
         self.readmitted += other.readmitted;
+        self.invalidated += other.invalidated;
     }
 }
 
@@ -211,9 +218,11 @@ impl FlowTable {
                 }
             }
         }
+        let cached = self.routes.len();
         self.routes.retain(|_, (route, _)| {
             net.links_on_route(route).iter().all(|l| self.admission.link_is_up(*l))
         });
+        stats.invalidated = (cached - self.routes.len()) as u32;
         stats
     }
 
@@ -506,7 +515,9 @@ mod tests {
         let before = ft.aggregated_route(&net, HostId(0), HostId(9));
         let spine = before.hop(1).unwrap().switch;
         let stats = ft.fail_links(&net, &net.switch_links(spine));
-        assert_eq!(stats, RerouteStats::default(), "no video flows to touch");
+        assert_eq!(stats.rerouted, 0, "no video flows to touch");
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.invalidated, 1, "the one cached route crossed the dead spine");
         let after = ft.aggregated_route(&net, HostId(0), HostId(9));
         assert_ne!(before, after, "cached route through the dead spine was dropped");
         assert_ne!(after.hop(1).unwrap().switch, spine);

@@ -112,6 +112,9 @@ pub struct RunSummary {
     pub reroute_rejections: u32,
     /// Revoked flows re-admitted after a repair.
     pub readmissions: u32,
+    /// Cached aggregated (src, dst) routes dropped because they crossed
+    /// a failed link (re-assigned lazily over surviving spines).
+    pub route_invalidations: u32,
 }
 
 impl RunSummary {
@@ -124,10 +127,12 @@ impl RunSummary {
     /// are a violation only when nothing was dropped or corrupted —
     /// losing a mid-message packet legitimately abandons its reassembly.
     /// Likewise out-of-order deliveries are a violation only when no flow
-    /// changed path: fixed routing guarantees ordering *per route*, so a
-    /// mid-run reroute or post-repair re-admission can let a packet on
-    /// the new path overtake one still in flight on the old path. The
-    /// count stays visible either way.
+    /// changed path: fixed routing guarantees ordering *per route*, so
+    /// any path change during the run — a reservation-preserving reroute,
+    /// a rejection onto an unregulated fallback path, a post-repair
+    /// re-admission, or an invalidated aggregated-route cache entry — can
+    /// let a packet on the new path overtake one still in flight on the
+    /// old path. The count stays visible either way.
     pub fn check(&self) -> Result<(), SimError> {
         let mut violations = Vec::new();
         if self.injected_packets
@@ -140,7 +145,10 @@ impl RunSummary {
                 corrupted: self.corrupted_packets,
             });
         }
-        let paths_changed = self.reroutes != 0 || self.readmissions != 0;
+        let paths_changed = self.reroutes != 0
+            || self.reroute_rejections != 0
+            || self.readmissions != 0
+            || self.route_invalidations != 0;
         if self.out_of_order != 0 && !paths_changed {
             violations.push(Violation::OutOfOrder { count: self.out_of_order });
         }
@@ -193,6 +201,7 @@ impl RunSummary {
             ("reroutes", self.reroutes as u64),
             ("reroute_rejections", self.reroute_rejections as u64),
             ("readmissions", self.readmissions as u64),
+            ("route_invalidations", self.route_invalidations as u64),
         ] {
             if v != 0 {
                 fields.push((k, Json::Int(v as i128)));
@@ -226,6 +235,7 @@ impl RunSummary {
             reroutes: opt("reroutes") as u32,
             reroute_rejections: opt("reroute_rejections") as u32,
             readmissions: opt("readmissions") as u32,
+            route_invalidations: opt("route_invalidations") as u32,
         })
     }
 }
@@ -396,7 +406,7 @@ impl Network {
             .collect();
 
         let collector = Collector::new(cfg.window_start(), cfg.window_end());
-        let source_stop = cfg.window_end();
+        let source_stop = cfg.source_stop();
 
         let mut net = Network {
             cfg,
@@ -596,6 +606,7 @@ impl Network {
             reroutes: self.reroute.rerouted,
             reroute_rejections: self.reroute.rejected,
             readmissions: self.reroute.readmitted,
+            route_invalidations: self.reroute.invalidated,
         };
         let mut report = self
             .collector
@@ -1000,6 +1011,31 @@ mod tests {
     }
 
     #[test]
+    fn source_horizon_extends_injection_past_the_window() {
+        let mut cfg = SimConfig::tiny(Architecture::Ideal, 0.2);
+        cfg.warmup = SimDuration::from_us(100);
+        cfg.measure = SimDuration::from_ms(1);
+        let (_, base) = Network::new(cfg).run();
+        let mut pinned = cfg;
+        pinned.source_horizon = Some(SimDuration::from_ms(4));
+        let (_, long) = Network::new(pinned).run();
+        assert!(
+            long.injected_packets > base.injected_packets,
+            "generators must keep producing past window_end ({} !> {})",
+            long.injected_packets,
+            base.injected_packets
+        );
+        // The fault examples rely on a pinned horizon meaning one shared
+        // traffic trajectory: moving the measurement window must not
+        // change what was offered or injected.
+        let mut wider = pinned;
+        wider.measure = SimDuration::from_ms(2);
+        let (_, wide) = Network::new(wider).run();
+        assert_eq!(wide.offered_messages, long.offered_messages);
+        assert_eq!(wide.injected_packets, long.injected_packets);
+    }
+
+    #[test]
     fn deterministic_per_seed() {
         let mk = || {
             let mut cfg = SimConfig::tiny(Architecture::Simple2Vc, 0.2);
@@ -1046,6 +1082,15 @@ mod tests {
         // A reroute does change a path — transition-window reordering is
         // expected degraded-mode behaviour, not a violation.
         bad2.reroutes = 1;
+        bad2.check().unwrap();
+        // So does a rejection (the revoked flow moves to an unregulated
+        // fallback route) and an invalidated aggregated-route cache
+        // entry, even when nothing was rerouted with its reservation.
+        bad2.reroutes = 0;
+        bad2.reroute_rejections = 1;
+        bad2.check().unwrap();
+        bad2.reroute_rejections = 0;
+        bad2.route_invalidations = 1;
         bad2.check().unwrap();
     }
 
