@@ -1,0 +1,97 @@
+//! **Micro-bench — conservative-parallel executor scaling.**
+//!
+//! Runs the same simulation serially (workers = 1) and partitioned over
+//! 2 and 4 workers, verifying the reports are byte-identical before
+//! timing anything — the executor's contract is exactness first, speed
+//! second. Records events/sec per worker count plus the host's CPU
+//! count into `BENCH_parallel.json`.
+//!
+//! The numbers are honest, not aspirational: on a single-CPU host the
+//! worker threads time-slice one core and the parallel runs *cannot* be
+//! faster than serial — expect a slowdown from barrier and inbox
+//! overhead there. `host_cpus` is recorded precisely so a reader (or
+//! `scripts/check.sh`) can tell "no speedup because one core" apart
+//! from "no speedup because the executor is broken". Correctness is the
+//! gate; speedup is reporting.
+//!
+//! Run: `cargo bench -p dqos-bench --bench partition_scaling`
+
+use dqos_bench::harness::{measure, write_json, Measurement};
+use dqos_bench::repo_root;
+use dqos_core::Architecture;
+use dqos_netsim::{Network, SimConfig};
+use dqos_sim_core::SimDuration;
+use dqos_topology::ClosParams;
+
+/// 32 hosts = 4 leaves: enough partitions for a 4-worker point while
+/// staying fast enough to repeat 5 times per worker count.
+fn cfg(workers: usize) -> SimConfig {
+    let mut c = SimConfig::tiny(Architecture::Advanced2Vc, 0.5);
+    c.topology = ClosParams::scaled(32);
+    c.warmup = SimDuration::from_us(500);
+    c.measure = SimDuration::from_ms(2);
+    c.workers = workers;
+    c
+}
+
+fn main() {
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("# partition scaling bench (host has {host_cpus} CPU(s))\n");
+
+    let worker_counts = [1usize, 2, 4];
+
+    // Exactness gate first: every worker count must reproduce the
+    // serial report bit for bit. A scaling number for a wrong answer
+    // is worthless.
+    let (baseline_json, baseline) = {
+        let (r, s) = Network::new(cfg(1)).run();
+        (r.to_json(), s)
+    };
+    for &w in &worker_counts[1..] {
+        let (r, s) = Network::new(cfg(w)).run();
+        assert_eq!(
+            baseline_json,
+            r.to_json(),
+            "workers={w} diverged from serial — refusing to record timings"
+        );
+        assert_eq!(baseline.events, s.events, "workers={w}: event count diverged");
+    }
+    println!(
+        "exactness: workers {{2, 4}} bit-identical to serial ({} events)\n",
+        baseline.events
+    );
+
+    let mut results: Vec<Measurement> = Vec::new();
+    for &w in &worker_counts {
+        results.push(measure(
+            &format!("partition_scaling/workers/{w}"),
+            baseline.events,
+            5,
+            || Network::new(cfg(w)).run().1.events,
+        ));
+    }
+
+    let rate = |w: usize| {
+        results
+            .iter()
+            .find(|m| m.name == format!("partition_scaling/workers/{w}"))
+            .map(|m| m.rate_per_sec)
+            .expect("measured above")
+    };
+    let mut extra: Vec<(String, f64)> = vec![("host_cpus".to_string(), host_cpus as f64)];
+    println!("\nevent-rate ratio vs serial:");
+    for &w in &worker_counts[1..] {
+        let s = rate(w) / rate(1);
+        println!("  workers={w}: {s:.2}x");
+        extra.push((format!("speedup_workers_{w}"), s));
+    }
+    if host_cpus < 2 {
+        println!(
+            "\n(single-CPU host: worker threads time-slice one core, so ratios <= 1.0 \
+             are expected; re-run on a multi-core machine for real scaling numbers)"
+        );
+    }
+
+    let extra_refs: Vec<(&str, f64)> = extra.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    write_json(&repo_root().join("BENCH_parallel.json"), &results, &extra_refs);
+}

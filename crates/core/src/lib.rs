@@ -24,11 +24,17 @@
 //!   bandwidth ledger and load-balanced fixed-path assignment.
 //! * [`arch`] — descriptors for the four evaluated switch architectures
 //!   (*Traditional 2 VCs*, *Ideal*, *Simple 2 VCs*, *Advanced 2 VCs*).
+//! * [`model`] / [`action`] — the component contract: every network
+//!   element is a [`NodeModel`](model::NodeModel) state machine that
+//!   consumes typed events and emits [`NodeAction`]s for the runtime to
+//!   schedule; the partitioned executor in `dqos-sim-core` can then
+//!   place any node in any partition.
 
 #![warn(missing_docs)]
 
 pub mod action;
 pub mod admission;
+pub mod model;
 pub mod arch;
 pub mod arena;
 pub mod class;
@@ -46,4 +52,5 @@ pub use clock::{ClockDomain, Ttd};
 pub use deadline::{segment_message, DeadlineMode, Stamper};
 pub use deadline::StampedTimes;
 pub use flow::{Flow, FlowId, FlowSpec, PartStamp};
+pub use model::{Actions, NicEvent, NodeModel, SwitchEvent};
 pub use packet::{MsgTag, Packet, PacketId};

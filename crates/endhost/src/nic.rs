@@ -1,6 +1,6 @@
 //! Egress NIC model.
 
-use dqos_core::{Architecture, NodeAction, Packet, Vc, NUM_VCS};
+use dqos_core::{Architecture, NicEvent, NodeAction, NodeModel, Packet, Vc, NUM_VCS};
 use dqos_queues::{DeadlineSortedQueue, FifoQueue, SchedQueue, SortedQueue};
 use dqos_sim_core::{Bandwidth, SimTime};
 use dqos_topology::Port;
@@ -206,6 +206,20 @@ impl Nic {
         pkt.injected_at = now; // local == global up to a constant; netsim fixes up
         let finish = now + self.cfg.link_bw.tx_time(len as u64);
         actions.push(NodeAction::StartTx { out_port: Port(0), packet: pkt, finish });
+    }
+}
+
+impl NodeModel for Nic {
+    type Event = NicEvent;
+    type Effect = Vec<NodeAction>;
+
+    fn on_event(&mut self, local: SimTime, ev: NicEvent) -> Vec<NodeAction> {
+        match ev {
+            NicEvent::Enqueue(pkts) => self.enqueue_packets(pkts, local),
+            NicEvent::Wake => self.on_wake(local),
+            NicEvent::TxDone => self.on_tx_done(local),
+            NicEvent::Credit { vc, bytes } => self.on_credit(vc, bytes, local),
+        }
     }
 }
 

@@ -11,7 +11,7 @@
 //! and application messages are reassembled so frame latency can be
 //! reported as in Figure 3.
 
-use dqos_core::{NodeAction, Packet, TrafficClass};
+use dqos_core::{NodeAction, NodeModel, Packet, TrafficClass};
 use dqos_sim_core::SimTime;
 use dqos_topology::Port;
 
@@ -73,18 +73,64 @@ impl Default for FlowProgress {
     }
 }
 
+#[derive(Debug)]
+struct Band {
+    base: usize,
+    slots: Vec<FlowProgress>,
+}
+
 /// The receive side of one host.
+///
+/// Per-flow reassembly state lives in **bands**: pre-sized dense slabs
+/// covering the contiguous flow-id ranges this host actually terminates
+/// (the static flow-id layout gives every destination one video range
+/// and one aggregated range). Ids outside every band fall back to a
+/// grow-on-demand dense table, so a band-less `Sink::new()` accepts any
+/// flow id — at the cost of sizing its table by the largest id seen.
 #[derive(Debug, Default)]
 pub struct Sink {
-    // Indexed by FlowId (dense); grown on demand.
+    bands: Vec<Band>,
+    // Fallback, indexed by FlowId; grown on demand.
     flows: Vec<FlowProgress>,
     stats: SinkStats,
 }
 
 impl Sink {
-    /// A fresh sink.
+    /// A fresh sink with no bands (everything on the fallback table).
     pub fn new() -> Self {
         Sink::default()
+    }
+
+    /// A sink pre-sized for the given `(first_id, count)` flow-id
+    /// ranges. Ranges must be disjoint; lookups scan them in order.
+    pub fn with_bands(ranges: &[(u32, u32)]) -> Self {
+        Sink {
+            bands: ranges
+                .iter()
+                .map(|&(base, count)| Band {
+                    base: base as usize,
+                    slots: vec![FlowProgress::default(); count as usize],
+                })
+                .collect(),
+            flows: Vec::new(),
+            stats: SinkStats::default(),
+        }
+    }
+
+    fn progress<'a>(
+        bands: &'a mut [Band],
+        flows: &'a mut Vec<FlowProgress>,
+        idx: usize,
+    ) -> &'a mut FlowProgress {
+        for b in bands {
+            if idx >= b.base && idx < b.base + b.slots.len() {
+                return &mut b.slots[idx - b.base];
+            }
+        }
+        if idx >= flows.len() {
+            flows.resize_with(idx + 1, FlowProgress::default);
+        }
+        &mut flows[idx]
     }
 
     /// Counters.
@@ -103,11 +149,7 @@ impl Sink {
         self.stats.packets += 1;
         self.stats.bytes += pkt.len as u64;
 
-        let idx = pkt.flow.idx();
-        if idx >= self.flows.len() {
-            self.flows.resize_with(idx + 1, FlowProgress::default);
-        }
-        let fp = &mut self.flows[idx];
+        let fp = Self::progress(&mut self.bands, &mut self.flows, pkt.flow.idx());
 
         // In-order check: (msg_id, part) must increase lexicographically
         // within a flow.
@@ -156,6 +198,18 @@ impl Sink {
         // Host consumes instantly: buffer space frees now.
         let credit = NodeAction::SendCredit { in_port: Port(0), vc: pkt.vc(), bytes: pkt.len };
         (credit, completed)
+    }
+}
+
+impl NodeModel for Sink {
+    type Event = Packet;
+    type Effect = (NodeAction, Option<CompletedMessage>);
+
+    /// Sinks keep no clock domain of their own: `local` here is the
+    /// **global** arrival time, so completion latencies are comparable
+    /// across hosts regardless of skew.
+    fn on_event(&mut self, local: SimTime, pkt: Packet) -> Self::Effect {
+        self.on_packet(&pkt, local)
     }
 }
 
@@ -242,6 +296,24 @@ mod tests {
         // Next message begins while msg 1 is incomplete.
         s.on_packet(&pkt(0, 2, 0, 1, 100), SimTime::ZERO);
         assert_eq!(s.stats().broken_messages, 1);
+    }
+
+    #[test]
+    fn banded_and_fallback_flows_behave_identically() {
+        // Bands [10, 12) and [100, 103); flow 5 spills to the fallback.
+        let mut s = Sink::with_bands(&[(10, 2), (100, 3)]);
+        for flow in [10u32, 11, 102, 5] {
+            let (_, done) = s.on_packet(&pkt(flow, 1, 0, 2, 64), SimTime::ZERO);
+            assert!(done.is_none());
+            let (_, done) = s.on_packet(&pkt(flow, 1, 1, 2, 64), SimTime::from_us(1));
+            assert!(done.is_some(), "flow {flow}");
+        }
+        assert_eq!(s.stats().messages, 4);
+        assert_eq!(s.stats().out_of_order, 0);
+        assert_eq!(s.stats().broken_messages, 0);
+        // The fallback table only grew to cover the spilled id, not the
+        // banded ranges.
+        assert!(s.flows.len() <= 6);
     }
 
     #[test]

@@ -20,13 +20,27 @@
 //!
 //! Plans are *compiled* against a concrete [`FoldedClos`] into a
 //! [`CompiledFaults`] table: selectors resolve to directed [`LinkId`]s,
-//! probabilities to integer thresholds, and all randomness comes from a
-//! dedicated SplitMix64 stream seeded from the plan — so a fault run is
+//! probabilities to integer thresholds, and all randomness comes from
+//! dedicated SplitMix64 streams seeded from the plan — one stream **per
+//! (link, impairment kind)**, so the roll sequence a link sees is a pure
+//! function of the plan and of how many packets crossed *that* link, not
+//! of how traffic on unrelated links interleaved with it. That is what
+//! lets the partitioned runtime clone the table into every partition
+//! (each link's rolls happen at exactly one node) and still produce
+//! bit-identical results to the serial oracle; a fault run is
 //! bit-reproducible for a fixed (config seed, plan) pair, and an empty
 //! plan draws nothing and perturbs nothing.
+//!
+//! Mutable link up/down state lives in a separate [`LinkState`] so the
+//! simulator can share one authority for "is this link failed" across
+//! partitions (mutated only at epoch fences) while the stochastic tables
+//! stay cloned and lock-free. The timed schedule itself is driven
+//! through [`FaultInjector`], the fault subsystem's
+//! [`NodeModel`](dqos_core::NodeModel).
 
 #![warn(missing_docs)]
 
+use dqos_core::NodeModel;
 use dqos_sim_core::{SimTime, SplitMix64};
 use dqos_topology::{FoldedClos, HostId, LinkId, SwitchId};
 
@@ -187,10 +201,12 @@ impl FaultPlan {
             corrupt_thresh: vec![0; n],
             credit_thresh: vec![0; n],
             any_impairment: false,
-            down_causes: vec![0; n],
+            state: LinkState::new(n),
             host_skew: vec![0; net.n_hosts() as usize],
             sw_skew: vec![0; net.n_switches() as usize],
-            rng: SplitMix64::new(self.seed ^ 0xFA17_0BAD_5EED_0001),
+            drop_rng: (0..n).map(|l| stream(self.seed, 0, l)).collect(),
+            corrupt_rng: (0..n).map(|l| stream(self.seed, 1, l)).collect(),
+            credit_rng: (0..n).map(|l| stream(self.seed, 2, l)).collect(),
         };
         for tf in &self.timed {
             let (links, down) = match tf.kind {
@@ -256,6 +272,16 @@ fn resolve(sel: LinkSelector, net: &FoldedClos) -> Vec<LinkId> {
     }
 }
 
+/// The private random stream for impairment `kind` on link `link_idx`.
+/// One stream per (link, kind) pair: each is consumed by exactly one
+/// node (the one that ships packets onto, or returns credits over, that
+/// link), so the sequence of rolls is interleaving-independent.
+fn stream(seed: u64, kind: u64, link_idx: usize) -> SplitMix64 {
+    let mut mix =
+        SplitMix64::new(seed ^ 0xFA17_0BAD_5EED_0001 ^ (kind << 56) ^ (link_idx as u64));
+    SplitMix64::new(mix.next_u64())
+}
+
 /// Probability → 64-bit comparison threshold. `p >= 1` maps to the
 /// sentinel `u64::MAX` ("always, no draw needed"), `p <= 0` to 0
 /// ("never, no draw needed").
@@ -280,71 +306,43 @@ pub struct CompiledTimed {
     pub down: bool,
 }
 
-/// A [`FaultPlan`] resolved against a concrete topology, ready for the
-/// event loop: O(1) per-link state/threshold lookups, a private RNG for
-/// the impairment rolls.
-#[derive(Debug, Clone)]
-pub struct CompiledFaults {
-    enabled: bool,
-    timed: Vec<CompiledTimed>,
-    drop_thresh: Vec<u64>,
-    corrupt_thresh: Vec<u64>,
-    credit_thresh: Vec<u64>,
-    any_impairment: bool,
+/// Mutable link up/down state, separated from the stochastic tables so
+/// one authority can be shared across partitions (mutated only at epoch
+/// fences) while [`CompiledFaults`] is cloned per partition.
+#[derive(Debug, Clone, Default)]
+pub struct LinkState {
     /// Per-link count of active down-causes: a link can be covered by
     /// several overlapping down intervals (a `SwitchDown` plus a
     /// `LinkDown`, say) and only comes back up when the last one lifts.
     down_causes: Vec<u32>,
-    host_skew: Vec<i32>,
-    sw_skew: Vec<i32>,
-    rng: SplitMix64,
 }
 
-impl CompiledFaults {
-    /// The no-faults table used by plain (fault-free) simulations: every
-    /// query short-circuits and no state is allocated.
-    pub fn disabled() -> Self {
-        CompiledFaults {
-            enabled: false,
-            timed: Vec::new(),
-            drop_thresh: Vec::new(),
-            corrupt_thresh: Vec::new(),
-            credit_thresh: Vec::new(),
-            any_impairment: false,
-            down_causes: Vec::new(),
-            host_skew: Vec::new(),
-            sw_skew: Vec::new(),
-            rng: SplitMix64::new(0),
-        }
+impl LinkState {
+    /// All-links-up state for a topology with `n_links` directed links.
+    pub fn new(n_links: usize) -> Self {
+        LinkState { down_causes: vec![0; n_links] }
     }
 
-    /// Whether any fault machinery is active for this run.
+    /// Whether `link` is currently failed.
     #[inline]
-    pub fn enabled(&self) -> bool {
-        self.enabled
+    pub fn is_down(&self, link: LinkId) -> bool {
+        self.down_causes[link.idx()] > 0
     }
 
-    /// The timed fault schedule (sorted by time).
-    pub fn timed(&self) -> &[CompiledTimed] {
-        &self.timed
-    }
-
-    /// Apply timed fault `idx`, returning the links whose state actually
-    /// *changed* and the new state (`true` = now down).
+    /// Apply one resolved timed fault, returning the links whose state
+    /// actually *changed* and the new state (`true` = now down).
     ///
     /// Down-causes are refcounted per link, so with overlapping down
     /// intervals the first Up event does not resurrect a link another
     /// interval still holds down — it is omitted from the returned list
     /// (which is what drives flow re-routing and the admission
-    /// controller's link state), and `is_link_down` keeps reporting it
-    /// failed until the last cause lifts. An Up with no matching Down is
+    /// controller's link state), and `is_down` keeps reporting it failed
+    /// until the last cause lifts. An Up with no matching Down is
     /// ignored rather than underflowing.
-    pub fn apply_timed(&mut self, idx: usize) -> (Vec<LinkId>, bool) {
-        let t = &self.timed[idx];
+    pub fn apply_timed(&mut self, t: &CompiledTimed) -> (Vec<LinkId>, bool) {
         let down = t.down;
-        let links = t.links.clone();
-        let mut changed = Vec::with_capacity(links.len());
-        for l in links {
+        let mut changed = Vec::with_capacity(t.links.len());
+        for &l in &t.links {
             let causes = &mut self.down_causes[l.idx()];
             if down {
                 *causes += 1;
@@ -360,21 +358,129 @@ impl CompiledFaults {
         }
         (changed, down)
     }
+}
 
-    /// Whether `link` is currently failed.
+/// The timed-fault schedule as a [`NodeModel`]: event `idx` selects the
+/// `idx`-th entry of the compiled schedule, the effect is the set of
+/// links whose state changed plus their new state. The runtime drives
+/// one injector per simulation (at epoch fences, all partitions
+/// quiescent) and fans the changed links out to routing, admission, and
+/// the per-link down flags.
+#[derive(Debug)]
+pub struct FaultInjector {
+    timed: Vec<CompiledTimed>,
+    state: LinkState,
+}
+
+impl FaultInjector {
+    /// Current link up/down state.
+    pub fn state(&self) -> &LinkState {
+        &self.state
+    }
+
+    /// The schedule being driven (sorted by time).
+    pub fn timed(&self) -> &[CompiledTimed] {
+        &self.timed
+    }
+}
+
+impl NodeModel for FaultInjector {
+    type Event = usize;
+    type Effect = (Vec<LinkId>, bool);
+
+    fn on_event(&mut self, _local: SimTime, idx: usize) -> (Vec<LinkId>, bool) {
+        let t = self.timed[idx].clone();
+        self.state.apply_timed(&t)
+    }
+}
+
+/// A [`FaultPlan`] resolved against a concrete topology, ready for the
+/// event loop: O(1) per-link state/threshold lookups, a private RNG
+/// stream per (link, impairment kind) for the rolls.
+#[derive(Debug, Clone)]
+pub struct CompiledFaults {
+    enabled: bool,
+    timed: Vec<CompiledTimed>,
+    drop_thresh: Vec<u64>,
+    corrupt_thresh: Vec<u64>,
+    credit_thresh: Vec<u64>,
+    any_impairment: bool,
+    state: LinkState,
+    host_skew: Vec<i32>,
+    sw_skew: Vec<i32>,
+    drop_rng: Vec<SplitMix64>,
+    corrupt_rng: Vec<SplitMix64>,
+    credit_rng: Vec<SplitMix64>,
+}
+
+impl CompiledFaults {
+    /// The no-faults table used by plain (fault-free) simulations: every
+    /// query short-circuits and no state is allocated.
+    pub fn disabled() -> Self {
+        CompiledFaults {
+            enabled: false,
+            timed: Vec::new(),
+            drop_thresh: Vec::new(),
+            corrupt_thresh: Vec::new(),
+            credit_thresh: Vec::new(),
+            any_impairment: false,
+            state: LinkState::default(),
+            host_skew: Vec::new(),
+            sw_skew: Vec::new(),
+            drop_rng: Vec::new(),
+            corrupt_rng: Vec::new(),
+            credit_rng: Vec::new(),
+        }
+    }
+
+    /// Whether any fault machinery is active for this run.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The timed fault schedule (sorted by time).
+    pub fn timed(&self) -> &[CompiledTimed] {
+        &self.timed
+    }
+
+    /// Apply timed fault `idx` to the *internal* link state, returning
+    /// the links whose state actually changed and the new state (`true`
+    /// = now down). See [`LinkState::apply_timed`]. Simulations that
+    /// share link state across partitions keep their own [`LinkState`]
+    /// (or a [`FaultInjector`]) instead of calling this.
+    pub fn apply_timed(&mut self, idx: usize) -> (Vec<LinkId>, bool) {
+        let t = self.timed[idx].clone();
+        self.state.apply_timed(&t)
+    }
+
+    /// Whether `link` is currently failed (per the internal state).
     #[inline]
     pub fn is_link_down(&self, link: LinkId) -> bool {
-        self.enabled && self.down_causes[link.idx()] > 0
+        self.enabled && self.state.is_down(link)
+    }
+
+    /// A fresh all-links-up state sized for this topology.
+    pub fn link_state(&self) -> LinkState {
+        LinkState::new(self.drop_thresh.len())
+    }
+
+    /// The timed schedule as a drivable [`FaultInjector`] node.
+    pub fn injector(&self) -> FaultInjector {
+        FaultInjector {
+            timed: self.timed.clone(),
+            state: LinkState::new(self.drop_thresh.len()),
+        }
     }
 
     #[inline]
-    fn roll(&mut self, thresh: u64) -> bool {
+    fn roll(rng: &mut SplitMix64, thresh: u64) -> bool {
         if thresh == 0 {
             false
         } else if thresh == u64::MAX {
             true
         } else {
-            self.rng.next_u64() < thresh
+            rng.next_u64() < thresh
         }
     }
 
@@ -382,8 +488,8 @@ impl CompiledFaults {
     #[inline]
     pub fn roll_drop(&mut self, link: LinkId) -> bool {
         self.any_impairment && {
-            let t = self.drop_thresh[link.idx()];
-            self.roll(t)
+            let i = link.idx();
+            Self::roll(&mut self.drop_rng[i], self.drop_thresh[i])
         }
     }
 
@@ -391,8 +497,8 @@ impl CompiledFaults {
     #[inline]
     pub fn roll_corrupt(&mut self, link: LinkId) -> bool {
         self.any_impairment && {
-            let t = self.corrupt_thresh[link.idx()];
-            self.roll(t)
+            let i = link.idx();
+            Self::roll(&mut self.corrupt_rng[i], self.corrupt_thresh[i])
         }
     }
 
@@ -401,8 +507,8 @@ impl CompiledFaults {
     #[inline]
     pub fn roll_credit_loss(&mut self, link: LinkId) -> bool {
         self.any_impairment && {
-            let t = self.credit_thresh[link.idx()];
-            self.roll(t)
+            let i = link.idx();
+            Self::roll(&mut self.credit_rng[i], self.credit_thresh[i])
         }
     }
 
@@ -441,7 +547,8 @@ mod tests {
             assert!(!c2.roll_corrupt(LinkId(l)));
         }
         // No randomness was consumed by any of those queries.
-        assert_eq!(format!("{:?}", c.rng), format!("{:?}", c2.rng));
+        assert_eq!(format!("{:?}", c.drop_rng), format!("{:?}", c2.drop_rng));
+        assert_eq!(format!("{:?}", c.corrupt_rng), format!("{:?}", c2.corrupt_rng));
     }
 
     #[test]
@@ -593,10 +700,13 @@ mod tests {
             credit_loss_prob: 0.0,
         });
         let mut c = plan.compile(&net);
-        let before = format!("{:?}", c.rng);
+        let before =
+            (format!("{:?}", c.drop_rng[link.idx()]), format!("{:?}", c.corrupt_rng[link.idx()]));
         assert!(c.roll_drop(link));
         assert!(!c.roll_corrupt(link));
-        assert_eq!(before, format!("{:?}", c.rng), "p=1 and p=0 draw nothing");
+        let after =
+            (format!("{:?}", c.drop_rng[link.idx()]), format!("{:?}", c.corrupt_rng[link.idx()]));
+        assert_eq!(before, after, "p=1 and p=0 draw nothing");
     }
 
     #[test]
@@ -620,6 +730,61 @@ mod tests {
         let mut c = mk(43).compile(&net);
         let sc: Vec<bool> = (0..256).map(|_| c.roll_drop(link)).collect();
         assert_ne!(sa, sc, "different seeds give different streams");
+    }
+
+    #[test]
+    fn rolls_are_interleaving_independent_across_links() {
+        // The per-(link, kind) streams mean the outcome sequence a link
+        // sees is independent of traffic on any other link — the
+        // property the partitioned runtime relies on when it clones the
+        // table into every partition.
+        let net = net();
+        let la = net.host_out_link(HostId(0)).link;
+        let lb = net.host_out_link(HostId(1)).link;
+        let plan = |seed| {
+            let imp = |l| LinkImpairment {
+                selector: LinkSelector::Link(l),
+                drop_prob: 0.4,
+                corrupt_prob: 0.2,
+                credit_loss_prob: 0.0,
+            };
+            FaultPlan::new(seed).impair(imp(la)).impair(imp(lb))
+        };
+        // Sequential: all of link A's rolls, then all of link B's.
+        let mut seq = plan(11).compile(&net);
+        let sa: Vec<bool> = (0..64).map(|_| seq.roll_drop(la)).collect();
+        let sb: Vec<bool> = (0..64).map(|_| seq.roll_drop(lb)).collect();
+        // Interleaved, with corrupt rolls mixed in for good measure.
+        let mut il = plan(11).compile(&net);
+        let mut ia = Vec::new();
+        let mut ib = Vec::new();
+        for _ in 0..64 {
+            ib.push(il.roll_drop(lb));
+            il.roll_corrupt(la);
+            ia.push(il.roll_drop(la));
+            il.roll_corrupt(lb);
+        }
+        assert_eq!(sa, ia);
+        assert_eq!(sb, ib);
+    }
+
+    #[test]
+    fn injector_matches_internal_apply_timed() {
+        let net = net();
+        let sel = LinkSelector::HostLink(2);
+        let plan = FaultPlan::new(5)
+            .at(SimTime::from_ms(1), FaultKind::LinkDown(sel))
+            .at(SimTime::from_ms(2), FaultKind::LinkUp(sel));
+        let mut c = plan.compile(&net);
+        let mut inj = c.injector();
+        use dqos_core::NodeModel;
+        for idx in 0..c.timed().len() {
+            let at = c.timed()[idx].at;
+            let (a, da) = c.apply_timed(idx);
+            let (b, db) = inj.on_event(at, idx);
+            assert_eq!((a, da), (b, db));
+        }
+        assert!(!inj.state().is_down(net.host_out_link(HostId(2)).link));
     }
 
     #[test]

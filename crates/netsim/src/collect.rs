@@ -83,6 +83,33 @@ impl Collector {
             .record(lat);
     }
 
+    /// Fold another collector (a parallel partition's) into this one.
+    ///
+    /// Class histograms and meters are integer accumulators, so the sum
+    /// over partitions equals the serial totals exactly. Per-flow jitter
+    /// trackers keep their slot (flow ids are global): each flow is
+    /// terminated by exactly one host, hence one partition, so slots
+    /// never collide and the merged vector is identical to the serial
+    /// one — [`Collector::finish`] then folds it in the same flow-id
+    /// order, reproducing the serial report bit for bit.
+    pub fn merge(&mut self, other: Collector) {
+        debug_assert!(self.start == other.start && self.end == other.end, "same window");
+        for (a, b) in self.classes.iter_mut().zip(&other.classes) {
+            a.merge(b);
+        }
+        if self.flow_jitter.len() < other.flow_jitter.len() {
+            self.flow_jitter.resize_with(other.flow_jitter.len(), || None);
+        }
+        for (slot, entry) in self.flow_jitter.iter_mut().zip(other.flow_jitter) {
+            if let Some((class, tracker)) = entry {
+                match slot {
+                    Some((_, t)) => t.merge(&tracker),
+                    None => *slot = Some((class, tracker)),
+                }
+            }
+        }
+    }
+
     /// Finish: merge per-flow jitter into class aggregates and render the
     /// report.
     pub fn finish(mut self, architecture: &str, load: f64) -> Report {

@@ -86,6 +86,12 @@ pub struct SimConfig {
     /// Background 1/6 of link bandwidth. A class offering more than its
     /// record falls behind its virtual clock and yields to the other.
     pub be_weights: (f64, f64),
+    /// Worker threads for the partitioned runtime. `1` (the default)
+    /// runs the serial calendar loop; `n > 1` runs the conservative
+    /// parallel executor over `n` partitions, whose reports are
+    /// bit-identical to the serial ones (the count is clamped to the
+    /// number of leaf switches — partitioning is by leaf group).
+    pub workers: usize,
 }
 
 impl SimConfig {
@@ -111,6 +117,7 @@ impl SimConfig {
             clocks: ClockOffsets::Synced,
             input_voq: false,
             be_weights: (1.0 / 3.0, 1.0 / 6.0),
+            workers: 1,
         }
     }
 

@@ -18,13 +18,33 @@
 //! (src, dst, class) for the aggregated classes (each such triple has a
 //! fixed route, so the appendix's in-order guarantee applies to it) and
 //! one per video stream.
+//!
+//! ## Layout and synchronisation
+//!
+//! The table is built for the partitioned runtime, which shares one
+//! `FlowTable` across worker threads:
+//!
+//! * **Flow ids are static arithmetic**, not handed out on first use:
+//!   video streams take `[0, V)` ordered by `(dst, src, stream)`, and
+//!   aggregated ids are `V + (dst·n + src)·3 + class`, so every id is a
+//!   pure function of the flow — independent of which packet happened to
+//!   need it first — and every *destination* owns two contiguous id
+//!   ranges (its sink sizes dense tables off [`FlowTable::sink_bands`]).
+//! * **Aggregated routes are assigned eagerly** for all (src, dst)
+//!   pairs at construction, in src-major order, consuming the admission
+//!   controller's per-leaf round-robin exactly as the lazy version did —
+//!   but canonically, so the assignment never depends on traffic order.
+//! * Hot-path reads (stamping, paths, ids) take a per-host mutex or a
+//!   read lock; topology-wide mutation ([`FlowTable::fail_links`] /
+//!   [`FlowTable::restore_links`]) happens only at epoch fences when the
+//!   executor has every partition quiescent.
 
 use dqos_core::{
     AdmissionController, Architecture, DeadlineMode, FlowId, Stamper, StampedTimes, TrafficClass,
 };
 use dqos_sim_core::{Bandwidth, SimDuration, SimTime};
 use dqos_topology::{FoldedClos, HostId, LinkId, PortPath, Route};
-use std::collections::HashMap;
+use std::sync::{Mutex, RwLock};
 
 /// One host's video stream: its stamper and fixed route.
 pub struct VideoFlow {
@@ -59,11 +79,10 @@ pub struct RerouteStats {
     /// Previously rejected flows whose reservation was re-established
     /// after a repair.
     pub readmitted: u32,
-    /// Cached aggregated (src, dst) routes forgotten because they
-    /// crossed a failed link. Each is lazily re-assigned over surviving
-    /// spines on next use — a path change for every aggregated flow on
-    /// that (src, dst) pair, so it excuses transition-window reordering
-    /// the same way an explicit reroute does.
+    /// Aggregated (src, dst) routes re-assigned because they crossed a
+    /// failed link — a path change for every aggregated flow on that
+    /// (src, dst) pair, so it excuses transition-window reordering the
+    /// same way an explicit reroute does.
     pub invalidated: u32,
 }
 
@@ -77,7 +96,7 @@ impl RerouteStats {
     }
 }
 
-/// Per-host flow state.
+/// Per-host flow state (behind a per-host mutex).
 pub struct HostFlows {
     /// Per-stream video flows, indexed by stream id.
     pub video: Vec<VideoFlow>,
@@ -87,27 +106,50 @@ pub struct HostFlows {
     pub best_effort: [Stamper; 2],
 }
 
-/// The fleet's flow table.
-pub struct FlowTable {
-    hosts: Vec<HostFlows>,
-    /// Fixed route per (src, dst) for the aggregated classes, stored
-    /// with its interned port path (built once at first use).
-    routes: HashMap<(u32, u32), (Route, PortPath)>,
-    /// Flow id per (src, dst, class) for the aggregated classes.
-    ids: HashMap<(u32, u32, u8), FlowId>,
-    next_id: u32,
-    /// Video streams that could not be admitted and run unreserved
-    /// (should stay 0 at Table-1 loads).
-    pub admission_fallbacks: u32,
+/// Admission ledger plus the counters that move with it.
+struct DynState {
     admission: AdmissionController,
+    fallbacks: u32,
+}
+
+/// All-pairs aggregated routes, `src * n + dst` indexed (`None` on the
+/// diagonal — hosts never send to themselves).
+struct AggTable {
+    pairs: Vec<Option<(Route, PortPath)>>,
+}
+
+/// The fleet's flow table. Internally synchronised: stamping takes the
+/// source host's mutex, path/id lookups a read lock or no lock at all,
+/// and degraded-mode maintenance locks whatever it touches (it only
+/// runs at epoch fences, with every partition quiescent).
+pub struct FlowTable {
+    n_hosts: u32,
+    /// Total video streams; aggregated ids start here.
+    video_total: u32,
+    hosts: Vec<Mutex<HostFlows>>,
+    agg: RwLock<AggTable>,
+    dyn_state: Mutex<DynState>,
+    /// Per-destination `(first_id, count)` of its video flow-id range.
+    video_band: Vec<(u32, u32)>,
     uses_deadlines: bool,
     /// Per-stream video bandwidth, kept for degraded-mode re-admission.
     video_bw: Bandwidth,
 }
 
+/// Position of a class inside a (src, dst) aggregated id triple.
+fn agg_ord(class: TrafficClass) -> u32 {
+    match class {
+        TrafficClass::Control => 0,
+        TrafficClass::BestEffort => 1,
+        TrafficClass::Background => 2,
+        TrafficClass::Multimedia => panic!("video flows are per-stream, not aggregated"),
+    }
+}
+
 impl FlowTable {
     /// Build the table: admit every video stream (destinations provided
-    /// per host), create the aggregated records.
+    /// per host), create the aggregated records, assign every
+    /// aggregated route.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         net: &FoldedClos,
@@ -122,10 +164,11 @@ impl FlowTable {
         let n_hosts = net.n_hosts();
         assert_eq!(video_dsts.len(), n_hosts as usize);
         let mut admission = AdmissionController::new(net, link_bw, 1.0);
-        let mut next_id = 0u32;
-        let mut admission_fallbacks = 0;
+        let mut fallbacks = 0;
         let mut hosts = Vec::with_capacity(n_hosts as usize);
         let _ = eligible_lead; // smoothing is applied at stamping time
+        // Admission runs in (src, stream) order — the ledger's outcome
+        // (who gets reserved, over which spine) is defined by that order.
         for (h, dsts) in video_dsts.iter().enumerate() {
             let src = HostId(h as u32);
             let mut video = Vec::with_capacity(dsts.len());
@@ -133,15 +176,13 @@ impl FlowTable {
                 let (route, reserved) = match admission.admit(net, src, dst, video_stream_bw) {
                     Ok(adm) => (adm.route, true),
                     Err(_) => {
-                        admission_fallbacks += 1;
+                        fallbacks += 1;
                         (admission.assign_unregulated_path(net, src, dst), false)
                     }
                 };
-                let id = FlowId(next_id);
-                next_id += 1;
                 let path = route.port_path();
                 video.push(VideoFlow {
-                    id,
+                    id: FlowId(u32::MAX), // assigned below, (dst, src, stream)-sorted
                     dst,
                     route,
                     path,
@@ -158,13 +199,49 @@ impl FlowTable {
                 ],
             });
         }
+        // Second pass: video ids sorted by (dst, src, stream) so every
+        // destination's flows are one contiguous id range.
+        let mut triples: Vec<(u32, u32, u32)> = Vec::new();
+        for (h, hf) in hosts.iter().enumerate() {
+            for (s, v) in hf.video.iter().enumerate() {
+                triples.push((v.dst.0, h as u32, s as u32));
+            }
+        }
+        triples.sort_unstable();
+        let mut video_band = vec![(0u32, 0u32); n_hosts as usize];
+        for (id, &(dst, src, stream)) in triples.iter().enumerate() {
+            let id = id as u32;
+            hosts[src as usize].video[stream as usize].id = FlowId(id);
+            let band = &mut video_band[dst as usize];
+            if band.1 == 0 {
+                band.0 = id;
+            }
+            band.1 += 1;
+        }
+        let video_total = triples.len() as u32;
+        // Eager all-pairs aggregated routes, src-major: exactly the
+        // round-robin consumption order of one host priming its own
+        // routes in dst order, but canonical.
+        let mut pairs = Vec::with_capacity((n_hosts * n_hosts) as usize);
+        for src in 0..n_hosts {
+            for dst in 0..n_hosts {
+                if src == dst {
+                    pairs.push(None);
+                } else {
+                    let route =
+                        admission.assign_unregulated_path(net, HostId(src), HostId(dst));
+                    let path = route.port_path();
+                    pairs.push(Some((route, path)));
+                }
+            }
+        }
         FlowTable {
-            hosts,
-            routes: HashMap::new(),
-            ids: HashMap::new(),
-            next_id,
-            admission_fallbacks,
-            admission,
+            n_hosts,
+            video_total,
+            hosts: hosts.into_iter().map(Mutex::new).collect(),
+            agg: RwLock::new(AggTable { pairs }),
+            dyn_state: Mutex::new(DynState { admission, fallbacks }),
+            video_band,
             uses_deadlines: arch.uses_deadlines(),
             video_bw: video_stream_bw,
         }
@@ -177,29 +254,36 @@ impl FlowTable {
     /// paths; flows that no longer fit anywhere keep flowing on an
     /// unregulated fallback path (and count as rejections — plus
     /// [`FlowTable::admission_fallbacks`], which tier-1 tests watch).
-    /// Cached aggregated routes crossing a failed link are forgotten and
-    /// lazily re-assigned on next use.
-    pub fn fail_links(&mut self, net: &FoldedClos, links: &[LinkId]) -> RerouteStats {
+    /// Aggregated routes crossing a failed link are re-assigned over
+    /// surviving spines, in src-major order.
+    ///
+    /// Only called at epoch fences (all partitions quiescent).
+    pub fn fail_links(&self, net: &FoldedClos, links: &[LinkId]) -> RerouteStats {
+        let dyn_state = &mut *self.dyn_state.lock().unwrap();
         for &l in links {
-            self.admission.fail_link(l);
+            dyn_state.admission.fail_link(l);
         }
         let mut stats = RerouteStats::default();
-        for (h, host) in self.hosts.iter_mut().enumerate() {
+        for (h, host) in self.hosts.iter().enumerate() {
             let src = HostId(h as u32);
+            let host = &mut *host.lock().unwrap();
             for flow in &mut host.video {
-                let crosses_down =
-                    net.links_on_route(&flow.route).iter().any(|l| !self.admission.link_is_up(*l));
+                let crosses_down = net
+                    .links_on_route(&flow.route)
+                    .iter()
+                    .any(|l| !dyn_state.admission.link_is_up(*l));
                 if !crosses_down {
                     continue;
                 }
                 if flow.reserved {
                     // The ledger held this exact reservation; failure to
                     // release it is a simulator bug, not a user error.
-                    self.admission
+                    dyn_state
+                        .admission
                         .release(net, &flow.route, self.video_bw)
                         .expect("revoking an admitted route");
                 }
-                match self.admission.admit(net, src, flow.dst, self.video_bw) {
+                match dyn_state.admission.admit(net, src, flow.dst, self.video_bw) {
                     Ok(adm) => {
                         flow.route = adm.route;
                         flow.path = flow.route.port_path();
@@ -207,41 +291,56 @@ impl FlowTable {
                         stats.rerouted += 1;
                     }
                     Err(_) => {
-                        flow.route = self.admission.assign_unregulated_path(net, src, flow.dst);
+                        flow.route =
+                            dyn_state.admission.assign_unregulated_path(net, src, flow.dst);
                         flow.path = flow.route.port_path();
                         if flow.reserved {
                             stats.rejected += 1;
-                            self.admission_fallbacks += 1;
+                            dyn_state.fallbacks += 1;
                         }
                         flow.reserved = false;
                     }
                 }
             }
         }
-        let cached = self.routes.len();
-        self.routes.retain(|_, (route, _)| {
-            net.links_on_route(route).iter().all(|l| self.admission.link_is_up(*l))
-        });
-        stats.invalidated = (cached - self.routes.len()) as u32;
+        let agg = &mut *self.agg.write().unwrap();
+        for (i, pair) in agg.pairs.iter_mut().enumerate() {
+            let Some((route, path)) = pair else { continue };
+            let crosses_down =
+                net.links_on_route(route).iter().any(|l| !dyn_state.admission.link_is_up(*l));
+            if !crosses_down {
+                continue;
+            }
+            let src = HostId((i as u32) / self.n_hosts);
+            let dst = HostId((i as u32) % self.n_hosts);
+            *route = dyn_state.admission.assign_unregulated_path(net, src, dst);
+            *path = route.port_path();
+            stats.invalidated += 1;
+        }
         stats
     }
 
     /// Repair response: `links` are healthy again; previously rejected
     /// flows are re-admitted where capacity allows. Flows rerouted while
     /// the links were down keep their (reserved) detour routes — fixed
-    /// routing means a repair must not shuffle working flows.
-    pub fn restore_links(&mut self, net: &FoldedClos, links: &[LinkId]) -> RerouteStats {
+    /// routing means a repair must not shuffle working flows, and
+    /// aggregated routes likewise stay where failure put them.
+    ///
+    /// Only called at epoch fences (all partitions quiescent).
+    pub fn restore_links(&self, net: &FoldedClos, links: &[LinkId]) -> RerouteStats {
+        let dyn_state = &mut *self.dyn_state.lock().unwrap();
         for &l in links {
-            self.admission.restore_link(l);
+            dyn_state.admission.restore_link(l);
         }
         let mut stats = RerouteStats::default();
-        for (h, host) in self.hosts.iter_mut().enumerate() {
+        for (h, host) in self.hosts.iter().enumerate() {
             let src = HostId(h as u32);
+            let host = &mut *host.lock().unwrap();
             for flow in &mut host.video {
                 if flow.reserved {
                     continue;
                 }
-                if let Ok(adm) = self.admission.admit(net, src, flow.dst, self.video_bw) {
+                if let Ok(adm) = dyn_state.admission.admit(net, src, flow.dst, self.video_bw) {
                     flow.route = adm.route;
                     flow.path = flow.route.port_path();
                     flow.reserved = true;
@@ -252,60 +351,79 @@ impl FlowTable {
         stats
     }
 
-    /// Total flow ids handed out so far (sinks size their tables off it).
+    /// Total flow ids in the static layout: every video stream plus one
+    /// id per (src, dst, aggregated class) triple.
     pub fn n_flows(&self) -> u32 {
-        self.next_id
+        self.video_total + self.n_hosts * self.n_hosts * 3
     }
 
-    /// The admission ledger (diagnostics).
-    pub fn admission(&self) -> &AdmissionController {
-        &self.admission
+    /// Video streams admitted (ids `[0, video_total)`).
+    pub fn video_total(&self) -> u32 {
+        self.video_total
+    }
+
+    /// The two contiguous flow-id ranges host `dst` terminates, as
+    /// `(first_id, count)`: its video range and its aggregated range.
+    /// Sinks pre-size dense reassembly tables from this.
+    pub fn sink_bands(&self, dst: HostId) -> [(u32, u32); 2] {
+        let agg_base = self.video_total + dst.0 * self.n_hosts * 3;
+        [self.video_band[dst.idx()], (agg_base, self.n_hosts * 3)]
+    }
+
+    /// Video streams that could not be admitted and run unreserved
+    /// (should stay 0 at Table-1 loads).
+    pub fn admission_fallbacks(&self) -> u32 {
+        self.dyn_state.lock().unwrap().fallbacks
+    }
+
+    /// Run `f` against the admission ledger (diagnostics).
+    pub fn with_admission<R>(&self, f: impl FnOnce(&AdmissionController) -> R) -> R {
+        f(&self.dyn_state.lock().unwrap().admission)
     }
 
     /// The fixed route for an aggregated-class packet from `src` to
-    /// `dst` (assigned round-robin over spines at first use, then fixed
-    /// forever — the paper's load-balanced fixed routing). This is the
-    /// validation view; the hot path uses [`FlowTable::aggregated_path`].
-    pub fn aggregated_route(&mut self, net: &FoldedClos, src: HostId, dst: HostId) -> Route {
-        self.ensure_route(net, src, dst).0.clone()
+    /// `dst` (assigned round-robin over spines at construction, then
+    /// fixed until a link failure forces it off a dead spine). This is
+    /// the validation view; the hot path uses
+    /// [`FlowTable::aggregated_path`].
+    pub fn aggregated_route(&self, src: HostId, dst: HostId) -> Route {
+        let agg = self.agg.read().unwrap();
+        agg.pairs[(src.0 * self.n_hosts + dst.0) as usize]
+            .as_ref()
+            .expect("no self-routes")
+            .0
+            .clone()
     }
 
     /// The interned output-port path for an aggregated-class (src, dst)
     /// pair — `Copy`, no allocation, what packets actually carry.
-    pub fn aggregated_path(&mut self, net: &FoldedClos, src: HostId, dst: HostId) -> PortPath {
-        self.ensure_route(net, src, dst).1
+    #[inline]
+    pub fn aggregated_path(&self, src: HostId, dst: HostId) -> PortPath {
+        let agg = self.agg.read().unwrap();
+        agg.pairs[(src.0 * self.n_hosts + dst.0) as usize]
+            .as_ref()
+            .expect("no self-routes")
+            .1
     }
 
-    fn ensure_route(&mut self, net: &FoldedClos, src: HostId, dst: HostId) -> &(Route, PortPath) {
-        self.routes.entry((src.0, dst.0)).or_insert_with(|| {
-            let route = self.admission.assign_unregulated_path(net, src, dst);
-            let path = route.port_path();
-            (route, path)
-        })
+    /// The flow id for an aggregated-class (src, dst, class) triple —
+    /// pure arithmetic on the static layout, dst-major so each
+    /// destination's ids are contiguous.
+    #[inline]
+    pub fn aggregated_flow_id(&self, src: HostId, dst: HostId, class: TrafficClass) -> FlowId {
+        FlowId(self.video_total + (dst.0 * self.n_hosts + src.0) * 3 + agg_ord(class))
     }
 
-    /// The flow id for an aggregated-class (src, dst, class) triple.
-    pub fn aggregated_flow_id(&mut self, src: HostId, dst: HostId, class: TrafficClass) -> FlowId {
-        let key = (src.0, dst.0, class.idx() as u8);
-        if let Some(&id) = self.ids.get(&key) {
-            return id;
-        }
-        let id = FlowId(self.next_id);
-        self.next_id += 1;
-        self.ids.insert(key, id);
-        id
-    }
-
-    /// Access one host's video flow.
-    pub fn video(&mut self, src: HostId, stream: u32) -> &mut VideoFlow {
-        &mut self.hosts[src.idx()].video[stream as usize]
+    /// Run `f` against one host's flow state (tests/diagnostics).
+    pub fn with_host<R>(&self, src: HostId, f: impl FnOnce(&HostFlows) -> R) -> R {
+        f(&self.hosts[src.idx()].lock().unwrap())
     }
 
     /// Stamp one message's parts for an aggregated class. Returns `None`
     /// stamps (zero deadlines) under the Traditional architecture, which
     /// has no deadline machinery at all.
     pub fn stamp_aggregated(
-        &mut self,
+        &self,
         src: HostId,
         class: TrafficClass,
         now_local: SimTime,
@@ -317,38 +435,43 @@ impl FlowTable {
                 .map(|_| StampedTimes { deadline: SimTime::ZERO, eligible: None })
                 .collect();
         }
+        let host = &mut *self.hosts[src.idx()].lock().unwrap();
         let stamper = match class {
-            TrafficClass::Control => &mut self.hosts[src.idx()].control,
-            TrafficClass::BestEffort => &mut self.hosts[src.idx()].best_effort[0],
-            TrafficClass::Background => &mut self.hosts[src.idx()].best_effort[1],
+            TrafficClass::Control => &mut host.control,
+            TrafficClass::BestEffort => &mut host.best_effort[0],
+            TrafficClass::Background => &mut host.best_effort[1],
             TrafficClass::Multimedia => panic!("video stamps via its stream flow"),
         };
         stamper.stamp_message(now_local, part_sizes)
     }
 
     /// Stamp one video frame's parts, applying the eligible-time lead.
+    /// Returns the stream's flow id and interned route alongside the
+    /// stamps (zero deadlines under Traditional, as above).
     pub fn stamp_video(
-        &mut self,
+        &self,
         src: HostId,
         stream: u32,
         now_local: SimTime,
         part_sizes: &[u32],
         eligible_lead: Option<SimDuration>,
-    ) -> Vec<StampedTimes> {
+    ) -> (FlowId, PortPath, Vec<StampedTimes>) {
+        let host = &mut *self.hosts[src.idx()].lock().unwrap();
+        let flow = &mut host.video[stream as usize];
         if !self.uses_deadlines {
-            return part_sizes
+            let stamps = part_sizes
                 .iter()
                 .map(|_| StampedTimes { deadline: SimTime::ZERO, eligible: None })
                 .collect();
+            return (flow.id, flow.path, stamps);
         }
-        let flow = &mut self.hosts[src.idx()].video[stream as usize];
         let mut stamps = flow.stamper.stamp_message(now_local, part_sizes);
         if let Some(lead) = eligible_lead {
             for s in &mut stamps {
                 s.eligible = Some(s.deadline.saturating_sub(lead).max(now_local));
             }
         }
-        stamps
+        (flow.id, flow.path, stamps)
     }
 }
 
@@ -378,32 +501,64 @@ mod tests {
     #[test]
     fn video_flows_admitted_with_routes() {
         let (net, ft) = table(4);
-        assert_eq!(ft.admission_fallbacks, 0);
-        assert_eq!(ft.n_flows(), 64);
-        for h in &ft.hosts {
-            for v in &h.video {
-                net.check_route(&v.route).unwrap();
+        assert_eq!(ft.admission_fallbacks(), 0);
+        assert_eq!(ft.video_total(), 64);
+        for h in 0..16u32 {
+            ft.with_host(HostId(h), |hf| {
+                for v in &hf.video {
+                    net.check_route(&v.route).unwrap();
+                }
+            });
+        }
+        assert!(ft.with_admission(|a| a.max_utilization()) > 0.0);
+    }
+
+    #[test]
+    fn video_ids_are_dst_contiguous() {
+        let (_, ft) = table(4);
+        // Collect every (dst, src, stream, id); ids must be exactly the
+        // (dst, src, stream)-sorted enumeration.
+        let mut rows = Vec::new();
+        for src in 0..16u32 {
+            ft.with_host(HostId(src), |hf| {
+                for (s, v) in hf.video.iter().enumerate() {
+                    rows.push((v.dst.0, src, s as u32, v.id.0));
+                }
+            });
+        }
+        rows.sort_unstable();
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.3, i as u32, "(dst,src,stream)-sorted ids are sequential");
+        }
+        // Bands cover each destination's flows exactly.
+        for dst in 0..16u32 {
+            let [(base, count), _] = ft.sink_bands(HostId(dst));
+            let mine: Vec<u32> =
+                rows.iter().filter(|r| r.0 == dst).map(|r| r.3).collect();
+            assert_eq!(mine.len() as u32, count);
+            if count > 0 {
+                assert_eq!(mine[0], base);
+                assert_eq!(*mine.last().unwrap(), base + count - 1);
             }
         }
-        assert!(ft.admission().max_utilization() > 0.0);
     }
 
     #[test]
     fn aggregated_routes_are_fixed() {
-        let (net, mut ft) = table(0);
-        let a = ft.aggregated_route(&net, HostId(0), HostId(9));
-        let b = ft.aggregated_route(&net, HostId(0), HostId(9));
-        assert_eq!(a, b, "route fixed after first use");
+        let (net, ft) = table(0);
+        let a = ft.aggregated_route(HostId(0), HostId(9));
+        let b = ft.aggregated_route(HostId(0), HostId(9));
+        assert_eq!(a, b, "route fixed after construction");
         net.check_route(&a).unwrap();
         // The interned path mirrors the validated route.
-        let p = ft.aggregated_path(&net, HostId(0), HostId(9));
+        let p = ft.aggregated_path(HostId(0), HostId(9));
         assert_eq!(p, a.port_path());
         assert_eq!(p.len(), a.len());
     }
 
     #[test]
     fn aggregated_flow_ids_stable_and_distinct() {
-        let (_, mut ft) = table(0);
+        let (_, ft) = table(0);
         let a = ft.aggregated_flow_id(HostId(0), HostId(1), TrafficClass::Control);
         let b = ft.aggregated_flow_id(HostId(0), HostId(1), TrafficClass::Control);
         let c = ft.aggregated_flow_id(HostId(0), HostId(1), TrafficClass::BestEffort);
@@ -411,12 +566,17 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert_ne!(a, d);
+        // Ids live inside the destination's aggregated band.
+        let [(_, _), (agg_base, agg_count)] = ft.sink_bands(HostId(1));
+        assert!(a.0 >= agg_base && a.0 < agg_base + agg_count);
+        assert!(ft.n_flows() >= agg_base + agg_count);
     }
 
     #[test]
     fn control_stamps_at_link_speed() {
-        let (_, mut ft) = table(0);
-        let stamps = ft.stamp_aggregated(HostId(0), TrafficClass::Control, SimTime::from_us(10), &[1000]);
+        let (_, ft) = table(0);
+        let stamps =
+            ft.stamp_aggregated(HostId(0), TrafficClass::Control, SimTime::from_us(10), &[1000]);
         // 1000 bytes at 8 Gb/s = 1 us.
         assert_eq!(stamps[0].deadline, SimTime::from_us(11));
         assert!(stamps[0].eligible.is_none());
@@ -424,7 +584,7 @@ mod tests {
 
     #[test]
     fn besteffort_weights_differ() {
-        let (_, mut ft) = table(0);
+        let (_, ft) = table(0);
         let be = ft.stamp_aggregated(HostId(0), TrafficClass::BestEffort, SimTime::ZERO, &[8000]);
         let bg = ft.stamp_aggregated(HostId(0), TrafficClass::Background, SimTime::ZERO, &[8000]);
         // Background's record bandwidth is half Best-effort's, so its
@@ -436,9 +596,10 @@ mod tests {
 
     #[test]
     fn video_stamps_spread_over_target() {
-        let (_, mut ft) = table(1);
+        let (_, ft) = table(1);
         let parts = vec![2048u32; 5];
-        let stamps = ft.stamp_video(HostId(0), 0, SimTime::ZERO, &parts, Some(SimDuration::from_us(20)));
+        let (_, _, stamps) =
+            ft.stamp_video(HostId(0), 0, SimTime::ZERO, &parts, Some(SimDuration::from_us(20)));
         assert_eq!(stamps.len(), 5);
         assert_eq!(stamps[4].deadline, SimTime::from_ms(10));
         assert_eq!(stamps[0].deadline, SimTime::from_ms(2));
@@ -448,23 +609,28 @@ mod tests {
 
     #[test]
     fn failing_a_spine_reroutes_reserved_flows() {
-        let (net, mut ft) = table(2);
-        assert_eq!(ft.admission_fallbacks, 0);
+        let (net, ft) = table(2);
+        assert_eq!(ft.admission_fallbacks(), 0);
         let spine_links = net.switch_links(net.spine(0));
         let stats = ft.fail_links(&net, &spine_links);
         // Plenty of capacity at 400 KB/s per stream: everything refits.
         assert_eq!(stats.rejected, 0);
         assert!(stats.rerouted > 0, "some flow crossed spine 0");
-        for host in &ft.hosts {
-            for flow in &host.video {
-                assert!(flow.reserved);
-                for l in net.links_on_route(&flow.route) {
-                    assert!(ft.admission().link_is_up(l), "reserved route on a dead link");
+        for h in 0..16u32 {
+            ft.with_host(HostId(h), |hf| {
+                for flow in &hf.video {
+                    assert!(flow.reserved);
+                    for l in net.links_on_route(&flow.route) {
+                        assert!(
+                            ft.with_admission(|a| a.link_is_up(l)),
+                            "reserved route on a dead link"
+                        );
+                    }
+                    net.check_route(&flow.route).unwrap();
                 }
-                net.check_route(&flow.route).unwrap();
-            }
+            });
         }
-        assert!(ft.admission().max_utilization() <= 1.0);
+        assert!(ft.with_admission(|a| a.max_utilization()) <= 1.0);
         // Repair: nothing was rejected, so nothing to re-admit.
         let back = ft.restore_links(&net, &spine_links);
         assert_eq!(back, RerouteStats::default());
@@ -476,7 +642,7 @@ mod tests {
         // Every host sends one 4 Gb/s stream to the opposite leaf: after
         // seven of eight spines die, the survivors cannot carry them all.
         let dsts: Vec<Vec<HostId>> = (0..16u32).map(|h| vec![HostId((h + 8) % 16)]).collect();
-        let mut ft = FlowTable::new(
+        let ft = FlowTable::new(
             &net,
             Architecture::Advanced2Vc,
             Bandwidth::gbps(8),
@@ -486,48 +652,74 @@ mod tests {
             None,
             (0.5, 0.25),
         );
-        assert_eq!(ft.admission_fallbacks, 0);
+        assert_eq!(ft.admission_fallbacks(), 0);
         let mut dead = Vec::new();
         for spine in 1..8u16 {
             dead.extend(net.switch_links(net.spine(spine)));
         }
         let stats = ft.fail_links(&net, &dead);
         assert!(stats.rejected > 0, "one spine cannot carry 64 Gb/s");
-        assert!(ft.admission().max_utilization() <= 1.0, "ledger never oversubscribes");
-        let unreserved = ft.hosts.iter().flat_map(|h| &h.video).filter(|v| !v.reserved).count();
-        assert_eq!(unreserved as u32, stats.rejected);
+        assert!(
+            ft.with_admission(|a| a.max_utilization()) <= 1.0,
+            "ledger never oversubscribes"
+        );
+        let count_unreserved = || {
+            (0..16u32)
+                .map(|h| {
+                    ft.with_host(HostId(h), |hf| {
+                        hf.video.iter().filter(|v| !v.reserved).count()
+                    })
+                })
+                .sum::<usize>()
+        };
+        assert_eq!(count_unreserved() as u32, stats.rejected);
         // Rejected flows still have a valid (unregulated) route.
-        for host in &ft.hosts {
-            for flow in &host.video {
-                net.check_route(&flow.route).unwrap();
-            }
+        for h in 0..16u32 {
+            ft.with_host(HostId(h), |hf| {
+                for flow in &hf.video {
+                    net.check_route(&flow.route).unwrap();
+                }
+            });
         }
         let back = ft.restore_links(&net, &dead);
         assert_eq!(back.readmitted, stats.rejected, "repair re-admits everyone");
-        assert!(ft.hosts.iter().flat_map(|h| &h.video).all(|v| v.reserved));
-        assert!(ft.admission().max_utilization() <= 1.0);
+        assert_eq!(count_unreserved(), 0);
+        assert!(ft.with_admission(|a| a.max_utilization()) <= 1.0);
     }
 
     #[test]
-    fn cached_aggregated_routes_avoid_failed_links() {
-        let (net, mut ft) = table(0);
-        // Prime the cache with a route, then kill whatever spine it uses.
-        let before = ft.aggregated_route(&net, HostId(0), HostId(9));
+    fn aggregated_routes_move_off_failed_links() {
+        let (net, ft) = table(0);
+        // Kill whatever spine the (0, 9) route uses; every pair crossing
+        // that spine must be re-assigned onto a survivor.
+        let before = ft.aggregated_route(HostId(0), HostId(9));
         let spine = before.hop(1).unwrap().switch;
         let stats = ft.fail_links(&net, &net.switch_links(spine));
         assert_eq!(stats.rerouted, 0, "no video flows to touch");
         assert_eq!(stats.rejected, 0);
-        assert_eq!(stats.invalidated, 1, "the one cached route crossed the dead spine");
-        let after = ft.aggregated_route(&net, HostId(0), HostId(9));
-        assert_ne!(before, after, "cached route through the dead spine was dropped");
+        assert!(stats.invalidated > 0, "the (0, 9) route crossed the dead spine");
+        let after = ft.aggregated_route(HostId(0), HostId(9));
+        assert_ne!(before, after, "route through the dead spine was moved");
         assert_ne!(after.hop(1).unwrap().switch, spine);
+        // Every pair now avoids the dead spine.
+        for src in 0..16u32 {
+            for dst in 0..16u32 {
+                if src == dst {
+                    continue;
+                }
+                let r = ft.aggregated_route(HostId(src), HostId(dst));
+                for l in net.links_on_route(&r) {
+                    assert!(ft.with_admission(|a| a.link_is_up(l)));
+                }
+            }
+        }
     }
 
     #[test]
     fn traditional_stamps_nothing() {
         let net = FoldedClos::build(ClosParams::scaled(16));
         let dsts = vec![vec![]; 16];
-        let mut ft = FlowTable::new(
+        let ft = FlowTable::new(
             &net,
             Architecture::Traditional2Vc,
             Bandwidth::gbps(8),
@@ -537,7 +729,8 @@ mod tests {
             None,
             (0.5, 0.5),
         );
-        let stamps = ft.stamp_aggregated(HostId(0), TrafficClass::Control, SimTime::from_us(9), &[500]);
+        let stamps =
+            ft.stamp_aggregated(HostId(0), TrafficClass::Control, SimTime::from_us(9), &[500]);
         assert_eq!(stamps[0].deadline, SimTime::ZERO);
         assert!(stamps[0].eligible.is_none());
     }

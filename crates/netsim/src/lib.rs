@@ -13,13 +13,18 @@
 //!   control and the two weighted best-effort classes.
 //! * [`collect`] — the statistics collector feeding `dqos-stats`,
 //!   gated on the measurement window.
-//! * [`network`] — the [`Network`] event loop itself. Deadlines travel
-//!   between clock domains as TTDs exactly as §3.3 prescribes, so the
+//! * [`network`] — the [`Network`] assembly: topology wiring plus the
+//!   executor choice ([`SimConfig::workers`]). Deadlines travel between
+//!   clock domains as TTDs exactly as §3.3 prescribes, so the
 //!   simulation is invariant to arbitrary per-node clock offsets (an
 //!   integration test asserts bit-equality).
+//! * `runtime` (private) — the partitioned component runtime: node
+//!   models wrapped into [`dqos_sim_core::PartWorld`] partitions driven
+//!   serially or by the conservative parallel executor, bit-identically.
+//! * [`presets`] — shared example/experiment configuration recipes.
 //! * [`experiments`] — the Figure 2/3/4 and Table 1 sweeps, run in
 //!   parallel with rayon (parallelism is across independent simulations;
-//!   each run is single-threaded and deterministic).
+//!   each run is deterministic regardless of worker count).
 
 #![warn(missing_docs)]
 
@@ -29,6 +34,8 @@ pub mod error;
 pub mod experiments;
 pub mod flows;
 pub mod network;
+pub mod presets;
+mod runtime;
 
 pub use collect::Collector;
 pub use config::{ClockOffsets, SimConfig, VideoDeadlines};

@@ -1,71 +1,36 @@
-//! The whole-network event loop.
+//! Network assembly: topology wiring plus an executor choice.
 //!
-//! One [`Network`] owns every model instance — switches, NICs, sinks,
-//! traffic sources, the flow table — and a single calendar. Each event
-//! dispatches to the owning model's handler; the returned
-//! [`NodeAction`]s become new events. Clock domains are honoured
-//! throughout: models see their *local* time, deadlines cross links as
-//! TTDs (§3.3), and only the statistics collector reads the hidden
-//! global clock.
-//!
-//! Packets crossing a wire are parked in a [`PacketArena`] and the
-//! arrival event carries only a `u32` [`PacketRef`] — the calendar never
-//! copies packets through its buckets, and steady-state forwarding does
-//! no allocation (routes are interned per flow, arena slots are
-//! free-listed).
+//! [`Network`] builds every model instance — switches, NICs, sinks,
+//! traffic sources, the flow table — wires them into partitions
+//! ([`crate::runtime`]) and hands the partitions to
+//! [`dqos_sim_core::execute`]: one partition runs the serial calendar
+//! loop, several run the conservative parallel executor
+//! ([`SimConfig::workers`]), with bit-identical reports either way.
+//! Clock domains are honoured throughout: models see their *local*
+//! time, deadlines cross links as TTDs (§3.3), and only the statistics
+//! collector reads the hidden global clock.
 
 use crate::collect::Collector;
 use crate::config::{ClockOffsets, SimConfig};
-use crate::error::{SimError, StallSnapshot, Violation};
+use crate::error::{SimError, Violation};
 use crate::flows::{FlowTable, RerouteStats};
-use dqos_core::{
-    ClockDomain, MsgTag, NodeAction, Packet, PacketArena, PacketRef, TrafficClass, Vc, NUM_CLASSES,
-};
+use crate::runtime::{self, Feeder, HostState, PartTotals, Partition, Shared, SwitchState};
+use dqos_core::{ClockDomain, PacketArena, TrafficClass, NUM_CLASSES};
 use dqos_endhost::{Nic, NicConfig, Sink};
 use dqos_faults::{CompiledFaults, FaultPlan};
-use dqos_queues::SchedQueue;
-use dqos_sim_core::{EventQueue, SimDuration, SimRng, SimTime, SplitMix64};
+use dqos_sim_core::{execute, ExecConfig, ExecError, SimDuration, SimRng, SimTime, SplitMix64};
 use dqos_stats::{FaultClassLoss, FaultReport, Report};
 use dqos_switch::{Switch, SwitchConfig};
 use dqos_topology::{FoldedClos, HostId, NodeId, Port, SwitchId};
-use dqos_traffic::{build_host_sources, AppMessage, TrafficSource};
+use dqos_traffic::{build_host_sources, SourceNode};
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, Mutex};
 
-/// Watchdog limit on events processed at a single timestamp: a healthy
-/// run's same-tick bursts are bounded by the port count, so crossing
-/// this means the loop is rescheduling work without advancing time.
+/// Watchdog limit on events processed at a single timestamp (per
+/// partition): a healthy run's same-tick bursts are bounded by the port
+/// count, so crossing this means a node is rescheduling work without
+/// advancing time.
 const SAME_TICK_LIMIT: u64 = 10_000_000;
-
-/// Events of the network simulation.
-enum Ev {
-    /// A traffic source fires (message handed to the NIC).
-    SourceFire { host: u32, idx: u32 },
-    /// NIC eligible-time timer.
-    HostWake { host: u32 },
-    /// NIC finished serialising a packet.
-    HostTxDone { host: u32 },
-    /// Credit returned to a NIC.
-    HostCredit { host: u32, vc: Vc, bytes: u32 },
-    /// A packet fully arrived at a switch input (packet in the arena).
-    SwitchArrive { sw: u32, port: Port, pkt: PacketRef },
-    /// A switch's internal crossbar transfer completed.
-    SwitchXbarDone { sw: u32, port: Port },
-    /// A switch output link finished serialising.
-    SwitchTxDone { sw: u32, port: Port },
-    /// Credit returned to a switch output.
-    SwitchCredit { sw: u32, port: Port, vc: Vc, bytes: u32 },
-    /// A packet fully arrived at its destination host (packet in the
-    /// arena).
-    HostArrive { host: u32, pkt: PacketRef },
-    /// A timed fault-plan entry fires (index into the compiled schedule).
-    Fault { idx: u32 },
-}
-
-/// Who transmits into a given switch input port.
-#[derive(Debug, Clone, Copy)]
-enum Feeder {
-    Host(u32),
-    Switch(u32, Port),
-}
 
 /// End-of-run diagnostics (the correctness side of a run; the
 /// performance side is the [`Report`]).
@@ -94,8 +59,11 @@ pub struct RunSummary {
     pub admission_fallbacks: u32,
     /// Messages handed to NICs by the generators.
     pub offered_messages: u64,
-    /// Most packets ever simultaneously in flight on wires (arena
-    /// high-water mark — the run's real pooled-storage footprint).
+    /// Most packets ever simultaneously in flight on intra-partition
+    /// wires (summed per-partition arena high-water marks — the run's
+    /// real pooled-storage footprint; the only [`RunSummary`] field
+    /// whose value depends on the worker count, since cross-partition
+    /// packets travel boxed instead of through an arena).
     pub peak_in_flight: u64,
     /// Packets dropped at failed or lossy links (fault injection only).
     pub dropped_packets: u64,
@@ -259,38 +227,18 @@ pub struct Network {
     topo: FoldedClos,
     switches: Vec<Switch>,
     nics: Vec<Nic>,
-    sinks: Vec<Sink>,
     sw_clock: Vec<ClockDomain>,
     host_clock: Vec<ClockDomain>,
-    sources: Vec<Vec<Box<dyn TrafficSource>>>,
-    host_rng: Vec<SimRng>,
+    sources: Vec<Vec<SourceNode>>,
     flows: FlowTable,
     feeder: Vec<Vec<Feeder>>,
     /// (leaf switch, leaf output port) feeding each host's delivery link.
     host_feed: Vec<(u32, Port)>,
-    collector: Collector,
-    queue: EventQueue<Ev>,
-    /// Pooled storage for packets in flight on wires.
-    arena: PacketArena,
-    next_msg_id: Vec<u64>,
-    next_pkt_id: u64,
-    offered_messages: u64,
     /// Sources stop emitting after this time.
     source_stop: SimTime,
     /// Compiled fault plan; `disabled()` (no branches taken, no RNG
     /// drawn) for [`Network::new`] runs.
     faults: CompiledFaults,
-    /// Per-class packets dropped at failed/lossy links.
-    fault_dropped: [u64; NUM_CLASSES],
-    /// Per-class packets discarded at the destination as corrupted.
-    fault_corrupted: [u64; NUM_CLASSES],
-    /// Per-class regulated packets delivered past their deadline
-    /// (fault-injected, deadline-scheduled runs only).
-    fault_deadline_miss: [u64; NUM_CLASSES],
-    /// Credits destroyed by the credit-loss impairment.
-    credits_lost: u64,
-    /// Accumulated degraded-mode admission activity.
-    reroute: RerouteStats,
 }
 
 impl Network {
@@ -312,19 +260,26 @@ impl Network {
         let host_clock: Vec<ClockDomain> = (0..n_hosts).map(&mut mk_clock).collect();
         let sw_clock: Vec<ClockDomain> = (0..n_switches).map(&mut mk_clock).collect();
 
-        // Traffic sources (per host), deterministic sub-streams.
-        let mut sources = Vec::with_capacity(n_hosts);
-        let mut host_rng = Vec::with_capacity(n_hosts);
+        // Traffic sources (per host). Each source node carries its own
+        // forked stream, so a firing's randomness is a pure function of
+        // which source fired — not of the global event interleaving.
+        let mut sources: Vec<Vec<SourceNode>> = Vec::with_capacity(n_hosts);
         for h in 0..n_hosts {
             let mut rng = master.fork(h as u64);
-            sources.push(build_host_sources(&cfg.mix, HostId(h as u32), topo.n_hosts(), &mut rng));
-            host_rng.push(rng);
+            let built = build_host_sources(&cfg.mix, HostId(h as u32), topo.n_hosts(), &mut rng);
+            sources.push(
+                built
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, s)| SourceNode::new(s, rng.fork(i as u64)))
+                    .collect(),
+            );
         }
 
         // Flow table: admit the video streams to their actual destinations.
         let video_dsts: Vec<Vec<HostId>> = sources
             .iter()
-            .map(|srcs| srcs.iter().filter_map(|s| s.fixed_dst()).collect())
+            .map(|srcs| srcs.iter().filter_map(|s| s.source.fixed_dst()).collect())
             .collect();
         let video_mode = match cfg.video_deadlines {
             crate::config::VideoDeadlines::FrameSpread { target_ns } => {
@@ -366,7 +321,8 @@ impl Network {
             })
             .collect();
 
-        // NICs and sinks.
+        // NICs. (Sinks are built per partition, pre-sized from the flow
+        // table's dense id bands.)
         let nics: Vec<Nic> = (0..n_hosts)
             .map(|_| {
                 Nic::new(NicConfig {
@@ -376,7 +332,6 @@ impl Network {
                 })
             })
             .collect();
-        let sinks: Vec<Sink> = (0..n_hosts).map(|_| Sink::new()).collect();
 
         // Reverse adjacency: who feeds each switch input port.
         let mut feeder: Vec<Vec<Feeder>> = (0..n_switches)
@@ -404,49 +359,31 @@ impl Network {
                 (leaf.0, port)
             })
             .collect();
-
-        let collector = Collector::new(cfg.window_start(), cfg.window_end());
         let source_stop = cfg.source_stop();
 
-        let mut net = Network {
+        Network {
             cfg,
             topo,
             switches,
             nics,
-            sinks,
             sw_clock,
             host_clock,
             sources,
-            host_rng,
             flows,
             feeder,
             host_feed,
-            collector,
-            queue: EventQueue::with_capacity(1 << 16),
-            arena: PacketArena::with_capacity(1 << 12),
-            next_msg_id: vec![0; n_hosts],
-            next_pkt_id: 0,
-            offered_messages: 0,
             source_stop,
             faults: CompiledFaults::disabled(),
-            fault_dropped: [0; NUM_CLASSES],
-            fault_corrupted: [0; NUM_CLASSES],
-            fault_deadline_miss: [0; NUM_CLASSES],
-            credits_lost: 0,
-            reroute: RerouteStats::default(),
-        };
-        net.schedule_first_arrivals();
-        net
+        }
     }
 
-    /// Build the simulation with a fault plan compiled into the event
-    /// loop.
+    /// Build the simulation with a fault plan compiled into the runtime.
     ///
-    /// An empty plan is inert by construction — no fault events are
+    /// An empty plan is inert by construction — no fault epochs are
     /// scheduled, no RNG is drawn, no clock is skewed — so the run is
     /// bit-identical to [`Network::new`] with the same config. A
     /// non-empty plan is itself deterministic: same config + same plan ⇒
-    /// same run, bit for bit.
+    /// same run, bit for bit, at any worker count.
     pub fn with_faults(cfg: SimConfig, plan: &FaultPlan) -> Self {
         let mut net = Network::new(cfg);
         if plan.is_empty() {
@@ -465,22 +402,117 @@ impl Network {
                 net.sw_clock[s] = ClockDomain::with_skew(net.sw_clock[s].offset, ppm);
             }
         }
-        for (i, t) in net.faults.timed().iter().enumerate() {
-            net.queue.schedule(t.at, Ev::Fault { idx: i as u32 });
-        }
         net
     }
 
-    fn schedule_first_arrivals(&mut self) {
-        for h in 0..self.sources.len() {
-            for i in 0..self.sources[h].len() {
-                let t = self.sources[h][i].first_arrival(&mut self.host_rng[h]);
-                if t <= self.source_stop {
-                    self.queue
-                        .schedule(t, Ev::SourceFire { host: h as u32, idx: i as u32 });
-                }
+    /// Partition the models and assemble the executor inputs.
+    ///
+    /// Hosts are co-partitioned with their leaf switch; leaves and
+    /// spines are dealt round-robin over the workers. The only
+    /// cross-partition messages therefore ride leaf↔spine wires, whose
+    /// smallest latency (wire propagation vs. credit return) is the
+    /// executor's lookahead. Timed fault entries become epoch fences.
+    fn build(self, horizon: Option<SimTime>) -> (Vec<Partition>, ExecConfig, Arc<Shared>) {
+        let cfg = self.cfg;
+        let n_hosts = self.topo.n_hosts();
+        let n_switches = self.topo.n_switches();
+        let n_leaves = self.topo.params().leaves as u32;
+        let n_links = self.topo.n_links() as usize;
+        let w = cfg.workers.clamp(1, n_leaves as usize) as u32;
+
+        let mut part_of = vec![0u32; (n_hosts + n_switches) as usize];
+        for s in 0..n_switches {
+            let sid = SwitchId(s);
+            part_of[(n_hosts + s) as usize] =
+                if self.topo.is_leaf(sid) { s % w } else { (s - n_leaves) % w };
+        }
+        for h in 0..n_hosts {
+            part_of[h as usize] = part_of[(n_hosts + self.topo.leaf_of(HostId(h)).0) as usize];
+        }
+        let mut local_idx = vec![0u32; (n_hosts + n_switches) as usize];
+        let mut host_count = vec![0u32; w as usize];
+        let mut sw_count = vec![0u32; w as usize];
+        for h in 0..n_hosts as usize {
+            let p = part_of[h] as usize;
+            local_idx[h] = host_count[p];
+            host_count[p] += 1;
+        }
+        for s in 0..n_switches as usize {
+            let p = part_of[n_hosts as usize + s] as usize;
+            local_idx[n_hosts as usize + s] = sw_count[p];
+            sw_count[p] += 1;
+        }
+
+        // Timed faults become executor epochs; entries sharing an
+        // instant form one epoch (the executor wants strictly ascending
+        // times).
+        let mut epoch_groups: Vec<(SimTime, Vec<usize>)> = Vec::new();
+        for (i, t) in self.faults.timed().iter().enumerate() {
+            match epoch_groups.last_mut() {
+                Some((at, idxs)) if *at == t.at => idxs.push(i),
+                _ => epoch_groups.push((t.at, vec![i])),
             }
         }
+        let epochs: Vec<SimTime> = epoch_groups.iter().map(|(t, _)| *t).collect();
+
+        let shared = Arc::new(Shared {
+            cfg,
+            topo: self.topo,
+            host_clock: self.host_clock,
+            sw_clock: self.sw_clock,
+            flows: self.flows,
+            feeder: self.feeder,
+            host_feed: self.host_feed,
+            source_stop: self.source_stop,
+            n_hosts,
+            part_of: part_of.clone(),
+            local_idx,
+            faults_enabled: self.faults.enabled(),
+            link_down: (0..n_links).map(|_| AtomicBool::new(false)).collect(),
+            injector: Mutex::new(self.faults.injector()),
+            epoch_groups,
+            reroute: Mutex::new(RerouteStats::default()),
+        });
+
+        let mut parts: Vec<Partition> = (0..w)
+            .map(|p| Partition {
+                shared: Arc::clone(&shared),
+                part: p,
+                host_ids: Vec::new(),
+                switch_ids: Vec::new(),
+                hosts: Vec::new(),
+                switches: Vec::new(),
+                arena: PacketArena::with_capacity(1 << 12),
+                collector: Collector::new(cfg.window_start(), cfg.window_end()),
+                faults: self.faults.clone(),
+                fault_dropped: [0; NUM_CLASSES],
+                fault_corrupted: [0; NUM_CLASSES],
+                fault_deadline_miss: [0; NUM_CLASSES],
+                credits_lost: 0,
+                offered_messages: 0,
+                last_t: SimTime::ZERO,
+            })
+            .collect();
+        for (h, (nic, srcs)) in self.nics.into_iter().zip(self.sources).enumerate() {
+            let p = part_of[h] as usize;
+            let sink = Sink::with_bands(&shared.flows.sink_bands(HostId(h as u32)));
+            parts[p].host_ids.push(h as u32);
+            parts[p].hosts.push(HostState::new(nic, sink, srcs));
+        }
+        for (s, sw) in self.switches.into_iter().enumerate() {
+            let p = part_of[n_hosts as usize + s] as usize;
+            parts[p].switch_ids.push(s as u32);
+            parts[p].switches.push(SwitchState::new(sw));
+        }
+
+        let ecfg = ExecConfig {
+            lookahead: cfg.wire_delay.min(cfg.credit_delay),
+            epochs,
+            horizon,
+            same_tick_limit: SAME_TICK_LIMIT,
+            part_of,
+        };
+        (parts, ecfg, shared)
     }
 
     /// Run to completion: sources stop at the window end, then the
@@ -496,484 +528,117 @@ impl Network {
     /// Run to completion, surfacing wedged or miswired fabrics as
     /// structured [`SimError`]s instead of hanging or panicking.
     ///
-    /// Two watchdogs guard the loop: a same-timestamp event bound
+    /// Two watchdogs guard the run: a same-timestamp event bound
     /// (livelock — time stopped advancing), and a post-drain occupancy
-    /// check (credit deadlock — the calendar is empty but packets are
+    /// check (credit deadlock — the calendars are empty but packets are
     /// still buffered, which happens when fault injection destroys
-    /// credits). Both return a [`StallSnapshot`] describing exactly
-    /// where packets and credits got stuck.
-    pub fn try_run(mut self) -> Result<(Report, RunSummary), SimError> {
-        let mut events = 0u64;
-        let mut last_t = SimTime::ZERO;
-        let mut same_tick = 0u64;
-        while let Some(ev) = self.queue.pop() {
-            events += 1;
-            if ev.time == last_t {
-                same_tick += 1;
-                if same_tick > SAME_TICK_LIMIT {
-                    return Err(SimError::Stall(Box::new(self.stall_snapshot(ev.time, events))));
-                }
-            } else {
-                last_t = ev.time;
-                same_tick = 0;
+    /// credits). Both return a [`crate::StallSnapshot`] describing
+    /// exactly where packets and credits got stuck.
+    pub fn try_run(self) -> Result<(Report, RunSummary), SimError> {
+        let (parts, ecfg, shared) = self.build(None);
+        let res = execute(parts, ecfg);
+        match res.error {
+            Some(ExecError::App { err, .. }) => return Err(err),
+            Some(ExecError::SameTick { time, .. }) => {
+                return Err(SimError::Stall(Box::new(runtime::stall_snapshot(
+                    &res.worlds,
+                    time,
+                    res.events,
+                ))));
             }
-            self.dispatch(ev.time, ev.payload)?;
+            None => {}
         }
-        if self.arena.live() != 0
-            || self.nics.iter().any(|n| n.queued_packets() != 0)
-            || self.switches.iter().any(|s| s.occupancy_packets() != 0)
-        {
-            return Err(SimError::Stall(Box::new(self.stall_snapshot(last_t, events))));
+        let wedged = res.worlds.iter().any(|p| {
+            p.arena.live() != 0
+                || p.hosts.iter().any(|h| h.nic.queued_packets() != 0)
+                || p.switches.iter().any(|s| s.sw.occupancy_packets() != 0)
+        });
+        if wedged {
+            let last = res.worlds.iter().map(|p| p.last_t).max().unwrap_or(SimTime::ZERO);
+            return Err(SimError::Stall(Box::new(runtime::stall_snapshot(
+                &res.worlds,
+                last,
+                res.events,
+            ))));
         }
-        Ok(self.finish(events))
+        Ok(finish(&shared, res.worlds, res.events))
     }
 
     /// Run but stop processing at the window end, leaving in-flight
     /// traffic unaccounted (fast mode for sweeps; statistics windows are
     /// identical to [`Network::run`], only the drain is skipped).
-    pub fn run_truncated(mut self) -> (Report, RunSummary) {
-        let mut events = 0u64;
+    pub fn run_truncated(self) -> (Report, RunSummary) {
         let stop = self.cfg.window_end();
-        while let Some(t) = self.queue.peek_time() {
-            if t > stop {
-                break;
+        let (parts, ecfg, shared) = self.build(Some(stop));
+        let res = execute(parts, ecfg);
+        match res.error {
+            Some(ExecError::App { err, .. }) => panic!("{err}"),
+            Some(ExecError::SameTick { time, .. }) => {
+                let snap = runtime::stall_snapshot(&res.worlds, time, res.events);
+                panic!("{}", SimError::Stall(Box::new(snap)));
             }
-            let ev = self.queue.pop().expect("peeked");
-            events += 1;
-            self.dispatch(ev.time, ev.payload).unwrap_or_else(|e| panic!("{e}"));
+            None => {}
         }
-        self.finish(events)
-    }
-
-    /// Where is everything? Taken when a watchdog fires.
-    fn stall_snapshot(&self, now: SimTime, events: u64) -> StallSnapshot {
-        let mut stuck_ports = Vec::new();
-        for (s, sw) in self.switches.iter().enumerate() {
-            if sw.occupancy_packets() == 0 {
-                continue;
-            }
-            for d in sw.diag() {
-                if d.input_queued != 0 || d.output_queued != 0 || d.credits == 0 {
-                    stuck_ports.push((SwitchId(s as u32), d));
-                }
-            }
-        }
-        let stuck_hosts: Vec<(u32, usize, [u32; 2])> = self
-            .nics
-            .iter()
-            .enumerate()
-            .filter(|(_, n)| n.queued_packets() != 0)
-            .map(|(h, n)| {
-                (h as u32, n.queued_packets(), [n.credits(Vc::REGULATED), n.credits(Vc::BEST_EFFORT)])
-            })
-            .collect();
-        StallSnapshot {
-            now,
-            events,
-            arena_live: self.arena.live(),
-            nic_queued: self.nics.iter().map(|n| n.queued_packets()).sum(),
-            switch_queued: self.switches.iter().map(|s| s.occupancy_packets()).sum(),
-            credits_lost: self.credits_lost,
-            stuck_ports,
-            stuck_hosts,
-        }
-    }
-
-    fn finish(self, events: u64) -> (Report, RunSummary) {
-        let injected: u64 = self.nics.iter().map(|n| n.stats().injected_packets).sum();
-        let delivered: u64 = self.sinks.iter().map(|s| s.stats().packets).sum();
-        let ooo: u64 = self.sinks.iter().map(|s| s.stats().out_of_order).sum();
-        let broken: u64 = self.sinks.iter().map(|s| s.stats().broken_messages).sum();
-        let residual_nic: u64 = self.nics.iter().map(|n| n.queued_packets() as u64).sum();
-        let residual_sw: u64 = self.switches.iter().map(|s| s.occupancy_packets() as u64).sum();
-        let take_over: u64 = self.switches.iter().map(|s| s.take_over_total()).sum();
-        let order_errors: u64 = self.switches.iter().map(|s| s.stats().order_errors).sum();
-        let summary = RunSummary {
-            events,
-            injected_packets: injected,
-            delivered_packets: delivered,
-            out_of_order: ooo,
-            broken_messages: broken,
-            residual_packets: residual_nic + residual_sw,
-            take_over_total: take_over,
-            order_errors,
-            admission_fallbacks: self.flows.admission_fallbacks,
-            offered_messages: self.offered_messages,
-            peak_in_flight: self.arena.high_water() as u64,
-            dropped_packets: self.fault_dropped.iter().sum(),
-            corrupted_packets: self.fault_corrupted.iter().sum(),
-            credits_lost: self.credits_lost,
-            reroutes: self.reroute.rerouted,
-            reroute_rejections: self.reroute.rejected,
-            readmissions: self.reroute.readmitted,
-            route_invalidations: self.reroute.invalidated,
-        };
-        let mut report = self
-            .collector
-            .finish(self.cfg.arch.label(), self.cfg.mix.load);
-        if self.faults.enabled() {
-            report.faults = Some(FaultReport {
-                classes: TrafficClass::ALL
-                    .iter()
-                    .map(|c| FaultClassLoss {
-                        class: c.name().to_string(),
-                        dropped: self.fault_dropped[c.idx()],
-                        corrupted: self.fault_corrupted[c.idx()],
-                        deadline_miss: self.fault_deadline_miss[c.idx()],
-                    })
-                    .collect(),
-                credits_lost: self.credits_lost,
-                reroutes: self.reroute.rerouted,
-                reroute_rejections: self.reroute.rejected,
-                readmissions: self.reroute.readmitted,
-            });
-        }
-        (report, summary)
-    }
-
-    // ------------------------------------------------------------------
-    // Dispatch
-    // ------------------------------------------------------------------
-
-    fn dispatch(&mut self, now: SimTime, ev: Ev) -> Result<(), SimError> {
-        match ev {
-            Ev::SourceFire { host, idx } => {
-                let h = host as usize;
-                let (msg, next) =
-                    self.sources[h][idx as usize].emit(now, &mut self.host_rng[h]);
-                if next <= self.source_stop {
-                    self.queue.schedule(next, Ev::SourceFire { host, idx });
-                }
-                self.handle_message(host, msg, now);
-            }
-            Ev::HostWake { host } => {
-                let local = self.host_clock[host as usize].local(now);
-                let actions = self.nics[host as usize].on_wake(local);
-                self.apply_host_actions(host, actions, now);
-            }
-            Ev::HostTxDone { host } => {
-                let local = self.host_clock[host as usize].local(now);
-                let actions = self.nics[host as usize].on_tx_done(local);
-                self.apply_host_actions(host, actions, now);
-            }
-            Ev::HostCredit { host, vc, bytes } => {
-                let local = self.host_clock[host as usize].local(now);
-                let actions = self.nics[host as usize].on_credit(vc, bytes, local);
-                self.apply_host_actions(host, actions, now);
-            }
-            Ev::SwitchArrive { sw, port, pkt } => {
-                let pkt = self.arena.take(pkt);
-                let local = self.sw_clock[sw as usize].local(now);
-                let actions = self.switches[sw as usize].on_packet_arrival(port, pkt, local);
-                self.apply_switch_actions(sw, actions, now)?;
-            }
-            Ev::SwitchXbarDone { sw, port } => {
-                let local = self.sw_clock[sw as usize].local(now);
-                let actions = self.switches[sw as usize].on_xbar_done(port, local);
-                self.apply_switch_actions(sw, actions, now)?;
-            }
-            Ev::SwitchTxDone { sw, port } => {
-                let local = self.sw_clock[sw as usize].local(now);
-                let actions = self.switches[sw as usize].on_tx_done(port, local);
-                self.apply_switch_actions(sw, actions, now)?;
-            }
-            Ev::SwitchCredit { sw, port, vc, bytes } => {
-                let local = self.sw_clock[sw as usize].local(now);
-                let actions = self.switches[sw as usize].on_credit(port, vc, bytes, local);
-                self.apply_switch_actions(sw, actions, now)?;
-            }
-            Ev::HostArrive { host, pkt } => {
-                let pkt = self.arena.take(pkt);
-                self.handle_delivery(host, pkt, now);
-            }
-            Ev::Fault { idx } => {
-                let (links, down) = self.faults.apply_timed(idx as usize);
-                let stats = if down {
-                    self.flows.fail_links(&self.topo, &links)
-                } else {
-                    self.flows.restore_links(&self.topo, &links)
-                };
-                self.reroute.absorb(stats);
-                debug_assert!(
-                    self.flows.admission().max_utilization() <= 1.0,
-                    "degraded re-admission oversubscribed the ledger"
-                );
-            }
-        }
-        Ok(())
-    }
-
-    fn handle_message(&mut self, host: u32, msg: AppMessage, now: SimTime) {
-        self.offered_messages += 1;
-        self.collector.offered(msg.class, msg.bytes, now);
-        let src = HostId(host);
-        let parts = dqos_core::segment_message(msg.bytes, self.cfg.mtu);
-        let local = self.host_clock[host as usize].local(now);
-        let lead = self.cfg.eligible_lead_ns.map(SimDuration::from_ns);
-        // The route is interned to a `Copy` port path once per flow;
-        // stamping it into each packet below is a plain field copy.
-        let (flow_id, route, stamps) = match msg.stream {
-            Some(s) => {
-                let stamps = self.flows.stamp_video(src, s, local, &parts, lead);
-                let vf = self.flows.video(src, s);
-                (vf.id, vf.path, stamps)
-            }
-            None => {
-                let route = self.flows.aggregated_path(&self.topo, src, msg.dst);
-                let id = self.flows.aggregated_flow_id(src, msg.dst, msg.class);
-                let stamps = self.flows.stamp_aggregated(src, msg.class, local, &parts);
-                (id, route, stamps)
-            }
-        };
-        let msg_id = self.next_msg_id[host as usize];
-        self.next_msg_id[host as usize] += 1;
-        let n = parts.len() as u32;
-        let pkts: Vec<Packet> = parts
-            .iter()
-            .zip(stamps)
-            .enumerate()
-            .map(|(i, (&len, st))| {
-                let id = self.next_pkt_id;
-                self.next_pkt_id += 1;
-                Packet {
-                    id,
-                    flow: flow_id,
-                    class: msg.class,
-                    src,
-                    dst: msg.dst,
-                    len,
-                    deadline: st.deadline,
-                    eligible: st.eligible,
-                    route,
-                    hop: 0,
-                    injected_at: now,
-                    msg: MsgTag { msg_id, part: i as u32, parts: n, created_at: now },
-                    corrupted: false,
-                }
-            })
-            .collect();
-        let actions = self.nics[host as usize].enqueue_packets(pkts, local);
-        self.apply_host_actions(host, actions, now);
-    }
-
-    fn handle_delivery(&mut self, host: u32, pkt: Packet, now: SimTime) {
-        if pkt.corrupted {
-            // CRC failure at the destination: the payload is discarded
-            // before the sink sees it (so reassembly and order tracking
-            // treat it as a loss), but the buffer space it occupied still
-            // frees — the credit returns exactly as for a good packet.
-            self.fault_corrupted[pkt.class.idx()] += 1;
-            self.schedule_delivery_credit(host, pkt.vc(), pkt.len, now);
-            return;
-        }
-        if self.faults.enabled() && self.cfg.arch.uses_deadlines() && pkt.class.is_regulated() {
-            // Only the regulated classes carry real deadlines; the VC1
-            // classes' virtual-clock deadlines lag by design whenever a
-            // class offers more than its record. The final hop carries no
-            // TTD, so the deadline is still in the transmitting leaf's
-            // clock domain.
-            let (leaf, _) = self.host_feed[host as usize];
-            if now > self.sw_clock[leaf as usize].global_of(pkt.deadline) {
-                self.fault_deadline_miss[pkt.class.idx()] += 1;
-            }
-        }
-        let (credit, completed) = self.sinks[host as usize].on_packet(&pkt, now);
-        self.collector
-            .packet_delivered(pkt.class, pkt.len, pkt.msg.created_at, now);
-        if let Some(m) = completed {
-            self.collector
-                .message_completed(m.class, m.flow, m.created_at, m.completed_at);
-        }
-        let NodeAction::SendCredit { vc, bytes, .. } = credit else {
-            unreachable!("sink returns exactly one credit")
-        };
-        self.schedule_delivery_credit(host, vc, bytes, now);
-    }
-
-    /// Return delivery-link buffer credit to the feeding leaf — unless
-    /// the credit-loss impairment eats it.
-    fn schedule_delivery_credit(&mut self, host: u32, vc: Vc, bytes: u32, now: SimTime) {
-        if self.faults.enabled()
-            && self.faults.roll_credit_loss(self.topo.host_delivery_link(HostId(host)))
-        {
-            self.credits_lost += 1;
-            return;
-        }
-        let (leaf, port) = self.host_feed[host as usize];
-        self.queue.schedule(
-            now + self.cfg.credit_delay,
-            Ev::SwitchCredit { sw: leaf, port, vc, bytes },
-        );
-    }
-
-    fn apply_host_actions(&mut self, host: u32, actions: Vec<NodeAction>, now: SimTime) {
-        let clock = self.host_clock[host as usize];
-        for a in actions {
-            match a {
-                NodeAction::StartTx { packet, finish, .. } => {
-                    let finish_g = clock.global_of(finish);
-                    self.queue.schedule(finish_g, Ev::HostTxDone { host });
-                    self.ship_from_host(host, packet, now, finish_g);
-                }
-                NodeAction::WakeAt { at } => {
-                    self.queue.schedule(clock.global_of(at), Ev::HostWake { host });
-                }
-                NodeAction::SendCredit { .. } | NodeAction::ScheduleXbarDone { .. } => {
-                    unreachable!("NICs emit only StartTx and WakeAt")
-                }
-            }
-        }
-    }
-
-    fn ship_from_host(&mut self, host: u32, mut pkt: Packet, _depart: SimTime, finish_g: SimTime) {
-        let end = self.topo.host_out_link(HostId(host));
-        let NodeId::Switch(sw) = end.peer else { unreachable!("hosts attach to switches") };
-        let arrive = finish_g + self.cfg.wire_delay;
-        if self.faults.enabled() {
-            if self.faults.is_link_down(end.link) || self.faults.roll_drop(end.link) {
-                // The wire ate the packet. The NIC already spent a credit
-                // for it, and the switch buffer it would have occupied
-                // never fills — so the credit synthesizes straight back,
-                // exactly as if the switch had received and instantly
-                // freed it. (Without this, every drop leaks injection
-                // credit and the host eventually wedges.)
-                self.fault_dropped[pkt.class.idx()] += 1;
-                self.queue.schedule(
-                    arrive + self.cfg.credit_delay,
-                    Ev::HostCredit { host, vc: pkt.vc(), bytes: pkt.len },
-                );
-                return;
-            }
-            if self.faults.roll_corrupt(end.link) {
-                pkt.corrupted = true;
-            }
-        }
-        // TTD transport (§3.3): relative deadline on the wire. The TTD is
-        // part of the header and is rewritten as the packet transits, so
-        // encode and decode straddle only the wire propagation — a
-        // *constant* slide that preserves per-flow deadline monotonicity
-        // (encoding at serialisation start would slide each packet by its
-        // own length and break the appendix hypothesis).
-        let ttd =
-            ClockDomain::encode_ttd(pkt.deadline, self.host_clock[host as usize].local(finish_g));
-        pkt.deadline = ClockDomain::decode_ttd(ttd, self.sw_clock[sw.idx()].local(arrive));
-        pkt.eligible = None; // host-only field, not in the header
-        let pkt = self.arena.insert(pkt);
-        self.queue
-            .schedule(arrive, Ev::SwitchArrive { sw: sw.0, port: end.peer_port, pkt });
-    }
-
-    fn apply_switch_actions(
-        &mut self,
-        sw: u32,
-        actions: Vec<NodeAction>,
-        now: SimTime,
-    ) -> Result<(), SimError> {
-        let clock = self.sw_clock[sw as usize];
-        for a in actions {
-            match a {
-                NodeAction::StartTx { out_port, packet, finish } => {
-                    let finish_g = clock.global_of(finish);
-                    self.queue
-                        .schedule(finish_g, Ev::SwitchTxDone { sw, port: out_port });
-                    self.ship_from_switch(sw, out_port, packet, now, finish_g)?;
-                }
-                NodeAction::SendCredit { in_port, vc, bytes } => {
-                    let at = now + self.cfg.credit_delay;
-                    // The data link feeding `in_port`; the returning
-                    // credit travels its reverse wire, so the credit-loss
-                    // impairment is keyed on it.
-                    let (target, data_link) = match self.feeder[sw as usize][in_port.idx()] {
-                        Feeder::Host(h) if h == u32::MAX => {
-                            return Err(SimError::UnwiredFeeder {
-                                switch: SwitchId(sw),
-                                port: in_port,
-                            });
-                        }
-                        Feeder::Host(h) => (
-                            Ev::HostCredit { host: h, vc, bytes },
-                            self.topo.host_out_link(HostId(h)).link,
-                        ),
-                        Feeder::Switch(s2, p2) => {
-                            let end = self
-                                .topo
-                                .switch_out_link(SwitchId(s2), p2)
-                                .ok_or(SimError::UnwiredPort { switch: SwitchId(s2), port: p2 })?;
-                            (Ev::SwitchCredit { sw: s2, port: p2, vc, bytes }, end.link)
-                        }
-                    };
-                    if self.faults.enabled() && self.faults.roll_credit_loss(data_link) {
-                        self.credits_lost += 1;
-                    } else {
-                        self.queue.schedule(at, target);
-                    }
-                }
-                NodeAction::ScheduleXbarDone { out_port, at } => {
-                    self.queue
-                        .schedule(clock.global_of(at), Ev::SwitchXbarDone { sw, port: out_port });
-                }
-                NodeAction::WakeAt { .. } => unreachable!("switches don't sleep"),
-            }
-        }
-        Ok(())
-    }
-
-    fn ship_from_switch(
-        &mut self,
-        sw: u32,
-        out_port: Port,
-        mut pkt: Packet,
-        _depart: SimTime,
-        finish_g: SimTime,
-    ) -> Result<(), SimError> {
-        let end = self
-            .topo
-            .switch_out_link(SwitchId(sw), out_port)
-            .ok_or(SimError::UnwiredPort { switch: SwitchId(sw), port: out_port })?;
-        let arrive = finish_g + self.cfg.wire_delay;
-        if self.faults.enabled() {
-            if self.faults.is_link_down(end.link) || self.faults.roll_drop(end.link) {
-                // Dropped on the wire: the downstream buffer never fills,
-                // so this switch's output credit for the hop synthesizes
-                // back (see ship_from_host).
-                self.fault_dropped[pkt.class.idx()] += 1;
-                self.queue.schedule(
-                    arrive + self.cfg.credit_delay,
-                    Ev::SwitchCredit { sw, port: out_port, vc: pkt.vc(), bytes: pkt.len },
-                );
-                return Ok(());
-            }
-            if self.faults.roll_corrupt(end.link) {
-                pkt.corrupted = true;
-            }
-        }
-        match end.peer {
-            NodeId::Switch(next) => {
-                // See ship_from_host for why the TTD is encoded at
-                // serialisation end.
-                let ttd = ClockDomain::encode_ttd(
-                    pkt.deadline,
-                    self.sw_clock[sw as usize].local(finish_g),
-                );
-                pkt.deadline = ClockDomain::decode_ttd(ttd, self.sw_clock[next.idx()].local(arrive));
-                let pkt = self.arena.insert(pkt);
-                self.queue
-                    .schedule(arrive, Ev::SwitchArrive { sw: next.0, port: end.peer_port, pkt });
-            }
-            NodeId::Host(h) => {
-                let pkt = self.arena.insert(pkt);
-                self.queue.schedule(arrive, Ev::HostArrive { host: h.0, pkt });
-            }
-        }
-        Ok(())
+        finish(&shared, res.worlds, res.events)
     }
 }
 
-// Keep the compiler honest about unused trait imports used only in
-// summaries.
-#[allow(unused)]
-fn _assert_traits(q: &dqos_queues::FifoQueue<Packet>) -> usize {
-    SchedQueue::len(q)
+/// Merge the partitions' end-of-run state into the report + summary.
+/// Partition-order folding keeps every aggregate — including the f64
+/// jitter merges inside [`Collector::finish`] — a fixed operation
+/// sequence, so the result is bit-identical at any worker count.
+fn finish(shared: &Arc<Shared>, worlds: Vec<Partition>, events: u64) -> (Report, RunSummary) {
+    let mut totals = PartTotals::default();
+    let mut collector: Option<Collector> = None;
+    for p in worlds {
+        totals.absorb(&p);
+        match &mut collector {
+            Some(acc) => acc.merge(p.collector),
+            None => collector = Some(p.collector),
+        }
+    }
+    let reroute = *shared.reroute.lock().unwrap();
+    let summary = RunSummary {
+        events,
+        injected_packets: totals.injected,
+        delivered_packets: totals.delivered,
+        out_of_order: totals.out_of_order,
+        broken_messages: totals.broken,
+        residual_packets: totals.residual_nic + totals.residual_sw,
+        take_over_total: totals.take_over,
+        order_errors: totals.order_errors,
+        admission_fallbacks: shared.flows.admission_fallbacks(),
+        offered_messages: totals.offered,
+        peak_in_flight: totals.peak_in_flight,
+        dropped_packets: totals.dropped.iter().sum(),
+        corrupted_packets: totals.corrupted.iter().sum(),
+        credits_lost: totals.credits_lost,
+        reroutes: reroute.rerouted,
+        reroute_rejections: reroute.rejected,
+        readmissions: reroute.readmitted,
+        route_invalidations: reroute.invalidated,
+    };
+    let mut report = collector
+        .expect("at least one partition")
+        .finish(shared.cfg.arch.label(), shared.cfg.mix.load);
+    if shared.faults_enabled {
+        report.faults = Some(FaultReport {
+            classes: TrafficClass::ALL
+                .iter()
+                .map(|c| FaultClassLoss {
+                    class: c.name().to_string(),
+                    dropped: totals.dropped[c.idx()],
+                    corrupted: totals.corrupted[c.idx()],
+                    deadline_miss: totals.deadline_miss[c.idx()],
+                })
+                .collect(),
+            credits_lost: totals.credits_lost,
+            reroutes: reroute.rerouted,
+            reroute_rejections: reroute.rejected,
+            readmissions: reroute.readmitted,
+        });
+    }
+    (report, summary)
 }
 
 #[cfg(test)]
@@ -1049,6 +714,23 @@ mod tests {
         assert_eq!(s1.events, s2.events);
         assert_eq!(s1.injected_packets, s2.injected_packets);
         assert_eq!(r1.to_json(), r2.to_json(), "bit-identical reports");
+    }
+
+    #[test]
+    fn parallel_workers_match_serial_reports() {
+        let mk = |workers: usize| {
+            let mut cfg = SimConfig::tiny(Architecture::Advanced2Vc, 0.2);
+            cfg.warmup = SimDuration::from_us(200);
+            cfg.measure = SimDuration::from_ms(1);
+            cfg.workers = workers;
+            cfg
+        };
+        let (r1, s1) = Network::new(mk(1)).run();
+        let (r2, s2) = Network::new(mk(2)).run();
+        assert_eq!(s1.events, s2.events, "same event count");
+        assert_eq!(s1.injected_packets, s2.injected_packets);
+        assert_eq!(s1.delivered_packets, s2.delivered_packets);
+        assert_eq!(r1.to_json(), r2.to_json(), "bit-identical reports across workers");
     }
 
     #[test]

@@ -1,0 +1,808 @@
+//! The partitioned component runtime.
+//!
+//! [`crate::Network`] is now only topology wiring plus an executor
+//! choice; the simulation itself runs here, as a set of [`Partition`]
+//! worlds driven by [`dqos_sim_core::execute`]. Each partition owns the
+//! node models of its hosts and switches — [`dqos_switch::Switch`],
+//! [`dqos_endhost::Nic`], [`dqos_endhost::Sink`] and
+//! [`dqos_traffic::SourceNode`], all driven through
+//! [`dqos_core::NodeModel::on_event`] — plus a private packet arena,
+//! statistics collector, and fault-impairment RNG streams. Immutable or
+//! internally-synchronised state (topology, clock domains, the flow
+//! table, link up/down flags) lives in one [`Shared`] behind an `Arc`.
+//!
+//! # Why the partitioning is exact
+//!
+//! The conservative executor reproduces the serial oracle bit for bit
+//! because every piece of state is either
+//!
+//! * owned by exactly one node (models, arenas, per-link fault RNG
+//!   streams — each stream is advanced only by the link's sending
+//!   node), so its update order is the node's own event order, which
+//!   the executor fixes to `(time, key)`;
+//! * read-only between epoch fences (clock domains, routes, link
+//!   up/down flags); or
+//! * mutated only at epoch fences with every partition quiescent (the
+//!   fault injector, the admission ledger, reroute statistics).
+//!
+//! Event keys encode `(sending node, per-node sequence)`, so the merge
+//! order of same-tick events is a pure function of the simulation
+//! history, not of which worker produced them first.
+//!
+//! Hosts are co-partitioned with their leaf switch: the only messages
+//! that cross partitions ride leaf↔spine wires, whose latency (wire
+//! propagation or credit return, whichever is smaller) is the
+//! executor's lookahead.
+
+use crate::collect::Collector;
+use crate::config::SimConfig;
+use crate::error::{SimError, StallSnapshot};
+use crate::flows::{FlowTable, RerouteStats};
+use dqos_core::{
+    ClockDomain, MsgTag, NicEvent, NodeAction, NodeModel, Packet, PacketArena, PacketRef,
+    SwitchEvent, Vc, NUM_CLASSES,
+};
+use dqos_endhost::{Nic, Sink};
+use dqos_faults::{CompiledFaults, FaultInjector};
+use dqos_sim_core::{Outbox, PartWorld, SimDuration, SimTime};
+use dqos_switch::Switch;
+use dqos_topology::{FoldedClos, HostId, LinkId, NodeId, Port, SwitchId};
+use dqos_traffic::{AppMessage, SourceNode};
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+
+/// A packet in a message: parked in the sending partition's arena when
+/// the receiver is local (steady-state forwarding stays allocation-free,
+/// as in the monolithic loop), boxed when it crosses partitions (an
+/// arena slot must be reclaimed by the partition that filled it).
+pub(crate) enum PktSlot {
+    /// Same-partition transfer, packet in the sender's arena.
+    Local(PacketRef),
+    /// Cross-partition transfer, packet owned by the message.
+    Boxed(Box<Packet>),
+}
+
+/// Messages delivered to nodes. Host nodes are ids `[0, n_hosts)`,
+/// switch nodes `[n_hosts, n_hosts + n_switches)`.
+pub(crate) enum Msg {
+    /// A traffic source fires (host node).
+    SourceFire {
+        /// Index into the host's source list.
+        idx: u32,
+    },
+    /// NIC eligible-time timer.
+    HostWake,
+    /// NIC finished serialising a packet.
+    HostTxDone,
+    /// Credit returned to a NIC.
+    HostCredit {
+        /// The virtual channel credited.
+        vc: Vc,
+        /// Freed bytes.
+        bytes: u32,
+    },
+    /// A packet fully arrived at a switch input.
+    SwitchArrive {
+        /// The receiving input port.
+        port: Port,
+        /// The packet.
+        slot: PktSlot,
+    },
+    /// A switch's internal crossbar transfer completed.
+    SwitchXbarDone {
+        /// The output port whose transfer finished.
+        port: Port,
+    },
+    /// A switch output link finished serialising.
+    SwitchTxDone {
+        /// The transmitting output port.
+        port: Port,
+    },
+    /// Credit returned to a switch output.
+    SwitchCredit {
+        /// The output port credited.
+        port: Port,
+        /// The virtual channel credited.
+        vc: Vc,
+        /// Freed bytes.
+        bytes: u32,
+    },
+    /// A packet fully arrived at its destination host.
+    HostArrive {
+        /// The packet.
+        slot: PktSlot,
+    },
+}
+
+/// Who transmits into a given switch input port.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Feeder {
+    /// A host NIC (`u32::MAX` = unwired).
+    Host(u32),
+    /// Another switch's output port.
+    Switch(u32, Port),
+}
+
+/// State shared by all partitions: immutable wiring and clocks, plus
+/// the few cross-partition mutables, each either internally
+/// synchronised ([`FlowTable`]) or mutated only at epoch fences with
+/// every partition quiescent (fault state).
+pub(crate) struct Shared {
+    pub(crate) cfg: SimConfig,
+    pub(crate) topo: FoldedClos,
+    pub(crate) host_clock: Vec<ClockDomain>,
+    pub(crate) sw_clock: Vec<ClockDomain>,
+    pub(crate) flows: FlowTable,
+    /// Who feeds each switch input port.
+    pub(crate) feeder: Vec<Vec<Feeder>>,
+    /// (leaf switch, leaf output port) feeding each host's delivery link.
+    pub(crate) host_feed: Vec<(u32, Port)>,
+    /// Sources stop emitting after this time.
+    pub(crate) source_stop: SimTime,
+    pub(crate) n_hosts: u32,
+    /// Owning partition of every node.
+    pub(crate) part_of: Vec<u32>,
+    /// Index of every node within its partition's host/switch list.
+    pub(crate) local_idx: Vec<u32>,
+    /// Whether a fault plan is compiled in (false short-circuits every
+    /// fault query, keeping fault-free runs identical to pre-fault
+    /// builds).
+    pub(crate) faults_enabled: bool,
+    /// Per-link down flags, written only at epoch fences (all
+    /// partitions quiescent, fenced by the executor's barrier), read
+    /// on every ship.
+    pub(crate) link_down: Vec<AtomicBool>,
+    /// The timed-fault schedule authority (refcounted link causes).
+    pub(crate) injector: Mutex<FaultInjector>,
+    /// Epoch index → indices into the injector's timed schedule firing
+    /// at that instant (several plan entries may share a time; the
+    /// executor wants strictly ascending epoch times).
+    pub(crate) epoch_groups: Vec<(SimTime, Vec<usize>)>,
+    /// Accumulated degraded-mode admission activity.
+    pub(crate) reroute: Mutex<RerouteStats>,
+}
+
+/// Per-host state owned by a partition.
+pub(crate) struct HostState {
+    pub(crate) nic: Nic,
+    pub(crate) sink: Sink,
+    pub(crate) sources: Vec<SourceNode>,
+    next_msg_id: u64,
+    /// Per-host packet counter; ids are `(host << 40) | counter` so
+    /// they are unique and per-flow monotone without global state.
+    next_pkt: u64,
+    /// Per-node event-key sequence.
+    seq: u64,
+}
+
+impl HostState {
+    pub(crate) fn new(nic: Nic, sink: Sink, sources: Vec<SourceNode>) -> Self {
+        HostState { nic, sink, sources, next_msg_id: 0, next_pkt: 0, seq: 0 }
+    }
+}
+
+/// Per-switch state owned by a partition.
+pub(crate) struct SwitchState {
+    pub(crate) sw: Switch,
+    seq: u64,
+}
+
+impl SwitchState {
+    pub(crate) fn new(sw: Switch) -> Self {
+        SwitchState { sw, seq: 0 }
+    }
+}
+
+/// One partition of the simulation: the node models it owns plus its
+/// private arena, collector and fault-roll RNG streams.
+pub(crate) struct Partition {
+    pub(crate) shared: Arc<Shared>,
+    pub(crate) part: u32,
+    /// Global host ids owned, ascending; parallel to `hosts`.
+    pub(crate) host_ids: Vec<u32>,
+    /// Global switch ids owned, ascending; parallel to `switches`.
+    pub(crate) switch_ids: Vec<u32>,
+    pub(crate) hosts: Vec<HostState>,
+    pub(crate) switches: Vec<SwitchState>,
+    /// Pooled storage for packets in flight on intra-partition wires.
+    pub(crate) arena: PacketArena,
+    pub(crate) collector: Collector,
+    /// Private clone of the compiled fault tables. Only the streams of
+    /// links whose *sending node* lives here are ever advanced, so each
+    /// stream has exactly one consumer across all partitions.
+    pub(crate) faults: CompiledFaults,
+    pub(crate) fault_dropped: [u64; NUM_CLASSES],
+    pub(crate) fault_corrupted: [u64; NUM_CLASSES],
+    pub(crate) fault_deadline_miss: [u64; NUM_CLASSES],
+    pub(crate) credits_lost: u64,
+    pub(crate) offered_messages: u64,
+    /// Latest event time handled (for stall snapshots).
+    pub(crate) last_t: SimTime,
+}
+
+impl Partition {
+    /// Event key for the next send from `node`: `(node, seq)` packed so
+    /// same-tick merge order is a function of simulation history only.
+    fn next_key(&mut self, node: u32) -> u64 {
+        let n = self.shared.n_hosts;
+        let seq = if node < n {
+            let s = &mut self.hosts[self.shared.local_idx[node as usize] as usize].seq;
+            let v = *s;
+            *s += 1;
+            v
+        } else {
+            let s =
+                &mut self.switches[self.shared.local_idx[node as usize] as usize].seq;
+            let v = *s;
+            *s += 1;
+            v
+        };
+        ((node as u64) << 40) | seq
+    }
+
+    #[inline]
+    fn host_mut(&mut self, host: u32) -> &mut HostState {
+        &mut self.hosts[self.shared.local_idx[host as usize] as usize]
+    }
+
+    #[inline]
+    fn switch_mut(&mut self, sw_node: u32) -> &mut SwitchState {
+        &mut self.switches[self.shared.local_idx[sw_node as usize] as usize]
+    }
+
+    /// Unpack an arriving packet.
+    fn open(&mut self, slot: PktSlot) -> Packet {
+        match slot {
+            PktSlot::Local(r) => self.arena.take(r),
+            PktSlot::Boxed(b) => *b,
+        }
+    }
+
+    /// Pack a packet for delivery to `dst_node`: arena slot when local,
+    /// boxed when it crosses partitions.
+    fn pack(&mut self, dst_node: u32, pkt: Packet) -> PktSlot {
+        if self.shared.part_of[dst_node as usize] == self.part {
+            PktSlot::Local(self.arena.insert(pkt))
+        } else {
+            PktSlot::Boxed(Box::new(pkt))
+        }
+    }
+
+    /// Current up/down state of a directed link (epoch-fenced flags).
+    #[inline]
+    fn link_is_down(&self, link: LinkId) -> bool {
+        self.shared.link_down[link.idx()].load(SeqCst)
+    }
+
+    fn source_fire(&mut self, host: u32, idx: u32, now: SimTime, out: &mut Outbox<'_, Msg>) {
+        let shared = Arc::clone(&self.shared);
+        let (msg, next) = self.host_mut(host).sources[idx as usize].on_event(now, ());
+        if next <= shared.source_stop {
+            let k = self.next_key(host);
+            out.send(host, next, k, Msg::SourceFire { idx });
+        }
+        self.handle_message(host, msg, now, out);
+    }
+
+    fn handle_message(&mut self, host: u32, msg: AppMessage, now: SimTime, out: &mut Outbox<'_, Msg>) {
+        let shared = Arc::clone(&self.shared);
+        self.offered_messages += 1;
+        self.collector.offered(msg.class, msg.bytes, now);
+        let src = HostId(host);
+        let parts = dqos_core::segment_message(msg.bytes, shared.cfg.mtu);
+        let local = shared.host_clock[host as usize].local(now);
+        let lead = shared.cfg.eligible_lead_ns.map(SimDuration::from_ns);
+        // The route is interned to a `Copy` port path once per flow;
+        // stamping it into each packet below is a plain field copy.
+        let (flow_id, route, stamps) = match msg.stream {
+            Some(s) => shared.flows.stamp_video(src, s, local, &parts, lead),
+            None => {
+                let route = shared.flows.aggregated_path(src, msg.dst);
+                let id = shared.flows.aggregated_flow_id(src, msg.dst, msg.class);
+                let stamps = shared.flows.stamp_aggregated(src, msg.class, local, &parts);
+                (id, route, stamps)
+            }
+        };
+        let hs = self.host_mut(host);
+        let msg_id = hs.next_msg_id;
+        hs.next_msg_id += 1;
+        let n = parts.len() as u32;
+        let pkts: Vec<Packet> = parts
+            .iter()
+            .zip(stamps)
+            .enumerate()
+            .map(|(i, (&len, st))| {
+                let id = ((host as u64) << 40) | hs.next_pkt;
+                hs.next_pkt += 1;
+                Packet {
+                    id,
+                    flow: flow_id,
+                    class: msg.class,
+                    src,
+                    dst: msg.dst,
+                    len,
+                    deadline: st.deadline,
+                    eligible: st.eligible,
+                    route,
+                    hop: 0,
+                    injected_at: now,
+                    msg: MsgTag { msg_id, part: i as u32, parts: n, created_at: now },
+                    corrupted: false,
+                }
+            })
+            .collect();
+        let actions = hs.nic.on_event(local, NicEvent::Enqueue(pkts));
+        self.apply_host_actions(host, actions, now, out);
+    }
+
+    fn apply_host_actions(
+        &mut self,
+        host: u32,
+        actions: Vec<NodeAction>,
+        _now: SimTime,
+        out: &mut Outbox<'_, Msg>,
+    ) {
+        let clock = self.shared.host_clock[host as usize];
+        for a in actions {
+            match a {
+                NodeAction::StartTx { packet, finish, .. } => {
+                    let finish_g = clock.global_of(finish);
+                    let k = self.next_key(host);
+                    out.send(host, finish_g, k, Msg::HostTxDone);
+                    self.ship_from_host(host, packet, finish_g, out);
+                }
+                NodeAction::WakeAt { at } => {
+                    let k = self.next_key(host);
+                    out.send(host, clock.global_of(at), k, Msg::HostWake);
+                }
+                NodeAction::SendCredit { .. } | NodeAction::ScheduleXbarDone { .. } => {
+                    unreachable!("NICs emit only StartTx and WakeAt")
+                }
+            }
+        }
+    }
+
+    fn ship_from_host(
+        &mut self,
+        host: u32,
+        mut pkt: Packet,
+        finish_g: SimTime,
+        out: &mut Outbox<'_, Msg>,
+    ) {
+        let shared = Arc::clone(&self.shared);
+        let end = shared.topo.host_out_link(HostId(host));
+        let NodeId::Switch(sw) = end.peer else { unreachable!("hosts attach to switches") };
+        let arrive = finish_g + shared.cfg.wire_delay;
+        if shared.faults_enabled {
+            if self.link_is_down(end.link) || self.faults.roll_drop(end.link) {
+                // The wire ate the packet. The NIC already spent a credit
+                // for it, and the switch buffer it would have occupied
+                // never fills — so the credit synthesizes straight back,
+                // exactly as if the switch had received and instantly
+                // freed it. (Without this, every drop leaks injection
+                // credit and the host eventually wedges.)
+                self.fault_dropped[pkt.class.idx()] += 1;
+                let k = self.next_key(host);
+                out.send(
+                    host,
+                    arrive + shared.cfg.credit_delay,
+                    k,
+                    Msg::HostCredit { vc: pkt.vc(), bytes: pkt.len },
+                );
+                return;
+            }
+            if self.faults.roll_corrupt(end.link) {
+                pkt.corrupted = true;
+            }
+        }
+        // TTD transport (§3.3): relative deadline on the wire. The TTD is
+        // part of the header and is rewritten as the packet transits, so
+        // encode and decode straddle only the wire propagation — a
+        // *constant* slide that preserves per-flow deadline monotonicity
+        // (encoding at serialisation start would slide each packet by its
+        // own length and break the appendix hypothesis).
+        let ttd = ClockDomain::encode_ttd(
+            pkt.deadline,
+            shared.host_clock[host as usize].local(finish_g),
+        );
+        pkt.deadline = ClockDomain::decode_ttd(ttd, shared.sw_clock[sw.idx()].local(arrive));
+        pkt.eligible = None; // host-only field, not in the header
+        let dst_node = shared.n_hosts + sw.0;
+        let slot = self.pack(dst_node, pkt);
+        let k = self.next_key(host);
+        out.send(dst_node, arrive, k, Msg::SwitchArrive { port: end.peer_port, slot });
+    }
+
+    fn apply_switch_actions(
+        &mut self,
+        sw_node: u32,
+        actions: Vec<NodeAction>,
+        now: SimTime,
+        out: &mut Outbox<'_, Msg>,
+    ) -> Result<(), SimError> {
+        let shared = Arc::clone(&self.shared);
+        let s = (sw_node - shared.n_hosts) as usize;
+        let clock = shared.sw_clock[s];
+        for a in actions {
+            match a {
+                NodeAction::StartTx { out_port, packet, finish } => {
+                    let finish_g = clock.global_of(finish);
+                    let k = self.next_key(sw_node);
+                    out.send(sw_node, finish_g, k, Msg::SwitchTxDone { port: out_port });
+                    self.ship_from_switch(sw_node, out_port, packet, finish_g, out)?;
+                }
+                NodeAction::SendCredit { in_port, vc, bytes } => {
+                    let at = now + shared.cfg.credit_delay;
+                    // The data link feeding `in_port`; the returning
+                    // credit travels its reverse wire, so the credit-loss
+                    // impairment is keyed on it.
+                    let (dst_node, msg, data_link) = match shared.feeder[s][in_port.idx()] {
+                        Feeder::Host(h) if h == u32::MAX => {
+                            return Err(SimError::UnwiredFeeder {
+                                switch: SwitchId(s as u32),
+                                port: in_port,
+                            });
+                        }
+                        Feeder::Host(h) => (
+                            h,
+                            Msg::HostCredit { vc, bytes },
+                            shared.topo.host_out_link(HostId(h)).link,
+                        ),
+                        Feeder::Switch(s2, p2) => {
+                            let end = shared
+                                .topo
+                                .switch_out_link(SwitchId(s2), p2)
+                                .ok_or(SimError::UnwiredPort { switch: SwitchId(s2), port: p2 })?;
+                            (
+                                shared.n_hosts + s2,
+                                Msg::SwitchCredit { port: p2, vc, bytes },
+                                end.link,
+                            )
+                        }
+                    };
+                    if shared.faults_enabled && self.faults.roll_credit_loss(data_link) {
+                        self.credits_lost += 1;
+                    } else {
+                        let k = self.next_key(sw_node);
+                        out.send(dst_node, at, k, msg);
+                    }
+                }
+                NodeAction::ScheduleXbarDone { out_port, at } => {
+                    let k = self.next_key(sw_node);
+                    out.send(sw_node, clock.global_of(at), k, Msg::SwitchXbarDone { port: out_port });
+                }
+                NodeAction::WakeAt { .. } => unreachable!("switches don't sleep"),
+            }
+        }
+        Ok(())
+    }
+
+    fn ship_from_switch(
+        &mut self,
+        sw_node: u32,
+        out_port: Port,
+        mut pkt: Packet,
+        finish_g: SimTime,
+        out: &mut Outbox<'_, Msg>,
+    ) -> Result<(), SimError> {
+        let shared = Arc::clone(&self.shared);
+        let s = sw_node - shared.n_hosts;
+        let end = shared
+            .topo
+            .switch_out_link(SwitchId(s), out_port)
+            .ok_or(SimError::UnwiredPort { switch: SwitchId(s), port: out_port })?;
+        let arrive = finish_g + shared.cfg.wire_delay;
+        if shared.faults_enabled {
+            if self.link_is_down(end.link) || self.faults.roll_drop(end.link) {
+                // Dropped on the wire: the downstream buffer never fills,
+                // so this switch's output credit for the hop synthesizes
+                // back (see ship_from_host).
+                self.fault_dropped[pkt.class.idx()] += 1;
+                let k = self.next_key(sw_node);
+                out.send(
+                    sw_node,
+                    arrive + shared.cfg.credit_delay,
+                    k,
+                    Msg::SwitchCredit { port: out_port, vc: pkt.vc(), bytes: pkt.len },
+                );
+                return Ok(());
+            }
+            if self.faults.roll_corrupt(end.link) {
+                pkt.corrupted = true;
+            }
+        }
+        match end.peer {
+            NodeId::Switch(next) => {
+                // See ship_from_host for why the TTD is encoded at
+                // serialisation end.
+                let ttd = ClockDomain::encode_ttd(
+                    pkt.deadline,
+                    shared.sw_clock[s as usize].local(finish_g),
+                );
+                pkt.deadline =
+                    ClockDomain::decode_ttd(ttd, shared.sw_clock[next.idx()].local(arrive));
+                let dst_node = shared.n_hosts + next.0;
+                let slot = self.pack(dst_node, pkt);
+                let k = self.next_key(sw_node);
+                out.send(dst_node, arrive, k, Msg::SwitchArrive { port: end.peer_port, slot });
+            }
+            NodeId::Host(h) => {
+                let slot = self.pack(h.0, pkt);
+                let k = self.next_key(sw_node);
+                out.send(h.0, arrive, k, Msg::HostArrive { slot });
+            }
+        }
+        Ok(())
+    }
+
+    fn handle_delivery(&mut self, host: u32, pkt: Packet, now: SimTime, out: &mut Outbox<'_, Msg>) {
+        let shared = Arc::clone(&self.shared);
+        if pkt.corrupted {
+            // CRC failure at the destination: the payload is discarded
+            // before the sink sees it (so reassembly and order tracking
+            // treat it as a loss), but the buffer space it occupied still
+            // frees — the credit returns exactly as for a good packet.
+            self.fault_corrupted[pkt.class.idx()] += 1;
+            self.delivery_credit(host, pkt.vc(), pkt.len, now, out);
+            return;
+        }
+        if shared.faults_enabled
+            && shared.cfg.arch.uses_deadlines()
+            && pkt.class.is_regulated()
+        {
+            // Only the regulated classes carry real deadlines; the VC1
+            // classes' virtual-clock deadlines lag by design whenever a
+            // class offers more than its record. The final hop carries no
+            // TTD, so the deadline is still in the transmitting leaf's
+            // clock domain.
+            let (leaf, _) = shared.host_feed[host as usize];
+            if now > shared.sw_clock[leaf as usize].global_of(pkt.deadline) {
+                self.fault_deadline_miss[pkt.class.idx()] += 1;
+            }
+        }
+        let (class, len, created) = (pkt.class, pkt.len, pkt.msg.created_at);
+        let (credit, completed) = self.host_mut(host).sink.on_event(now, pkt);
+        self.collector.packet_delivered(class, len, created, now);
+        if let Some(m) = completed {
+            self.collector.message_completed(m.class, m.flow, m.created_at, m.completed_at);
+        }
+        let NodeAction::SendCredit { vc, bytes, .. } = credit else {
+            unreachable!("sink returns exactly one credit")
+        };
+        self.delivery_credit(host, vc, bytes, now, out);
+    }
+
+    /// Return delivery-link buffer credit to the feeding leaf — unless
+    /// the credit-loss impairment eats it.
+    fn delivery_credit(
+        &mut self,
+        host: u32,
+        vc: Vc,
+        bytes: u32,
+        now: SimTime,
+        out: &mut Outbox<'_, Msg>,
+    ) {
+        let shared = Arc::clone(&self.shared);
+        if shared.faults_enabled
+            && self.faults.roll_credit_loss(shared.topo.host_delivery_link(HostId(host)))
+        {
+            self.credits_lost += 1;
+            return;
+        }
+        let (leaf, port) = shared.host_feed[host as usize];
+        let k = self.next_key(host);
+        out.send(
+            shared.n_hosts + leaf,
+            now + shared.cfg.credit_delay,
+            k,
+            Msg::SwitchCredit { port, vc, bytes },
+        );
+    }
+}
+
+impl PartWorld for Partition {
+    type Msg = Msg;
+    type Err = SimError;
+
+    fn seed(&mut self, out: &mut Outbox<'_, Msg>) {
+        let stop = self.shared.source_stop;
+        for hi in 0..self.host_ids.len() {
+            let host = self.host_ids[hi];
+            for idx in 0..self.hosts[hi].sources.len() {
+                let t = self.hosts[hi].sources[idx].first_arrival();
+                if t <= stop {
+                    let k = self.next_key(host);
+                    out.send(host, t, k, Msg::SourceFire { idx: idx as u32 });
+                }
+            }
+        }
+    }
+
+    fn handle(
+        &mut self,
+        now: SimTime,
+        node: u32,
+        msg: Msg,
+        out: &mut Outbox<'_, Msg>,
+    ) -> Result<(), SimError> {
+        self.last_t = now;
+        match msg {
+            Msg::SourceFire { idx } => {
+                self.source_fire(node, idx, now, out);
+            }
+            Msg::HostWake => {
+                let local = self.shared.host_clock[node as usize].local(now);
+                let actions = self.host_mut(node).nic.on_event(local, NicEvent::Wake);
+                self.apply_host_actions(node, actions, now, out);
+            }
+            Msg::HostTxDone => {
+                let local = self.shared.host_clock[node as usize].local(now);
+                let actions = self.host_mut(node).nic.on_event(local, NicEvent::TxDone);
+                self.apply_host_actions(node, actions, now, out);
+            }
+            Msg::HostCredit { vc, bytes } => {
+                let local = self.shared.host_clock[node as usize].local(now);
+                let actions =
+                    self.host_mut(node).nic.on_event(local, NicEvent::Credit { vc, bytes });
+                self.apply_host_actions(node, actions, now, out);
+            }
+            Msg::SwitchArrive { port, slot } => {
+                let pkt = self.open(slot);
+                let s = (node - self.shared.n_hosts) as usize;
+                let local = self.shared.sw_clock[s].local(now);
+                let actions = self
+                    .switch_mut(node)
+                    .sw
+                    .on_event(local, SwitchEvent::Arrive { in_port: port, pkt });
+                self.apply_switch_actions(node, actions, now, out)?;
+            }
+            Msg::SwitchXbarDone { port } => {
+                let s = (node - self.shared.n_hosts) as usize;
+                let local = self.shared.sw_clock[s].local(now);
+                let actions =
+                    self.switch_mut(node).sw.on_event(local, SwitchEvent::XbarDone { out_port: port });
+                self.apply_switch_actions(node, actions, now, out)?;
+            }
+            Msg::SwitchTxDone { port } => {
+                let s = (node - self.shared.n_hosts) as usize;
+                let local = self.shared.sw_clock[s].local(now);
+                let actions =
+                    self.switch_mut(node).sw.on_event(local, SwitchEvent::TxDone { out_port: port });
+                self.apply_switch_actions(node, actions, now, out)?;
+            }
+            Msg::SwitchCredit { port, vc, bytes } => {
+                let s = (node - self.shared.n_hosts) as usize;
+                let local = self.shared.sw_clock[s].local(now);
+                let actions = self
+                    .switch_mut(node)
+                    .sw
+                    .on_event(local, SwitchEvent::Credit { out_port: port, vc, bytes });
+                self.apply_switch_actions(node, actions, now, out)?;
+            }
+            Msg::HostArrive { slot } => {
+                let pkt = self.open(slot);
+                self.handle_delivery(node, pkt, now, out);
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply one timed-fault instant: flip link state through the shared
+    /// injector (a [`NodeModel`] in its own right), refresh the
+    /// epoch-fenced down flags, and re-route/re-admit flows. The
+    /// executor guarantees every partition is quiescent and exactly one
+    /// partition runs this.
+    fn on_epoch(&mut self, idx: usize) {
+        let shared = Arc::clone(&self.shared);
+        let (at, ref timed_idxs) = shared.epoch_groups[idx];
+        let mut inj = shared.injector.lock().unwrap();
+        for &ti in timed_idxs {
+            let (links, down) = inj.on_event(at, ti);
+            for &l in &links {
+                shared.link_down[l.idx()].store(down, SeqCst);
+            }
+            let stats = if down {
+                shared.flows.fail_links(&shared.topo, &links)
+            } else {
+                shared.flows.restore_links(&shared.topo, &links)
+            };
+            shared.reroute.lock().unwrap().absorb(stats);
+        }
+        debug_assert!(
+            shared.flows.with_admission(|a| a.max_utilization()) <= 1.0,
+            "degraded re-admission oversubscribed the ledger"
+        );
+    }
+}
+
+/// Fold one partition's end-of-run state into the aggregates `Network`
+/// turns into a [`crate::RunSummary`].
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct PartTotals {
+    pub(crate) injected: u64,
+    pub(crate) delivered: u64,
+    pub(crate) out_of_order: u64,
+    pub(crate) broken: u64,
+    pub(crate) residual_nic: u64,
+    pub(crate) residual_sw: u64,
+    pub(crate) take_over: u64,
+    pub(crate) order_errors: u64,
+    pub(crate) offered: u64,
+    pub(crate) peak_in_flight: u64,
+    pub(crate) dropped: [u64; NUM_CLASSES],
+    pub(crate) corrupted: [u64; NUM_CLASSES],
+    pub(crate) deadline_miss: [u64; NUM_CLASSES],
+    pub(crate) credits_lost: u64,
+}
+
+impl PartTotals {
+    pub(crate) fn absorb(&mut self, p: &Partition) {
+        self.injected += p.hosts.iter().map(|h| h.nic.stats().injected_packets).sum::<u64>();
+        self.delivered += p.hosts.iter().map(|h| h.sink.stats().packets).sum::<u64>();
+        self.out_of_order += p.hosts.iter().map(|h| h.sink.stats().out_of_order).sum::<u64>();
+        self.broken += p.hosts.iter().map(|h| h.sink.stats().broken_messages).sum::<u64>();
+        self.residual_nic += p.hosts.iter().map(|h| h.nic.queued_packets() as u64).sum::<u64>();
+        self.residual_sw +=
+            p.switches.iter().map(|s| s.sw.occupancy_packets() as u64).sum::<u64>();
+        self.take_over += p.switches.iter().map(|s| s.sw.take_over_total()).sum::<u64>();
+        self.order_errors += p.switches.iter().map(|s| s.sw.stats().order_errors).sum::<u64>();
+        self.offered += p.offered_messages;
+        self.peak_in_flight += p.arena.high_water() as u64;
+        for c in 0..NUM_CLASSES {
+            self.dropped[c] += p.fault_dropped[c];
+            self.corrupted[c] += p.fault_corrupted[c];
+            self.deadline_miss[c] += p.fault_deadline_miss[c];
+        }
+        self.credits_lost += p.credits_lost;
+    }
+}
+
+/// Where is everything? Taken when a watchdog fires.
+pub(crate) fn stall_snapshot(parts: &[Partition], now: SimTime, events: u64) -> StallSnapshot {
+    let mut stuck_ports = Vec::new();
+    let mut stuck_hosts = Vec::new();
+    let mut arena_live = 0usize;
+    let mut nic_queued = 0usize;
+    let mut switch_queued = 0usize;
+    let mut credits_lost = 0u64;
+    for p in parts {
+        arena_live += p.arena.live();
+        credits_lost += p.credits_lost;
+        for (si, s) in p.switch_ids.iter().zip(&p.switches) {
+            switch_queued += s.sw.occupancy_packets();
+            if s.sw.occupancy_packets() == 0 {
+                continue;
+            }
+            for d in s.sw.diag() {
+                if d.input_queued != 0 || d.output_queued != 0 || d.credits == 0 {
+                    stuck_ports.push((SwitchId(*si), d));
+                }
+            }
+        }
+        for (h, hs) in p.host_ids.iter().zip(&p.hosts) {
+            nic_queued += hs.nic.queued_packets();
+            if hs.nic.queued_packets() != 0 {
+                stuck_hosts.push((
+                    *h,
+                    hs.nic.queued_packets(),
+                    [hs.nic.credits(Vc::REGULATED), hs.nic.credits(Vc::BEST_EFFORT)],
+                ));
+            }
+        }
+    }
+    // Partition iteration visits switches/hosts out of global order when
+    // several partitions run; the diagnostics sort so snapshots are
+    // stable either way.
+    stuck_ports.sort_by_key(|(sw, d)| (sw.0, d.port.idx(), d.vc));
+    stuck_hosts.sort_by_key(|(h, ..)| *h);
+    StallSnapshot {
+        now,
+        events,
+        arena_live,
+        nic_queued,
+        switch_queued,
+        credits_lost,
+        stuck_ports,
+        stuck_hosts,
+    }
+}

@@ -1,0 +1,774 @@
+//! Partitioned discrete-event executors.
+//!
+//! A simulation is split into `W` **partitions**, each owning a disjoint
+//! set of nodes, a private calendar and whatever per-node state those
+//! nodes need. The executor delivers `(time, key, node, message)` events
+//! to the owning partition's [`PartWorld::handle`] in `(time, key)`
+//! order and routes the messages handlers emit — locally by scheduling
+//! straight into the partition's own calendar, remotely by depositing
+//! into the target partition's inbox.
+//!
+//! Two executors share one semantics:
+//!
+//! * **Serial** (`worlds.len() == 1`): a plain calendar loop. This is
+//!   the bit-exact oracle.
+//! * **Conservative parallel**: one `std::thread` per partition,
+//!   synchronised null-message style by a per-wire **lookahead** `L` —
+//!   the minimum latency of any cross-partition message. Each partition
+//!   publishes a clock (a lower bound on anything it may still send);
+//!   a partition may safely process every local event strictly below
+//!   `min(other clocks) + L` **and** below its earliest undrained inbox
+//!   deposit (the bound can rise past an already-made deposit, because
+//!   the depositor's clock moves on once the message is handed over —
+//!   the inbox fence is what keeps such a deposit ahead of every local
+//!   pop it must precede).
+//!
+//! # Determinism
+//!
+//! Event keys encode `(source node, per-source sequence)`, so the pop
+//! order at a shared tick is a pure function of the traffic, not of
+//! thread interleaving. Since a node lives in exactly one partition,
+//! its handler sees its events in the same order under both executors;
+//! any remaining cross-partition shared state must be order-independent
+//! (exact merges, epoch-fenced mutation) — that contract belongs to the
+//! `PartWorld` implementation and is what keeps reports bit-identical.
+//!
+//! # Epochs
+//!
+//! Global state mutations (timed fault-plan entries) are **epochs**: at
+//! each epoch time `E`, every event strictly before `E` is processed
+//! first, then all partitions rendezvous at a barrier, one leader calls
+//! [`PartWorld::on_epoch`], and processing resumes with events at or
+//! after `E`. The serial loop interleaves epochs at exactly the same
+//! points, so the two executors stay in lockstep.
+
+use crate::queue::EventQueue;
+use crate::time::{SimDuration, SimTime};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::SeqCst};
+use std::sync::Mutex;
+
+/// One partition of a partitioned simulation.
+///
+/// Implementations own the models of their nodes plus (shared, behind
+/// `Sync` wrappers) whatever state crosses partitions. The executor
+/// guarantees `handle` is called with this partition's events in
+/// `(time, key)` order and that `on_epoch` runs with every partition
+/// quiescent (no event below the epoch time anywhere, nothing in
+/// flight) — exactly one partition's `on_epoch` is invoked per epoch.
+pub trait PartWorld: Send {
+    /// Message payload delivered to nodes.
+    type Msg: Send;
+    /// Application-level error a handler can raise.
+    type Err: Send;
+    /// Schedule the initial events (runs once, before the clock moves).
+    fn seed(&mut self, out: &mut Outbox<'_, Self::Msg>);
+    /// Deliver one message to `node` at simulation time `now`.
+    fn handle(
+        &mut self,
+        now: SimTime,
+        node: u32,
+        msg: Self::Msg,
+        out: &mut Outbox<'_, Self::Msg>,
+    ) -> Result<(), Self::Err>;
+    /// Apply the `idx`-th epoch (called on one partition, all quiescent).
+    fn on_epoch(&mut self, idx: usize);
+}
+
+/// Executor configuration.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Minimum latency of any cross-partition message, in ns. Must be
+    /// positive when more than one partition runs.
+    pub lookahead: SimDuration,
+    /// Times of global state mutations, strictly ascending.
+    pub epochs: Vec<SimTime>,
+    /// Process no event after this time (inclusive); `None` runs to
+    /// drain. Epochs past the horizon do not fire.
+    pub horizon: Option<SimTime>,
+    /// Watchdog: maximum events at a single timestamp per partition
+    /// before the run is declared stalled.
+    pub same_tick_limit: u64,
+    /// Owning partition of every node id.
+    pub part_of: Vec<u32>,
+}
+
+/// Why a run stopped early.
+#[derive(Debug)]
+pub enum ExecError<E> {
+    /// A handler returned an error.
+    App {
+        /// Partition that raised it.
+        partition: usize,
+        /// Simulation time of the offending event.
+        time: SimTime,
+        /// The handler's error.
+        err: E,
+    },
+    /// The same-tick watchdog fired: a partition processed more than
+    /// `same_tick_limit` events without time advancing.
+    SameTick {
+        /// Partition that livelocked.
+        partition: usize,
+        /// The timestamp time stopped advancing at.
+        time: SimTime,
+    },
+}
+
+/// What [`execute`] returns: the worlds (back from the worker threads,
+/// error or not — diagnostics live inside them), the total event count,
+/// and the first error if any partition failed.
+pub struct ExecResult<W: PartWorld> {
+    /// The partition worlds, in partition order.
+    pub worlds: Vec<W>,
+    /// Events processed across all partitions.
+    pub events: u64,
+    /// First error recorded, if the run did not complete.
+    pub error: Option<ExecError<W::Err>>,
+}
+
+/// Routes messages emitted by a handler: local ones go straight into
+/// the partition's calendar, remote ones are staged for deposit into
+/// the target partition's inbox.
+pub struct Outbox<'a, M> {
+    part: u32,
+    part_of: &'a [u32],
+    local: &'a mut EventQueue<(u32, M)>,
+    remote: Vec<RemoteMsg<M>>,
+}
+
+struct RemoteMsg<M> {
+    dst_part: u32,
+    node: u32,
+    at: SimTime,
+    key: u64,
+    msg: M,
+}
+
+impl<M> Outbox<'_, M> {
+    /// Send `msg` to `node`, to be handled at time `at`, ordered among
+    /// same-tick events by `key` (encode `(source node, sequence)` —
+    /// see [`EventQueue::schedule_keyed`]).
+    #[inline]
+    pub fn send(&mut self, node: u32, at: SimTime, key: u64, msg: M) {
+        let p = self.part_of[node as usize];
+        if p == self.part {
+            self.local.schedule_keyed(at, key, (node, msg));
+        } else {
+            self.remote.push(RemoteMsg { dst_part: p, node, at, key, msg });
+        }
+    }
+}
+
+/// Per-partition synchronisation slot.
+struct Slot<M> {
+    /// Messages deposited by other partitions, not yet in the calendar.
+    inbox: Mutex<Vec<(u32, SimTime, u64, M)>>,
+    /// Lower bound (ns) on any event this partition may still process —
+    /// and therefore, plus the lookahead, on anything it may still
+    /// send. `u64::MAX` when idle with an empty calendar.
+    clock: AtomicU64,
+    /// Earliest undrained inbox deposit (ns); `u64::MAX` when none. The
+    /// owner must not pop a local event at or past this time — the
+    /// deposit has to be merged into the calendar first, both for the
+    /// same-tick key order and because the owner's burst bound can
+    /// legitimately rise past it (the depositor's published clock moves
+    /// on once the deposit is made).
+    inbox_min: AtomicU64,
+}
+
+struct Ctl<M> {
+    slots: Vec<Slot<M>>,
+    /// Total cross-partition deposits ever made. A scan of the clocks
+    /// is a valid snapshot iff this is unchanged across it (clocks only
+    /// move down when a deposit happens).
+    sent: AtomicU64,
+    epoch_idx: AtomicUsize,
+    stop: AtomicBool,
+    barrier: StopBarrier,
+}
+
+/// A reusable spinning rendezvous that can be abandoned: waiters bail
+/// out when the stop flag is raised, so a partition that dies (handler
+/// error, panic) can never strand the others inside the barrier the way
+/// a `std::sync::Barrier` would.
+struct StopBarrier {
+    n: usize,
+    count: AtomicUsize,
+    gen: AtomicUsize,
+}
+
+impl StopBarrier {
+    fn new(n: usize) -> Self {
+        Self { n, count: AtomicUsize::new(0), gen: AtomicUsize::new(0) }
+    }
+
+    /// Rendezvous with the other `n - 1` workers. Returns `Some(true)`
+    /// on exactly one worker per generation (the leader), `Some(false)`
+    /// on the rest, `None` if the wait was abandoned because `stop` was
+    /// raised (the barrier must not be reused after that).
+    fn wait(&self, stop: &AtomicBool) -> Option<bool> {
+        let gen = self.gen.load(SeqCst);
+        if self.count.fetch_add(1, SeqCst) + 1 == self.n {
+            self.count.store(0, SeqCst);
+            self.gen.store(gen.wrapping_add(1), SeqCst);
+            return Some(true);
+        }
+        while self.gen.load(SeqCst) == gen {
+            if stop.load(SeqCst) {
+                return None;
+            }
+            std::thread::yield_now();
+        }
+        Some(false)
+    }
+}
+
+/// Run a partitioned simulation to completion.
+///
+/// `worlds.len()` is the partition count; one world runs the serial
+/// oracle loop, several run the conservative parallel executor (which
+/// requires a positive lookahead). Panics on configuration errors;
+/// simulation-level failures come back in [`ExecResult::error`].
+pub fn execute<W: PartWorld>(mut worlds: Vec<W>, cfg: ExecConfig) -> ExecResult<W> {
+    assert!(!worlds.is_empty(), "at least one partition");
+    assert!(
+        cfg.epochs.windows(2).all(|w| w[0] < w[1]),
+        "epoch times must be strictly ascending"
+    );
+    let n_parts = worlds.len();
+    assert!(
+        cfg.part_of.iter().all(|&p| (p as usize) < n_parts),
+        "part_of references a partition that has no world"
+    );
+
+    // Seed every partition's calendar. Runs single-threaded, so remote
+    // sends (unusual but legal) deposit directly.
+    let mut queues: Vec<EventQueue<(u32, W::Msg)>> =
+        (0..n_parts).map(|_| EventQueue::with_capacity(1 << 16)).collect();
+    let mut staged: Vec<RemoteMsg<W::Msg>> = Vec::new();
+    for (i, w) in worlds.iter_mut().enumerate() {
+        let mut out = Outbox {
+            part: i as u32,
+            part_of: &cfg.part_of,
+            local: &mut queues[i],
+            remote: std::mem::take(&mut staged),
+        };
+        w.seed(&mut out);
+        staged = out.remote;
+        for m in staged.drain(..) {
+            queues[m.dst_part as usize].schedule_keyed(m.at, m.key, (m.node, m.msg));
+        }
+    }
+
+    if n_parts == 1 {
+        let world = &mut worlds[0];
+        let queue = &mut queues[0];
+        let (events, error) = run_serial(world, queue, &cfg);
+        return ExecResult { worlds, events, error };
+    }
+    assert!(
+        cfg.lookahead > SimDuration::ZERO,
+        "parallel execution needs a positive lookahead"
+    );
+    run_parallel(worlds, queues, &cfg)
+}
+
+/// The serial oracle loop: one calendar, inline epochs.
+fn run_serial<W: PartWorld>(
+    world: &mut W,
+    queue: &mut EventQueue<(u32, W::Msg)>,
+    cfg: &ExecConfig,
+) -> (u64, Option<ExecError<W::Err>>) {
+    let horizon = cfg.horizon.unwrap_or(SimTime::MAX);
+    let mut events = 0u64;
+    let mut epoch = 0usize;
+    let mut last_t = SimTime::ZERO;
+    let mut same_tick = 0u64;
+    let mut remote_buf: Vec<RemoteMsg<W::Msg>> = Vec::new();
+    while let Some(t) = queue.peek_time() {
+        if t > horizon {
+            break;
+        }
+        // Epochs fire after everything before their time, before
+        // anything at or after it.
+        while epoch < cfg.epochs.len() && cfg.epochs[epoch] <= t {
+            world.on_epoch(epoch);
+            epoch += 1;
+        }
+        let ev = queue.pop().expect("peeked");
+        events += 1;
+        if ev.time == last_t {
+            same_tick += 1;
+            if same_tick > cfg.same_tick_limit {
+                return (events, Some(ExecError::SameTick { partition: 0, time: ev.time }));
+            }
+        } else {
+            last_t = ev.time;
+            same_tick = 0;
+        }
+        let (node, msg) = ev.payload;
+        let mut out = Outbox {
+            part: 0,
+            part_of: &cfg.part_of,
+            local: queue,
+            remote: std::mem::take(&mut remote_buf),
+        };
+        let r = world.handle(ev.time, node, msg, &mut out);
+        remote_buf = out.remote;
+        debug_assert!(remote_buf.is_empty(), "single partition has no remote targets");
+        if let Err(err) = r {
+            return (events, Some(ExecError::App { partition: 0, time: ev.time, err }));
+        }
+    }
+    // Epochs whose time lies past the last event still fire (e.g. a
+    // link repair after the fabric drained).
+    while epoch < cfg.epochs.len() && cfg.epochs[epoch] <= horizon {
+        world.on_epoch(epoch);
+        epoch += 1;
+    }
+    (events, None)
+}
+
+/// The conservative parallel executor.
+fn run_parallel<W: PartWorld>(
+    worlds: Vec<W>,
+    queues: Vec<EventQueue<(u32, W::Msg)>>,
+    cfg: &ExecConfig,
+) -> ExecResult<W> {
+    let n_parts = worlds.len();
+    let lookahead = cfg.lookahead.as_ns();
+    // Process strictly below this; `horizon` itself is still processed.
+    let stop_bound = match cfg.horizon {
+        Some(h) => h.as_ns().saturating_add(1),
+        None => u64::MAX,
+    };
+    // Epochs past the horizon never fire.
+    let epochs: Vec<u64> = cfg
+        .epochs
+        .iter()
+        .map(|e| e.as_ns())
+        .filter(|&e| e < stop_bound)
+        .collect();
+
+    let ctl: Ctl<W::Msg> = Ctl {
+        slots: queues
+            .iter()
+            .map(|q| Slot {
+                inbox: Mutex::new(Vec::new()),
+                clock: AtomicU64::new(q.peek_time().map_or(u64::MAX, |t| t.as_ns())),
+                inbox_min: AtomicU64::new(u64::MAX),
+            })
+            .collect(),
+        sent: AtomicU64::new(0),
+        epoch_idx: AtomicUsize::new(0),
+        stop: AtomicBool::new(false),
+        barrier: StopBarrier::new(n_parts),
+    };
+    let error: Mutex<Option<ExecError<W::Err>>> = Mutex::new(None);
+
+    // Everything below `at` is done and nothing that could change that
+    // is in flight. Clocks only decrease via deposits, and every
+    // deposit bumps `sent` under the receiver's inbox lock — so an
+    // unchanged `sent` across the scan makes it a consistent snapshot.
+    let quiescent = |at: u64| -> bool {
+        let s1 = ctl.sent.load(SeqCst);
+        if !ctl.slots.iter().all(|s| s.clock.load(SeqCst) >= at) {
+            return false;
+        }
+        s1 == ctl.sent.load(SeqCst)
+    };
+
+    let worker = |part: usize, mut world: W, mut queue: EventQueue<(u32, W::Msg)>| {
+        let min_other = |part: usize| -> u64 {
+            ctl.slots
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != part)
+                .map(|(_, s)| s.clock.load(SeqCst))
+                .min()
+                .unwrap_or(u64::MAX)
+        };
+        let mut events = 0u64;
+        let mut last_t = SimTime::ZERO;
+        let mut same_tick = 0u64;
+        let mut remote_buf: Vec<RemoteMsg<W::Msg>> = Vec::new();
+        let fail = |e: ExecError<W::Err>| {
+            let mut slot = error.lock().unwrap();
+            if slot.is_none() {
+                *slot = Some(e);
+            }
+            ctl.stop.store(true, SeqCst);
+        };
+        // A panic in `world.handle` (a debug assertion, say) must still
+        // release the other workers, or they spin/wait forever and the
+        // panic never propagates out of the thread scope.
+        struct StopOnPanic<'a>(&'a AtomicBool);
+        impl Drop for StopOnPanic<'_> {
+            fn drop(&mut self) {
+                if std::thread::panicking() {
+                    self.0.store(true, SeqCst);
+                }
+            }
+        }
+        let _stop_guard = StopOnPanic(&ctl.stop);
+        'main: while !ctl.stop.load(SeqCst) {
+            // Drain the inbox and publish the clock under one lock:
+            // depositors fetch_min the clock under the same lock, so the
+            // published value can never race above a pending message.
+            {
+                let mut inbox = ctl.slots[part].inbox.lock().unwrap();
+                for (node, at, key, msg) in inbox.drain(..) {
+                    queue.schedule_keyed(at, key, (node, msg));
+                }
+                ctl.slots[part].inbox_min.store(u64::MAX, SeqCst);
+                let c = queue.peek_time().map_or(u64::MAX, |t| t.as_ns());
+                ctl.slots[part].clock.store(c, SeqCst);
+            }
+            let eidx = ctl.epoch_idx.load(SeqCst);
+            let cap = epochs.get(eidx).copied().unwrap_or(u64::MAX).min(stop_bound);
+            let mut bound = cap.min(min_other(part).saturating_add(lookahead));
+            let mut progressed = false;
+            while let Some(t) = queue.peek_time() {
+                // The inbox fence: a deposit made mid-burst must be
+                // merged before any event at or past its time — the
+                // depositor's own clock (and with it our bound) can
+                // legitimately advance beyond the deposit once it is
+                // made, so the bound alone does not protect it. Any
+                // message that could violate an in-progress pop is
+                // deposited before the clock read that enabled the pop
+                // (the depositor raises its clock only after the
+                // deposit), so checking the fence per pop is exact.
+                if t.as_ns() >= bound
+                    || t.as_ns() >= ctl.slots[part].inbox_min.load(SeqCst)
+                {
+                    break;
+                }
+                let ev = queue.pop().expect("peeked");
+                events += 1;
+                progressed = true;
+                if ev.time == last_t {
+                    same_tick += 1;
+                    if same_tick > cfg.same_tick_limit {
+                        fail(ExecError::SameTick { partition: part, time: ev.time });
+                        break 'main;
+                    }
+                } else {
+                    last_t = ev.time;
+                    same_tick = 0;
+                }
+                let (node, msg) = ev.payload;
+                let mut out = Outbox {
+                    part: part as u32,
+                    part_of: &cfg.part_of,
+                    local: &mut queue,
+                    remote: std::mem::take(&mut remote_buf),
+                };
+                let r = world.handle(ev.time, node, msg, &mut out);
+                remote_buf = out.remote;
+                if let Err(err) = r {
+                    fail(ExecError::App { partition: part, time: ev.time, err });
+                    break 'main;
+                }
+                if !remote_buf.is_empty() {
+                    for m in remote_buf.drain(..) {
+                        let slot = &ctl.slots[m.dst_part as usize];
+                        let mut inbox = slot.inbox.lock().unwrap();
+                        slot.clock.fetch_min(m.at.as_ns(), SeqCst);
+                        slot.inbox_min.fetch_min(m.at.as_ns(), SeqCst);
+                        ctl.sent.fetch_add(1, SeqCst);
+                        inbox.push((m.node, m.at, m.key, m.msg));
+                    }
+                    // Our own sends may pull a neighbour's clock below
+                    // the bound we computed (and its replies could then
+                    // land inside it) — recompute before continuing.
+                    bound = cap.min(min_other(part).saturating_add(lookahead));
+                }
+            }
+            if progressed {
+                continue;
+            }
+            // Idle. Check for an epoch rendezvous or termination. Both
+            // conditions are stable once true (nothing below the fence
+            // exists or can be created), so every partition reaches the
+            // same barrier.
+            let eidx = ctl.epoch_idx.load(SeqCst);
+            if eidx < epochs.len() {
+                if quiescent(epochs[eidx]) {
+                    if let Some(leader) = ctl.barrier.wait(&ctl.stop) {
+                        if leader {
+                            world.on_epoch(eidx);
+                            ctl.epoch_idx.store(eidx + 1, SeqCst);
+                        }
+                        ctl.barrier.wait(&ctl.stop);
+                    }
+                    continue;
+                }
+            } else if quiescent(stop_bound) {
+                if ctl.barrier.wait(&ctl.stop).is_some() {
+                    break;
+                }
+            }
+            std::thread::yield_now();
+        }
+        (world, events)
+    };
+
+    let mut results: Vec<Option<(W, u64)>> = (0..n_parts).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = worlds
+            .into_iter()
+            .zip(queues)
+            .enumerate()
+            .map(|(i, (w, q))| s.spawn(move || worker(i, w, q)))
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            results[i] = Some(h.join().expect("worker panicked"));
+        }
+    });
+    let mut out_worlds = Vec::with_capacity(n_parts);
+    let mut events = 0u64;
+    for r in results {
+        let (w, e) = r.expect("joined");
+        out_worlds.push(w);
+        events += e;
+    }
+    ExecResult { worlds: out_worlds, events, error: error.into_inner().unwrap() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy world: nodes pass tokens around a ring with a fixed wire
+    /// delay, folding every delivery into a per-node FNV checksum. The
+    /// checksums are order-sensitive, so serial/parallel equality means
+    /// each node saw the identical event sequence.
+    struct Ring {
+        part: u32,
+        part_of: Vec<u32>,
+        n_nodes: u32,
+        delay: u64,
+        rounds: u64,
+        /// (deliveries, checksum) per node (only owned nodes touched).
+        state: Vec<(u64, u64)>,
+        seq: Vec<u64>,
+        epoch_marks: Vec<(usize, u64)>,
+        /// Highest time seen before each epoch fired (shared, exact).
+        max_seen: u64,
+    }
+
+    impl Ring {
+        fn new(part: u32, part_of: Vec<u32>, n_nodes: u32, delay: u64, rounds: u64) -> Self {
+            Ring {
+                part,
+                part_of,
+                n_nodes,
+                delay,
+                rounds,
+                state: vec![(0, 0xcbf2_9ce4_8422_2325); n_nodes as usize],
+                seq: vec![0; n_nodes as usize],
+                epoch_marks: Vec::new(),
+                max_seen: 0,
+            }
+        }
+        fn key(&mut self, node: u32) -> u64 {
+            let s = self.seq[node as usize];
+            self.seq[node as usize] += 1;
+            ((node as u64) << 40) | s
+        }
+    }
+
+    impl PartWorld for Ring {
+        type Msg = u64; // hop count
+        type Err = ();
+        fn seed(&mut self, out: &mut Outbox<'_, u64>) {
+            for n in 0..self.n_nodes {
+                if self.part_of[n as usize] == self.part {
+                    let k = self.key(n);
+                    out.send(n, SimTime::from_ns(1), k, 0);
+                }
+            }
+        }
+        fn handle(
+            &mut self,
+            now: SimTime,
+            node: u32,
+            hops: u64,
+            out: &mut Outbox<'_, u64>,
+        ) -> Result<(), ()> {
+            let (count, sum) = &mut self.state[node as usize];
+            *count += 1;
+            *sum = (*sum ^ now.as_ns().wrapping_add(hops)).wrapping_mul(0x100_0000_01b3);
+            self.max_seen = self.max_seen.max(now.as_ns());
+            if hops < self.rounds {
+                let next = (node + 1) % self.n_nodes;
+                let k = self.key(node);
+                out.send(next, now + SimDuration::from_ns(self.delay), k, hops + 1);
+            }
+            Ok(())
+        }
+        fn on_epoch(&mut self, idx: usize) {
+            self.epoch_marks.push((idx, self.max_seen));
+        }
+    }
+
+    fn run_ring(parts: usize, epochs: Vec<SimTime>, horizon: Option<SimTime>) -> ExecResult<Ring> {
+        let n_nodes = 6u32;
+        let part_of: Vec<u32> = (0..n_nodes).map(|n| n % parts as u32).collect();
+        let worlds: Vec<Ring> = (0..parts)
+            .map(|p| Ring::new(p as u32, part_of.clone(), n_nodes, 16, 200))
+            .collect();
+        execute(
+            worlds,
+            ExecConfig {
+                lookahead: SimDuration::from_ns(16),
+                epochs,
+                horizon,
+                same_tick_limit: 1_000,
+                part_of,
+            },
+        )
+    }
+
+    /// Merge per-node state across partitions (a node's state lives in
+    /// its owner; the others kept the initial value).
+    fn merged(res: &ExecResult<Ring>) -> Vec<(u64, u64)> {
+        let n = res.worlds[0].n_nodes as usize;
+        (0..n)
+            .map(|i| {
+                let owner = res.worlds[0].part_of[i] as usize;
+                res.worlds[owner.min(res.worlds.len() - 1)].state[i]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let ser = run_ring(1, vec![], None);
+        assert!(ser.error.is_none());
+        for parts in [2, 3] {
+            let par = run_ring(parts, vec![], None);
+            assert!(par.error.is_none());
+            assert_eq!(par.events, ser.events, "{parts} partitions");
+            assert_eq!(merged(&par), merged(&ser), "{parts} partitions");
+        }
+    }
+
+    #[test]
+    fn epochs_fence_event_processing() {
+        let e = vec![SimTime::from_ns(500), SimTime::from_ns(10_000_000)];
+        let ser = run_ring(1, e.clone(), None);
+        let par = run_ring(3, e, None);
+        assert!(ser.error.is_none() && par.error.is_none());
+        assert_eq!(merged(&par), merged(&ser));
+        // Exactly one partition fired each epoch, before any event at or
+        // past the epoch time (ring steps are 16 ns apart from t=1, so
+        // the last pre-epoch event is at 497 ns). The second epoch lies
+        // beyond the last event and still fires.
+        let marks: Vec<(usize, u64)> = {
+            let mut m: Vec<_> =
+                par.worlds.iter().flat_map(|w| w.epoch_marks.iter().copied()).collect();
+            m.sort();
+            m
+        };
+        assert_eq!(marks.len(), 2);
+        assert_eq!(marks[0].0, 0);
+        assert!(marks[0].1 < 500, "epoch 0 saw an event at {}", marks[0].1);
+        assert_eq!(marks[1].0, 1);
+        assert_eq!(ser.worlds[0].epoch_marks.len(), 2);
+        assert!(ser.worlds[0].epoch_marks[0].1 < 500);
+    }
+
+    #[test]
+    fn horizon_truncates_identically() {
+        let h = Some(SimTime::from_ns(700));
+        let ser = run_ring(1, vec![], h);
+        let par = run_ring(2, vec![], h);
+        assert!(ser.error.is_none() && par.error.is_none());
+        assert!(ser.events < run_ring(1, vec![], None).events);
+        assert_eq!(par.events, ser.events);
+        assert_eq!(merged(&par), merged(&ser));
+    }
+
+    /// A world that reschedules itself at the same instant forever.
+    struct Livelock;
+    impl PartWorld for Livelock {
+        type Msg = ();
+        type Err = ();
+        fn seed(&mut self, out: &mut Outbox<'_, ()>) {
+            out.send(0, SimTime::from_ns(5), 0, ());
+        }
+        fn handle(
+            &mut self,
+            now: SimTime,
+            _node: u32,
+            _msg: (),
+            out: &mut Outbox<'_, ()>,
+        ) -> Result<(), ()> {
+            out.send(0, now, 1, ());
+            Ok(())
+        }
+        fn on_epoch(&mut self, _idx: usize) {}
+    }
+
+    #[test]
+    fn same_tick_watchdog_fires() {
+        let res = execute(
+            vec![Livelock],
+            ExecConfig {
+                lookahead: SimDuration::from_ns(1),
+                epochs: vec![],
+                horizon: None,
+                same_tick_limit: 100,
+                part_of: vec![0],
+            },
+        );
+        match res.error {
+            Some(ExecError::SameTick { partition: 0, time }) => {
+                assert_eq!(time, SimTime::from_ns(5));
+            }
+            other => panic!("expected SameTick, got {other:?}"),
+        }
+    }
+
+    /// An erroring handler surfaces as `App` and returns the worlds.
+    struct Fails;
+    impl PartWorld for Fails {
+        type Msg = ();
+        type Err = &'static str;
+        fn seed(&mut self, out: &mut Outbox<'_, ()>) {
+            out.send(0, SimTime::from_ns(3), 0, ());
+        }
+        fn handle(
+            &mut self,
+            _now: SimTime,
+            _node: u32,
+            _msg: (),
+            _out: &mut Outbox<'_, ()>,
+        ) -> Result<(), &'static str> {
+            Err("boom")
+        }
+        fn on_epoch(&mut self, _idx: usize) {}
+    }
+
+    #[test]
+    fn app_errors_propagate() {
+        let res = execute(
+            vec![Fails],
+            ExecConfig {
+                lookahead: SimDuration::from_ns(1),
+                epochs: vec![],
+                horizon: None,
+                same_tick_limit: 100,
+                part_of: vec![0],
+            },
+        );
+        assert_eq!(res.worlds.len(), 1);
+        match res.error {
+            Some(ExecError::App { partition: 0, time, err: "boom" }) => {
+                assert_eq!(time, SimTime::from_ns(3));
+            }
+            other => panic!("expected App, got {other:?}"),
+        }
+    }
+}

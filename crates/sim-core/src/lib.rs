@@ -32,12 +32,14 @@
 
 pub mod dist;
 pub mod engine;
+pub mod exec;
 pub mod pool;
 pub mod queue;
 pub mod rng;
 pub mod time;
 
 pub use engine::{Engine, World};
+pub use exec::{execute, ExecConfig, ExecError, ExecResult, Outbox, PartWorld};
 pub use pool::{default_workers, par_map};
 pub use queue::{BinaryHeapQueue, EventQueue, ScheduledEvent};
 pub use rng::{SimRng, SplitMix64};

@@ -222,6 +222,37 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Schedule `payload` to fire at absolute time `at`, ordered among
+    /// same-tick events by the caller-supplied `key` instead of the
+    /// internal insertion counter.
+    ///
+    /// This is the partitioned runtime's determinism hook: keys encode
+    /// `(source node, per-source sequence)` so that the pop order at a
+    /// tick is a pure function of who sent what, not of the interleaving
+    /// in which sends reached this calendar. A calendar must be driven
+    /// either entirely through [`EventQueue::schedule`] or entirely
+    /// through `schedule_keyed` — mixing counter values with caller keys
+    /// would interleave the two keyspaces arbitrarily.
+    ///
+    /// `at` must not precede the current clock.
+    #[inline]
+    pub fn schedule_keyed(&mut self, at: SimTime, key: u64, payload: E) {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: at={at:?} now={:?}",
+            self.now
+        );
+        self.scheduled_total += 1;
+        self.len += 1;
+        let abs = at.as_ns() >> self.shift;
+        let entry = Entry { time: at, seq: key, payload };
+        if abs.saturating_sub(self.cur_abs) < self.n_buckets() {
+            self.push_wheel(abs, entry);
+        } else {
+            self.overflow.push(entry);
+        }
+    }
+
     #[inline]
     fn push_wheel(&mut self, abs: u64, entry: Entry<E>) {
         let slot = (abs & self.mask) as usize;

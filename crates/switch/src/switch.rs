@@ -36,7 +36,7 @@
 
 use crate::arbiter::{pick_edf, pick_round_robin, Candidate};
 use crate::config::SwitchConfig;
-use dqos_core::{NodeAction, Packet, Vc, NUM_VCS};
+use dqos_core::{NodeAction, NodeModel, Packet, SwitchEvent, Vc, NUM_VCS};
 use dqos_queues::{AnyQueue, SchedQueue, Voq};
 use dqos_sim_core::SimTime;
 use dqos_topology::Port;
@@ -502,6 +502,22 @@ impl Switch {
             // Output-buffer space freed: the crossbar may refill it.
             self.try_xbar(o, now, actions);
             return;
+        }
+    }
+}
+
+impl NodeModel for Switch {
+    type Event = SwitchEvent;
+    type Effect = Vec<NodeAction>;
+
+    fn on_event(&mut self, local: SimTime, ev: SwitchEvent) -> Vec<NodeAction> {
+        match ev {
+            SwitchEvent::Arrive { in_port, pkt } => self.on_packet_arrival(in_port, pkt, local),
+            SwitchEvent::XbarDone { out_port } => self.on_xbar_done(out_port, local),
+            SwitchEvent::TxDone { out_port } => self.on_tx_done(out_port, local),
+            SwitchEvent::Credit { out_port, vc, bytes } => {
+                self.on_credit(out_port, vc, bytes, local)
+            }
         }
     }
 }

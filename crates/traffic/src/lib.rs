@@ -31,5 +31,5 @@ pub use control::ControlSource;
 pub use hotspot::HotspotSource;
 pub use mix::{build_host_sources, HotspotSpec, MixConfig};
 pub use selfsimilar::SelfSimilarSource;
-pub use source::{AppMessage, TrafficSource};
+pub use source::{AppMessage, SourceNode, TrafficSource};
 pub use video::VideoSource;

@@ -24,7 +24,10 @@ pub struct AppMessage {
 /// The simulator calls [`TrafficSource::first_arrival`] once to learn the
 /// initial event time, then [`TrafficSource::emit`] at each firing, which
 /// returns the message plus the absolute time of the next firing.
-pub trait TrafficSource {
+///
+/// Sources are `Send` so the partitioned runtime can move a host's
+/// sources onto whichever worker thread owns that host's partition.
+pub trait TrafficSource: Send {
     /// The class this source produces.
     fn class(&self) -> TrafficClass;
 
@@ -40,6 +43,44 @@ pub trait TrafficSource {
     /// per message/burst.
     fn fixed_dst(&self) -> Option<HostId> {
         None
+    }
+}
+
+/// A traffic source bound to its own private RNG stream: the node-model
+/// form of a generator.
+///
+/// The monolithic loop drew all of a host's sources from one host RNG in
+/// whatever order their events happened to pop; giving each source its
+/// own forked stream makes a firing's randomness a pure function of
+/// *which* source fired, independent of global event interleaving — the
+/// property the conservative-parallel executor needs.
+pub struct SourceNode {
+    /// The generator.
+    pub source: Box<dyn TrafficSource>,
+    /// Its private random stream.
+    pub rng: SimRng,
+}
+
+impl SourceNode {
+    /// Wrap `source` with its own random stream.
+    pub fn new(source: Box<dyn TrafficSource>, rng: SimRng) -> Self {
+        SourceNode { source, rng }
+    }
+
+    /// Initial firing time (see [`TrafficSource::first_arrival`]).
+    pub fn first_arrival(&mut self) -> SimTime {
+        self.source.first_arrival(&mut self.rng)
+    }
+}
+
+impl dqos_core::NodeModel for SourceNode {
+    type Event = ();
+    type Effect = (AppMessage, SimTime);
+
+    /// A firing: produce the message due at local time `local` and the
+    /// absolute time of the next firing.
+    fn on_event(&mut self, local: SimTime, _ev: ()) -> (AppMessage, SimTime) {
+        self.source.emit(local, &mut self.rng)
     }
 }
 

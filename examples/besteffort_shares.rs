@@ -11,8 +11,8 @@
 //! ```
 
 use deadline_qos::core::Architecture;
-use deadline_qos::netsim::{run_one, SimConfig};
-use deadline_qos::topology::ClosParams;
+use deadline_qos::netsim::presets::{class_gbps, scaled_bench};
+use deadline_qos::netsim::run_one;
 
 fn main() {
     println!("=== Best-effort differentiation by record weights (Advanced 2 VCs, 100% load) ===\n");
@@ -23,21 +23,12 @@ fn main() {
     // (best-effort, background) record bandwidths as fractions of the
     // link; the residual VC1 capacity is ~50% of the link.
     for (wb, wg) in [(0.25, 0.25), (1.0 / 3.0, 1.0 / 6.0), (0.4, 0.1)] {
-        let mut cfg = SimConfig::bench(Architecture::Advanced2Vc, 1.0);
-        cfg.topology = ClosParams::scaled(16);
+        let mut cfg = scaled_bench(Architecture::Advanced2Vc, 1.0, 16);
         cfg.be_weights = (wb, wg);
         let (report, summary) = run_one(cfg);
         assert_eq!(summary.out_of_order, 0);
-        let thru = |class: &str| {
-            report
-                .class(class)
-                .unwrap()
-                .delivered
-                .throughput(report.window_start, report.window_end)
-                .as_gbps_f64()
-        };
-        let be = thru("Best-effort");
-        let bg = thru("Background");
+        let be = class_gbps(&report, "Best-effort");
+        let bg = class_gbps(&report, "Background");
         println!(
             "{:>5.2}:{:<5.2} {:>14.3} {:>14.3} {:>11.2}x {:>11.2}x",
             wb,

@@ -11,14 +11,11 @@
 //! ```
 
 use deadline_qos::core::Architecture;
-use deadline_qos::netsim::{run_one, SimConfig};
-use deadline_qos::topology::ClosParams;
+use deadline_qos::netsim::presets::{cli_arg, packet_latency_us, scaled_bench};
+use deadline_qos::netsim::run_one;
 
 fn main() {
-    let hosts: u16 = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("hosts"))
-        .unwrap_or(16);
+    let hosts: u16 = cli_arg(1, 16);
     println!("=== Control-plane latency vs load ({hosts} hosts) ===\n");
     println!(
         "{:>7} | {:>12} {:>12} {:>12} | {:>12} {:>12} {:>12}",
@@ -31,16 +28,14 @@ fn main() {
     for load in [0.2, 0.4, 0.6, 0.8, 1.0] {
         let mut row = format!("{:>7.0} |", load * 100.0);
         for arch in [Architecture::Traditional2Vc, Architecture::Advanced2Vc] {
-            let mut cfg = SimConfig::bench(arch, load);
-            cfg.topology = ClosParams::scaled(hosts);
-            let (report, summary) = run_one(cfg);
+            let (report, summary) = run_one(scaled_bench(arch, load, hosts));
             assert_eq!(summary.out_of_order, 0);
-            let c = report.class("Control").unwrap();
+            let (avg, p99, max) = packet_latency_us(&report, "Control");
             row.push_str(&format!(
                 " {:>12.2} {:>12.2} {:>12.2} {}",
-                c.packet_latency.mean() / 1e3,
-                c.packet_latency.quantile(0.99) as f64 / 1e3,
-                c.packet_latency.max() as f64 / 1e3,
+                avg,
+                p99,
+                max,
                 if arch == Architecture::Traditional2Vc { "|" } else { "" }
             ));
         }

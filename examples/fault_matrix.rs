@@ -2,30 +2,34 @@
 //!
 //! One seed, three fault scenarios — a lossy link, a timed spine outage,
 //! and per-node clock drift — each run twice, asserting the two runs are
-//! byte-identical JSON. Plus the null case: an empty plan must be
-//! indistinguishable from a simulation with no fault machinery at all.
+//! byte-identical JSON; the second run uses the parallel runtime when
+//! `DQOS_WORKERS` is set, making this a serial-vs-parallel equivalence
+//! check too. Plus the null case: an empty plan must be indistinguishable
+//! from a simulation with no fault machinery at all.
 //!
 //! ```text
 //! cargo run --release --example fault_matrix
+//! DQOS_WORKERS=2 cargo run --release --example fault_matrix
 //! ```
 
 use deadline_qos::core::Architecture;
 use deadline_qos::faults::{FaultPlan, LinkImpairment, LinkSelector, NodeRef};
+use deadline_qos::netsim::presets::{env_workers, window_us};
 use deadline_qos::netsim::{Network, SimConfig};
-use deadline_qos::sim_core::{SimDuration, SimTime};
+use deadline_qos::sim_core::SimTime;
 use deadline_qos::topology::FoldedClos;
 
 fn cfg() -> SimConfig {
-    let mut c = SimConfig::tiny(Architecture::Advanced2Vc, 0.5);
-    c.warmup = SimDuration::from_us(500);
-    c.measure = SimDuration::from_ms(2);
+    let mut c = window_us(SimConfig::tiny(Architecture::Advanced2Vc, 0.5), 500, 2_000);
     c.seed = 0x5EED;
     c
 }
 
 fn check_twice(label: &str, plan: &FaultPlan) {
     let (r1, s1) = Network::with_faults(cfg(), plan).try_run().expect(label);
-    let (r2, s2) = Network::with_faults(cfg(), plan).try_run().expect(label);
+    let mut pcfg = cfg();
+    pcfg.workers = env_workers();
+    let (r2, s2) = Network::with_faults(pcfg, plan).try_run().expect(label);
     s1.check().expect(label);
     assert_eq!(s1.events, s2.events, "{label}: event counts diverged");
     assert_eq!(r1.to_json(), r2.to_json(), "{label}: reports diverged");
@@ -67,5 +71,6 @@ fn main() {
             .with_drift(NodeRef::Host(1), 150)
             .with_drift(NodeRef::Switch(2), -90),
     );
-    println!("fault matrix: all scenarios deterministic");
+    let w = env_workers();
+    println!("fault matrix: all scenarios deterministic (second runs at workers={w})");
 }

@@ -12,15 +12,12 @@
 //! ```
 
 use deadline_qos::core::{Architecture, TrafficClass};
-use deadline_qos::netsim::{run_one, SimConfig};
-use deadline_qos::topology::ClosParams;
+use deadline_qos::netsim::presets::{class_gbps, cli_arg, packet_latency_us, scaled_bench};
+use deadline_qos::netsim::run_one;
 use deadline_qos::traffic::HotspotSpec;
 
 fn main() {
-    let hosts: u16 = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("hosts"))
-        .unwrap_or(16);
+    let hosts: u16 = cli_arg(1, 16);
     println!(
         "=== Hotspot: all hosts add 30% link load toward H0 (Background class), {hosts} hosts ===\n"
     );
@@ -30,8 +27,7 @@ fn main() {
     );
     for arch in Architecture::ALL {
         // Moderate base load plus the hotspot overlay.
-        let mut cfg = SimConfig::bench(arch, 0.6);
-        cfg.topology = ClosParams::scaled(hosts);
+        let mut cfg = scaled_bench(arch, 0.6, hosts);
         cfg.mix.hotspot = Some(HotspotSpec {
             dst: 0,
             share: 0.3,
@@ -40,18 +36,16 @@ fn main() {
         });
         let (report, summary) = run_one(cfg);
         assert_eq!(summary.out_of_order, 0);
-        let c = report.class("Control").unwrap();
-        let v = report.class("Multimedia").unwrap();
-        let bg = report.class("Background").unwrap();
-        let be = report.class("Best-effort").unwrap();
+        let (ctrl_avg, ctrl_p99, _) = packet_latency_us(&report, "Control");
+        let video_avg_ms = report.class("Multimedia").unwrap().message_latency.mean() / 1e6;
         println!(
             "{:<18} {:>13.2} {:>13.2} {:>13.3} {:>14.3} {:>13.3}",
             report.architecture,
-            c.packet_latency.mean() / 1e3,
-            c.packet_latency.quantile(0.99) as f64 / 1e3,
-            v.message_latency.mean() / 1e6,
-            bg.delivered.throughput(report.window_start, report.window_end).as_gbps_f64(),
-            be.delivered.throughput(report.window_start, report.window_end).as_gbps_f64(),
+            ctrl_avg,
+            ctrl_p99,
+            video_avg_ms,
+            class_gbps(&report, "Background"),
+            class_gbps(&report, "Best-effort"),
         );
     }
     println!(

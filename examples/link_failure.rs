@@ -15,20 +15,17 @@
 
 use deadline_qos::core::{Architecture, TrafficClass};
 use deadline_qos::faults::FaultPlan;
-use deadline_qos::netsim::{Network, SimConfig};
+use deadline_qos::netsim::presets::{class_gbps, cli_arg, packet_latency_us, scaled_tiny, window_us};
+use deadline_qos::netsim::Network;
 use deadline_qos::sim_core::{SimDuration, SimTime};
-use deadline_qos::topology::{ClosParams, FoldedClos};
+use deadline_qos::topology::FoldedClos;
 
 const FAIL_MS: u64 = 3;
 const REPAIR_MS: u64 = 6;
 
 fn main() {
-    let hosts: u16 = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("hosts"))
-        .unwrap_or(32);
-    let mut base = SimConfig::tiny(Architecture::Advanced2Vc, 0.6);
-    base.topology = ClosParams::scaled(hosts);
+    let hosts: u16 = cli_arg(1, 32);
+    let mut base = scaled_tiny(Architecture::Advanced2Vc, 0.6, hosts);
     base.source_horizon = Some(SimDuration::from_ms(10));
     let topo = FoldedClos::build(base.topology);
     let plan = FaultPlan::new(0xFA_17)
@@ -51,23 +48,20 @@ fn main() {
     ];
     let mut last = None;
     for (label, warmup_us, measure_us) in phases {
-        let mut cfg = base;
-        cfg.warmup = SimDuration::from_us(warmup_us);
-        cfg.measure = SimDuration::from_us(measure_us);
+        let cfg = window_us(base, warmup_us, measure_us);
         let (report, summary) = Network::with_faults(cfg, &plan)
             .try_run()
             .expect("degraded run completes");
         summary.check().expect("degraded invariants");
-        let c = report.class("Control").unwrap();
-        let v = report.class("Multimedia").unwrap();
-        let be = report.class("Best-effort").unwrap();
+        let (ctrl_avg, ctrl_p99, _) = packet_latency_us(&report, "Control");
+        let (video_avg, _, _) = packet_latency_us(&report, "Multimedia");
         println!(
             "{:<22} {:>13.2} {:>13.2} {:>13.2} {:>13.3}",
             label,
-            c.packet_latency.mean() / 1e3,
-            c.packet_latency.quantile(0.99) as f64 / 1e3,
-            v.packet_latency.mean() / 1e3,
-            be.delivered.throughput(report.window_start, report.window_end).as_gbps_f64(),
+            ctrl_avg,
+            ctrl_p99,
+            video_avg,
+            class_gbps(&report, "Best-effort"),
         );
         last = Some((report, summary));
     }

@@ -7,21 +7,23 @@
 //! ```text
 //! cargo run --release --example paper_scale [load] [arch]
 //! # e.g.  cargo run --release --example paper_scale 1.0 advanced
+//! DQOS_WORKERS=4 cargo run --release --example paper_scale   # parallel runtime
 //! ```
 
 use deadline_qos::core::Architecture;
+use deadline_qos::netsim::presets::{cli_arg, env_workers};
 use deadline_qos::netsim::{run_one, SimConfig};
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let load: f64 = args.next().map(|s| s.parse().expect("load")).unwrap_or(1.0);
-    let archs: Vec<Architecture> = match args.next() {
+    let load: f64 = cli_arg(1, 1.0);
+    let archs: Vec<Architecture> = match std::env::args().nth(2) {
         Some(s) => vec![Architecture::from_slug(&s).expect("arch: traditional|ideal|simple|advanced")],
         None => Architecture::ALL.to_vec(),
     };
 
     for arch in archs {
-        let cfg = SimConfig::paper(arch, load);
+        let mut cfg = SimConfig::paper(arch, load);
+        cfg.workers = env_workers();
         println!(
             "running {} @ {:.0}% on the paper network (128 hosts, {} switches, {} window)...",
             arch.label(),

@@ -3,19 +3,19 @@
 //!
 //! ```text
 //! cargo run --release --example quickstart [load] [hosts]
+//! DQOS_WORKERS=4 cargo run --release --example quickstart   # parallel runtime
 //! ```
 //!
 //! Defaults: load 1.0 (the paper's most interesting point), 32 hosts
 //! (the fast preset; pass 128 for the paper-scale network).
 
 use deadline_qos::core::Architecture;
-use deadline_qos::netsim::{run_one, SimConfig};
-use deadline_qos::topology::ClosParams;
+use deadline_qos::netsim::presets::{cli_arg, env_workers, scaled_bench};
+use deadline_qos::netsim::run_one;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let load: f64 = args.next().map(|s| s.parse().expect("load")).unwrap_or(1.0);
-    let hosts: u16 = args.next().map(|s| s.parse().expect("hosts")).unwrap_or(32);
+    let load: f64 = cli_arg(1, 1.0);
+    let hosts: u16 = cli_arg(2, 32);
 
     println!(
         "deadline-qos quickstart: {hosts} hosts, offered load {:.0}%, Table-1 traffic mix",
@@ -24,8 +24,8 @@ fn main() {
     println!();
 
     for arch in Architecture::ALL {
-        let mut cfg = SimConfig::bench(arch, load);
-        cfg.topology = ClosParams::scaled(hosts);
+        let mut cfg = scaled_bench(arch, load, hosts);
+        cfg.workers = env_workers();
         let (report, summary) = run_one(cfg);
         println!("{}", report.to_table());
         println!(

@@ -10,7 +10,8 @@
 //! ```
 
 use deadline_qos::core::{segment_message, Architecture, DeadlineMode, Stamper};
-use deadline_qos::netsim::{Network, SimConfig, VideoDeadlines};
+use deadline_qos::netsim::presets::{message_latency_ms, scaled_bench};
+use deadline_qos::netsim::{Network, VideoDeadlines};
 use deadline_qos::sim_core::{Bandwidth, SimDuration, SimTime};
 
 fn main() {
@@ -70,21 +71,25 @@ fn network_comparison() {
         "method", "avg ms", "p50 ms", "p99 ms", "<=10.5ms frac"
     );
     for (name, mode) in modes {
-        let mut cfg = SimConfig::bench(Architecture::Ideal, 0.8);
-        cfg.topology = deadline_qos::topology::ClosParams::scaled(16);
+        let mut cfg = scaled_bench(Architecture::Ideal, 0.8, 16);
         cfg.video_deadlines = mode;
         // Peak-bw deadlines are tighter than 10 ms, the default warm-up
         // still covers them.
         let (report, summary) = Network::new(cfg).run();
         assert_eq!(summary.out_of_order, 0);
-        let mm = report.class("Multimedia").unwrap();
+        let (avg, p50, p99) = message_latency_ms(&report, "Multimedia");
+        let frac = report
+            .class("Multimedia")
+            .unwrap()
+            .message_latency
+            .fraction_at_or_below(10_500_000);
         println!(
             "{:<22} {:>12.3} {:>12.3} {:>12.3} {:>13.1}%",
             name,
-            mm.message_latency.mean() / 1e6,
-            mm.message_latency.quantile(0.5) as f64 / 1e6,
-            mm.message_latency.quantile(0.99) as f64 / 1e6,
-            mm.message_latency.fraction_at_or_below(10_500_000) * 100.0
+            avg,
+            p50,
+            p99,
+            frac * 100.0
         );
     }
     println!(

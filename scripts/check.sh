@@ -1,21 +1,32 @@
 #!/usr/bin/env bash
-# Tier-1 gate: offline build, full test suite, and the event-kernel
-# smoke bench. Everything runs with --offline — the workspace has zero
-# external dependencies, so this must pass on a machine with no network
-# and no pre-populated registry cache.
+# Tier-1 gate: offline build, full test suite, and the smoke benches.
+# Everything runs with --offline — the workspace has zero external
+# dependencies, so this must pass on a machine with no network and no
+# pre-populated registry cache.
 #
-# The bench step refreshes BENCH_kernel.json at the repo root with the
-# current events/sec baseline and the bucketed-vs-heap churn speedups.
-#
-# The fault-matrix step smokes the fault-injection subsystem: one seed
-# across {link-drop, spine-down, clock-drift}, each run twice, asserting
-# byte-identical reports (and that an empty plan is perfectly inert).
-# The dqos-faults crate itself must build warning-free.
+# Steps:
+#   1. Release build, then a whole-workspace warning-free build
+#      (RUSTFLAGS="-D warnings").
+#   2. Full test suite — includes tests/determinism.rs, the serial-vs-
+#      parallel equivalence matrix (4 architectures x 3 seeds x 3 fault
+#      scenarios, report JSON byte-identical at every worker count).
+#   3. event_kernel bench: refreshes BENCH_kernel.json (events/sec
+#      baseline, bucketed-vs-heap churn speedups).
+#   4. partition_scaling bench: asserts parallel == serial bit-for-bit,
+#      then records serial-vs-{2,4}-worker event rates and the host CPU
+#      count into BENCH_parallel.json. Correctness is the gate; on a
+#      single-CPU host the ratios are expectedly <= 1.
+#   5. fault_matrix example at DQOS_WORKERS=2: fault-injection smoke
+#      ({link-drop, spine-down, clock-drift} each run serial then
+#      parallel, byte-identical; empty plan perfectly inert).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline
-RUSTFLAGS="-D warnings" cargo build --release --offline -p dqos-faults
 cargo test -q --offline --workspace
 cargo bench -q --offline -p dqos-bench --bench event_kernel
-cargo run --release --offline --example fault_matrix
+cargo bench -q --offline -p dqos-bench --bench partition_scaling
+DQOS_WORKERS=2 cargo run --release --offline --example fault_matrix
+# Last: flipping RUSTFLAGS invalidates cargo's cache, so the warning-free
+# sweep rebuilds the world exactly once instead of thrice.
+RUSTFLAGS="-D warnings" cargo build --release --offline --workspace --all-targets

@@ -1,8 +1,12 @@
-//! Reproducibility contract: a run is a pure function of its config.
+//! Reproducibility contract: a run is a pure function of its config —
+//! and, since the partitioned runtime, of its config *only*: the worker
+//! count must not change a single bit of the report.
 
 use deadline_qos::core::Architecture;
-use deadline_qos::netsim::{Network, SimConfig};
-use deadline_qos::sim_core::SimDuration;
+use deadline_qos::faults::{FaultPlan, LinkImpairment, LinkSelector};
+use deadline_qos::netsim::{Network, RunSummary, SimConfig};
+use deadline_qos::sim_core::{SimDuration, SimTime};
+use deadline_qos::topology::{ClosParams, FoldedClos};
 
 fn cfg(seed: u64) -> SimConfig {
     let mut c = SimConfig::tiny(Architecture::Advanced2Vc, 0.4);
@@ -39,4 +43,128 @@ fn truncated_run_is_prefix_deterministic() {
     let (ra, _) = Network::new(cfg(7)).run_truncated();
     let (rb, _) = Network::new(cfg(7)).run_truncated();
     assert_eq!(ra.to_json(), rb.to_json());
+}
+
+// ---------------------------------------------------------------------
+// Serial/parallel equivalence matrix
+// ---------------------------------------------------------------------
+
+/// The fault scenarios the matrix crosses with every architecture and
+/// seed. `None` = fault-free; the plans exercise the two fault paths
+/// with distinct determinism hazards: epoch-fenced topology changes
+/// (spine outage + repair → reroutes, drops, re-admissions) and
+/// per-packet RNG draws (drop/corrupt impairment on a leaf↔spine link).
+fn fault_scenarios(topo: &FoldedClos) -> Vec<(&'static str, Option<FaultPlan>)> {
+    vec![
+        ("none", None),
+        (
+            "spine-down",
+            Some(
+                FaultPlan::new(0xD0)
+                    .spine_down(SimTime::from_us(600), 0, topo)
+                    .spine_up(SimTime::from_us(1_100), 0, topo),
+            ),
+        ),
+        (
+            "drop-impair",
+            Some(FaultPlan::new(0xD1).impair(LinkImpairment {
+                selector: LinkSelector::LeafSpine { leaf: 0, spine: 1 },
+                drop_prob: 0.02,
+                corrupt_prob: 0.01,
+                credit_loss_prob: 0.0,
+            })),
+        ),
+    ]
+}
+
+/// Every [`RunSummary`] field must agree between executors except
+/// `peak_in_flight`, which measures pooled-arena storage and legitimately
+/// depends on how many arenas the run was split over.
+fn assert_summaries_match(a: &RunSummary, b: &RunSummary, label: &str) {
+    assert_eq!(a.events, b.events, "{label}: events");
+    assert_eq!(a.injected_packets, b.injected_packets, "{label}: injected");
+    assert_eq!(a.delivered_packets, b.delivered_packets, "{label}: delivered");
+    assert_eq!(a.out_of_order, b.out_of_order, "{label}: out_of_order");
+    assert_eq!(a.broken_messages, b.broken_messages, "{label}: broken");
+    assert_eq!(a.residual_packets, b.residual_packets, "{label}: residual");
+    assert_eq!(a.take_over_total, b.take_over_total, "{label}: take_over");
+    assert_eq!(a.order_errors, b.order_errors, "{label}: order_errors");
+    assert_eq!(a.admission_fallbacks, b.admission_fallbacks, "{label}: fallbacks");
+    assert_eq!(a.offered_messages, b.offered_messages, "{label}: offered");
+    assert_eq!(a.dropped_packets, b.dropped_packets, "{label}: dropped");
+    assert_eq!(a.corrupted_packets, b.corrupted_packets, "{label}: corrupted");
+    assert_eq!(a.credits_lost, b.credits_lost, "{label}: credits_lost");
+    assert_eq!(a.reroutes, b.reroutes, "{label}: reroutes");
+    assert_eq!(a.reroute_rejections, b.reroute_rejections, "{label}: rejections");
+    assert_eq!(a.readmissions, b.readmissions, "{label}: readmissions");
+    assert_eq!(a.route_invalidations, b.route_invalidations, "{label}: invalidations");
+}
+
+fn run_at(workers: usize, base: SimConfig, plan: Option<&FaultPlan>) -> (String, RunSummary) {
+    let mut c = base;
+    c.workers = workers;
+    let net = match plan {
+        Some(p) => Network::with_faults(c, p),
+        None => Network::new(c),
+    };
+    let (report, summary) = net.try_run().expect("matrix run completes");
+    (report.to_json(), summary)
+}
+
+/// The tentpole's acceptance gate: serial (workers = 1) and parallel
+/// (workers = 2, the most this 2-leaf topology partitions into) produce
+/// byte-identical report JSON for every architecture × seed × fault
+/// scenario.
+#[test]
+fn parallel_matches_serial_across_arch_seed_and_faults() {
+    let topo = FoldedClos::build(cfg(0).topology);
+    for arch in Architecture::ALL {
+        for seed in [11u64, 222, 3_333] {
+            for (fault_label, plan) in fault_scenarios(&topo) {
+                let label = format!("{arch:?}/seed{seed}/{fault_label}");
+                eprintln!("matrix: {label}");
+                let mut base = cfg(seed);
+                base.arch = arch;
+                let (j1, s1) = run_at(1, base, plan.as_ref());
+                let (j2, s2) = run_at(2, base, plan.as_ref());
+                assert_eq!(j1, j2, "{label}: report JSON diverged");
+                assert_summaries_match(&s1, &s2, &label);
+            }
+        }
+    }
+}
+
+/// Four-way partitioning on a 4-leaf network, including an
+/// oversubscribed worker count (clamped to the leaf count) and a
+/// truncated run (horizon stops mid-flight).
+#[test]
+fn wider_partitioning_and_truncation_stay_exact() {
+    let mut base = cfg(99);
+    base.topology = ClosParams::scaled(32);
+    let (j1, s1) = run_at(1, base, None);
+    for workers in [2usize, 4, 64] {
+        let (jw, sw) = run_at(workers, base, None);
+        assert_eq!(j1, jw, "workers={workers}: report JSON diverged");
+        assert_summaries_match(&s1, &sw, &format!("workers={workers}"));
+    }
+    let mut t1 = base;
+    t1.workers = 1;
+    let mut t4 = base;
+    t4.workers = 4;
+    let (r1, c1) = Network::new(t1).run_truncated();
+    let (r4, c4) = Network::new(t4).run_truncated();
+    assert_eq!(r1.to_json(), r4.to_json(), "truncated reports diverged");
+    assert_eq!(c1.events, c4.events, "truncated event counts diverged");
+}
+
+/// Random clock offsets must not perturb equivalence: local-time
+/// translation happens inside partitions, TTDs cross between them.
+#[test]
+fn parallel_matches_serial_under_clock_offsets() {
+    let mut base = cfg(5);
+    base.clocks = deadline_qos::netsim::ClockOffsets::RandomUpTo(1_000_000);
+    let (j1, s1) = run_at(1, base, None);
+    let (j2, s2) = run_at(2, base, None);
+    assert_eq!(j1, j2, "clock offsets broke serial/parallel equivalence");
+    assert_summaries_match(&s1, &s2, "clock-offsets");
 }
