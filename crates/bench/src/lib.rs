@@ -21,6 +21,8 @@
 //! under `target/dqos-cache/` keyed by a hash of the full config — the
 //! second and third figure benches reuse the first one's runs.
 
+#![forbid(unsafe_code)]
+
 use dqos_core::Architecture;
 use dqos_netsim::{run_one, RunSummary, SimConfig};
 use dqos_stats::{Json, Report};
@@ -62,6 +64,8 @@ impl BenchEnv {
             .ok()
             .map(|v| {
                 v.split(',')
+                    // tidy: allow(no-unwrap) -- bench harness CLI contract:
+                    // a malformed DQOS_LOADS should abort the run loudly.
                     .map(|s| s.trim().parse::<f64>().expect("DQOS_LOADS entries are numbers"))
                     .collect()
             })
@@ -200,6 +204,8 @@ pub fn print_series(
                 .iter()
                 .find(|(a, l, _, _)| *a == arch && *l == load)
                 .map(|(_, _, r, _)| r)
+                // tidy: allow(no-unwrap) -- the sweep was built from this
+                // exact (arch, load) grid, so every cell is present.
                 .expect("sweep covers the grid");
             let v = value(r);
             print!(" {:>18.2}", v);
@@ -247,6 +253,8 @@ pub fn print_cdf(
             .iter()
             .find(|(a, l, _, _)| *a == arch && *l == load)
             .map(|(_, _, r, _)| r)
+            // tidy: allow(no-unwrap) -- max load is taken from the same
+            // list the sweep was built from, so the point exists.
             .expect("sweep covers the max-load point");
         let hist = hist_of(r);
         let cdf = hist.cdf();
@@ -302,7 +310,7 @@ pub mod harness {
                 t0.elapsed().as_nanos() as f64 / elements.max(1) as f64
             })
             .collect();
-        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        samples.sort_by(|a, b| a.total_cmp(b));
         let ns_per_elem = samples[samples.len() / 2];
         let m = Measurement {
             name: name.to_string(),

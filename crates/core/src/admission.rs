@@ -174,6 +174,8 @@ impl AdmissionController {
                 .iter()
                 .map(|l| self.reserved[l.idx()] + request)
                 .max()
+                // tidy: allow(no-unwrap) -- links_on_route is non-empty for
+                // any host-to-host route (at least the two edge links).
                 .expect("route has links");
             if worst_after > self.capacity {
                 continue;

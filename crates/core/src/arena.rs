@@ -54,6 +54,8 @@ impl PacketArena {
                 PacketRef(idx)
             }
             None => {
+                // tidy: allow(no-unwrap) -- more than u32::MAX in-flight
+                // packets means the sim is already broken; fail loudly.
                 let idx = u32::try_from(self.slots.len()).expect("arena overflow");
                 self.slots.push(Some(packet));
                 PacketRef(idx)
@@ -66,6 +68,8 @@ impl PacketArena {
     pub fn take(&mut self, r: PacketRef) -> Packet {
         let p = self.slots[r.0 as usize]
             .take()
+            // tidy: allow(no-unwrap) -- documented contract: a vacant slot
+            // means an event was duplicated or replayed (simulator bug).
             .expect("packet taken twice from arena");
         self.free.push(r.0);
         self.live -= 1;

@@ -30,6 +30,7 @@
 //!   schedule; the partitioned executor in `dqos-sim-core` can then
 //!   place any node in any partition.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod action;

@@ -87,6 +87,8 @@ impl Packet {
     pub fn current_out_port(&self) -> dqos_topology::Port {
         self.route
             .port(self.hop as usize)
+            // tidy: allow(no-unwrap) -- hop is advanced only by switches on
+            // the stamped path, so it cannot pass the route's end.
             .expect("packet hop index within route")
     }
 

@@ -21,6 +21,7 @@
 //! proves), and reassembles application messages/frames so the paper's
 //! *frame latency* (Figure 3) can be measured.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod nic;

@@ -197,6 +197,8 @@ impl Nic {
             }
         }
         let Some(vc) = chosen else { return };
+        // tidy: allow(no-unwrap) -- vc was chosen above precisely because
+        // its ready queue had a head packet; nothing ran in between.
         let mut pkt = self.ready[vc.idx()].dequeue().expect("nonempty");
         let len = pkt.len;
         self.credits[vc.idx()] -= len;

@@ -38,6 +38,7 @@
 //! through [`FaultInjector`], the fault subsystem's
 //! [`NodeModel`](dqos_core::NodeModel).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use dqos_core::NodeModel;

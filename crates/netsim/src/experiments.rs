@@ -56,7 +56,7 @@ pub fn run_load_sweep(
             (arch, load, report, summary)
         });
     // Group back per architecture, ascending load.
-    results.sort_by(|a, b| (a.0.slug(), a.1).partial_cmp(&(b.0.slug(), b.1)).unwrap());
+    results.sort_by(|a, b| (a.0.slug().cmp(b.0.slug())).then(a.1.total_cmp(&b.1)));
     archs
         .iter()
         .map(|&arch| ExperimentResult {
@@ -67,7 +67,7 @@ pub fn run_load_sweep(
                     .filter(|r| r.0 == arch)
                     .map(|r| SweepPoint { load: r.1, report: r.2.clone(), summary: r.3 })
                     .collect();
-                pts.sort_by(|a, b| a.load.partial_cmp(&b.load).unwrap());
+                pts.sort_by(|a, b| a.load.total_cmp(&b.load));
                 pts
             },
         })

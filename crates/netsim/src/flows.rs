@@ -44,7 +44,25 @@ use dqos_core::{
 };
 use dqos_sim_core::{Bandwidth, SimDuration, SimTime};
 use dqos_topology::{FoldedClos, HostId, LinkId, PortPath, Route};
-use std::sync::{Mutex, RwLock};
+use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Lock a mutex, recovering the guard from poisoning. A poisoned lock
+/// means a worker thread panicked; the parallel executor's stop guard
+/// has already latched the failure and will re-raise it on join, so the
+/// flow state behind the lock is still safe to read on the way out.
+fn locked<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`locked`], for `RwLock` readers.
+fn read_locked<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`locked`], for `RwLock` writers.
+fn write_locked<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// One host's video stream: its stamper and fixed route.
 pub struct VideoFlow {
@@ -142,6 +160,8 @@ fn agg_ord(class: TrafficClass) -> u32 {
         TrafficClass::Control => 0,
         TrafficClass::BestEffort => 1,
         TrafficClass::Background => 2,
+        // tidy: allow(no-unwrap) -- callers are class-dispatched; reaching
+        // here with Multimedia is a simulator bug, not a runtime condition.
         TrafficClass::Multimedia => panic!("video flows are per-stream, not aggregated"),
     }
 }
@@ -259,14 +279,14 @@ impl FlowTable {
     ///
     /// Only called at epoch fences (all partitions quiescent).
     pub fn fail_links(&self, net: &FoldedClos, links: &[LinkId]) -> RerouteStats {
-        let dyn_state = &mut *self.dyn_state.lock().unwrap();
+        let dyn_state = &mut *locked(&self.dyn_state);
         for &l in links {
             dyn_state.admission.fail_link(l);
         }
         let mut stats = RerouteStats::default();
         for (h, host) in self.hosts.iter().enumerate() {
             let src = HostId(h as u32);
-            let host = &mut *host.lock().unwrap();
+            let host = &mut *locked(host);
             for flow in &mut host.video {
                 let crosses_down = net
                     .links_on_route(&flow.route)
@@ -281,6 +301,8 @@ impl FlowTable {
                     dyn_state
                         .admission
                         .release(net, &flow.route, self.video_bw)
+                        // tidy: allow(no-unwrap) -- the ledger held this
+                        // exact reservation; release cannot fail here.
                         .expect("revoking an admitted route");
                 }
                 match dyn_state.admission.admit(net, src, flow.dst, self.video_bw) {
@@ -303,7 +325,7 @@ impl FlowTable {
                 }
             }
         }
-        let agg = &mut *self.agg.write().unwrap();
+        let agg = &mut *write_locked(&self.agg);
         for (i, pair) in agg.pairs.iter_mut().enumerate() {
             let Some((route, path)) = pair else { continue };
             let crosses_down =
@@ -328,14 +350,14 @@ impl FlowTable {
     ///
     /// Only called at epoch fences (all partitions quiescent).
     pub fn restore_links(&self, net: &FoldedClos, links: &[LinkId]) -> RerouteStats {
-        let dyn_state = &mut *self.dyn_state.lock().unwrap();
+        let dyn_state = &mut *locked(&self.dyn_state);
         for &l in links {
             dyn_state.admission.restore_link(l);
         }
         let mut stats = RerouteStats::default();
         for (h, host) in self.hosts.iter().enumerate() {
             let src = HostId(h as u32);
-            let host = &mut *host.lock().unwrap();
+            let host = &mut *locked(host);
             for flow in &mut host.video {
                 if flow.reserved {
                     continue;
@@ -373,12 +395,12 @@ impl FlowTable {
     /// Video streams that could not be admitted and run unreserved
     /// (should stay 0 at Table-1 loads).
     pub fn admission_fallbacks(&self) -> u32 {
-        self.dyn_state.lock().unwrap().fallbacks
+        locked(&self.dyn_state).fallbacks
     }
 
     /// Run `f` against the admission ledger (diagnostics).
     pub fn with_admission<R>(&self, f: impl FnOnce(&AdmissionController) -> R) -> R {
-        f(&self.dyn_state.lock().unwrap().admission)
+        f(&locked(&self.dyn_state).admission)
     }
 
     /// The fixed route for an aggregated-class packet from `src` to
@@ -387,9 +409,11 @@ impl FlowTable {
     /// the validation view; the hot path uses
     /// [`FlowTable::aggregated_path`].
     pub fn aggregated_route(&self, src: HostId, dst: HostId) -> Route {
-        let agg = self.agg.read().unwrap();
+        let agg = read_locked(&self.agg);
         agg.pairs[(src.0 * self.n_hosts + dst.0) as usize]
             .as_ref()
+            // tidy: allow(no-unwrap) -- only the src == dst diagonal is
+            // None, and hosts never ask for a route to themselves.
             .expect("no self-routes")
             .0
             .clone()
@@ -399,9 +423,11 @@ impl FlowTable {
     /// pair — `Copy`, no allocation, what packets actually carry.
     #[inline]
     pub fn aggregated_path(&self, src: HostId, dst: HostId) -> PortPath {
-        let agg = self.agg.read().unwrap();
+        let agg = read_locked(&self.agg);
         agg.pairs[(src.0 * self.n_hosts + dst.0) as usize]
             .as_ref()
+            // tidy: allow(no-unwrap) -- only the src == dst diagonal is
+            // None, and hosts never ask for a path to themselves.
             .expect("no self-routes")
             .1
     }
@@ -416,7 +442,7 @@ impl FlowTable {
 
     /// Run `f` against one host's flow state (tests/diagnostics).
     pub fn with_host<R>(&self, src: HostId, f: impl FnOnce(&HostFlows) -> R) -> R {
-        f(&self.hosts[src.idx()].lock().unwrap())
+        f(&locked(&self.hosts[src.idx()]))
     }
 
     /// Stamp one message's parts for an aggregated class. Returns `None`
@@ -435,11 +461,13 @@ impl FlowTable {
                 .map(|_| StampedTimes { deadline: SimTime::ZERO, eligible: None })
                 .collect();
         }
-        let host = &mut *self.hosts[src.idx()].lock().unwrap();
+        let host = &mut *locked(&self.hosts[src.idx()]);
         let stamper = match class {
             TrafficClass::Control => &mut host.control,
             TrafficClass::BestEffort => &mut host.best_effort[0],
             TrafficClass::Background => &mut host.best_effort[1],
+            // tidy: allow(no-unwrap) -- video packets stamp through their
+            // per-stream flow; aggregated stamping never sees Multimedia.
             TrafficClass::Multimedia => panic!("video stamps via its stream flow"),
         };
         stamper.stamp_message(now_local, part_sizes)
@@ -456,7 +484,7 @@ impl FlowTable {
         part_sizes: &[u32],
         eligible_lead: Option<SimDuration>,
     ) -> (FlowId, PortPath, Vec<StampedTimes>) {
-        let host = &mut *self.hosts[src.idx()].lock().unwrap();
+        let host = &mut *locked(&self.hosts[src.idx()]);
         let flow = &mut host.video[stream as usize];
         if !self.uses_deadlines {
             let stamps = part_sizes

@@ -26,6 +26,7 @@
 //!   parallel with rayon (parallelism is across independent simulations;
 //!   each run is deterministic regardless of worker count).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod collect;

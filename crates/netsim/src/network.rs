@@ -138,6 +138,8 @@ impl RunSummary {
     /// [`Network::run`] on fault-free configurations.
     pub fn check_strict(&self) {
         if let Err(e) = self.check() {
+            // tidy: allow(no-unwrap) -- check_strict is the panic-on-error
+            // contract by documented design; check() is the Result form.
             panic!("{e}");
         }
     }
@@ -339,6 +341,8 @@ impl Network {
             .collect();
         for h in 0..topo.n_hosts() {
             let end = topo.host_out_link(HostId(h));
+            // tidy: allow(no-unwrap) -- FoldedClos wires every host uplink
+            // to a leaf switch; a host peer here is a topology-builder bug.
             let NodeId::Switch(sw) = end.peer else { unreachable!("hosts attach to switches") };
             feeder[sw.idx()][end.peer_port.idx()] = Feeder::Host(h);
         }
@@ -522,6 +526,8 @@ impl Network {
     /// fault-injected callers that want to observe failure use
     /// [`Network::try_run`].
     pub fn run(self) -> (Report, RunSummary) {
+        // tidy: allow(no-unwrap) -- run() is the panic-on-error contract by
+        // documented design; try_run() is the Result form for fault runs.
         self.try_run().unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -572,9 +578,13 @@ impl Network {
         let (parts, ecfg, shared) = self.build(Some(stop));
         let res = execute(parts, ecfg);
         match res.error {
+            // tidy: allow(no-unwrap) -- truncated runs are a measurement
+            // mode for fault-free configs; an executor error is a sim bug.
             Some(ExecError::App { err, .. }) => panic!("{err}"),
             Some(ExecError::SameTick { time, .. }) => {
                 let snap = runtime::stall_snapshot(&res.worlds, time, res.events);
+                // tidy: allow(no-unwrap) -- same contract as the App arm:
+                // stalls in a truncated fault-free run are simulator bugs.
                 panic!("{}", SimError::Stall(Box::new(snap)));
             }
             None => {}
@@ -597,7 +607,8 @@ fn finish(shared: &Arc<Shared>, worlds: Vec<Partition>, events: u64) -> (Report,
             None => collector = Some(p.collector),
         }
     }
-    let reroute = *shared.reroute.lock().unwrap();
+    let reroute =
+        *shared.reroute.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     let summary = RunSummary {
         events,
         injected_packets: totals.injected,
@@ -619,6 +630,8 @@ fn finish(shared: &Arc<Shared>, worlds: Vec<Partition>, events: u64) -> (Report,
         route_invalidations: reroute.invalidated,
     };
     let mut report = collector
+        // tidy: allow(no-unwrap) -- the partition count is computed as
+        // max(1, ...) at build time, so the merge loop ran at least once.
         .expect("at least one partition")
         .finish(shared.cfg.arch.label(), shared.cfg.mix.load);
     if shared.faults_enabled {

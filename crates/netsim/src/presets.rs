@@ -44,7 +44,11 @@ pub fn window_us(mut cfg: SimConfig, warmup_us: u64, measure_us: u64) -> SimConf
 /// fall back to `default`. Panics with the argument text on a value that
 /// does not parse — examples want loud misuse, not silent defaults.
 pub fn cli_arg<T: FromStr>(n: usize, default: T) -> T {
+    // tidy: allow(env-read) -- CLI parsing for the examples is this
+    // helper's entire purpose; reports never depend on it silently.
     match std::env::args().nth(n) {
+        // tidy: allow(no-unwrap) -- examples want loud misuse (documented
+        // contract above), not a silently substituted default.
         Some(s) => s.parse().unwrap_or_else(|_| panic!("unparsable argument {n}: {s:?}")),
         None => default,
     }
@@ -55,7 +59,11 @@ pub fn cli_arg<T: FromStr>(n: usize, default: T) -> T {
 /// Reports are bit-identical at any value, so examples expose this as an
 /// environment knob rather than a per-example flag.
 pub fn env_workers() -> usize {
+    // tidy: allow(env-read) -- worker count changes wall-clock only;
+    // reports are bit-identical at any value (executor determinism).
     match std::env::var("DQOS_WORKERS") {
+        // tidy: allow(no-unwrap) -- examples want loud misuse (documented
+        // contract above), not a silently substituted default.
         Ok(s) => s.parse().unwrap_or_else(|_| panic!("unparsable DQOS_WORKERS: {s:?}")),
         Err(_) => 1,
     }
@@ -66,6 +74,8 @@ pub fn env_workers() -> usize {
 pub fn class_gbps(report: &Report, class: &str) -> f64 {
     report
         .class(class)
+        // tidy: allow(no-unwrap) -- example-facing accessor: a missing
+        // class name is caller misuse and should fail loudly.
         .unwrap_or_else(|| panic!("no class {class:?} in report"))
         .delivered
         .throughput(report.window_start, report.window_end)
@@ -76,6 +86,8 @@ pub fn class_gbps(report: &Report, class: &str) -> f64 {
 pub fn packet_latency_us(report: &Report, class: &str) -> (f64, f64, f64) {
     let h = &report
         .class(class)
+        // tidy: allow(no-unwrap) -- example-facing accessor: a missing
+        // class name is caller misuse and should fail loudly.
         .unwrap_or_else(|| panic!("no class {class:?} in report"))
         .packet_latency;
     (h.mean() / 1e3, h.quantile(0.99) as f64 / 1e3, h.max() as f64 / 1e3)
@@ -85,6 +97,8 @@ pub fn packet_latency_us(report: &Report, class: &str) -> (f64, f64, f64) {
 pub fn message_latency_ms(report: &Report, class: &str) -> (f64, f64, f64) {
     let h = &report
         .class(class)
+        // tidy: allow(no-unwrap) -- example-facing accessor: a missing
+        // class name is caller misuse and should fail loudly.
         .unwrap_or_else(|| panic!("no class {class:?} in report"))
         .message_latency;
     (h.mean() / 1e6, h.quantile(0.5) as f64 / 1e6, h.quantile(0.99) as f64 / 1e6)

@@ -356,6 +356,8 @@ impl Partition {
                     out.send(host, clock.global_of(at), k, Msg::HostWake);
                 }
                 NodeAction::SendCredit { .. } | NodeAction::ScheduleXbarDone { .. } => {
+                    // tidy: allow(no-unwrap) -- the NIC state machine has no
+                    // transition emitting these; reaching here is a sim bug.
                     unreachable!("NICs emit only StartTx and WakeAt")
                 }
             }
@@ -371,6 +373,8 @@ impl Partition {
     ) {
         let shared = Arc::clone(&self.shared);
         let end = shared.topo.host_out_link(HostId(host));
+        // tidy: allow(no-unwrap) -- FoldedClos wires every host uplink to a
+        // leaf switch; any other peer is a topology-builder bug.
         let NodeId::Switch(sw) = end.peer else { unreachable!("hosts attach to switches") };
         let arrive = finish_g + shared.cfg.wire_delay;
         if shared.faults_enabled {
@@ -471,6 +475,8 @@ impl Partition {
                     let k = self.next_key(sw_node);
                     out.send(sw_node, clock.global_of(at), k, Msg::SwitchXbarDone { port: out_port });
                 }
+                // tidy: allow(no-unwrap) -- the switch state machine never
+                // emits WakeAt; reaching here is a simulator bug.
                 NodeAction::WakeAt { .. } => unreachable!("switches don't sleep"),
             }
         }
@@ -567,6 +573,8 @@ impl Partition {
             self.collector.message_completed(m.class, m.flow, m.created_at, m.completed_at);
         }
         let NodeAction::SendCredit { vc, bytes, .. } = credit else {
+            // tidy: allow(no-unwrap) -- Sink::on_event returns SendCredit
+            // unconditionally; any other action is a simulator bug.
             unreachable!("sink returns exactly one credit")
         };
         self.delivery_credit(host, vc, bytes, now, out);
@@ -695,7 +703,8 @@ impl PartWorld for Partition {
     fn on_epoch(&mut self, idx: usize) {
         let shared = Arc::clone(&self.shared);
         let (at, ref timed_idxs) = shared.epoch_groups[idx];
-        let mut inj = shared.injector.lock().unwrap();
+        let mut inj =
+            shared.injector.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         for &ti in timed_idxs {
             let (links, down) = inj.on_event(at, ti);
             for &l in &links {
@@ -706,7 +715,11 @@ impl PartWorld for Partition {
             } else {
                 shared.flows.restore_links(&shared.topo, &links)
             };
-            shared.reroute.lock().unwrap().absorb(stats);
+            shared
+                .reroute
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .absorb(stats);
         }
         debug_assert!(
             shared.flows.with_admission(|a| a.max_utilization()) <= 1.0,

@@ -27,6 +27,7 @@
 //! All structures are generic over any [`Deadlined`] item so the
 //! simulator's `Packet` and the tests' tiny stand-ins share the code.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod fifo;

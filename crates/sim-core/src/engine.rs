@@ -73,6 +73,8 @@ impl<W: World> Engine<W> {
                     };
                 }
                 Some(_) => {
+                    // tidy: allow(no-unwrap) -- peek_time returned Some just
+                    // above and nothing ran in between, so pop must succeed.
                     let ev = self.queue.pop().expect("peeked event vanished");
                     self.world.handle(ev.time, ev.payload, &mut self.queue);
                     processed += 1;

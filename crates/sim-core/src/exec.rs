@@ -45,7 +45,26 @@
 use crate::queue::EventQueue;
 use crate::time::{SimDuration, SimTime};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::SeqCst};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+// tidy: lock-order(inbox < error)
+//
+// The only locks in this file. `inbox` guards a partition's deposit
+// queue; `error` guards the first-failure slot. They are never held
+// simultaneously today — the declared order says that if they ever
+// are, the inbox lock must be taken first (a depositor mid-transfer
+// must be able to fail without waiting on another failing worker).
+
+/// Lock `m`, recovering the guard from a poisoned mutex. A poisoned
+/// lock means another worker panicked; the `StopOnPanic` guard has
+/// already raised `stop` and `std::thread::scope` will re-raise the
+/// panic on join, so the data behind the lock — diagnostics, deposits
+/// that will never be popped — is still safe to touch on the way out.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // tidy: allow(lock-order) -- generic helper; every call site names the
+    // actual lock being taken, which is what the order check sees.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// One partition of a partitioned simulation.
 ///
@@ -295,6 +314,7 @@ fn run_serial<W: PartWorld>(
             world.on_epoch(epoch);
             epoch += 1;
         }
+        // tidy: allow(no-unwrap) -- peek_time returned Some above and this loop holds the only reference to the queue
         let ev = queue.pop().expect("peeked");
         events += 1;
         if ev.time == last_t {
@@ -393,7 +413,7 @@ fn run_parallel<W: PartWorld>(
         let mut same_tick = 0u64;
         let mut remote_buf: Vec<RemoteMsg<W::Msg>> = Vec::new();
         let fail = |e: ExecError<W::Err>| {
-            let mut slot = error.lock().unwrap();
+            let mut slot = lock_unpoisoned(&error);
             if slot.is_none() {
                 *slot = Some(e);
             }
@@ -416,7 +436,7 @@ fn run_parallel<W: PartWorld>(
             // depositors fetch_min the clock under the same lock, so the
             // published value can never race above a pending message.
             {
-                let mut inbox = ctl.slots[part].inbox.lock().unwrap();
+                let mut inbox = lock_unpoisoned(&ctl.slots[part].inbox);
                 for (node, at, key, msg) in inbox.drain(..) {
                     queue.schedule_keyed(at, key, (node, msg));
                 }
@@ -443,6 +463,7 @@ fn run_parallel<W: PartWorld>(
                 {
                     break;
                 }
+                // tidy: allow(no-unwrap) -- peek_time returned Some above; only this worker pops its own queue
                 let ev = queue.pop().expect("peeked");
                 events += 1;
                 progressed = true;
@@ -472,7 +493,7 @@ fn run_parallel<W: PartWorld>(
                 if !remote_buf.is_empty() {
                     for m in remote_buf.drain(..) {
                         let slot = &ctl.slots[m.dst_part as usize];
-                        let mut inbox = slot.inbox.lock().unwrap();
+                        let mut inbox = lock_unpoisoned(&slot.inbox);
                         slot.clock.fetch_min(m.at.as_ns(), SeqCst);
                         slot.inbox_min.fetch_min(m.at.as_ns(), SeqCst);
                         ctl.sent.fetch_add(1, SeqCst);
@@ -513,7 +534,7 @@ fn run_parallel<W: PartWorld>(
         (world, events)
     };
 
-    let mut results: Vec<Option<(W, u64)>> = (0..n_parts).map(|_| None).collect();
+    let mut results: Vec<(W, u64)> = Vec::with_capacity(n_parts);
     std::thread::scope(|s| {
         let handles: Vec<_> = worlds
             .into_iter()
@@ -521,18 +542,26 @@ fn run_parallel<W: PartWorld>(
             .enumerate()
             .map(|(i, (w, q))| s.spawn(move || worker(i, w, q)))
             .collect();
-        for (i, h) in handles.into_iter().enumerate() {
-            results[i] = Some(h.join().expect("worker panicked"));
+        for h in handles {
+            match h.join() {
+                Ok(r) => results.push(r),
+                // Re-raise a worker's panic with its original payload
+                // (the StopOnPanic guard has already released peers).
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
     });
     let mut out_worlds = Vec::with_capacity(n_parts);
     let mut events = 0u64;
-    for r in results {
-        let (w, e) = r.expect("joined");
+    for (w, e) in results {
         out_worlds.push(w);
         events += e;
     }
-    ExecResult { worlds: out_worlds, events, error: error.into_inner().unwrap() }
+    ExecResult {
+        worlds: out_worlds,
+        events,
+        error: error.into_inner().unwrap_or_else(PoisonError::into_inner),
+    }
 }
 
 #[cfg(test)]

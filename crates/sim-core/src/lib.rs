@@ -28,11 +28,13 @@
 //! Determinism contract: given the same seed and the same sequence of
 //! `schedule` calls, a simulation built on this kernel replays exactly.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dist;
 pub mod engine;
 pub mod exec;
+pub mod mcheck;
 pub mod pool;
 pub mod queue;
 pub mod rng;

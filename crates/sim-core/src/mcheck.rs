@@ -1,0 +1,702 @@
+//! A miniature explicit-state model checker for the executor's
+//! synchronisation protocols — the hand-rolled, dependency-free answer
+//! to `loom`.
+//!
+//! [`exec`](crate::exec) rests on two small lock-free protocols whose
+//! correctness arguments live in comments: the [`StopBarrier`]
+//! rendezvous (reusable spinning barrier that can be abandoned when the
+//! stop flag rises) and the **per-pop inbox fence** (a receiver must
+//! not pop a local event at or past the earliest undrained deposit).
+//! Both are exactly the kind of code where a human review signs off on
+//! an interleaving argument that has one unexamined schedule. This
+//! module extracts each protocol as an abstract state machine over 2–3
+//! threads and **exhaustively enumerates every interleaving** by
+//! depth-first search with state memoisation, checking:
+//!
+//! * **no stranded waiter / no deadlock** — from every reachable state,
+//!   either some thread can step or all threads have terminated;
+//! * **no lost stop signal** — once `stop` is raised, every waiter
+//!   eventually exits its wait;
+//! * **leader uniqueness** — each barrier generation elects exactly one
+//!   leader;
+//! * **no fence violation** — the receiver never processes a local
+//!   event at or past a pending (undrained) inbox deposit.
+//!
+//! Spin loops are modelled as *blocking awaits*: re-reading an
+//! unchanged value does not change model state, so the only
+//! behaviourally distinct step is the read that observes a change —
+//! a waiter whose condition can never become true therefore shows up
+//! as a deadlock, which is how the checker catches the
+//! dropped-generation-bump bug (see the tests). Every individual
+//! atomic load/store/rmw is its own transition; blocks executed under
+//! a held `Mutex` are single transitions (the lock serialises them).
+//!
+//! What this does **not** prove: the abstraction is of the protocol,
+//! not the code — a transcription gap between `exec.rs` and the model
+//! escapes it; weak-memory reorderings are out of scope (the real code
+//! is `SeqCst` throughout, and `dqos-tidy` enforces that any weaker
+//! ordering carries a written justification); and the state spaces are
+//! exhaustive only for the small thread/round counts enumerated in the
+//! tests. DESIGN.md §8 discusses these limits.
+//!
+//! [`StopBarrier`]: crate::exec
+
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+
+/// An abstract transition system the checker can explore.
+///
+/// States must be small, canonical values (`Ord` + `Clone`); the
+/// checker stores every distinct state it visits.
+pub trait Model {
+    /// One global state: shared variables plus every thread's program
+    /// counter and locals.
+    type State: Clone + Ord + Debug;
+
+    /// The initial state.
+    fn initial(&self) -> Self::State;
+
+    /// Every enabled transition from `s`, as `(label, successor)`.
+    /// A thread whose next step is a blocking await contributes no
+    /// transition while its condition is false.
+    fn steps(&self, s: &Self::State) -> Vec<(String, Self::State)>;
+
+    /// Safety property checked in every reachable state; return
+    /// `Err(reason)` to report a violation.
+    fn invariant(&self, s: &Self::State) -> Result<(), String>;
+
+    /// Is `s` an acceptable terminal state (all threads done)? A
+    /// reachable state with no enabled transition that is *not*
+    /// accepting is reported as a deadlock / stranded waiter.
+    fn accepting(&self, s: &Self::State) -> bool;
+}
+
+/// Why exploration stopped early.
+#[derive(Debug)]
+pub enum Violation<S> {
+    /// The invariant failed in a reachable state.
+    Invariant {
+        /// The offending state.
+        state: S,
+        /// The invariant's explanation.
+        reason: String,
+        /// Labels of the transitions from the initial state here.
+        trace: Vec<String>,
+    },
+    /// A reachable non-accepting state has no enabled transition.
+    Deadlock {
+        /// The stuck state.
+        state: S,
+        /// Labels of the transitions from the initial state here.
+        trace: Vec<String>,
+    },
+    /// The state count exceeded the configured bound (the model is
+    /// bigger than intended — treat as a modelling error).
+    StateLimit(usize),
+}
+
+/// Exploration statistics on success.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Explored {
+    /// Distinct states visited.
+    pub states: usize,
+    /// Transitions taken (including ones into already-visited states).
+    pub transitions: usize,
+    /// Length of the longest trace explored.
+    pub max_depth: usize,
+}
+
+/// Exhaustively explore every interleaving of `model` by DFS,
+/// memoising visited states. Returns statistics, or the first
+/// violation found (with a minimal-effort witness trace: the DFS path
+/// that reached it).
+pub fn check<M: Model>(model: &M, max_states: usize) -> Result<Explored, Violation<M::State>> {
+    let init = model.initial();
+    let mut visited: BTreeSet<M::State> = BTreeSet::new();
+    visited.insert(init.clone());
+    // DFS stack: (state, its successors, index of next successor to
+    // try). Trace labels are reconstructed from the stack.
+    let mut stack: Vec<(M::State, Vec<(String, M::State)>, usize)> = Vec::new();
+    let mut stats = Explored { states: 1, transitions: 0, max_depth: 0 };
+
+    let enter = |s: M::State,
+                 stack: &mut Vec<(M::State, Vec<(String, M::State)>, usize)>|
+     -> Result<(), Violation<M::State>> {
+        if let Err(reason) = model.invariant(&s) {
+            let trace = stack.iter().map(|(_, succ, i)| succ[i - 1].0.clone()).collect();
+            return Err(Violation::Invariant { state: s, reason, trace });
+        }
+        let succ = model.steps(&s);
+        if succ.is_empty() && !model.accepting(&s) {
+            let trace = stack.iter().map(|(_, succ, i)| succ[i - 1].0.clone()).collect();
+            return Err(Violation::Deadlock { state: s, trace });
+        }
+        stack.push((s, succ, 0));
+        Ok(())
+    };
+
+    enter(init, &mut stack)?;
+    while !stack.is_empty() {
+        stats.max_depth = stats.max_depth.max(stack.len() - 1);
+        let Some(top) = stack.last_mut() else { break };
+        let (_, succ, next) = top;
+        if *next >= succ.len() {
+            stack.pop();
+            continue;
+        }
+        let s2 = succ[*next].1.clone();
+        *next += 1;
+        stats.transitions += 1;
+        if visited.insert(s2.clone()) {
+            stats.states += 1;
+            if stats.states > max_states {
+                return Err(Violation::StateLimit(max_states));
+            }
+            enter(s2, &mut stack)?;
+        }
+    }
+    Ok(stats)
+}
+
+// ---------------------------------------------------------------------
+// Model 1: the StopBarrier rendezvous.
+// ---------------------------------------------------------------------
+
+/// Where a barrier thread is in its program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum BPc {
+    /// About to read `gen` into `my_gen` (start of `wait`).
+    ReadGen,
+    /// About to `fetch_add` the count.
+    FetchAdd,
+    /// Leader path: about to `count.store(0)`.
+    LeaderReset,
+    /// Leader path: about to `gen.store(my_gen + 1)`.
+    LeaderBump,
+    /// Waiter path: blocked until `gen != my_gen` or `stop`.
+    Await,
+    /// Between rounds / after the last round.
+    Done,
+}
+
+/// Global state of the barrier model.
+///
+/// `gen` wraps modulo a small base so the state space stays finite;
+/// the real code uses `usize` with `wrapping_add`, and the protocol
+/// only ever compares for (in)equality between values at most one
+/// generation apart, so any modulus > 2 is faithful.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BarrierState {
+    count: u8,
+    generation: u8,
+    stop: bool,
+    pc: Vec<BPc>,
+    my_gen: Vec<u8>,
+    /// Round each thread is on (0..rounds, or rounds when finished).
+    round: Vec<u8>,
+    /// `leaders[r]` = how many threads returned leader in round `r`.
+    leaders: Vec<u8>,
+    /// How many threads have exited via the stop path (`wait -> None`).
+    aborted: u8,
+}
+
+/// Exhaustive model of [`StopBarrier::wait`] as used by the executor:
+/// `threads` workers each rendezvous `rounds` times. If
+/// `die_at_round` is `Some((t, r))`, thread `t` raises `stop` instead
+/// of entering its round-`r` wait — modelling a worker that fails (the
+/// `fail()` path or the `StopOnPanic` guard) while the others are in
+/// or entering the barrier. If `drop_gen_bump` is set, the leader
+/// "forgets" the generation store — the seeded bug the checker must
+/// catch as a deadlock (stranded waiters).
+///
+/// [`StopBarrier::wait`]: crate::exec
+pub struct BarrierModel {
+    /// Worker count (the real executor runs one per partition).
+    pub threads: usize,
+    /// Rendezvous per worker (epochs + final termination barrier).
+    pub rounds: u8,
+    /// Optional failure injection: `(thread, round)`.
+    pub die_at_round: Option<(usize, u8)>,
+    /// Seeded bug: leader skips the generation bump.
+    pub drop_gen_bump: bool,
+}
+
+/// Modulus for the abstract generation counter (see [`BarrierState`]).
+const GEN_MOD: u8 = 4;
+
+impl Model for BarrierModel {
+    type State = BarrierState;
+
+    fn initial(&self) -> BarrierState {
+        BarrierState {
+            count: 0,
+            generation: 0,
+            stop: false,
+            pc: vec![BPc::ReadGen; self.threads],
+            my_gen: vec![0; self.threads],
+            round: vec![0; self.threads],
+            leaders: vec![0; self.rounds as usize],
+            aborted: 0,
+        }
+    }
+
+    fn steps(&self, s: &BarrierState) -> Vec<(String, BarrierState)> {
+        let mut out = Vec::new();
+        for t in 0..self.threads {
+            let mut n = s.clone();
+            let label;
+            match s.pc[t] {
+                BPc::ReadGen => {
+                    if self.die_at_round == Some((t, s.round[t])) {
+                        // The thread fails instead of entering the
+                        // wait: raises stop and leaves (fail() or the
+                        // StopOnPanic drop guard).
+                        n.stop = true;
+                        n.pc[t] = BPc::Done;
+                        n.round[t] = self.rounds;
+                        label = format!("t{t}: die(stop=1)");
+                    } else {
+                        n.my_gen[t] = s.generation;
+                        n.pc[t] = BPc::FetchAdd;
+                        label = format!("t{t}: my_gen={}", s.generation);
+                    }
+                }
+                BPc::FetchAdd => {
+                    n.count = s.count + 1;
+                    if n.count as usize == self.threads {
+                        n.pc[t] = BPc::LeaderReset;
+                        label = format!("t{t}: count->{} (last)", n.count);
+                    } else {
+                        n.pc[t] = BPc::Await;
+                        label = format!("t{t}: count->{}", n.count);
+                    }
+                }
+                BPc::LeaderReset => {
+                    n.count = 0;
+                    n.pc[t] = BPc::LeaderBump;
+                    label = format!("t{t}: count=0");
+                }
+                BPc::LeaderBump => {
+                    if !self.drop_gen_bump {
+                        n.generation = (s.my_gen[t] + 1) % GEN_MOD;
+                    }
+                    n.leaders[s.round[t] as usize] += 1;
+                    advance_round(&mut n, t, self.rounds);
+                    label = format!("t{t}: gen->{} leader r{}", n.generation, s.round[t]);
+                }
+                BPc::Await => {
+                    // Blocking await (see module docs): enabled only
+                    // when the spin would observe a change. The real
+                    // loop checks `gen` first, then `stop`.
+                    if s.generation != s.my_gen[t] {
+                        advance_round(&mut n, t, self.rounds);
+                        label = format!("t{t}: released r{}", s.round[t]);
+                    } else if s.stop {
+                        n.pc[t] = BPc::Done;
+                        n.round[t] = self.rounds;
+                        n.aborted += 1;
+                        label = format!("t{t}: abandoned");
+                    } else {
+                        continue;
+                    }
+                }
+                BPc::Done => continue,
+            }
+            out.push((label, n));
+        }
+        out
+    }
+
+    fn invariant(&self, s: &BarrierState) -> Result<(), String> {
+        for (r, &l) in s.leaders.iter().enumerate() {
+            if l > 1 {
+                return Err(format!("round {r} elected {l} leaders"));
+            }
+        }
+        // A terminated run must have consistent leader counts: in a
+        // stop-free run every completed round has exactly one leader.
+        if s.pc.iter().all(|&p| p == BPc::Done) && !s.stop {
+            for (r, &l) in s.leaders.iter().enumerate() {
+                if l != 1 {
+                    return Err(format!("run finished but round {r} had {l} leaders"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn accepting(&self, s: &BarrierState) -> bool {
+        s.pc.iter().all(|&p| p == BPc::Done)
+    }
+}
+
+/// Move thread `t` to its next round (or `Done` after the last).
+fn advance_round(n: &mut BarrierState, t: usize, rounds: u8) {
+    n.round[t] += 1;
+    if n.round[t] >= rounds {
+        n.pc[t] = BPc::Done;
+    } else {
+        n.pc[t] = BPc::ReadGen;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Model 2: the per-pop inbox fence.
+// ---------------------------------------------------------------------
+
+/// Global state of the fence model. Times are small integers; `NONE`
+/// (u8::MAX) plays the role of `u64::MAX` in the real slots.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FenceState {
+    /// Producer's published clock.
+    p_clock: u8,
+    /// Producer's remaining local events (sorted ascending).
+    p_events: Vec<u8>,
+    /// Consumer's calendar (sorted ascending).
+    c_queue: Vec<u8>,
+    /// Consumer's undrained inbox deposits (sorted ascending).
+    c_inbox: Vec<u8>,
+    /// Consumer's `inbox_min` atomic.
+    c_inbox_min: u8,
+    /// Consumer program counter.
+    c_pc: FPc,
+    /// Bound the consumer last computed.
+    c_bound: u8,
+    /// Times the consumer has processed, in order.
+    processed: Vec<u8>,
+    /// Producer done flag (all events handled, clock raised to NONE).
+    p_done: bool,
+}
+
+/// Consumer program counter for the fence model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum FPc {
+    /// Top of the executor 'main loop: drain inbox, publish clock.
+    Drain,
+    /// Read the producer's clock, compute the burst bound.
+    Bound,
+    /// Per-pop: check fence + bound, pop one event or loop back.
+    Pop,
+    /// All work done.
+    Done,
+}
+
+/// Sentinel for "no value" (mirrors `u64::MAX`).
+const NONE: u8 = u8::MAX;
+
+/// Exhaustive model of the conservative executor's inbox-fence
+/// protocol between one producer and one consumer partition.
+///
+/// The producer owns events `p_events`; handling the event at time `t`
+/// deposits a message for the consumer at `t + lookahead` (the
+/// cross-partition send) and then raises its published clock to its
+/// next event (or "idle"). The deposit — push + `inbox_min` fetch_min
+/// + receiver-clock fetch_min — happens under the receiver's inbox
+/// lock and is therefore a single transition; the producer's own
+/// clock store afterwards is a separate transition, which is exactly
+/// the window the fence exists for.
+///
+/// The consumer loops: drain inbox & publish clock (one transition,
+/// same lock), compute `bound = p_clock + lookahead`, then pop local
+/// events strictly below the bound — re-checking `inbox_min` before
+/// **every** pop. With `skip_pop_fence` set (the seeded bug), the
+/// consumer checks only the bound, and the checker finds the schedule
+/// where it processes an event at or past a pending deposit.
+pub struct FenceModel {
+    /// Cross-partition latency (the executor's `lookahead`).
+    pub lookahead: u8,
+    /// Producer's initial local event times (ascending).
+    pub p_events: Vec<u8>,
+    /// Consumer's initial calendar (ascending).
+    pub c_events: Vec<u8>,
+    /// Seeded bug: skip the per-pop `inbox_min` fence check.
+    pub skip_pop_fence: bool,
+}
+
+impl Model for FenceModel {
+    type State = FenceState;
+
+    fn initial(&self) -> FenceState {
+        FenceState {
+            p_clock: self.p_events.first().copied().unwrap_or(NONE),
+            p_events: self.p_events.clone(),
+            c_queue: self.c_events.clone(),
+            c_inbox: Vec::new(),
+            c_inbox_min: NONE,
+            c_pc: FPc::Drain,
+            c_bound: 0,
+            processed: Vec::new(),
+            p_done: false,
+        }
+    }
+
+    fn steps(&self, s: &FenceState) -> Vec<(String, FenceState)> {
+        let mut out = Vec::new();
+
+        // Producer: handle its next event and deposit, then (separate
+        // transition) raise its published clock.
+        if !s.p_done {
+            if let Some(&t) = s.p_events.first() {
+                if s.p_clock == t {
+                    // Handle event at t: deposit at t + lookahead under
+                    // the consumer's inbox lock (single transition).
+                    let mut n = s.clone();
+                    let at = t + self.lookahead;
+                    n.p_events.remove(0);
+                    n.c_inbox.push(at);
+                    n.c_inbox.sort_unstable();
+                    n.c_inbox_min = n.c_inbox_min.min(at);
+                    out.push((format!("P: deposit@{at}"), n));
+                } else {
+                    // Publish the clock for the next event (or idle).
+                    let mut n = s.clone();
+                    n.p_clock = t;
+                    out.push((format!("P: clock->{t}"), n));
+                }
+            } else if s.p_clock != NONE {
+                let mut n = s.clone();
+                n.p_clock = NONE;
+                out.push(("P: clock->idle".to_string(), n));
+            } else {
+                let mut n = s.clone();
+                n.p_done = true;
+                out.push(("P: done".to_string(), n));
+            }
+        }
+
+        // Consumer.
+        match s.c_pc {
+            FPc::Drain => {
+                let mut n = s.clone();
+                n.c_queue.extend(n.c_inbox.drain(..));
+                n.c_queue.sort_unstable();
+                n.c_inbox_min = NONE;
+                n.c_pc = FPc::Bound;
+                out.push(("C: drain".to_string(), n));
+            }
+            FPc::Bound => {
+                let mut n = s.clone();
+                n.c_bound = s.p_clock.saturating_add(self.lookahead);
+                n.c_pc = FPc::Pop;
+                out.push((format!("C: bound={}", n.c_bound), n));
+            }
+            FPc::Pop => {
+                let head = s.c_queue.first().copied();
+                let fence_ok = self.skip_pop_fence
+                    || head.is_none_or(|h| h < s.c_inbox_min);
+                match head {
+                    Some(h) if h < s.c_bound && fence_ok => {
+                        let mut n = s.clone();
+                        n.c_queue.remove(0);
+                        n.processed.push(h);
+                        out.push((format!("C: pop@{h}"), n));
+                    }
+                    _ => {
+                        // Burst over (bound reached, fence hit, or
+                        // empty): loop back to the drain unless the
+                        // whole system is quiescent.
+                        let finished = s.p_done
+                            && s.c_queue.is_empty()
+                            && s.c_inbox.is_empty();
+                        let mut n = s.clone();
+                        n.c_pc = if finished { FPc::Done } else { FPc::Drain };
+                        out.push(("C: loop".to_string(), n));
+                    }
+                }
+            }
+            FPc::Done => {}
+        }
+        out
+    }
+
+    fn invariant(&self, s: &FenceState) -> Result<(), String> {
+        // The fence property: everything the consumer has processed
+        // must be in nondecreasing time order...
+        if s.processed.windows(2).any(|w| w[0] > w[1]) {
+            return Err(format!("processed out of order: {:?}", s.processed));
+        }
+        // ...and no processed event may be at/past a deposit that was
+        // pending when it was popped. Equivalent check on the final
+        // order: every deposit must be processed before any local
+        // event at an equal or later time; detect the violation as a
+        // pending deposit with time <= the last processed event.
+        if let (Some(&last), Some(&min_pending)) = (s.processed.last(), s.c_inbox.first()) {
+            if min_pending <= last {
+                return Err(format!(
+                    "popped event@{last} past pending deposit@{min_pending}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn accepting(&self, s: &FenceState) -> bool {
+        s.c_pc == FPc::Done && s.p_done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barrier_two_and_three_threads_all_schedules() {
+        for threads in [2, 3] {
+            for rounds in [1, 2, 3] {
+                let m = BarrierModel { threads, rounds, die_at_round: None, drop_gen_bump: false };
+                let stats = match check(&m, 2_000_000) {
+                    Ok(s) => s,
+                    Err(v) => panic!("{threads} threads {rounds} rounds: {v:?}"),
+                };
+                assert!(stats.states > threads, "trivial exploration: {stats:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_survives_a_dying_worker_at_every_point() {
+        // A worker that fails instead of entering any given rendezvous
+        // must never strand the others: they all exit via the
+        // generation bump or the stop flag.
+        for threads in [2, 3] {
+            for die_thread in 0..threads {
+                for die_round in 0..2 {
+                    let m = BarrierModel {
+                        threads,
+                        rounds: 2,
+                        die_at_round: Some((die_thread, die_round)),
+                        drop_gen_bump: false,
+                    };
+                    if let Err(v) = check(&m, 2_000_000) {
+                        panic!("t{die_thread} dying at r{die_round} ({threads} threads): {v:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_dropped_generation_bump_is_caught() {
+        // The seeded bug: the leader resets the count but forgets to
+        // bump the generation. Followers spin on an unchanged `gen`
+        // with no stop flag coming — a stranded waiter, which the
+        // checker must report as a deadlock.
+        let m = BarrierModel {
+            threads: 2,
+            rounds: 1,
+            die_at_round: None,
+            drop_gen_bump: true,
+        };
+        match check(&m, 2_000_000) {
+            Err(Violation::Deadlock { state, trace }) => {
+                assert!(
+                    state.pc.contains(&BPc::Await),
+                    "deadlock should strand a waiter: {state:?} (trace {trace:?})"
+                );
+            }
+            other => panic!("expected a stranded-waiter deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fence_protocol_is_exact_for_all_schedules() {
+        // Producer event at 2 deposits at 4; consumer owns 1 and 5.
+        // Once the producer goes idle the consumer's bound jumps past
+        // 5, so only the per-pop fence forces the merge of the deposit
+        // at 4 before 5 is processed. Exhaustive over all schedules.
+        let m = FenceModel {
+            lookahead: 2,
+            p_events: vec![2],
+            c_events: vec![1, 5],
+            skip_pop_fence: false,
+        };
+        let stats = match check(&m, 2_000_000) {
+            Ok(s) => s,
+            Err(v) => panic!("{v:?}"),
+        };
+        assert!(stats.states > 10, "trivial exploration: {stats:?}");
+
+        // A deeper instance: two producer events, interleaved consumer
+        // work.
+        let m = FenceModel {
+            lookahead: 1,
+            p_events: vec![1, 3],
+            c_events: vec![2, 3, 6],
+            skip_pop_fence: false,
+        };
+        if let Err(v) = check(&m, 2_000_000) {
+            panic!("{v:?}");
+        }
+    }
+
+    #[test]
+    fn fence_removed_is_caught() {
+        // Same scenario, fence check dropped: some schedule pops the
+        // local event at 5 while the deposit at 4 is still pending.
+        let m = FenceModel {
+            lookahead: 2,
+            p_events: vec![2],
+            c_events: vec![1, 5],
+            skip_pop_fence: true,
+        };
+        match check(&m, 2_000_000) {
+            Err(Violation::Invariant { reason, .. }) => {
+                assert!(reason.contains("pending deposit"), "unexpected reason: {reason}");
+            }
+            other => panic!("expected a fence violation, got {other:?}"),
+        }
+    }
+
+    /// The checker itself: a two-thread toy model with a known race
+    /// (non-atomic increment) must produce the lost-update state, and
+    /// a deadlock model must be reported as such.
+    struct RaceyIncrement;
+    impl Model for RaceyIncrement {
+        type State = (u8, [u8; 2], [u8; 2]); // shared, per-thread pc, per-thread local
+        fn initial(&self) -> Self::State {
+            (0, [0, 0], [0, 0])
+        }
+        fn steps(&self, s: &Self::State) -> Vec<(String, Self::State)> {
+            let mut out = Vec::new();
+            for t in 0..2 {
+                let (sh, pc, loc) = *s;
+                match pc[t] {
+                    0 => {
+                        let mut n = (sh, pc, loc);
+                        n.2[t] = sh; // read
+                        n.1[t] = 1;
+                        out.push((format!("t{t}: read"), n));
+                    }
+                    1 => {
+                        let mut n = (sh, pc, loc);
+                        n.0 = loc[t] + 1; // write back
+                        n.1[t] = 2;
+                        out.push((format!("t{t}: write"), n));
+                    }
+                    _ => {}
+                }
+            }
+            out
+        }
+        fn invariant(&self, s: &Self::State) -> Result<(), String> {
+            if s.1 == [2, 2] && s.0 != 2 {
+                return Err(format!("lost update: shared = {}", s.0));
+            }
+            Ok(())
+        }
+        fn accepting(&self, s: &Self::State) -> bool {
+            s.1 == [2, 2]
+        }
+    }
+
+    #[test]
+    fn checker_finds_classic_lost_update() {
+        match check(&RaceyIncrement, 10_000) {
+            Err(Violation::Invariant { reason, trace, .. }) => {
+                assert!(reason.contains("lost update"));
+                assert_eq!(trace.len(), 4, "witness should be a full interleaving: {trace:?}");
+            }
+            other => panic!("expected lost update, got {other:?}"),
+        }
+    }
+}

@@ -58,14 +58,20 @@ where
             let next = &next;
             let f = &f;
             scope.spawn(move || loop {
+                // ordering: the counter only hands out unique indices; the
+                // items themselves are published by the Vec construction
+                // before the scope spawns, so no release/acquire pairing
+                // is needed on the claim itself.
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let item = slots[i]
                     .lock()
-                    .expect("work slot poisoned")
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .take()
+                    // tidy: allow(no-unwrap) -- fetch_add hands out each index
+                    // exactly once, so the slot is still occupied here.
                     .expect("work item claimed twice");
                 // A send can only fail if the receiver was dropped, which
                 // happens when another worker panicked; stop quietly and
@@ -84,12 +90,10 @@ where
         // If a worker panicked, leaving holes, the scope re-panics on
         // join before this unwrap can misfire... except when the panic
         // races the drain — so check explicitly.
-        if out.iter().any(Option::is_none) {
-            // Wait for scope exit to propagate the worker panic.
-            return None;
-        }
-        Some(out.into_iter().map(|r| r.expect("checked above")).collect())
+        out.into_iter().collect::<Option<Vec<R>>>()
     })
+    // tidy: allow(no-unwrap) -- a hole in the results means a worker
+    // panicked, and scope join re-panics before this line can run.
     .expect("worker panicked")
 }
 

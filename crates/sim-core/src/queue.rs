@@ -277,6 +277,8 @@ impl<E> EventQueue<E> {
             if abs.saturating_sub(self.cur_abs) >= self.n_buckets() {
                 break;
             }
+            // tidy: allow(no-unwrap) -- the while-let peek above proved the
+            // overflow heap is non-empty.
             let entry = self.overflow.pop().expect("peeked");
             // Still pending, so `len` is untouched; push_wheel bumps
             // `wheel_len` to account for the level change.
@@ -357,6 +359,8 @@ impl<E> EventQueue<E> {
             // Everything pending is beyond the horizon: jump the cursor to
             // the overflow minimum, which migrates it (and any followers
             // inside the new horizon) into the wheel.
+            // tidy: allow(no-unwrap) -- len > 0 and wheel_len == 0, so the
+            // remaining events all live in the overflow heap.
             let t = self.overflow.peek().expect("len > 0, wheel empty").time;
             self.advance_to(t.as_ns() >> self.shift);
         } else {
@@ -366,6 +370,8 @@ impl<E> EventQueue<E> {
                 // slot is strictly ahead.
                 let off = self
                     .next_occupied_offset()
+                    // tidy: allow(no-unwrap) -- wheel_len > 0 means some
+                    // bucket is occupied, so the bitmap scan finds a slot.
                     .expect("wheel_len > 0 implies an occupied slot");
                 self.advance_to(self.cur_abs + off);
             }
@@ -378,6 +384,8 @@ impl<E> EventQueue<E> {
                 .sort_unstable_by(|a, b| (b.time, b.seq).cmp(&(a.time, a.seq)));
             b.sorted = true;
         }
+        // tidy: allow(no-unwrap) -- the cursor was just advanced to an
+        // occupied slot (or was already on one), so the bucket has items.
         let e = b.items.pop().expect("cursor bucket is non-empty");
         if b.items.is_empty() {
             let w = slot >> 6;
@@ -406,6 +414,7 @@ impl<E> EventQueue<E> {
         // The wheel, when non-empty, always holds the global minimum:
         // every overflow event is beyond the horizon, every wheel event
         // inside it.
+        // tidy: allow(no-unwrap) -- wheel_len > 0 guarantees an occupied slot.
         let off = self.next_occupied_offset().expect("wheel_len > 0");
         let slot = ((self.cur_abs + off) & self.mask) as usize;
         let b = &self.buckets[slot];

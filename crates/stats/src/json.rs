@@ -342,6 +342,9 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                 while *pos < b.len() && (b[*pos] & 0xC0) == 0x80 {
                     *pos += 1;
                 }
+                // tidy: allow(no-unwrap) -- the bytes come from a &str and
+                // the walk above stops on a scalar boundary, so this slice
+                // is valid UTF-8 by construction.
                 s.push_str(std::str::from_utf8(&b[start..*pos]).expect("valid utf8"));
             }
         }

@@ -16,6 +16,7 @@
 //! * [`ClassStats`] / [`Report`] — per-traffic-class aggregation and the
 //!   plain-text / JSON renderers the figure benches print.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod hist;

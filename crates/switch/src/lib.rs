@@ -34,6 +34,7 @@
 //! The switch never inspects flow ids and keeps no flow state — only
 //! deadlines and routes, which is the paper's design constraint.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arbiter;

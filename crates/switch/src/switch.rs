@@ -341,6 +341,8 @@ impl Switch {
     /// The crossbar transfer into `out_port` completed.
     pub fn on_xbar_done(&mut self, out_port: Port, now: SimTime) -> Vec<NodeAction> {
         let o = out_port.idx();
+        // tidy: allow(no-unwrap) -- the slot was filled when this transfer
+        // was scheduled; an empty slot means a duplicated completion event.
         let (i, vc, pkt) = self.xbar_pkt[o].take().expect("xbar completion without transfer");
         let len = pkt.len;
         let ob = &mut self.outputs[o][vc.idx()];
@@ -436,6 +438,8 @@ impl Switch {
                 if self.cfg.arch.uses_deadlines() {
                     let chosen = self.inputs[i][vc.idx()]
                         .candidate_for(out)
+                        // tidy: allow(no-unwrap) -- i won arbitration for
+                        // `out`, so its head candidate is present.
                         .expect("winner has a head")
                         .deadline;
                     if self.inputs[i][vc.idx()].min_deadline_for(out).is_some_and(|m| chosen > m)
@@ -443,6 +447,8 @@ impl Switch {
                         self.stats.order_errors += 1;
                     }
                 }
+                // tidy: allow(no-unwrap) -- same invariant: the arbitration
+                // winner's head for `out` is still queued.
                 let pkt = self.inputs[i][vc.idx()].dequeue_for(out).expect("winner has a head");
                 let len = pkt.len;
                 self.in_busy[i] = true;
@@ -485,11 +491,15 @@ impl Switch {
             }
             if self.cfg.arch.uses_deadlines() {
                 let q = &self.outputs[o][vc.idx()].q;
+                // tidy: allow(no-unwrap) -- the VC scan peeked this queue's
+                // head just above; nothing dequeued in between.
                 let chosen = q.head_deadline().expect("peeked head");
                 if q.min_deadline().is_some_and(|m| chosen > m) {
                     self.stats.order_errors += 1;
                 }
             }
+            // tidy: allow(no-unwrap) -- same peeked head: the queue cannot
+            // have drained between the peek and this dequeue.
             let mut pkt = self.outputs[o][vc.idx()].q.dequeue().expect("peeked head");
             self.credits[o][vc.idx()] -= len;
             self.tx_busy[o] = true;

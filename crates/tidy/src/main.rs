@@ -1,0 +1,75 @@
+//! CLI for `dqos-tidy`: run the workspace lint pass and report.
+//!
+//! ```text
+//! cargo run --release --offline -p dqos-tidy            # check the workspace
+//! cargo run --release --offline -p dqos-tidy -- --list  # print the rule catalog
+//! cargo run --release --offline -p dqos-tidy -- <root>  # check another tree
+//! ```
+//!
+//! Exit code 0 when clean, 1 when any finding is reported, 2 on usage
+//! or I/O errors.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut list = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--list" => list = true,
+            "--help" | "-h" => {
+                println!("usage: dqos-tidy [--list] [workspace-root]");
+                return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with('-') => {
+                eprintln!("dqos-tidy: unknown flag {arg}");
+                return ExitCode::from(2);
+            }
+            _ => root = Some(PathBuf::from(arg)),
+        }
+    }
+    if list {
+        for r in dqos_tidy::RULES {
+            println!("{:16} {}", r.id, r.what);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let root = root.unwrap_or_else(find_workspace_root);
+    match dqos_tidy::check_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("dqos-tidy: clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("dqos-tidy: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("dqos-tidy: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Walk up from the current directory to the first `Cargo.toml` that
+/// declares a `[workspace]`; fall back to `.`.
+fn find_workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(s) = std::fs::read_to_string(&manifest) {
+            if s.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}

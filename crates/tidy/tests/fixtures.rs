@@ -1,0 +1,227 @@
+//! Every rule demonstrably fires (bad fixture) and demonstrably stays
+//! quiet on the idiomatic alternative (ok fixture) — plus the self-check
+//! that the real workspace is clean, which is what keeps the justification
+//! comments in the tree honest.
+//!
+//! Fixtures live under `tests/fixtures/`; the workspace walker skips any
+//! directory named `fixtures`, so the deliberate violations in the bad
+//! files never pollute a real `dqos-tidy` run.
+
+use dqos_tidy::{check_source, check_workspace, FileClass, Finding};
+
+/// Run one fixture under the given classification.
+fn run(name: &str, src: &str, class: &FileClass) -> Vec<Finding> {
+    check_source(name, src, class)
+}
+
+/// Rules that fired, deduplicated, in finding order.
+fn rules_of(findings: &[Finding]) -> Vec<&str> {
+    let mut out: Vec<&str> = Vec::new();
+    for f in findings {
+        if !out.contains(&f.rule) {
+            out.push(f.rule);
+        }
+    }
+    out
+}
+
+/// Assert the bad fixture fires `rule` and the ok fixture is silent.
+fn assert_pair(rule: &str, bad: &str, ok: &str, class: &FileClass) {
+    let bad_findings = run("bad", bad, class);
+    assert!(
+        bad_findings.iter().any(|f| f.rule == rule),
+        "bad fixture for `{rule}` did not fire it; got {:?}",
+        rules_of(&bad_findings)
+    );
+    let ok_findings = run("ok", ok, class);
+    assert!(
+        ok_findings.is_empty(),
+        "ok fixture for `{rule}` is not clean; got {ok_findings:?}"
+    );
+}
+
+fn crate_root_class() -> FileClass {
+    let mut c = FileClass::sim_lib();
+    c.is_crate_root = true;
+    c
+}
+
+fn lock_order_class() -> FileClass {
+    let mut c = FileClass::sim_lib();
+    c.requires_lock_order = true;
+    c
+}
+
+#[test]
+fn wall_clock() {
+    assert_pair(
+        "wall-clock",
+        include_str!("fixtures/bad_wall_clock.rs"),
+        include_str!("fixtures/ok_wall_clock.rs"),
+        &FileClass::sim_lib(),
+    );
+}
+
+#[test]
+fn env_read() {
+    assert_pair(
+        "env-read",
+        include_str!("fixtures/bad_env_read.rs"),
+        include_str!("fixtures/ok_env_read.rs"),
+        &FileClass::sim_lib(),
+    );
+}
+
+#[test]
+fn hash_iter() {
+    assert_pair(
+        "hash-iter",
+        include_str!("fixtures/bad_hash_iter.rs"),
+        include_str!("fixtures/ok_hash_iter.rs"),
+        &FileClass::sim_lib(),
+    );
+}
+
+#[test]
+fn float_eq() {
+    assert_pair(
+        "float-eq",
+        include_str!("fixtures/bad_float_eq.rs"),
+        include_str!("fixtures/ok_float_eq.rs"),
+        &FileClass::sim_lib(),
+    );
+}
+
+#[test]
+fn float_ord() {
+    assert_pair(
+        "float-ord",
+        include_str!("fixtures/bad_float_ord.rs"),
+        include_str!("fixtures/ok_float_ord.rs"),
+        &FileClass::sim_lib(),
+    );
+}
+
+#[test]
+fn atomic_ordering() {
+    assert_pair(
+        "atomic-ordering",
+        include_str!("fixtures/bad_atomic_ordering.rs"),
+        include_str!("fixtures/ok_atomic_ordering.rs"),
+        &FileClass::sim_lib(),
+    );
+}
+
+#[test]
+fn lock_order() {
+    assert_pair(
+        "lock-order",
+        include_str!("fixtures/bad_lock_order.rs"),
+        include_str!("fixtures/ok_lock_order.rs"),
+        &lock_order_class(),
+    );
+}
+
+#[test]
+fn lock_order_missing_declaration_fires() {
+    // A file classified as lock-order-required but carrying no
+    // `tidy: lock-order(...)` declaration is itself a finding.
+    let findings = run("bad", "pub fn f() {}\n", &lock_order_class());
+    assert!(
+        findings.iter().any(|f| f.rule == "lock-order"),
+        "missing declaration did not fire lock-order; got {findings:?}"
+    );
+}
+
+#[test]
+fn unsafe_code() {
+    assert_pair(
+        "unsafe-code",
+        include_str!("fixtures/bad_unsafe.rs"),
+        include_str!("fixtures/ok_unsafe.rs"),
+        &FileClass::sim_lib(),
+    );
+}
+
+#[test]
+fn forbid_unsafe() {
+    assert_pair(
+        "forbid-unsafe",
+        include_str!("fixtures/bad_forbid_unsafe.rs"),
+        include_str!("fixtures/ok_forbid_unsafe.rs"),
+        &crate_root_class(),
+    );
+}
+
+#[test]
+fn no_unwrap() {
+    assert_pair(
+        "no-unwrap",
+        include_str!("fixtures/bad_no_unwrap.rs"),
+        include_str!("fixtures/ok_no_unwrap.rs"),
+        &FileClass::sim_lib(),
+    );
+}
+
+#[test]
+fn bad_directive() {
+    assert_pair(
+        "bad-directive",
+        include_str!("fixtures/bad_bad_directive.rs"),
+        include_str!("fixtures/ok_bad_directive.rs"),
+        &FileClass::sim_lib(),
+    );
+}
+
+#[test]
+fn unused_allow() {
+    assert_pair(
+        "unused-allow",
+        include_str!("fixtures/bad_unused_allow.rs"),
+        include_str!("fixtures/ok_unused_allow.rs"),
+        &FileClass::sim_lib(),
+    );
+}
+
+#[test]
+fn every_rule_has_a_fixture_pair() {
+    // Rules added to the catalog must come with fixture coverage; this
+    // keeps the pairs above in lock-step with `RULES`.
+    let covered = [
+        "wall-clock",
+        "env-read",
+        "hash-iter",
+        "float-eq",
+        "float-ord",
+        "atomic-ordering",
+        "lock-order",
+        "unsafe-code",
+        "forbid-unsafe",
+        "no-unwrap",
+        "bad-directive",
+        "unused-allow",
+    ];
+    for r in dqos_tidy::RULES {
+        assert!(
+            covered.contains(&r.id),
+            "rule `{}` has no fixture pair in tests/fixtures.rs",
+            r.id
+        );
+    }
+    assert_eq!(covered.len(), dqos_tidy::RULES.len());
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    // CARGO_MANIFEST_DIR is crates/tidy; the workspace root is two up.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let findings = check_workspace(&root).expect("workspace scan");
+    assert!(
+        findings.is_empty(),
+        "dqos-tidy found {} finding(s) in the real workspace:\n{}",
+        findings.len(),
+        findings.iter().map(|f| f.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}

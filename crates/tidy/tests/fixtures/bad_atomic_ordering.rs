@@ -1,0 +1,6 @@
+//! Fixture: relaxed atomic with no ordering justification.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn claim(next: &AtomicUsize) -> usize {
+    next.fetch_add(1, Ordering::Relaxed)
+}

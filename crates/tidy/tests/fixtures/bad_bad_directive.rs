@@ -1,0 +1,5 @@
+//! Fixture: an allow directive with no `-- reason` clause.
+// tidy: allow(no-unwrap)
+pub fn last(v: &[u8]) -> u8 {
+    *v.last().unwrap()
+}

@@ -1,0 +1,7 @@
+//! Fixture: worker count pulled from ambient process state.
+pub fn workers() -> usize {
+    match std::env::var("WORKERS") {
+        Ok(s) => s.parse().unwrap_or(1),
+        Err(_) => 1,
+    }
+}

@@ -1,0 +1,4 @@
+//! Fixture: exact floating-point equality on a measured value.
+pub fn is_unit_load(load: f64) -> bool {
+    load == 1.0
+}

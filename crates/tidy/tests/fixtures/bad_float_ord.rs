@@ -1,0 +1,4 @@
+//! Fixture: partial_cmp on float sort keys (None on NaN).
+pub fn sort_loads(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}

@@ -1,0 +1,4 @@
+//! Fixture: a crate root without the forbid attribute.
+#![warn(missing_docs)]
+
+pub mod inner {}

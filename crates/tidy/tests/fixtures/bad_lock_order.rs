@@ -1,0 +1,15 @@
+//! Fixture: acquires `inbox` while holding `error` — against the order.
+// tidy: lock-order(inbox < error)
+use std::sync::Mutex;
+
+pub struct Shared {
+    pub inbox: Mutex<Vec<u64>>,
+    pub error: Mutex<Option<String>>,
+}
+
+pub fn fail_and_drain(s: &Shared) {
+    let mut e = s.error.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut i = s.inbox.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    *e = Some(format!("{} pending", i.len()));
+    i.clear();
+}

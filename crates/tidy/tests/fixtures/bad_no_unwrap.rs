@@ -1,0 +1,4 @@
+//! Fixture: unwrap in library code.
+pub fn last(v: &[u8]) -> u8 {
+    *v.last().unwrap()
+}

@@ -1,0 +1,4 @@
+//! Fixture: unsafe block outside the allowlist.
+pub fn transmuted(x: u32) -> f32 {
+    unsafe { std::mem::transmute(x) }
+}

@@ -1,0 +1,7 @@
+//! Fixture: sim-crate library code reading the host clock.
+use std::time::Instant;
+
+pub fn elapsed_ns() -> u128 {
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos()
+}

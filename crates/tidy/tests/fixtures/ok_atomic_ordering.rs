@@ -1,0 +1,12 @@
+//! Fixture: relaxed atomic carrying its justification comment.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn claim(next: &AtomicUsize) -> usize {
+    // ordering: the counter only hands out unique indices; the claimed
+    // data is published before the threads spawn, so no pairing needed.
+    next.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn publish(flag: &std::sync::atomic::AtomicBool) {
+    flag.store(true, Ordering::SeqCst)
+}

@@ -1,0 +1,5 @@
+//! Fixture: a well-formed, used justification directive.
+pub fn last(v: &[u8]) -> u8 {
+    // tidy: allow(no-unwrap) -- fixture invariant: callers never pass empty
+    *v.last().unwrap()
+}

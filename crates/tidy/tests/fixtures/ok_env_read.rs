@@ -1,0 +1,4 @@
+//! Fixture: configuration arrives as a parameter, not from the environment.
+pub fn workers(configured: usize) -> usize {
+    configured.max(1)
+}

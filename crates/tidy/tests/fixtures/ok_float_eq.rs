@@ -1,0 +1,4 @@
+//! Fixture: epsilon comparison instead of exact float equality.
+pub fn is_unit_load(load: f64) -> bool {
+    (load - 1.0).abs() < 1e-9
+}

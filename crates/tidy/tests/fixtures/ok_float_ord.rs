@@ -1,0 +1,4 @@
+//! Fixture: total_cmp gives floats a total order, NaN included.
+pub fn sort_loads(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}

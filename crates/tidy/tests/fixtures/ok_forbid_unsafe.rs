@@ -1,0 +1,5 @@
+//! Fixture: a crate root carrying the forbid attribute.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod inner {}

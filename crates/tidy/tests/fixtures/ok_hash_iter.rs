@@ -1,0 +1,15 @@
+//! Fixture: ordered map by default; hash map only with a justification.
+use std::collections::BTreeMap;
+
+pub fn tally(keys: &[u32]) -> BTreeMap<u32, u32> {
+    let mut m = BTreeMap::new();
+    for &k in keys {
+        *m.entry(k).or_insert(0) += 1;
+    }
+    m
+}
+
+// tidy: sorted-before-use -- membership queries only; this set is never iterated
+pub fn dedup_count(keys: &[u32], seen: &mut std::collections::HashSet<u32>) -> usize {
+    keys.iter().filter(|&&k| seen.insert(k)).count()
+}

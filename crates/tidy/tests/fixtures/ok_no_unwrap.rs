@@ -1,0 +1,12 @@
+//! Fixture: structured handling in the library, unwrap only in tests.
+pub fn last(v: &[u8]) -> Result<u8, String> {
+    v.last().copied().ok_or_else(|| "empty slice".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_here() {
+        assert_eq!(super::last(&[1, 2]).unwrap(), 2);
+    }
+}

@@ -1,0 +1,4 @@
+//! Fixture: the safe equivalent.
+pub fn transmuted(x: u32) -> f32 {
+    f32::from_bits(x)
+}

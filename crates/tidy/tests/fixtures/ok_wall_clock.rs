@@ -1,0 +1,4 @@
+//! Fixture: time passed in as simulation ticks, never read from the host.
+pub fn elapsed_ns(now: u64, start: u64) -> u64 {
+    now.saturating_sub(start)
+}

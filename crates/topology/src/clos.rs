@@ -295,9 +295,13 @@ impl FoldedClos {
         let d = self.params.hosts_per_leaf as u32;
         let leaf_sw = SwitchId(leaf as u32);
         let up_port = Port((d + spine as u32) as u8);
+        // tidy: allow(no-unwrap) -- the constructor wires every leaf uplink
+        // port; the index asserts above keep us inside the built fabric.
         let up = self.switch_out[leaf_sw.idx()][up_port.idx()].expect("leaf uplink wired");
         let spine_sw = self.spine(spine);
         let down_port = Port(leaf as u8);
+        // tidy: allow(no-unwrap) -- likewise, every spine downlink port is
+        // wired at construction for in-range leaf indices.
         let down = self.switch_out[spine_sw.idx()][down_port.idx()].expect("spine downlink wired");
         [up, down]
     }
@@ -351,9 +355,12 @@ impl FoldedClos {
         let mut out = Vec::with_capacity(route.len() + 1);
         out.push(self.host_up[route.src.idx()]);
         for i in 0..route.len() {
+            // tidy: allow(no-unwrap) -- i ranges over 0..route.len().
             let hop = route.hop(i).expect("hop index in range");
             let end = self
                 .switch_out_link(hop.switch, hop.out_port)
+                // tidy: allow(no-unwrap) -- routes are built from this same
+                // wiring table, so every hop port resolves to a link.
                 .expect("route uses a wired port");
             out.push(end.link);
         }
@@ -375,6 +382,7 @@ impl FoldedClos {
         }
         let mut at = first.switch;
         for i in 0..route.len() {
+            // tidy: allow(no-unwrap) -- i ranges over 0..route.len().
             let hop = route.hop(i).unwrap();
             if hop.switch != at {
                 return Err(format!("hop {i} expected at {at}, found {}", hop.switch));

@@ -21,6 +21,7 @@
 //! dependencies: every route ascends zero or more times, turns once, and
 //! then only descends), which the tests check structurally.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod clos;

@@ -18,6 +18,7 @@
 //! simulator drives from its event loop, one event per application
 //! message. Rates are calibrated analytically and verified by tests.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod control;

@@ -5,6 +5,9 @@
 # pre-populated registry cache.
 #
 # Steps:
+#   0. dqos-tidy: the in-tree static-analysis gate (DESIGN.md §8) —
+#      determinism, concurrency-hygiene and robustness rules; the
+#      workspace must report zero findings.
 #   1. Release build, then a whole-workspace warning-free build
 #      (RUSTFLAGS="-D warnings").
 #   2. Full test suite — includes tests/determinism.rs, the serial-vs-
@@ -22,6 +25,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo run --release --offline -p dqos-tidy
 cargo build --release --offline
 cargo test -q --offline --workspace
 cargo bench -q --offline -p dqos-bench --bench event_kernel

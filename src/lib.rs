@@ -37,6 +37,8 @@
 //! println!("{}", report.to_table());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use dqos_core as core;
 pub use dqos_endhost as endhost;
 pub use dqos_faults as faults;
