@@ -4,6 +4,7 @@ use dqos_core::{Architecture, NicEvent, NodeAction, NodeModel, Packet, Vc, NUM_V
 use dqos_queues::{DeadlineSortedQueue, FifoQueue, SchedQueue, SortedQueue};
 use dqos_sim_core::{Bandwidth, SimTime};
 use dqos_topology::Port;
+use dqos_trace::ModelNote;
 
 /// NIC parameters.
 #[derive(Debug, Clone, Copy)]
@@ -84,6 +85,10 @@ pub struct Nic {
     /// The earliest wake-up already requested (dedup of WakeAt actions).
     wake_at: Option<SimTime>,
     stats: NicStats,
+    /// Flight-recorder hooks (off by default; see `dqos-trace`). Pacing
+    /// promotions leave [`ModelNote`]s for the runtime to drain.
+    tracing: bool,
+    notes: Vec<ModelNote>,
 }
 
 impl Nic {
@@ -97,7 +102,20 @@ impl Nic {
             tx_busy: false,
             wake_at: None,
             stats: NicStats::default(),
+            tracing: false,
+            notes: Vec::new(),
         }
+    }
+
+    /// Enable or disable flight-recorder notes. Tracing must never change
+    /// behaviour: the only effect is appending to the note buffer.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    /// Swap the accumulated notes into `buf` (which should be empty).
+    pub fn swap_notes(&mut self, buf: &mut Vec<ModelNote>) {
+        std::mem::swap(&mut self.notes, buf);
     }
 
     /// Counters.
@@ -158,6 +176,9 @@ impl Nic {
         let mut actions = Vec::new();
         // Promote every packet whose eligible time has come.
         while let Some(p) = self.eligible_q.pop_due(now) {
+            if self.tracing {
+                self.notes.push(ModelNote::Promoted { pkt: p.id });
+            }
             let vc = p.vc().idx();
             self.ready[vc].enqueue(p);
         }

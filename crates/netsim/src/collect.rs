@@ -123,9 +123,10 @@ impl Collector {
             window_start: self.start,
             window_end: self.end,
             classes: self.classes.to_vec(),
-            // Fault accounting lives in the event loop, which overwrites
-            // this after `finish` when a fault plan was active.
+            // Fault and trace accounting live in the event loop, which
+            // overwrites these after `finish` when active.
             faults: None,
+            trace: None,
         }
     }
 }

@@ -3,6 +3,7 @@
 use dqos_core::Architecture;
 use dqos_sim_core::{SimDuration, SimTime};
 use dqos_topology::ClosParams;
+use dqos_trace::TraceSettings;
 use dqos_traffic::MixConfig;
 
 /// How multimedia deadlines are computed (§3.1 discusses all three; the
@@ -92,6 +93,11 @@ pub struct SimConfig {
     /// bit-identical to the serial ones (the count is clamped to the
     /// number of leaf switches — partitioning is by leaf group).
     pub workers: usize,
+    /// Flight-recorder settings ([`TraceSettings::OFF`] by default).
+    /// Enabling tracing never changes simulation results — only whether
+    /// a [`dqos_trace::Trace`] and a `trace` section in the report are
+    /// produced alongside them.
+    pub trace: TraceSettings,
 }
 
 impl SimConfig {
@@ -118,6 +124,7 @@ impl SimConfig {
             input_voq: false,
             be_weights: (1.0 / 3.0, 1.0 / 6.0),
             workers: 1,
+            trace: TraceSettings::OFF,
         }
     }
 

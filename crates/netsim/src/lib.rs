@@ -44,3 +44,4 @@ pub use error::{SimError, StallSnapshot, Violation};
 pub use flows::{FlowTable, RerouteStats};
 pub use experiments::{run_load_sweep, run_one, ExperimentResult, SweepPoint};
 pub use network::{Network, RunSummary};
+pub use dqos_trace::{Trace, TraceSettings};

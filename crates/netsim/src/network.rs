@@ -19,9 +19,10 @@ use dqos_core::{ClockDomain, PacketArena, TrafficClass, NUM_CLASSES};
 use dqos_endhost::{Nic, NicConfig, Sink};
 use dqos_faults::{CompiledFaults, FaultPlan};
 use dqos_sim_core::{execute, ExecConfig, ExecError, SimDuration, SimRng, SimTime, SplitMix64};
-use dqos_stats::{FaultClassLoss, FaultReport, Report};
+use dqos_stats::{FaultClassLoss, FaultReport, Report, StageSlack, TraceClassSlack, TraceReport};
 use dqos_switch::{Switch, SwitchConfig};
 use dqos_topology::{FoldedClos, HostId, NodeId, Port, SwitchId};
+use dqos_trace::{Trace, Tracer};
 use dqos_traffic::{build_host_sources, SourceNode};
 use std::sync::atomic::AtomicBool;
 use std::sync::{Arc, Mutex};
@@ -495,6 +496,8 @@ impl Network {
                 credits_lost: 0,
                 offered_messages: 0,
                 last_t: SimTime::ZERO,
+                tracer: Tracer::new(cfg.trace),
+                notes: Vec::new(),
             })
             .collect();
         for (h, (nic, srcs)) in self.nics.into_iter().zip(self.sources).enumerate() {
@@ -507,6 +510,19 @@ impl Network {
             let p = part_of[n_hosts as usize + s] as usize;
             parts[p].switch_ids.push(s as u32);
             parts[p].switches.push(SwitchState::new(sw));
+        }
+        if cfg.trace.enabled {
+            // Turn on the in-model note hooks (crossbar grants, pacing
+            // promotions); without this the models stay note-free and the
+            // runtime hooks alone record the lifecycle skeleton.
+            for p in &mut parts {
+                for hs in &mut p.hosts {
+                    hs.nic.set_tracing(true);
+                }
+                for ss in &mut p.switches {
+                    ss.sw.set_tracing(true);
+                }
+            }
         }
 
         let ecfg = ExecConfig {
@@ -531,6 +547,14 @@ impl Network {
         self.try_run().unwrap_or_else(|e| panic!("{e}"))
     }
 
+    /// [`Network::run`], additionally returning the merged flight-recorder
+    /// [`Trace`] (empty unless [`SimConfig::trace`] enabled tracing).
+    pub fn run_traced(self) -> (Report, RunSummary, Trace) {
+        // tidy: allow(no-unwrap) -- same panic-on-error contract as run();
+        // try_run_traced() is the Result form.
+        self.try_run_traced().unwrap_or_else(|e| panic!("{e}"))
+    }
+
     /// Run to completion, surfacing wedged or miswired fabrics as
     /// structured [`SimError`]s instead of hanging or panicking.
     ///
@@ -541,6 +565,13 @@ impl Network {
     /// credits). Both return a [`crate::StallSnapshot`] describing
     /// exactly where packets and credits got stuck.
     pub fn try_run(self) -> Result<(Report, RunSummary), SimError> {
+        self.try_run_traced().map(|(report, summary, _)| (report, summary))
+    }
+
+    /// [`Network::try_run`], additionally returning the merged
+    /// flight-recorder [`Trace`] (empty unless [`SimConfig::trace`]
+    /// enabled tracing).
+    pub fn try_run_traced(self) -> Result<(Report, RunSummary, Trace), SimError> {
         let (parts, ecfg, shared) = self.build(None);
         let res = execute(parts, ecfg);
         match res.error {
@@ -589,7 +620,8 @@ impl Network {
             }
             None => {}
         }
-        finish(&shared, res.worlds, res.events)
+        let (report, summary, _) = finish(&shared, res.worlds, res.events);
+        (report, summary)
     }
 }
 
@@ -597,16 +629,25 @@ impl Network {
 /// Partition-order folding keeps every aggregate — including the f64
 /// jitter merges inside [`Collector::finish`] — a fixed operation
 /// sequence, so the result is bit-identical at any worker count.
-fn finish(shared: &Arc<Shared>, worlds: Vec<Partition>, events: u64) -> (Report, RunSummary) {
+fn finish(
+    shared: &Arc<Shared>,
+    worlds: Vec<Partition>,
+    events: u64,
+) -> (Report, RunSummary, Trace) {
     let mut totals = PartTotals::default();
     let mut collector: Option<Collector> = None;
+    let mut tracers: Vec<Tracer> = Vec::with_capacity(worlds.len());
     for p in worlds {
         totals.absorb(&p);
+        tracers.push(p.tracer);
         match &mut collector {
             Some(acc) => acc.merge(p.collector),
             None => collector = Some(p.collector),
         }
     }
+    // Canonical merge: stable sort on (time, node) reconstructs the
+    // serial recording order whatever the worker count (see dqos-trace).
+    let trace = dqos_trace::merge(tracers, shared.cfg.trace);
     let reroute =
         *shared.reroute.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     let summary = RunSummary {
@@ -651,7 +692,39 @@ fn finish(shared: &Arc<Shared>, worlds: Vec<Partition>, events: u64) -> (Report,
             readmissions: reroute.readmitted,
         });
     }
-    (report, summary)
+    if shared.cfg.trace.enabled {
+        report.trace = Some(trace_report(&trace));
+    }
+    (report, summary, trace)
+}
+
+/// Roll the merged trace up into the report's `trace` section: slack
+/// attribution per class (Table-1 order, every stage listed).
+fn trace_report(trace: &Trace) -> TraceReport {
+    let a = dqos_trace::attribute(&trace.events);
+    TraceReport {
+        events: trace.events.len() as u64,
+        dropped_events: trace.dropped,
+        incomplete: a.incomplete,
+        classes: TrafficClass::ALL
+            .iter()
+            .map(|c| {
+                let s = a.classes.get(c.idx()).copied().unwrap_or_default();
+                TraceClassSlack {
+                    class: c.name().to_string(),
+                    delivered: s.delivered,
+                    missed: s.missed,
+                    miss_ns: s.miss_ticks,
+                    initial_slack_ns: s.initial_slack_ticks,
+                    stages: dqos_trace::STAGE_NAMES
+                        .iter()
+                        .zip(s.stages.iter())
+                        .map(|(name, &ns)| StageSlack { stage: (*name).to_string(), ns })
+                        .collect(),
+                }
+            })
+            .collect(),
+    }
 }
 
 #[cfg(test)]

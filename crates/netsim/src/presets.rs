@@ -10,6 +10,7 @@ use dqos_core::Architecture;
 use dqos_sim_core::SimDuration;
 use dqos_stats::Report;
 use dqos_topology::ClosParams;
+use dqos_trace::TraceSettings;
 use std::str::FromStr;
 
 /// The bench preset rescaled to `hosts` endpoints (paper switch/VC/buffer
@@ -66,6 +67,30 @@ pub fn env_workers() -> usize {
         // contract above), not a silently substituted default.
         Ok(s) => s.parse().unwrap_or_else(|_| panic!("unparsable DQOS_WORKERS: {s:?}")),
         Err(_) => 1,
+    }
+}
+
+/// Flight-recorder settings from the `DQOS_TRACE` environment variable:
+/// unset or `0` = off, `1` = on with defaults, `N > 1` = on with event
+/// capacity `N`. Tracing never changes simulation results — only whether
+/// a trace is captured alongside them — so examples expose it as an
+/// environment knob rather than a per-example flag.
+pub fn env_trace() -> TraceSettings {
+    // tidy: allow(env-read) -- tracing changes only whether a trace is
+    // captured; simulation results are bit-identical either way.
+    match std::env::var("DQOS_TRACE") {
+        Ok(s) => {
+            let n: u64 =
+                // tidy: allow(no-unwrap) -- examples want loud misuse
+                // (documented contract above), not a silent default.
+                s.parse().unwrap_or_else(|_| panic!("unparsable DQOS_TRACE: {s:?}"));
+            match n {
+                0 => TraceSettings::OFF,
+                1 => TraceSettings::on(),
+                cap => TraceSettings::with_capacity(cap as u32),
+            }
+        }
+        Err(_) => TraceSettings::OFF,
     }
 }
 

@@ -47,6 +47,7 @@ use dqos_faults::{CompiledFaults, FaultInjector};
 use dqos_sim_core::{Outbox, PartWorld, SimDuration, SimTime};
 use dqos_switch::Switch;
 use dqos_topology::{FoldedClos, HostId, LinkId, NodeId, Port, SwitchId};
+use dqos_trace::{Event as TraceEvent, EventKind, ModelNote, Tracer};
 use dqos_traffic::{AppMessage, SourceNode};
 use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
 use std::sync::{Arc, Mutex};
@@ -173,11 +174,22 @@ pub(crate) struct HostState {
     next_pkt: u64,
     /// Per-node event-key sequence.
     seq: u64,
+    /// Next flight-recorder sample boundary (lazy sampler: the first
+    /// event at or past it records a sample and advances it).
+    next_sample: SimTime,
 }
 
 impl HostState {
     pub(crate) fn new(nic: Nic, sink: Sink, sources: Vec<SourceNode>) -> Self {
-        HostState { nic, sink, sources, next_msg_id: 0, next_pkt: 0, seq: 0 }
+        HostState {
+            nic,
+            sink,
+            sources,
+            next_msg_id: 0,
+            next_pkt: 0,
+            seq: 0,
+            next_sample: SimTime::ZERO,
+        }
     }
 }
 
@@ -185,11 +197,13 @@ impl HostState {
 pub(crate) struct SwitchState {
     pub(crate) sw: Switch,
     seq: u64,
+    /// Next flight-recorder sample boundary (see [`HostState`]).
+    next_sample: SimTime,
 }
 
 impl SwitchState {
     pub(crate) fn new(sw: Switch) -> Self {
-        SwitchState { sw, seq: 0 }
+        SwitchState { sw, seq: 0, next_sample: SimTime::ZERO }
     }
 }
 
@@ -218,6 +232,11 @@ pub(crate) struct Partition {
     pub(crate) offered_messages: u64,
     /// Latest event time handled (for stall snapshots).
     pub(crate) last_t: SimTime,
+    /// Flight recorder for events on this partition's nodes (inert
+    /// unless the run enables tracing; see `dqos-trace`).
+    pub(crate) tracer: Tracer,
+    /// Scratch buffer for draining model notes without reallocating.
+    pub(crate) notes: Vec<ModelNote>,
 }
 
 impl Partition {
@@ -272,6 +291,90 @@ impl Partition {
     #[inline]
     fn link_is_down(&self, link: LinkId) -> bool {
         self.shared.link_down[link.idx()].load(SeqCst)
+    }
+
+    /// Lazy per-node occupancy sampler: the first event a node handles at
+    /// or past its sample boundary records a [`EventKind::Sample`] of the
+    /// node's **pre-event** state and advances the boundary. Keying the
+    /// sampler to the node's own event stream keeps it a pure function of
+    /// simulation history (worker-invariant); a wall-period timer thread
+    /// would not be.
+    fn maybe_sample(&mut self, node: u32, now: SimTime) {
+        let Some(period) = self.tracer.sample_period() else { return };
+        let li = self.shared.local_idx[node as usize] as usize;
+        // The boundary computation (a division) is deferred until a
+        // sample is actually due: this runs on every event handled.
+        let next = |now: SimTime| SimTime::from_ns((now.as_ns() / period + 1) * period);
+        let kind = if node < self.shared.n_hosts {
+            let hs = &mut self.hosts[li];
+            if now < hs.next_sample {
+                return;
+            }
+            hs.next_sample = next(now);
+            EventKind::Sample {
+                queued: hs.nic.queued_packets() as u32,
+                credit0: hs.nic.credits(Vc::REGULATED),
+                credit1: hs.nic.credits(Vc::BEST_EFFORT),
+            }
+        } else {
+            let ss = &mut self.switches[li];
+            if now < ss.next_sample {
+                return;
+            }
+            ss.next_sample = next(now);
+            EventKind::Sample {
+                queued: ss.sw.occupancy_packets() as u32,
+                credit0: ss.sw.credit_total(Vc::REGULATED),
+                credit1: ss.sw.credit_total(Vc::BEST_EFFORT),
+            }
+        };
+        self.tracer.record(TraceEvent { at: now, node, pkt: 0, kind });
+    }
+
+    /// Drain the NIC's flight-recorder notes (called right after every
+    /// `nic.on_event`), stamping them with the global handling time.
+    fn drain_host_notes(&mut self, host: u32, now: SimTime) {
+        let li = self.shared.local_idx[host as usize] as usize;
+        let mut buf = std::mem::take(&mut self.notes);
+        self.hosts[li].nic.swap_notes(&mut buf);
+        for n in &buf {
+            if let ModelNote::Promoted { pkt } = *n {
+                self.tracer.record(TraceEvent {
+                    at: now,
+                    node: host,
+                    pkt,
+                    kind: EventKind::Eligible,
+                });
+            }
+        }
+        buf.clear();
+        self.notes = buf;
+    }
+
+    /// Drain the switch's flight-recorder notes (called right after every
+    /// `sw.on_event`), stamping them with the global handling time.
+    fn drain_switch_notes(&mut self, sw_node: u32, now: SimTime) {
+        let li = self.shared.local_idx[sw_node as usize] as usize;
+        let mut buf = std::mem::take(&mut self.notes);
+        self.switches[li].sw.swap_notes(&mut buf);
+        for n in &buf {
+            let kind = match *n {
+                ModelNote::XbarGrant { vc, take_over, fifo, .. } => {
+                    EventKind::HopArbitrate { vc, take_over, fifo }
+                }
+                ModelNote::XbarDone { .. } => EventKind::HopXbarDone,
+                // NIC-only note; a switch never emits it.
+                ModelNote::Promoted { .. } => continue,
+            };
+            let pkt = match *n {
+                ModelNote::XbarGrant { pkt, .. }
+                | ModelNote::XbarDone { pkt }
+                | ModelNote::Promoted { pkt } => pkt,
+            };
+            self.tracer.record(TraceEvent { at: now, node: sw_node, pkt, kind });
+        }
+        buf.clear();
+        self.notes = buf;
     }
 
     fn source_fire(&mut self, host: u32, idx: u32, now: SimTime, out: &mut Outbox<'_, Msg>) {
@@ -331,7 +434,25 @@ impl Partition {
                 }
             })
             .collect();
-        let actions = hs.nic.on_event(local, NicEvent::Enqueue(pkts));
+        if self.tracer.on() {
+            // Deadlines are stamped in the host's local clock domain;
+            // record them in global ticks so the attribution pass can
+            // compare against global delivery times directly.
+            let clock = shared.host_clock[host as usize];
+            for p in &pkts {
+                self.tracer.record(TraceEvent {
+                    at: now,
+                    node: host,
+                    pkt: p.id,
+                    kind: EventKind::Stamped {
+                        class: p.class.idx() as u8,
+                        len: p.len,
+                        deadline: clock.global_of(p.deadline),
+                    },
+                });
+            }
+        }
+        let actions = self.host_mut(host).nic.on_event(local, NicEvent::Enqueue(pkts));
         self.apply_host_actions(host, actions, now, out);
     }
 
@@ -339,9 +460,14 @@ impl Partition {
         &mut self,
         host: u32,
         actions: Vec<NodeAction>,
-        _now: SimTime,
+        now: SimTime,
         out: &mut Outbox<'_, Msg>,
     ) {
+        if self.tracer.on() {
+            // Every call site runs this right after `nic.on_event`, so
+            // the drained notes belong to the event handled at `now`.
+            self.drain_host_notes(host, now);
+        }
         let clock = self.shared.host_clock[host as usize];
         for a in actions {
             match a {
@@ -349,7 +475,17 @@ impl Partition {
                     let finish_g = clock.global_of(finish);
                     let k = self.next_key(host);
                     out.send(host, finish_g, k, Msg::HostTxDone);
-                    self.ship_from_host(host, packet, finish_g, out);
+                    if self.tracer.on() {
+                        // Serialisation starts at the handling instant;
+                        // `finish` is start + tx time.
+                        self.tracer.record(TraceEvent {
+                            at: now,
+                            node: host,
+                            pkt: packet.id,
+                            kind: EventKind::Injected,
+                        });
+                    }
+                    self.ship_from_host(host, packet, finish_g, now, out);
                 }
                 NodeAction::WakeAt { at } => {
                     let k = self.next_key(host);
@@ -369,6 +505,7 @@ impl Partition {
         host: u32,
         mut pkt: Packet,
         finish_g: SimTime,
+        now: SimTime,
         out: &mut Outbox<'_, Msg>,
     ) {
         let shared = Arc::clone(&self.shared);
@@ -386,6 +523,17 @@ impl Partition {
                 // freed it. (Without this, every drop leaks injection
                 // credit and the host eventually wedges.)
                 self.fault_dropped[pkt.class.idx()] += 1;
+                if self.tracer.on() {
+                    // Recorded at the handling instant, not the would-be
+                    // arrival: future-dated events would break the
+                    // trace ring's exact-prefix truncation guarantee.
+                    self.tracer.record(TraceEvent {
+                        at: now,
+                        node: host,
+                        pkt: pkt.id,
+                        kind: EventKind::DroppedWire,
+                    });
+                }
                 let k = self.next_key(host);
                 out.send(
                     host,
@@ -425,6 +573,11 @@ impl Partition {
         out: &mut Outbox<'_, Msg>,
     ) -> Result<(), SimError> {
         let shared = Arc::clone(&self.shared);
+        if self.tracer.on() {
+            // Every call site runs this right after `sw.on_event`, so
+            // the drained notes belong to the event handled at `now`.
+            self.drain_switch_notes(sw_node, now);
+        }
         let s = (sw_node - shared.n_hosts) as usize;
         let clock = shared.sw_clock[s];
         for a in actions {
@@ -433,7 +586,17 @@ impl Partition {
                     let finish_g = clock.global_of(finish);
                     let k = self.next_key(sw_node);
                     out.send(sw_node, finish_g, k, Msg::SwitchTxDone { port: out_port });
-                    self.ship_from_switch(sw_node, out_port, packet, finish_g, out)?;
+                    if self.tracer.on() {
+                        // Serialisation starts at the handling instant;
+                        // `finish` is start + tx time.
+                        self.tracer.record(TraceEvent {
+                            at: now,
+                            node: sw_node,
+                            pkt: packet.id,
+                            kind: EventKind::HopTxStart,
+                        });
+                    }
+                    self.ship_from_switch(sw_node, out_port, packet, finish_g, now, out)?;
                 }
                 NodeAction::SendCredit { in_port, vc, bytes } => {
                     let at = now + shared.cfg.credit_delay;
@@ -489,6 +652,7 @@ impl Partition {
         out_port: Port,
         mut pkt: Packet,
         finish_g: SimTime,
+        now: SimTime,
         out: &mut Outbox<'_, Msg>,
     ) -> Result<(), SimError> {
         let shared = Arc::clone(&self.shared);
@@ -504,6 +668,16 @@ impl Partition {
                 // so this switch's output credit for the hop synthesizes
                 // back (see ship_from_host).
                 self.fault_dropped[pkt.class.idx()] += 1;
+                if self.tracer.on() {
+                    // At `now`, not the would-be arrival (see
+                    // ship_from_host).
+                    self.tracer.record(TraceEvent {
+                        at: now,
+                        node: sw_node,
+                        pkt: pkt.id,
+                        kind: EventKind::DroppedWire,
+                    });
+                }
                 let k = self.next_key(sw_node);
                 out.send(
                     sw_node,
@@ -543,6 +717,14 @@ impl Partition {
 
     fn handle_delivery(&mut self, host: u32, pkt: Packet, now: SimTime, out: &mut Outbox<'_, Msg>) {
         let shared = Arc::clone(&self.shared);
+        if self.tracer.on() {
+            let kind = if pkt.corrupted {
+                EventKind::DeliveredCorrupt
+            } else {
+                EventKind::Delivered
+            };
+            self.tracer.record(TraceEvent { at: now, node: host, pkt: pkt.id, kind });
+        }
         if pkt.corrupted {
             // CRC failure at the destination: the payload is discarded
             // before the sink sees it (so reassembly and order tracking
@@ -634,6 +816,9 @@ impl PartWorld for Partition {
         out: &mut Outbox<'_, Msg>,
     ) -> Result<(), SimError> {
         self.last_t = now;
+        if self.tracer.on() {
+            self.maybe_sample(node, now);
+        }
         match msg {
             Msg::SourceFire { idx } => {
                 self.source_fire(node, idx, now, out);
@@ -656,6 +841,14 @@ impl PartWorld for Partition {
             }
             Msg::SwitchArrive { port, slot } => {
                 let pkt = self.open(slot);
+                if self.tracer.on() {
+                    self.tracer.record(TraceEvent {
+                        at: now,
+                        node,
+                        pkt: pkt.id,
+                        kind: EventKind::HopEnqueue { vc: pkt.vc().idx() as u8 },
+                    });
+                }
                 let s = (node - self.shared.n_hosts) as usize;
                 let local = self.shared.sw_clock[s].local(now);
                 let actions = self

@@ -100,6 +100,24 @@ impl<T: Deadlined> AnyQueue<T> {
             _ => 0,
         }
     }
+
+    /// True when the current dequeue candidate sits in the take-over
+    /// queue (Advanced only; `false` otherwise, including when empty).
+    /// Read by the switch just before a crossbar grant to tag the
+    /// flight-recorder event.
+    pub fn candidate_is_take_over(&self) -> bool {
+        match self {
+            AnyQueue::TwoQueue(q) => q.candidate_is_take_over().unwrap_or(false),
+            _ => false,
+        }
+    }
+
+    /// True when this structure serves in plain arrival order, so a wait
+    /// at its head is head-of-line blocking rather than deadline-ordered
+    /// arbitration.
+    pub fn is_fifo(&self) -> bool {
+        matches!(self, AnyQueue::Fifo(_))
+    }
 }
 
 impl<T: Deadlined> SchedQueue<T> for AnyQueue<T> {
@@ -199,6 +217,26 @@ mod tests {
         assert!(matches!(heap, AnyQueue::Heap(_)));
         let tq: AnyQueue<Item> = AnyQueue::for_kind(SwitchQueueKind::TwoQueue);
         assert!(matches!(tq, AnyQueue::TwoQueue(_)));
+    }
+
+    #[test]
+    fn discipline_queries_reflect_structure() {
+        let mut fifo: AnyQueue<Item> = AnyQueue::for_kind(SwitchQueueKind::Fifo);
+        assert!(fifo.is_fifo());
+        assert!(!fifo.candidate_is_take_over());
+        fifo.enqueue(Item::new(0, 0, 50));
+        assert!(!fifo.candidate_is_take_over());
+
+        let mut tq: AnyQueue<Item> = AnyQueue::for_kind(SwitchQueueKind::TwoQueue);
+        assert!(!tq.is_fifo());
+        assert!(!tq.candidate_is_take_over());
+        // An in-order arrival stays in the ordered queue...
+        tq.enqueue(Item::new(0, 0, 50));
+        assert!(!tq.candidate_is_take_over());
+        // ...but a tighter-deadline late arrival rides the take-over queue
+        // and becomes the candidate.
+        tq.enqueue(Item::new(1, 0, 40));
+        assert!(tq.candidate_is_take_over());
     }
 
     #[test]

@@ -96,8 +96,10 @@ impl<T> TwoQueue<T> {
 }
 
 impl<T: Deadlined> TwoQueue<T> {
-    /// Which queue the dequeue candidate currently sits in.
-    fn candidate_is_take_over(&self) -> Option<bool> {
+    /// Which queue the dequeue candidate currently sits in. Public so the
+    /// switch can tag crossbar grants for the flight recorder (was the
+    /// winner served via the take-over path?).
+    pub fn candidate_is_take_over(&self) -> Option<bool> {
         match (self.ordered.front(), self.take_over.front()) {
             (None, None) => None,
             (Some(_), None) => Some(false),

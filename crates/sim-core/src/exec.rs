@@ -141,6 +141,11 @@ pub struct ExecResult<W: PartWorld> {
     pub worlds: Vec<W>,
     /// Events processed across all partitions.
     pub events: u64,
+    /// Events processed by each partition, in partition order. Sums to
+    /// `events`. Diagnostic only: the split depends on the partitioning,
+    /// so it must never feed back into simulation state or canonical
+    /// outputs (reports, traces).
+    pub events_per_part: Vec<u64>,
     /// First error recorded, if the run did not complete.
     pub error: Option<ExecError<W::Err>>,
 }
@@ -283,7 +288,7 @@ pub fn execute<W: PartWorld>(mut worlds: Vec<W>, cfg: ExecConfig) -> ExecResult<
         let world = &mut worlds[0];
         let queue = &mut queues[0];
         let (events, error) = run_serial(world, queue, &cfg);
-        return ExecResult { worlds, events, error };
+        return ExecResult { worlds, events, events_per_part: vec![events], error };
     }
     assert!(
         cfg.lookahead > SimDuration::ZERO,
@@ -552,14 +557,17 @@ fn run_parallel<W: PartWorld>(
         }
     });
     let mut out_worlds = Vec::with_capacity(n_parts);
+    let mut events_per_part = Vec::with_capacity(n_parts);
     let mut events = 0u64;
     for (w, e) in results {
         out_worlds.push(w);
+        events_per_part.push(e);
         events += e;
     }
     ExecResult {
         worlds: out_worlds,
         events,
+        events_per_part,
         error: error.into_inner().unwrap_or_else(PoisonError::into_inner),
     }
 }
@@ -680,6 +688,16 @@ mod tests {
             assert!(par.error.is_none());
             assert_eq!(par.events, ser.events, "{parts} partitions");
             assert_eq!(merged(&par), merged(&ser), "{parts} partitions");
+        }
+    }
+
+    #[test]
+    fn events_per_part_sums_to_total() {
+        for parts in [1usize, 2, 3] {
+            let res = run_ring(parts, vec![], None);
+            assert!(res.error.is_none());
+            assert_eq!(res.events_per_part.len(), parts);
+            assert_eq!(res.events_per_part.iter().sum::<u64>(), res.events);
         }
     }
 

@@ -71,8 +71,10 @@ impl LogHistogram {
             return i as u64;
         }
         let major = (i / SUB - 1) as u32;
-        let sub = (i % SUB) as u64;
-        ((SUB as u64 + sub + 1) << major) - 1
+        let sub = (i % SUB) as u128;
+        // Widen: the very last bucket's edge is exactly 2^64 - 1, and the
+        // u64 intermediate `64 << 58` would overflow.
+        (((SUB as u128 + sub + 1) << major) - 1).min(u64::MAX as u128) as u64
     }
 
     /// Record one value.
@@ -306,6 +308,85 @@ mod tests {
         assert_eq!(a.mean(), 300.0);
     }
 
+    #[test]
+    fn single_sample() {
+        let mut h = LogHistogram::new();
+        h.record(123_456);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), 123_456);
+        assert_eq!(h.max(), 123_456);
+        assert_eq!(h.mean(), 123_456.0);
+        // Every quantile of a one-sample histogram is that sample
+        // (bucketised, then clamped to the exact min/max).
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 123_456, "q={q}");
+        }
+        assert_eq!(h.cdf(), vec![(123_456, 1.0)]);
+    }
+
+    #[test]
+    fn saturating_values_do_not_overflow() {
+        // u64::MAX lands in the last sub-bucket of the top major range,
+        // whose upper edge is exactly u64::MAX — no wraparound anywhere.
+        let mut h = LogHistogram::new();
+        for _ in 0..1000 {
+            h.record(u64::MAX);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.min(), u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.quantile(0.5), u64::MAX);
+        assert_eq!(h.mean(), u64::MAX as f64);
+        let j = h.to_json();
+        let back = LogHistogram::from_json(&j).expect("roundtrip");
+        assert_eq!(back.count(), 1000);
+        assert_eq!(back.max(), u64::MAX);
+    }
+
+    #[test]
+    fn empty_histogram_json_roundtrip() {
+        // The empty sentinel (min = u64::MAX, max = 0) must survive
+        // serialisation without inventing samples.
+        let h = LogHistogram::new();
+        let back = LogHistogram::from_json(&h.to_json()).expect("roundtrip");
+        assert_eq!(back.count(), 0);
+        assert_eq!(back.min(), 0);
+        assert_eq!(back.max(), 0);
+        assert!(back.cdf().is_empty());
+    }
+
+    /// Shared check for the merged-quantile bound: for every probed q,
+    /// `min_shard_q  ≤  merged_q  ≤  max_shard_q · (1 + 1/32) + 1`.
+    ///
+    /// The lower bound is exact. The upper bound carries the bucket
+    /// quantisation slack: each shard clamps its bucket upper edge to its
+    /// own max, while the merged histogram clamps to the global max, so
+    /// the merged value can exceed the loosest shard by up to one bucket
+    /// width (≤ 1/32 relative).
+    fn assert_merged_quantiles_bounded(shards: &[LogHistogram]) {
+        let mut merged = LogHistogram::new();
+        for s in shards {
+            merged.merge(s);
+        }
+        let occupied: Vec<&LogHistogram> = shards.iter().filter(|s| s.count() > 0).collect();
+        if occupied.is_empty() {
+            return;
+        }
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let m = merged.quantile(q);
+            let lo = occupied.iter().map(|s| s.quantile(q)).min().unwrap();
+            let hi = occupied.iter().map(|s| s.quantile(q)).max().unwrap();
+            assert!(
+                m >= lo,
+                "merged q{q} = {m} below tightest shard quantile {lo}"
+            );
+            assert!(
+                m as f64 <= hi as f64 * (1.0 + 1.0 / 32.0) + 1.0,
+                "merged q{q} = {m} above loosest shard quantile {hi} + bucket slack"
+            );
+        }
+    }
+
     #[cfg(feature = "proptest")]
     mod prop {
         use super::*;
@@ -331,6 +412,28 @@ mod tests {
             fn prop_bucket_monotone(a in 0u64..1 << 50, b in 0u64..1 << 50) {
                 let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
                 prop_assert!(LogHistogram::bucket_of(lo) <= LogHistogram::bucket_of(hi));
+            }
+
+            /// Merged-histogram quantiles are bounded by the per-shard
+            /// quantiles (up to one bucket of quantisation slack).
+            #[test]
+            fn prop_merged_quantiles_bound_shards(
+                shards in proptest::collection::vec(
+                    proptest::collection::vec(0u64..100_000_000, 0..120),
+                    1..6,
+                )
+            ) {
+                let hists: Vec<LogHistogram> = shards
+                    .iter()
+                    .map(|vs| {
+                        let mut h = LogHistogram::new();
+                        for &v in vs {
+                            h.record(v);
+                        }
+                        h
+                    })
+                    .collect();
+                assert_merged_quantiles_bounded(&hists);
             }
 
             /// Quantiles are monotone in q and bracketed by min/max.
@@ -379,6 +482,25 @@ mod tests {
                     assert!(b >= pb, "bucket_of not monotone at {pv} -> {v}");
                 }
                 prev = Some((v, b));
+            }
+        }
+
+        #[test]
+        fn merged_quantiles_bound_shards_randomized() {
+            let mut rng = SimRng::new(0xD1CE);
+            for _ in 0..100 {
+                let shard_count = 1 + rng.index(5);
+                let hists: Vec<LogHistogram> = (0..shard_count)
+                    .map(|_| {
+                        let n = rng.index(120); // may be empty
+                        let mut h = LogHistogram::new();
+                        for _ in 0..n {
+                            h.record(rng.range_u64(0, 99_999_999));
+                        }
+                        h
+                    })
+                    .collect();
+                assert_merged_quantiles_bounded(&hists);
             }
         }
 

@@ -175,6 +175,42 @@ mod tests {
     }
 
     #[test]
+    fn empty_tracker() {
+        let j = JitterTracker::new();
+        assert_eq!(j.count(), 0);
+        assert_eq!(j.mean_abs_delta(), 0.0);
+        assert_eq!(j.std_dev(), 0.0);
+        let back = JitterTracker::from_json(&j.to_json()).expect("roundtrip");
+        assert_eq!(back.count(), 0);
+        assert_eq!(back.mean_abs_delta(), 0.0);
+    }
+
+    #[test]
+    fn merge_two_empties_stays_empty() {
+        let mut a = JitterTracker::new();
+        let b = JitterTracker::new();
+        a.merge(&b);
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn saturating_latencies_do_not_overflow() {
+        // Alternating 0 / u64::MAX maximises every |Δ| term; the u128
+        // accumulator must absorb them without wrapping.
+        let mut j = JitterTracker::new();
+        for i in 0..64 {
+            j.record(if i % 2 == 0 { 0 } else { u64::MAX });
+        }
+        assert_eq!(j.count(), 64);
+        assert_eq!(j.mean_abs_delta(), u64::MAX as f64);
+        assert!(j.std_dev() > 0.0 && j.std_dev().is_finite());
+        let back = JitterTracker::from_json(&j.to_json()).expect("roundtrip");
+        assert_eq!(back.count(), 64);
+        assert_eq!(back.mean_abs_delta(), u64::MAX as f64);
+    }
+
+    #[test]
     fn merge_into_empty() {
         let mut a = JitterTracker::new();
         let mut b = JitterTracker::new();

@@ -29,4 +29,7 @@ pub use hist::LogHistogram;
 pub use jitter::JitterTracker;
 pub use json::Json;
 pub use meter::ThroughputMeter;
-pub use report::{cdf_to_text, ClassStats, FaultClassLoss, FaultReport, Report};
+pub use report::{
+    cdf_to_text, ClassStats, FaultClassLoss, FaultReport, Report, StageSlack, TraceClassSlack,
+    TraceReport,
+};

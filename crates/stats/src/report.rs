@@ -167,6 +167,145 @@ impl FaultReport {
     }
 }
 
+/// Ticks attributed to one pipeline stage (flight-recorder rollup).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StageSlack {
+    /// Stage label ("pacing", "vc_arbitration", ...). Labels come from
+    /// the tracing layer; this crate treats them as opaque.
+    pub stage: String,
+    /// Nanoseconds spent in the stage, summed over missed packets.
+    pub ns: u64,
+}
+
+/// Per-class slack attribution from a traced run: where the lost slack
+/// of deadline-missing packets went. Stage sums cover missed packets
+/// only, and satisfy `Σ stages - initial_slack_ns == miss_ns` exactly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceClassSlack {
+    /// Class label ("Control", "Multimedia", ...).
+    pub class: String,
+    /// Packets of this class delivered intact (on time or late).
+    pub delivered: u64,
+    /// Delivered past their deadline (with a complete event journey).
+    pub missed: u64,
+    /// Σ (delivered − deadline) over missed packets, ns.
+    pub miss_ns: u64,
+    /// Σ (deadline − stamped) over missed packets, ns (may be negative
+    /// under extreme clock skew).
+    pub initial_slack_ns: i64,
+    /// Per-stage attribution, fixed stage order.
+    pub stages: Vec<StageSlack>,
+}
+
+impl TraceClassSlack {
+    /// Total attributed nanoseconds across stages.
+    pub fn stage_total_ns(&self) -> u64 {
+        self.stages.iter().map(|s| s.ns).sum()
+    }
+}
+
+/// Flight-recorder outcome attached to a run report. Present only when
+/// tracing was enabled; the simulation results themselves are identical
+/// with or without it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceReport {
+    /// Events kept in the merged trace.
+    pub events: u64,
+    /// Events recorded but evicted by the ring capacity.
+    pub dropped_events: u64,
+    /// Deadline-missing deliveries whose journey was truncated by the
+    /// ring (counted, not attributed).
+    pub incomplete: u64,
+    /// Per-class slack attribution, Table-1 order.
+    pub classes: Vec<TraceClassSlack>,
+}
+
+impl TraceReport {
+    /// Look up a class block by name.
+    pub fn class(&self, name: &str) -> Option<&TraceClassSlack> {
+        self.classes.iter().find(|c| c.class == name)
+    }
+
+    /// Total missed packets attributed across classes.
+    pub fn total_missed(&self) -> u64 {
+        self.classes.iter().map(|c| c.missed).sum()
+    }
+
+    /// Serialise to a JSON tree.
+    pub fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("events", Json::Int(self.events as i128)),
+            ("dropped_events", Json::Int(self.dropped_events as i128)),
+            ("incomplete", Json::Int(self.incomplete as i128)),
+            (
+                "classes",
+                Json::Arr(
+                    self.classes
+                        .iter()
+                        .map(|c| {
+                            Json::obj(vec![
+                                ("class", Json::Str(c.class.clone())),
+                                ("delivered", Json::Int(c.delivered as i128)),
+                                ("missed", Json::Int(c.missed as i128)),
+                                ("miss_ns", Json::Int(c.miss_ns as i128)),
+                                ("initial_slack_ns", Json::Int(c.initial_slack_ns as i128)),
+                                (
+                                    "stages",
+                                    Json::Arr(
+                                        c.stages
+                                            .iter()
+                                            .map(|s| {
+                                                Json::obj(vec![
+                                                    ("stage", Json::Str(s.stage.clone())),
+                                                    ("ns", Json::Int(s.ns as i128)),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Rebuild from [`TraceReport::to_json_value`] output.
+    pub fn from_json_value(j: &Json) -> Option<Self> {
+        Some(TraceReport {
+            events: j.get("events")?.as_u64()?,
+            dropped_events: j.get("dropped_events")?.as_u64()?,
+            incomplete: j.get("incomplete")?.as_u64()?,
+            classes: j
+                .get("classes")?
+                .as_arr()?
+                .iter()
+                .map(|c| {
+                    Some(TraceClassSlack {
+                        class: c.get("class")?.as_str()?.to_string(),
+                        delivered: c.get("delivered")?.as_u64()?,
+                        missed: c.get("missed")?.as_u64()?,
+                        miss_ns: c.get("miss_ns")?.as_u64()?,
+                        initial_slack_ns: c.get("initial_slack_ns")?.as_i128()? as i64,
+                        stages: c
+                            .get("stages")?
+                            .as_arr()?
+                            .iter()
+                            .map(|s| {
+                                Some(StageSlack {
+                                    stage: s.get("stage")?.as_str()?.to_string(),
+                                    ns: s.get("ns")?.as_u64()?,
+                                })
+                            })
+                            .collect::<Option<Vec<_>>>()?,
+                    })
+                })
+                .collect::<Option<Vec<_>>>()?,
+        })
+    }
+}
+
 /// One simulation run's results: the architecture, the load point, the
 /// measurement window, and a stats block per class.
 #[derive(Debug, Clone)]
@@ -185,6 +324,10 @@ pub struct Report {
     /// rendering omits the key entirely, keeping fault-free output
     /// byte-identical to pre-fault builds).
     pub faults: Option<FaultReport>,
+    /// Flight-recorder outcome; `None` for untraced runs (same key
+    /// omission contract as [`Report::faults`], so untraced output is
+    /// byte-identical to pre-trace builds).
+    pub trace: Option<TraceReport>,
 }
 
 impl Report {
@@ -247,6 +390,33 @@ impl Report {
                 }
             }
         }
+        if let Some(t) = &self.trace {
+            let _ = writeln!(
+                s,
+                "# trace: events {} dropped {} incomplete {} missed {}",
+                t.events,
+                t.dropped_events,
+                t.incomplete,
+                t.total_missed()
+            );
+            for c in &t.classes {
+                if c.missed == 0 {
+                    continue;
+                }
+                let mut row = format!(
+                    "#   {:<12} missed {:>8} miss_us {:>10.1}",
+                    c.class,
+                    c.missed,
+                    c.miss_ns as f64 / 1e3
+                );
+                for st in &c.stages {
+                    if st.ns != 0 {
+                        let _ = write!(row, " {} {:.1}us", st.stage, st.ns as f64 / 1e3);
+                    }
+                }
+                let _ = writeln!(s, "{row}");
+            }
+        }
         s
     }
 
@@ -267,6 +437,9 @@ impl Report {
         ];
         if let Some(f) = &self.faults {
             fields.push(("faults", f.to_json_value()));
+        }
+        if let Some(t) = &self.trace {
+            fields.push(("trace", t.to_json_value()));
         }
         Json::obj(fields)
     }
@@ -292,6 +465,10 @@ impl Report {
                 .collect::<Option<Vec<_>>>()?,
             faults: match j.get("faults") {
                 Some(f) => Some(FaultReport::from_json_value(f)?),
+                None => None,
+            },
+            trace: match j.get("trace") {
+                Some(t) => Some(TraceReport::from_json_value(t)?),
                 None => None,
             },
         })
@@ -332,6 +509,7 @@ mod tests {
             window_end: SimTime::from_ms(20),
             classes: vec![control, video],
             faults: None,
+            trace: None,
         }
     }
 
@@ -403,6 +581,42 @@ mod tests {
         let mut r2 = sample_report();
         r2.faults = Some(f);
         assert!(r2.to_table().contains("# faults: dropped 20"));
+    }
+
+    #[test]
+    fn trace_report_roundtrips_and_key_is_omitted_when_absent() {
+        let r = sample_report();
+        assert!(!r.to_json().contains("\"trace\""), "untraced runs omit the key");
+        let mut traced = sample_report();
+        traced.trace = Some(TraceReport {
+            events: 1000,
+            dropped_events: 24,
+            incomplete: 1,
+            classes: vec![TraceClassSlack {
+                class: "Multimedia".into(),
+                delivered: 10,
+                missed: 2,
+                miss_ns: 5_000,
+                initial_slack_ns: 20_000,
+                stages: vec![
+                    StageSlack { stage: "pacing".into(), ns: 15_000 },
+                    StageSlack { stage: "transit".into(), ns: 10_000 },
+                ],
+            }],
+        });
+        let j = traced.to_json();
+        let back = Report::from_json(&j).unwrap();
+        assert_eq!(back.trace, traced.trace);
+        assert_eq!(back.to_json(), j, "render → parse → render is a fixed point");
+        let t = back.trace.unwrap();
+        assert_eq!(t.total_missed(), 2);
+        let c = t.class("Multimedia").unwrap();
+        // The exact attribution identity survives serialisation.
+        assert_eq!(c.stage_total_ns() as i64 - c.initial_slack_ns, c.miss_ns as i64);
+        // The table gains a trace footer with the stage breakdown.
+        let table = traced.to_table();
+        assert!(table.contains("# trace: events 1000"));
+        assert!(table.contains("pacing"));
     }
 
     #[test]

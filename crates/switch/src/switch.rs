@@ -40,6 +40,7 @@ use dqos_core::{NodeAction, NodeModel, Packet, SwitchEvent, Vc, NUM_VCS};
 use dqos_queues::{AnyQueue, SchedQueue, Voq};
 use dqos_sim_core::SimTime;
 use dqos_topology::Port;
+use dqos_trace::ModelNote;
 
 /// Per-switch counters (diagnostics and tests).
 #[derive(Debug, Clone, Copy, Default)]
@@ -167,6 +168,20 @@ impl InputStage {
         }
     }
 
+    /// Flags for a crossbar grant from this stage toward `out`, read just
+    /// before the dequeue: was the candidate served via the take-over
+    /// queue, and does the structure serve in FIFO order? Feeds the
+    /// flight recorder's wait classification.
+    fn grant_flags(&self, out: usize) -> (bool, bool) {
+        match self {
+            InputStage::Single(q) => (q.candidate_is_take_over(), q.is_fifo()),
+            InputStage::Voq(v) => {
+                let q = v.queue(out);
+                (q.candidate_is_take_over(), q.is_fifo())
+            }
+        }
+    }
+
     fn take_over_total(&self) -> u64 {
         match self {
             InputStage::Single(q) => q.take_over_total(),
@@ -199,6 +214,11 @@ pub struct Switch {
     /// Scratch list reused by candidate_outputs (avoids per-event alloc).
     scratch: Vec<usize>,
     stats: SwitchStats,
+    /// Flight-recorder hooks (off by default; see `dqos-trace`). When on,
+    /// scheduling decisions leave [`ModelNote`]s for the runtime to drain
+    /// after each event — the switch itself never sees the global clock.
+    tracing: bool,
+    notes: Vec<ModelNote>,
 }
 
 impl Switch {
@@ -236,7 +256,21 @@ impl Switch {
             rr_ptr: vec![[0; NUM_VCS]; n],
             scratch: Vec::with_capacity(n),
             stats: SwitchStats::default(),
+            tracing: false,
+            notes: Vec::new(),
         }
+    }
+
+    /// Enable or disable flight-recorder notes. Tracing must never change
+    /// behaviour: the only effect is appending to the note buffer.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    /// Swap the accumulated notes into `buf` (which should be empty).
+    /// The runtime drains them after every event it feeds the switch.
+    pub fn swap_notes(&mut self, buf: &mut Vec<ModelNote>) {
+        std::mem::swap(&mut self.notes, buf);
     }
 
     /// The configuration.
@@ -288,6 +322,12 @@ impl Switch {
                 })
             })
             .collect()
+    }
+
+    /// Summed downstream credit across all ports for `vc` (occupancy
+    /// sampler).
+    pub fn credit_total(&self, vc: Vc) -> u32 {
+        self.credits.iter().map(|c| c[vc.idx()]).sum()
     }
 
     /// Cumulative take-over-queue admissions across all buffers
@@ -344,6 +384,9 @@ impl Switch {
         // tidy: allow(no-unwrap) -- the slot was filled when this transfer
         // was scheduled; an empty slot means a duplicated completion event.
         let (i, vc, pkt) = self.xbar_pkt[o].take().expect("xbar completion without transfer");
+        if self.tracing {
+            self.notes.push(ModelNote::XbarDone { pkt: pkt.id });
+        }
         let len = pkt.len;
         let ob = &mut self.outputs[o][vc.idx()];
         ob.reserved -= len;
@@ -447,9 +490,19 @@ impl Switch {
                         self.stats.order_errors += 1;
                     }
                 }
+                let grant_flags =
+                    if self.tracing { Some(self.inputs[i][vc.idx()].grant_flags(out)) } else { None };
                 // tidy: allow(no-unwrap) -- same invariant: the arbitration
                 // winner's head for `out` is still queued.
                 let pkt = self.inputs[i][vc.idx()].dequeue_for(out).expect("winner has a head");
+                if let Some((take_over, fifo)) = grant_flags {
+                    self.notes.push(ModelNote::XbarGrant {
+                        pkt: pkt.id,
+                        vc: vc.idx() as u8,
+                        take_over,
+                        fifo,
+                    });
+                }
                 let len = pkt.len;
                 self.in_busy[i] = true;
                 self.xbar_busy[out] = true;

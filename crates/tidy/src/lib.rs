@@ -18,7 +18,8 @@
 //!   justification, multi-lock files declare and respect a lock order,
 //!   `unsafe` is forbidden;
 //! * **robustness** — library code returns structured errors instead
-//!   of panicking.
+//!   of panicking, and never prints to the terminal (exporters and
+//!   reports go through writers or returned strings).
 //!
 //! Violations that are deliberate carry inline justification
 //! directives (`// tidy: allow(<rule>) -- <reason>`); a directive that

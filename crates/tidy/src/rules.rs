@@ -83,6 +83,11 @@ pub const RULES: &[RuleInfo] = &[
         what: "every crate root must carry #![forbid(unsafe_code)]",
     },
     RuleInfo {
+        id: "no-print",
+        what: "no println!/print!/eprintln!/eprint! in sim-crate library code: exporters and \
+               reports go through writers or returned strings, never straight to the terminal",
+    },
+    RuleInfo {
         id: "no-unwrap",
         what: "no unwrap/expect/panic!/unreachable!/todo!/unimplemented! in non-test library \
                code: return SimError (or justify the invariant)",
@@ -246,6 +251,20 @@ pub fn check_source(path: &str, src: &str, class: &FileClass) -> Vec<Finding> {
                     "unsafe-code",
                     t.line,
                     "`unsafe` is forbidden outside the allowlist".to_string(),
+                    &mut supps,
+                );
+            }
+            if sim_code
+                && matches!(name, "println" | "print" | "eprintln" | "eprint")
+                && punct(toks, i + 1, "!")
+            {
+                emit(
+                    "no-print",
+                    t.line,
+                    format!(
+                        "`{name}!` in library code; route output through a writer or return \
+                         a String (binaries and the bench harness may print)"
+                    ),
                     &mut supps,
                 );
             }

@@ -8,9 +8,10 @@ use crate::rules::{check_source, FileClass, Finding};
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Crates exempt from the determinism rules. `bench` exists to time
-/// wall-clock runs and read sweep knobs from the environment; `tidy`
-/// is build tooling that never touches simulation state.
+/// Crates exempt from the determinism rules (and from `no-print`).
+/// `bench` exists to time wall-clock runs, read sweep knobs from the
+/// environment and print result tables; `tidy` is build tooling that
+/// never touches simulation state.
 const NON_SIM_CRATES: &[&str] = &["bench", "tidy"];
 
 /// Files allowed to contain `unsafe`. Deliberately empty: the

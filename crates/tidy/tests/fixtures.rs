@@ -154,6 +154,16 @@ fn forbid_unsafe() {
 }
 
 #[test]
+fn no_print() {
+    assert_pair(
+        "no-print",
+        include_str!("fixtures/bad_no_print.rs"),
+        include_str!("fixtures/ok_no_print.rs"),
+        &FileClass::sim_lib(),
+    );
+}
+
+#[test]
 fn no_unwrap() {
     assert_pair(
         "no-unwrap",
@@ -197,6 +207,7 @@ fn every_rule_has_a_fixture_pair() {
         "lock-order",
         "unsafe-code",
         "forbid-unsafe",
+        "no-print",
         "no-unwrap",
         "bad-directive",
         "unused-allow",

@@ -1,0 +1,7 @@
+//! Fixture: printing straight to the terminal from library code.
+pub fn export(events: &[u64]) {
+    for e in events {
+        println!("event {e}");
+    }
+    eprintln!("exported {} events", events.len());
+}

@@ -1,0 +1,22 @@
+//! Fixture: library code renders to a writer or a returned String;
+//! only the caller (a binary, an example, a test) decides where it goes.
+use std::io::Write;
+
+pub fn export<W: Write>(events: &[u64], out: &mut W) -> std::io::Result<()> {
+    for e in events {
+        writeln!(out, "event {e}")?;
+    }
+    Ok(())
+}
+
+pub fn summary(events: &[u64]) -> String {
+    format!("exported {} events", events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_print() {
+        println!("{}", super::summary(&[1, 2, 3]));
+    }
+}

@@ -1,0 +1,80 @@
+//! Trace-overhead smoke gate: the flight recorder must stay cheap enough
+//! to flip on mid-investigation. Runs the same tiny configuration
+//! untraced and traced (interleaved, best-of-N to shave scheduler
+//! noise) and fails if the traced runs cost more than the budgeted
+//! multiples of the untraced wall-clock.
+//!
+//! Two budgets, because the recorder's cost scales with the events it
+//! *keeps*, not the events offered (DESIGN.md §9):
+//!
+//! - **bounded ring** (capacity well under the offered event count, the
+//!   drop-newest regime): hooks + pushes + post-processing over the kept
+//!   prefix must fit in a tight budget — this is the always-on cost a
+//!   user pays to leave a small ring enabled while investigating;
+//! - **full capture** (default `TraceSettings::on()` capacity, nothing
+//!   dropped): streaming every event (~40 B each) through memory plus the
+//!   merge/attribution passes costs real wall-clock on one core; a looser
+//!   backstop catches regressions without pretending that cost away.
+//!
+//! ```text
+//! cargo run --release --example trace_overhead [ring_budget] [full_budget]
+//! # scripts/check.sh runs it with the default 1.25x / 2.0x budgets
+//! ```
+
+use deadline_qos::core::Architecture;
+use deadline_qos::netsim::presets::{cli_arg, scaled_tiny, window_us};
+use deadline_qos::netsim::{Network, SimConfig, TraceSettings};
+use std::time::Instant;
+
+const ROUNDS: usize = 3;
+/// Bounded-ring capacity: small enough that the tiny preset overflows it
+/// (so the gate exercises the drop-newest path), large enough to be a
+/// useful investigation window (~150 k events ≈ 30 k packet lifecycles).
+const RING_CAPACITY: u32 = 150_000;
+
+fn wall(cfg: SimConfig) -> f64 {
+    let start = Instant::now();
+    let (_, summary) = Network::new(cfg).run();
+    assert!(summary.delivered_packets > 0, "smoke run moved no traffic");
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let ring_budget: f64 = cli_arg(1, 1.25);
+    let full_budget: f64 = cli_arg(2, 2.0);
+    let base = window_us(scaled_tiny(Architecture::Advanced2Vc, 0.8, 16), 500, 2_000);
+    let mut ring_cfg = base;
+    ring_cfg.trace = TraceSettings::with_capacity(RING_CAPACITY);
+    let mut full_cfg = base;
+    full_cfg.trace = TraceSettings::on();
+
+    // Interleave and keep the best of each: all three configs see the
+    // same thermal/scheduler conditions, and the minima compare
+    // steady-state cost rather than whichever run a background process
+    // landed on.
+    let (mut plain, mut ring, mut full) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for round in 0..ROUNDS {
+        let p = wall(base);
+        let r = wall(ring_cfg);
+        let f = wall(full_cfg);
+        println!("round {round}: untraced {p:.3}s, ring {r:.3}s, full {f:.3}s");
+        plain = plain.min(p);
+        ring = ring.min(r);
+        full = full.min(f);
+    }
+
+    let ring_ratio = ring / plain;
+    let full_ratio = full / plain;
+    println!(
+        "\ntrace overhead vs best untraced {plain:.3}s:\n  bounded ring ({RING_CAPACITY} events): {ring:.3}s — {ring_ratio:.2}x (budget {ring_budget:.2}x)\n  full capture: {full:.3}s — {full_ratio:.2}x (budget {full_budget:.2}x)"
+    );
+    assert!(
+        ring_ratio <= ring_budget,
+        "bounded-ring recorder too expensive: {ring_ratio:.2}x > {ring_budget:.2}x budget"
+    );
+    assert!(
+        full_ratio <= full_budget,
+        "full-capture recorder too expensive: {full_ratio:.2}x > {full_budget:.2}x budget"
+    );
+    println!("within budget.");
+}

@@ -22,6 +22,12 @@
 #   5. fault_matrix example at DQOS_WORKERS=2: fault-injection smoke
 #      ({link-drop, spine-down, clock-drift} each run serial then
 #      parallel, byte-identical; empty plan perfectly inert).
+#   6. Flight-recorder gates: the paper-conformance and trace-determinism
+#      suites run explicitly (they are the contract for the trace layer),
+#      then the trace-overhead smoke gate — a bounded-ring traced run
+#      must stay within 1.25x of the untraced wall-clock, a full-capture
+#      run within 2.0x (see examples/trace_overhead.rs for why two
+#      budgets).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,6 +37,8 @@ cargo test -q --offline --workspace
 cargo bench -q --offline -p dqos-bench --bench event_kernel
 cargo bench -q --offline -p dqos-bench --bench partition_scaling
 DQOS_WORKERS=2 cargo run --release --offline --example fault_matrix
+cargo test -q --offline --release --test paper_conformance --test trace_determinism
+cargo run --release --offline --example trace_overhead
 # Last: flipping RUSTFLAGS invalidates cargo's cache, so the warning-free
 # sweep rebuilds the world exactly once instead of thrice.
 RUSTFLAGS="-D warnings" cargo build --release --offline --workspace --all-targets

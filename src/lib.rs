@@ -20,6 +20,9 @@
 //!   experiments.
 //! * [`faults`] — deterministic fault-injection plans (link/switch
 //!   failures, packet corruption, credit loss, clock drift).
+//! * [`trace`] — the always-compiled, off-by-default flight recorder:
+//!   per-packet lifecycle events, slack attribution for deadline
+//!   misses, JSONL / Chrome `trace_event` exporters.
 //! * [`stats`] / [`sim_core`] — measurement and the discrete-event
 //!   kernel.
 //!
@@ -48,4 +51,5 @@ pub use dqos_sim_core as sim_core;
 pub use dqos_stats as stats;
 pub use dqos_switch as switch;
 pub use dqos_topology as topology;
+pub use dqos_trace as trace;
 pub use dqos_traffic as traffic;

@@ -1,0 +1,165 @@
+//! Paper conformance at test scale: the quantitative claims of Table 1
+//! and Figures 2/3/4 (Martínez et al., IPPS 2007), asserted on a 16-host
+//! network at 100 % load.
+//!
+//! EXPERIMENTS.md records the full measured sweeps at this scale
+//! (16 hosts, 12 ms warm-up); the assertion margins here are set from
+//! those measurements with generous slack, so the suite pins the *shape*
+//! of each figure — class shares, architecture orderings, the 10 ms
+//! video plateau, the weighted best-effort split — not exact samples.
+//!
+//! One run per architecture serves all four checks; the four runs are
+//! independent simulations and execute in parallel via the experiment
+//! harness.
+
+use deadline_qos::core::Architecture;
+use deadline_qos::netsim::{run_load_sweep, SimConfig};
+use deadline_qos::sim_core::SimDuration;
+use deadline_qos::stats::Report;
+use deadline_qos::topology::ClosParams;
+
+const CLASSES: [&str; 4] = ["Control", "Multimedia", "Best-effort", "Background"];
+
+/// 16 hosts, paper parameters, full load. Warm-up must exceed the 10 ms
+/// multimedia frame-latency pipeline (fig. 3's plateau) so the window
+/// sees steady state; 6 ms of measurement keeps the suite affordable
+/// while staying statistically close to EXPERIMENTS.md's 10 ms windows.
+fn conformance_cfg(arch: Architecture, load: f64) -> SimConfig {
+    let mut c = SimConfig::bench(arch, load);
+    c.topology = ClosParams::scaled(16);
+    c.warmup = SimDuration::from_ms(12);
+    c.measure = SimDuration::from_ms(6);
+    c
+}
+
+fn class<'r>(r: &'r Report, name: &str) -> &'r deadline_qos::stats::ClassStats {
+    r.class(name)
+        .unwrap_or_else(|| panic!("report lacks class {name:?}"))
+}
+
+/// Average packet latency, ns.
+fn avg_packet_latency(r: &Report, name: &str) -> f64 {
+    class(r, name).packet_latency.mean()
+}
+
+/// Average message (frame) latency, ms.
+fn avg_frame_latency_ms(r: &Report, name: &str) -> f64 {
+    class(r, name).message_latency.mean() / 1e6
+}
+
+/// Delivered throughput over the window, bytes (unit cancels in ratios).
+fn delivered_bytes(r: &Report, name: &str) -> f64 {
+    class(r, name).delivered.bytes() as f64
+}
+
+#[test]
+fn table1_shares_and_figure_orderings_hold_at_16_hosts() {
+    let results = run_load_sweep(&Architecture::ALL, &[1.0], conformance_cfg);
+    let report_of = |arch: Architecture| -> &Report {
+        &results
+            .iter()
+            .find(|r| r.arch == arch)
+            .unwrap_or_else(|| panic!("sweep lacks {arch:?}"))
+            .points[0]
+            .report
+    };
+
+    // Basic health of every run first: the orderings below are
+    // meaningless if the fabric misbehaved.
+    for r in &results {
+        let s = &r.points[0].summary;
+        assert_eq!(s.out_of_order, 0, "{:?}: out-of-order deliveries", r.arch);
+        assert_eq!(s.broken_messages, 0, "{:?}: broken messages", r.arch);
+        assert!(s.delivered_packets > 0, "{:?}: no traffic", r.arch);
+    }
+
+    // ----- Table 1: each class offers 25 % of injected bandwidth -------
+    // (measured 24.1–26.1 %; the paper's ±6 % tolerance ⇒ [19 %, 31 %]).
+    // Offered traffic is architecture-independent, but asserting per
+    // architecture is free and catches stamping-path regressions.
+    for r in &results {
+        let report = &r.points[0].report;
+        let total: f64 = CLASSES.iter().map(|c| class(report, c).offered.bytes() as f64).sum();
+        assert!(total > 0.0, "{:?}: no offered traffic", r.arch);
+        for name in CLASSES {
+            let share = class(report, name).offered.bytes() as f64 / total;
+            assert!(
+                (0.19..=0.31).contains(&share),
+                "{:?}: {name} offered share {:.1}% outside 25% ± 6%",
+                r.arch,
+                share * 100.0
+            );
+        }
+    }
+
+    // ----- Figure 2: control latency orderings at 100 % load -----------
+    // Measured (µs): Traditional 141.05, Ideal 11.59, Simple 14.11
+    // (+21.8 % vs Ideal), Advanced 11.65 (+0.5 %).
+    let trad = avg_packet_latency(report_of(Architecture::Traditional2Vc), "Control");
+    let ideal = avg_packet_latency(report_of(Architecture::Ideal), "Control");
+    let simple = avg_packet_latency(report_of(Architecture::Simple2Vc), "Control");
+    let advanced = avg_packet_latency(report_of(Architecture::Advanced2Vc), "Control");
+    assert!(ideal > 0.0);
+    assert!(
+        trad > 2.0 * ideal,
+        "fig2: Traditional ({:.2}µs) not well above Ideal ({:.2}µs)",
+        trad / 1e3,
+        ideal / 1e3
+    );
+    assert!(
+        simple > 1.02 * ideal && simple < 1.8 * ideal,
+        "fig2: Simple ({:.2}µs) not a modest penalty over Ideal ({:.2}µs); paper says ≈ +25%",
+        simple / 1e3,
+        ideal / 1e3
+    );
+    assert!(
+        advanced < 1.15 * ideal,
+        "fig2: Advanced ({:.2}µs) not ≈ Ideal ({:.2}µs); paper says ≈ +5%",
+        advanced / 1e3,
+        ideal / 1e3
+    );
+    assert!(
+        advanced < simple,
+        "fig2: Advanced ({:.2}µs) must beat Simple ({:.2}µs)",
+        advanced / 1e3,
+        simple / 1e3
+    );
+
+    // ----- Figure 3: the 10 ms video frame plateau ----------------------
+    // EDF architectures pace frames to the configured 10 ms target
+    // (measured 9.99–10.00 ms); Traditional delivers fast but unpaced
+    // (measured 0.18 ms at 100 % load).
+    for arch in [Architecture::Ideal, Architecture::Simple2Vc, Architecture::Advanced2Vc] {
+        let frame = avg_frame_latency_ms(report_of(arch), "Multimedia");
+        assert!(
+            (9.0..=11.0).contains(&frame),
+            "fig3: {arch:?} frame latency {frame:.2}ms off the 10ms plateau"
+        );
+    }
+    let trad_frame = avg_frame_latency_ms(report_of(Architecture::Traditional2Vc), "Multimedia");
+    assert!(
+        trad_frame < 2.0,
+        "fig3: Traditional frame latency {trad_frame:.2}ms; expected fast (≈0.2ms), unpaced"
+    );
+
+    // ----- Figure 4: weighted best-effort split -------------------------
+    // Record weights are 2:1 (BE 1/3 of link, BG 1/6). Traditional
+    // cannot tell the classes apart (measured BE:BG 0.96); every EDF
+    // architecture splits by weight (measured ≈ 1.55 at 100 % load).
+    let ratio = |arch: Architecture| {
+        let r = report_of(arch);
+        delivered_bytes(r, "Best-effort") / delivered_bytes(r, "Background")
+    };
+    let trad_ratio = ratio(Architecture::Traditional2Vc);
+    assert!(
+        (0.8..=1.25).contains(&trad_ratio),
+        "fig4: Traditional BE:BG {trad_ratio:.2} should be ≈ 1 (classes look the same)"
+    );
+    for arch in [Architecture::Ideal, Architecture::Simple2Vc, Architecture::Advanced2Vc] {
+        let edf_ratio = ratio(arch);
+        assert!(
+            edf_ratio > 1.3 && edf_ratio < 2.2,
+            "fig4: {arch:?} BE:BG {edf_ratio:.2} not tracking the 2:1 record weights"
+        );
+    }
+}
