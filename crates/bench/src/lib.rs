@@ -330,6 +330,19 @@ pub mod harness {
     /// per measurement.
     pub fn write_json(path: &std::path::Path, ms: &[Measurement], extra: &[(&str, f64)]) {
         use dqos_stats::Json;
+        let extra: Vec<(&str, Json)> =
+            extra.iter().map(|(k, v)| (*k, Json::Float(*v))).collect();
+        write_json_values(path, ms, &extra);
+    }
+
+    /// [`write_json`] with arbitrary JSON scalars in the extra entries
+    /// (e.g. the `speedup_valid` boolean of the scaling bench).
+    pub fn write_json_values(
+        path: &std::path::Path,
+        ms: &[Measurement],
+        extra: &[(&str, dqos_stats::Json)],
+    ) {
+        use dqos_stats::Json;
         let mut fields: Vec<(&str, Json)> = ms
             .iter()
             .map(|m| {
@@ -344,9 +357,52 @@ pub mod harness {
             })
             .collect();
         for (k, v) in extra {
-            fields.push((k, Json::Float(*v)));
+            fields.push((k, v.clone()));
         }
         let doc = Json::obj(fields).to_string_pretty();
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("wrote {}", path.display());
+        }
+    }
+
+    /// Like [`write_json`], but entries already present in `path` that
+    /// this run did not re-measure survive verbatim. The file thereby
+    /// accumulates history — e.g. the pre-optimisation `full_sim/...`
+    /// rows stay on record next to the current `fullsim/...` rows —
+    /// instead of being clobbered by every rerun.
+    pub fn write_json_merged(path: &std::path::Path, ms: &[Measurement], extra: &[(&str, f64)]) {
+        use dqos_stats::Json;
+        let mut fields: Vec<(String, Json)> = match std::fs::read_to_string(path)
+            .ok()
+            .and_then(|s| Json::parse(&s).ok())
+        {
+            Some(Json::Obj(pairs)) => pairs,
+            _ => Vec::new(),
+        };
+        fn set(fields: &mut Vec<(String, Json)>, k: &str, v: Json) {
+            if let Some(slot) = fields.iter_mut().find(|(key, _)| key == k) {
+                slot.1 = v;
+            } else {
+                fields.push((k.to_string(), v));
+            }
+        }
+        for m in ms {
+            set(
+                &mut fields,
+                &m.name,
+                Json::obj(vec![
+                    ("ns_per_elem", Json::Float(m.ns_per_elem)),
+                    ("rate_per_sec", Json::Float(m.rate_per_sec)),
+                    ("elements", Json::Int(m.elements as i128)),
+                ]),
+            );
+        }
+        for (k, v) in extra {
+            set(&mut fields, k, Json::Float(*v));
+        }
+        let doc = Json::Obj(fields).to_string_pretty();
         if let Err(e) = std::fs::write(path, doc) {
             eprintln!("warning: could not write {}: {e}", path.display());
         } else {

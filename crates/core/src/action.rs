@@ -7,24 +7,28 @@
 //! network simulation.
 
 use crate::class::Vc;
-use crate::packet::Packet;
+use crate::packet::PktTok;
 use dqos_sim_core::SimTime;
 use dqos_topology::Port;
 
 /// Something a node asks the simulator to do.
-#[derive(Debug)]
+///
+/// `Copy` on purpose: the runtime drains action buffers into reusable
+/// scratch vectors on the hot path, and a 48-byte memcpy beats any
+/// ownership dance.
+#[derive(Debug, Clone, Copy)]
 pub enum NodeAction {
-    /// Begin transmitting `packet` on `out_port` now; the transmitter is
-    /// busy until `finish` (serialisation time), and the packet arrives
-    /// at the peer `finish + wire_delay` later. The emitting node has
-    /// already accounted credits; its `on_tx_done` must be called at
-    /// `finish`.
+    /// Begin transmitting the packet behind `tok` on `out_port` now; the
+    /// transmitter is busy until `finish` (serialisation time), and the
+    /// packet arrives at the peer `finish + wire_delay` later. The
+    /// emitting node has already accounted credits; its `on_tx_done`
+    /// must be called at `finish`.
     StartTx {
         /// The transmitting port.
         out_port: Port,
-        /// The packet, with its deadline still in the sender's clock
+        /// The packet token, its deadline still in the sender's clock
         /// domain (the simulator performs the TTD re-encoding).
-        packet: Packet,
+        tok: PktTok,
         /// When serialisation completes.
         finish: SimTime,
     },

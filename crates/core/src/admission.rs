@@ -98,6 +98,9 @@ pub struct AdmissionController {
     /// Unregulated path counter per (src leaf): round-robin spine
     /// assignment for best-effort flows.
     rr_spine: Vec<u16>,
+    /// Scratch for candidate-link scans (admission scores every spine
+    /// per flow; reusing one buffer keeps the scan allocation-free).
+    scratch: Vec<LinkId>,
 }
 
 impl AdmissionController {
@@ -111,6 +114,7 @@ impl AdmissionController {
             reserved: vec![0; net.n_links() as usize],
             link_up: vec![true; net.n_links() as usize],
             rr_spine: vec![0; net.params().leaves as usize],
+            scratch: Vec::with_capacity(4),
         }
     }
 
@@ -161,11 +165,15 @@ impl AdmissionController {
     ) -> Result<AdmittedFlow, AdmissionError> {
         let request = bw.as_bytes_per_sec();
         let choices = net.route_choices(src, dst);
-        let mut best: Option<(u16, (u64, u64), Route)> = None;
+        // Candidates are scored off the scratch link scan alone; only the
+        // winner is materialised as a Route (admission runs once per video
+        // stream, and the per-candidate allocations used to dominate
+        // network construction).
+        let mut links = std::mem::take(&mut self.scratch);
+        let mut best: Option<(u16, (u64, u64))> = None;
         let mut any_usable = false;
         for choice in 0..choices {
-            let route = net.route(src, dst, choice);
-            let links = net.links_on_route(&route);
+            net.links_for_choice(src, dst, choice, &mut links);
             if links.iter().any(|l| !self.link_up[l.idx()]) {
                 continue;
             }
@@ -174,8 +182,8 @@ impl AdmissionController {
                 .iter()
                 .map(|l| self.reserved[l.idx()] + request)
                 .max()
-                // tidy: allow(no-unwrap) -- links_on_route is non-empty for
-                // any host-to-host route (at least the two edge links).
+                // tidy: allow(no-unwrap) -- links_for_choice is non-empty
+                // for any host-to-host route (at least the two edge links).
                 .expect("route has links");
             if worst_after > self.capacity {
                 continue;
@@ -184,22 +192,25 @@ impl AdmissionController {
             let key = (worst_after, total_after);
             let better = match &best {
                 None => true,
-                Some((_, k, _)) => key < *k,
+                Some((_, k)) => key < *k,
             };
             if better {
-                best = Some((choice, key, route));
+                best = Some((choice, key));
             }
         }
-        match best {
-            Some((choice, _, route)) => {
-                for l in net.links_on_route(&route) {
+        let out = match best {
+            Some((choice, _)) => {
+                net.links_for_choice(src, dst, choice, &mut links);
+                for l in &links {
                     self.reserved[l.idx()] += request;
                 }
-                Ok(AdmittedFlow { route, choice })
+                Ok(AdmittedFlow { route: net.route(src, dst, choice), choice })
             }
             None if !any_usable => Err(AdmissionError::NoUsablePath),
             None => Err(AdmissionError::NoCapacity { requested_bytes_per_sec: request }),
-        }
+        };
+        self.scratch = links;
+        out
     }
 
     /// Release a previously admitted reservation.
@@ -250,14 +261,17 @@ impl AdmissionController {
         }
         let leaf = net.leaf_of(src).idx();
         let start = self.rr_spine[leaf] % choices;
+        let mut links = std::mem::take(&mut self.scratch);
         for k in 0..choices {
             let choice = (start + k) % choices;
-            let route = net.route(src, dst, choice);
-            if net.links_on_route(&route).iter().all(|l| self.link_up[l.idx()]) {
+            net.links_for_choice(src, dst, choice, &mut links);
+            if links.iter().all(|l| self.link_up[l.idx()]) {
                 self.rr_spine[leaf] = (choice + 1) % choices;
-                return route;
+                self.scratch = links;
+                return net.route(src, dst, choice);
             }
         }
+        self.scratch = links;
         self.rr_spine[leaf] = (start + 1) % choices;
         net.route(src, dst, start)
     }

@@ -54,4 +54,4 @@ pub use deadline::{segment_message, DeadlineMode, Stamper};
 pub use deadline::StampedTimes;
 pub use flow::{Flow, FlowId, FlowSpec, PartStamp};
 pub use model::{Actions, NicEvent, NodeModel, SwitchEvent};
-pub use packet::{MsgTag, Packet, PacketId};
+pub use packet::{MsgTag, Packet, PacketId, PktTok};

@@ -16,7 +16,7 @@
 
 use crate::action::NodeAction;
 use crate::class::Vc;
-use crate::packet::Packet;
+use crate::packet::PktTok;
 use dqos_sim_core::SimTime;
 use dqos_topology::Port;
 
@@ -41,12 +41,13 @@ pub trait NodeModel {
 #[derive(Debug)]
 pub enum SwitchEvent {
     /// A packet fully arrived on `in_port` (deadline already decoded
-    /// into this switch's clock domain).
+    /// into this switch's clock domain, output port already resolved
+    /// from the arena-resident route).
     Arrive {
         /// Receiving input port.
         in_port: Port,
-        /// The packet.
-        pkt: Packet,
+        /// The packet token.
+        tok: PktTok,
     },
     /// The crossbar transfer into `out_port` completed.
     XbarDone {
@@ -72,8 +73,8 @@ pub enum SwitchEvent {
 /// Events a host NIC receives.
 #[derive(Debug)]
 pub enum NicEvent {
-    /// The application handed down freshly stamped packets.
-    Enqueue(Vec<Packet>),
+    /// The application handed down freshly stamped packet tokens.
+    Enqueue(Vec<PktTok>),
     /// An eligible-time timer fired.
     Wake,
     /// The injection link finished serialising.

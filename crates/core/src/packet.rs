@@ -10,7 +10,7 @@
 use crate::class::{TrafficClass, Vc};
 use crate::flow::FlowId;
 use dqos_sim_core::SimTime;
-use dqos_topology::{HostId, PortPath};
+use dqos_topology::{HostId, Port, PortPath};
 
 /// Globally unique packet identifier (simulator-side, for accounting).
 pub type PacketId = u64;
@@ -73,6 +73,65 @@ pub struct Packet {
     /// resources, but the sink discards it). Only fault injection sets
     /// this.
     pub corrupted: bool,
+}
+
+/// The hot-path view of a packet: everything a switch or NIC scheduler
+/// reads, and nothing else.
+///
+/// The full [`Packet`] (~100 bytes with its interned route and stats
+/// tags) lives in the owning partition's struct-of-arrays arena from
+/// stamping to delivery; queues, crossbars, and transmitters move this
+/// 40-byte token instead. `slot` is the arena handle; the cold fields
+/// (route, message tag, flow, injection time) are fetched through it
+/// only at hop boundaries and at delivery.
+///
+/// A real switch sees exactly this much of a packet — the deadline tag
+/// and the routing decision — so the token is also the honest model of
+/// the paper's "no per-flow state in the fabric" claim (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PktTok {
+    /// Simulator-unique id (for the flight recorder and accounting).
+    pub id: PacketId,
+    /// The deadline tag, in the clock domain of the node holding the
+    /// token (the runtime performs TTD re-encoding between domains).
+    pub deadline: SimTime,
+    /// Eligible time at the source host; [`SimTime::ZERO`] means
+    /// "immediately eligible" (an `eligible > now` test is then never
+    /// true, matching the `Option::None` semantics of [`Packet`]).
+    pub eligible: SimTime,
+    /// Arena slot holding the full [`Packet`] in the owning partition.
+    pub slot: u32,
+    /// Length in bytes (also serialisation nanoseconds at 8 Gb/s).
+    pub len: u32,
+    /// Output port at the switch currently holding the token (the
+    /// runtime refreshes this from the arena route at each hop).
+    pub out: Port,
+    /// Index of the current hop in the arena-resident route.
+    pub hop: u8,
+    /// Virtual channel (derived from the class at stamping).
+    pub vc: Vc,
+    /// Traffic class, for per-class accounting on drop paths.
+    pub class: TrafficClass,
+}
+
+impl PktTok {
+    /// Build the token for `pkt`, resident in arena slot `slot`.
+    /// `out` must be `pkt.current_out_port()` at the node receiving the
+    /// token.
+    #[inline]
+    pub fn of(pkt: &Packet, slot: u32, out: Port) -> Self {
+        PktTok {
+            id: pkt.id,
+            deadline: pkt.deadline,
+            eligible: pkt.eligible.unwrap_or(SimTime::ZERO),
+            slot,
+            len: pkt.len,
+            out,
+            hop: pkt.hop,
+            vc: pkt.vc(),
+            class: pkt.class,
+        }
+    }
 }
 
 impl Packet {

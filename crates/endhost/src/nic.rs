@@ -1,7 +1,9 @@
 //! Egress NIC model.
 
-use dqos_core::{Architecture, NicEvent, NodeAction, NodeModel, Packet, Vc, NUM_VCS};
-use dqos_queues::{DeadlineSortedQueue, FifoQueue, SchedQueue, SortedQueue};
+// tidy: hot-path
+
+use dqos_core::{Architecture, NicEvent, NodeAction, NodeModel, PktTok, Vc, NUM_VCS};
+use dqos_queues::{DeadlineSortedQueue, FlatFifo, SchedQueue, SortedQueue};
 use dqos_sim_core::{Bandwidth, SimTime};
 use dqos_topology::Port;
 use dqos_trace::ModelNote;
@@ -30,11 +32,11 @@ pub struct NicStats {
 }
 
 /// The host-side injection queue: deadline-sorted for the EDF
-/// architectures, FIFO for Traditional.
+/// architectures, FIFO (flat ring) for Traditional.
 #[derive(Debug)]
 enum InjectQueue {
-    Sorted(DeadlineSortedQueue<Packet>),
-    Fifo(FifoQueue<Packet>),
+    Sorted(DeadlineSortedQueue<PktTok>),
+    Fifo(FlatFifo<PktTok>),
 }
 
 impl InjectQueue {
@@ -42,22 +44,22 @@ impl InjectQueue {
         if arch.host_sorted_queues() {
             InjectQueue::Sorted(DeadlineSortedQueue::new())
         } else {
-            InjectQueue::Fifo(FifoQueue::new())
+            InjectQueue::Fifo(FlatFifo::new())
         }
     }
-    fn enqueue(&mut self, p: Packet) {
+    fn enqueue(&mut self, p: PktTok) {
         match self {
             InjectQueue::Sorted(q) => q.enqueue(p),
             InjectQueue::Fifo(q) => q.enqueue(p),
         }
     }
-    fn peek(&self) -> Option<&Packet> {
+    fn peek(&self) -> Option<&PktTok> {
         match self {
             InjectQueue::Sorted(q) => q.peek(),
             InjectQueue::Fifo(q) => q.peek(),
         }
     }
-    fn dequeue(&mut self) -> Option<Packet> {
+    fn dequeue(&mut self) -> Option<PktTok> {
         match self {
             InjectQueue::Sorted(q) => q.dequeue(),
             InjectQueue::Fifo(q) => q.dequeue(),
@@ -77,7 +79,7 @@ impl InjectQueue {
 pub struct Nic {
     cfg: NicConfig,
     /// Packets not yet eligible, keyed by eligible time (EDF archs only).
-    eligible_q: SortedQueue<Packet>,
+    eligible_q: SortedQueue<PktTok>,
     /// Ready-to-inject queues per VC.
     ready: [InjectQueue; NUM_VCS],
     credits: [u32; NUM_VCS],
@@ -135,54 +137,57 @@ impl Nic {
         self.credits[vc.idx()]
     }
 
-    /// Hand freshly stamped packets to the NIC at local time `now`.
-    pub fn enqueue_packets(&mut self, pkts: Vec<Packet>, now: SimTime) -> Vec<NodeAction> {
-        for p in pkts {
-            match p.eligible {
-                // Eligible-time smoothing only exists in the EDF
-                // architectures, and only delays packets still in the
-                // future.
-                Some(e) if self.cfg.arch.uses_deadlines() && e > now => {
-                    self.eligible_q.insert(e, p);
-                }
-                _ => self.ready[p.vc().idx()].enqueue(p),
+    /// Hand a batch of freshly stamped packet tokens to the NIC at local
+    /// time `now`. The whole message's worth of packets is sorted into
+    /// the pacing/injection queues in one visit, then the link is pumped
+    /// once — the NIC-side half of the simulator's batch pacing. Borrows
+    /// the slice so the runtime can reuse its token scratch buffer.
+    pub fn enqueue_batch(&mut self, toks: &[PktTok], now: SimTime, actions: &mut Vec<NodeAction>) {
+        for &p in toks {
+            // Eligible-time smoothing only exists in the EDF
+            // architectures, and only delays packets still in the
+            // future. (`eligible == ZERO` encodes "no eligible time" and
+            // can never exceed `now`.)
+            if self.cfg.arch.uses_deadlines() && p.eligible > now {
+                self.eligible_q.insert(p.eligible, p);
+            } else {
+                self.ready[p.vc.idx()].enqueue(p);
             }
         }
         self.stats.max_queued_packets = self.stats.max_queued_packets.max(self.queued_packets());
-        self.pump(now)
+        self.pump(now, actions);
     }
 
     /// Timer callback: promote eligible packets, try to inject.
-    pub fn on_wake(&mut self, now: SimTime) -> Vec<NodeAction> {
+    pub fn on_wake(&mut self, now: SimTime, actions: &mut Vec<NodeAction>) {
         self.wake_at = None;
-        self.pump(now)
+        self.pump(now, actions);
     }
 
     /// The injection link finished serialising.
-    pub fn on_tx_done(&mut self, now: SimTime) -> Vec<NodeAction> {
+    pub fn on_tx_done(&mut self, now: SimTime, actions: &mut Vec<NodeAction>) {
         self.tx_busy = false;
-        self.pump(now)
+        self.pump(now, actions);
     }
 
     /// The switch returned credit.
-    pub fn on_credit(&mut self, vc: Vc, bytes: u32, now: SimTime) -> Vec<NodeAction> {
+    pub fn on_credit(&mut self, vc: Vc, bytes: u32, now: SimTime, actions: &mut Vec<NodeAction>) {
         self.credits[vc.idx()] += bytes;
         debug_assert!(self.credits[vc.idx()] <= self.cfg.peer_buffer_per_vc);
-        self.pump(now)
+        self.pump(now, actions);
     }
 
     /// Promote, inject, and arrange the next wake-up.
-    fn pump(&mut self, now: SimTime) -> Vec<NodeAction> {
-        let mut actions = Vec::new();
+    fn pump(&mut self, now: SimTime, actions: &mut Vec<NodeAction>) {
         // Promote every packet whose eligible time has come.
         while let Some(p) = self.eligible_q.pop_due(now) {
             if self.tracing {
                 self.notes.push(ModelNote::Promoted { pkt: p.id });
             }
-            let vc = p.vc().idx();
+            let vc = p.vc.idx();
             self.ready[vc].enqueue(p);
         }
-        self.try_tx(now, &mut actions);
+        self.try_tx(now, actions);
         // Arrange a wake-up for the next eligible head, if it is not
         // already covered by a pending one.
         if let Some(head) = self.eligible_q.head_key() {
@@ -195,7 +200,6 @@ impl Nic {
                 actions.push(NodeAction::WakeAt { at: head });
             }
         }
-        actions
     }
 
     fn try_tx(&mut self, now: SimTime, actions: &mut Vec<NodeAction>) {
@@ -220,15 +224,16 @@ impl Nic {
         let Some(vc) = chosen else { return };
         // tidy: allow(no-unwrap) -- vc was chosen above precisely because
         // its ready queue had a head packet; nothing ran in between.
-        let mut pkt = self.ready[vc.idx()].dequeue().expect("nonempty");
-        let len = pkt.len;
+        let tok = self.ready[vc.idx()].dequeue().expect("nonempty");
+        let len = tok.len;
         self.credits[vc.idx()] -= len;
         self.tx_busy = true;
         self.stats.injected_packets += 1;
         self.stats.injected_bytes += len as u64;
-        pkt.injected_at = now; // local == global up to a constant; netsim fixes up
+        // The arena-resident packet's `injected_at` stamp is the
+        // runtime's job (it owns the arena this token points into).
         let finish = now + self.cfg.link_bw.tx_time(len as u64);
-        actions.push(NodeAction::StartTx { out_port: Port(0), packet: pkt, finish });
+        actions.push(NodeAction::StartTx { out_port: Port(0), tok, finish });
     }
 }
 
@@ -237,53 +242,69 @@ impl NodeModel for Nic {
     type Effect = Vec<NodeAction>;
 
     fn on_event(&mut self, local: SimTime, ev: NicEvent) -> Vec<NodeAction> {
+        let mut actions = Vec::new();
         match ev {
-            NicEvent::Enqueue(pkts) => self.enqueue_packets(pkts, local),
-            NicEvent::Wake => self.on_wake(local),
-            NicEvent::TxDone => self.on_tx_done(local),
-            NicEvent::Credit { vc, bytes } => self.on_credit(vc, bytes, local),
+            NicEvent::Enqueue(toks) => self.enqueue_batch(&toks, local, &mut actions),
+            NicEvent::Wake => self.on_wake(local, &mut actions),
+            NicEvent::TxDone => self.on_tx_done(local, &mut actions),
+            NicEvent::Credit { vc, bytes } => self.on_credit(vc, bytes, local, &mut actions),
         }
+        actions
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dqos_core::{FlowId, MsgTag, TrafficClass};
-    use dqos_topology::{HostId, Route, RouteHop, SwitchId};
+    use dqos_core::TrafficClass;
 
     fn cfg(arch: Architecture) -> NicConfig {
         NicConfig { arch, link_bw: Bandwidth::gbps(8), peer_buffer_per_vc: 8192 }
     }
 
-    fn pkt(id: u64, class: TrafficClass, len: u32, deadline: u64, eligible: Option<u64>) -> Packet {
-        Packet {
+    fn pkt(id: u64, class: TrafficClass, len: u32, deadline: u64, eligible: Option<u64>) -> PktTok {
+        PktTok {
             id,
-            flow: FlowId(0),
-            class,
-            src: HostId(0),
-            dst: HostId(1),
-            len,
             deadline: SimTime::from_ns(deadline),
-            eligible: eligible.map(SimTime::from_ns),
-            route: Route::new(
-                HostId(0),
-                HostId(1),
-                vec![RouteHop { switch: SwitchId(0), out_port: Port(1) }],
-            )
-            .port_path(),
+            eligible: eligible.map_or(SimTime::ZERO, SimTime::from_ns),
+            slot: id as u32,
+            len,
+            out: Port(1),
             hop: 0,
-            injected_at: SimTime::ZERO,
-            msg: MsgTag { msg_id: id, part: 0, parts: 1, created_at: SimTime::ZERO },
-            corrupted: false,
+            vc: class.vc(),
+            class,
         }
+    }
+
+    fn enq(nic: &mut Nic, toks: Vec<PktTok>, now: SimTime) -> Vec<NodeAction> {
+        let mut acts = Vec::new();
+        nic.enqueue_batch(&toks, now, &mut acts);
+        acts
+    }
+
+    fn wake(nic: &mut Nic, now: SimTime) -> Vec<NodeAction> {
+        let mut acts = Vec::new();
+        nic.on_wake(now, &mut acts);
+        acts
+    }
+
+    fn tx_done(nic: &mut Nic, now: SimTime) -> Vec<NodeAction> {
+        let mut acts = Vec::new();
+        nic.on_tx_done(now, &mut acts);
+        acts
+    }
+
+    fn credit(nic: &mut Nic, vc: Vc, bytes: u32, now: SimTime) -> Vec<NodeAction> {
+        let mut acts = Vec::new();
+        nic.on_credit(vc, bytes, now, &mut acts);
+        acts
     }
 
     fn tx_ids(actions: &[NodeAction]) -> Vec<u64> {
         actions
             .iter()
             .filter_map(|a| match a {
-                NodeAction::StartTx { packet, .. } => Some(packet.id),
+                NodeAction::StartTx { tok, .. } => Some(tok.id),
                 _ => None,
             })
             .collect()
@@ -292,7 +313,7 @@ mod tests {
     #[test]
     fn injects_immediately_when_idle() {
         let mut nic = Nic::new(cfg(Architecture::Advanced2Vc));
-        let acts = nic.enqueue_packets(vec![pkt(1, TrafficClass::Control, 512, 5000, None)], SimTime::ZERO);
+        let acts = enq(&mut nic, vec![pkt(1, TrafficClass::Control, 512, 5000, None)], SimTime::ZERO);
         assert_eq!(tx_ids(&acts), vec![1]);
         assert_eq!(nic.stats().injected_packets, 1);
     }
@@ -302,7 +323,8 @@ mod tests {
         let mut nic = Nic::new(cfg(Architecture::Simple2Vc));
         // The whole batch lands in the sorted queue before the link is
         // scheduled, so injection is in pure deadline order.
-        let a = nic.enqueue_packets(
+        let a = enq(
+            &mut nic,
             vec![
                 pkt(1, TrafficClass::Control, 512, 9_000, None),
                 pkt(2, TrafficClass::Control, 512, 7_000, None),
@@ -311,16 +333,17 @@ mod tests {
             SimTime::ZERO,
         );
         assert_eq!(tx_ids(&a), vec![2], "earliest deadline first");
-        let b = nic.on_tx_done(SimTime::from_ns(512));
+        let b = tx_done(&mut nic, SimTime::from_ns(512));
         assert_eq!(tx_ids(&b), vec![3]);
-        let c = nic.on_tx_done(SimTime::from_ns(1024));
+        let c = tx_done(&mut nic, SimTime::from_ns(1024));
         assert_eq!(tx_ids(&c), vec![1]);
     }
 
     #[test]
     fn traditional_keeps_fifo_order() {
         let mut nic = Nic::new(cfg(Architecture::Traditional2Vc));
-        let a = nic.enqueue_packets(
+        let a = enq(
+            &mut nic,
             vec![
                 pkt(1, TrafficClass::Control, 512, 9_000, None),
                 pkt(2, TrafficClass::Control, 512, 1_000, None),
@@ -328,7 +351,7 @@ mod tests {
             SimTime::ZERO,
         );
         assert_eq!(tx_ids(&a), vec![1]);
-        let b = nic.on_tx_done(SimTime::from_ns(512));
+        let b = tx_done(&mut nic, SimTime::from_ns(512));
         // FIFO: packet 2 goes second despite its earlier deadline — a
         // sorted queue would have sent it first had packet 1 not already
         // been on the wire; here order is pure arrival order.
@@ -338,7 +361,8 @@ mod tests {
     #[test]
     fn eligible_time_delays_injection() {
         let mut nic = Nic::new(cfg(Architecture::Advanced2Vc));
-        let acts = nic.enqueue_packets(
+        let acts = enq(
+            &mut nic,
             vec![pkt(1, TrafficClass::Multimedia, 2048, 50_000, Some(30_000))],
             SimTime::ZERO,
         );
@@ -348,14 +372,15 @@ mod tests {
             acts.as_slice(),
             [NodeAction::WakeAt { at }] if *at == SimTime::from_ns(30_000)
         ));
-        let acts = nic.on_wake(SimTime::from_ns(30_000));
+        let acts = wake(&mut nic, SimTime::from_ns(30_000));
         assert_eq!(tx_ids(&acts), vec![1]);
     }
 
     #[test]
     fn traditional_ignores_eligible_time() {
         let mut nic = Nic::new(cfg(Architecture::Traditional2Vc));
-        let acts = nic.enqueue_packets(
+        let acts = enq(
+            &mut nic,
             vec![pkt(1, TrafficClass::Multimedia, 2048, 50_000, Some(30_000))],
             SimTime::ZERO,
         );
@@ -365,7 +390,8 @@ mod tests {
     #[test]
     fn best_effort_waits_for_regulated() {
         let mut nic = Nic::new(cfg(Architecture::Advanced2Vc));
-        let acts = nic.enqueue_packets(
+        let acts = enq(
+            &mut nic,
             vec![
                 pkt(1, TrafficClass::BestEffort, 512, 9_000, None),
                 pkt(2, TrafficClass::Control, 512, 5_000, None),
@@ -374,7 +400,7 @@ mod tests {
         );
         // Control (VC0) wins even though BE arrived first.
         assert_eq!(tx_ids(&acts), vec![2]);
-        let acts = nic.on_tx_done(SimTime::from_ns(512));
+        let acts = tx_done(&mut nic, SimTime::from_ns(512));
         assert_eq!(tx_ids(&acts), vec![1]);
     }
 
@@ -384,7 +410,8 @@ mod tests {
         // use the link (its credits account a different buffer).
         let mut nic = Nic::new(cfg(Architecture::Advanced2Vc));
         nic.credits[0] = 0;
-        let acts = nic.enqueue_packets(
+        let acts = enq(
+            &mut nic,
             vec![
                 pkt(1, TrafficClass::Control, 512, 5_000, None),
                 pkt(2, TrafficClass::BestEffort, 512, 9_000, None),
@@ -393,9 +420,9 @@ mod tests {
         );
         assert_eq!(tx_ids(&acts), vec![2], "BE uses the link VC0 cannot");
         // VC0 credits arrive mid-flight; once the link frees, control goes.
-        let acts = nic.on_credit(Vc::REGULATED, 8192, SimTime::from_ns(100));
+        let acts = credit(&mut nic, Vc::REGULATED, 8192, SimTime::from_ns(100));
         assert!(tx_ids(&acts).is_empty(), "link still busy");
-        let acts = nic.on_tx_done(SimTime::from_ns(512));
+        let acts = tx_done(&mut nic, SimTime::from_ns(512));
         assert_eq!(tx_ids(&acts), vec![1]);
     }
 
@@ -404,7 +431,8 @@ mod tests {
         // Packets waiting for eligible time do NOT block best-effort
         // (the paper's parenthetical).
         let mut nic = Nic::new(cfg(Architecture::Advanced2Vc));
-        let acts = nic.enqueue_packets(
+        let acts = enq(
+            &mut nic,
             vec![
                 pkt(1, TrafficClass::Multimedia, 512, 100_000, Some(80_000)),
                 pkt(2, TrafficClass::BestEffort, 512, 9_000, None),
@@ -421,7 +449,8 @@ mod tests {
             link_bw: Bandwidth::gbps(8),
             peer_buffer_per_vc: 600,
         });
-        let acts = nic.enqueue_packets(
+        let acts = enq(
+            &mut nic,
             vec![
                 pkt(1, TrafficClass::Control, 512, 5_000, None),
                 pkt(2, TrafficClass::Control, 512, 6_000, None),
@@ -430,9 +459,9 @@ mod tests {
         );
         assert_eq!(tx_ids(&acts), vec![1]);
         // 88 bytes of credit left: packet 2 stalls even when tx finishes.
-        let acts = nic.on_tx_done(SimTime::from_ns(512));
+        let acts = tx_done(&mut nic, SimTime::from_ns(512));
         assert!(tx_ids(&acts).is_empty());
-        let acts = nic.on_credit(Vc::REGULATED, 512, SimTime::from_ns(700));
+        let acts = credit(&mut nic, Vc::REGULATED, 512, SimTime::from_ns(700));
         assert_eq!(tx_ids(&acts), vec![2]);
     }
 
@@ -447,7 +476,7 @@ mod tests {
             link_bw: Bandwidth::gbps(8),
             peer_buffer_per_vc: u32::MAX / 2,
         });
-        let batch: Vec<Packet> = packets
+        let batch: Vec<PktTok> = packets
             .iter()
             .enumerate()
             .map(|(i, &(len, deadline))| {
@@ -456,19 +485,19 @@ mod tests {
             .collect();
         let mut out = vec![];
         let mut now = 0u64;
-        let mut acts = nic.enqueue_packets(batch, SimTime::ZERO);
+        let mut acts = enq(&mut nic, batch, SimTime::ZERO);
         loop {
             let mut finished = None;
             for a in &acts {
-                if let NodeAction::StartTx { packet, finish, .. } = a {
-                    out.push((packet.id, packet.deadline.as_ns()));
+                if let NodeAction::StartTx { tok, finish, .. } = a {
+                    out.push((tok.id, tok.deadline.as_ns()));
                     finished = Some(finish.as_ns());
                 }
             }
             match finished {
                 Some(f) => {
                     now = now.max(f);
-                    acts = nic.on_tx_done(SimTime::from_ns(now));
+                    acts = tx_done(&mut nic, SimTime::from_ns(now));
                 }
                 None => break,
             }
@@ -521,19 +550,22 @@ mod tests {
     #[test]
     fn wake_dedup() {
         let mut nic = Nic::new(cfg(Architecture::Advanced2Vc));
-        let a = nic.enqueue_packets(
+        let a = enq(
+            &mut nic,
             vec![pkt(1, TrafficClass::Multimedia, 512, 60_000, Some(40_000))],
             SimTime::ZERO,
         );
         assert_eq!(a.len(), 1, "one wake for the head");
         // A later-eligible packet must not request an extra wake.
-        let b = nic.enqueue_packets(
+        let b = enq(
+            &mut nic,
             vec![pkt(2, TrafficClass::Multimedia, 512, 90_000, Some(70_000))],
             SimTime::ZERO,
         );
         assert!(b.is_empty(), "covered by the pending wake");
         // An earlier-eligible packet must re-arm.
-        let c = nic.enqueue_packets(
+        let c = enq(
+            &mut nic,
             vec![pkt(3, TrafficClass::Multimedia, 512, 30_000, Some(10_000))],
             SimTime::ZERO,
         );

@@ -1,0 +1,279 @@
+//! Struct-of-arrays packet arena: per-partition resident storage for
+//! every packet between stamping and delivery.
+//!
+//! The hot path moves 40-byte [`PktTok`] tokens (see `dqos_core`); the
+//! full [`Packet`] parks here the whole time. The arena is laid out as
+//! parallel arrays so the one field the forwarding path actually reads
+//! per hop — the interned route, for the next hop's output port — sits
+//! in its own densely packed lane, while the statistics-only cold
+//! fields (message tag, flow id, endpoints, timestamps) stay out of the
+//! cache until delivery reassembles the packet.
+//!
+//! Occupancy and the corruption flag share a one-byte state lane: both
+//! are written on rare paths (insert/take, fault rolls) but checking
+//! them must not drag the cold lane in.
+//!
+//! Slots are reused through a free list, so a steady-state run settles
+//! into a fixed footprint with no allocator traffic; `high_water`
+//! reports the run's real pooled-storage peak.
+
+use dqos_core::Packet;
+use dqos_sim_core::SimTime;
+use dqos_topology::{HostId, Port, PortPath};
+
+/// Slot state bits (the `state` lane).
+const OCCUPIED: u8 = 1 << 0;
+const CORRUPTED: u8 = 1 << 1;
+
+/// Cold per-packet fields: everything the forwarding path never reads.
+/// Fetched exactly twice per packet — written at [`SoaArena::insert`],
+/// read back at [`SoaArena::take`].
+#[derive(Debug, Clone, Copy)]
+struct ColdSlot {
+    id: u64,
+    flow: dqos_core::FlowId,
+    class: dqos_core::TrafficClass,
+    src: HostId,
+    dst: HostId,
+    len: u32,
+    /// Deadline as stamped (source-host domain). The token carries the
+    /// authoritative TTD-re-encoded value; the runtime overwrites the
+    /// reassembled packet's deadline from the token wherever it matters.
+    deadline: SimTime,
+    injected_at: SimTime,
+    msg: dqos_core::MsgTag,
+}
+
+/// The struct-of-arrays arena. One per [`crate::runtime::Partition`].
+#[derive(Debug)]
+pub(crate) struct SoaArena {
+    /// Hot lane: the interned route, read once per switch hop to pick
+    /// the next output port. 5 bytes per slot, ~12 routes per line.
+    route: Vec<PortPath>,
+    /// Hot lane: occupancy + corruption bits.
+    state: Vec<u8>,
+    /// Cold lane: stats-only fields, touched at insert/take only.
+    cold: Vec<ColdSlot>,
+    /// Vacant slot indices (LIFO reuse keeps the working set hot).
+    free: Vec<u32>,
+    live: usize,
+    high_water: usize,
+}
+
+impl SoaArena {
+    /// Arena with pre-sized lanes (grows on demand past that).
+    pub(crate) fn with_capacity(n: usize) -> Self {
+        SoaArena {
+            route: Vec::with_capacity(n),
+            state: Vec::with_capacity(n),
+            cold: Vec::with_capacity(n),
+            free: Vec::with_capacity(n),
+            live: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Park `pkt`, returning its slot. The packet's `eligible` and `hop`
+    /// are *not* stored: the token owns them after this point.
+    pub(crate) fn insert(&mut self, pkt: &Packet) -> u32 {
+        let cold = ColdSlot {
+            id: pkt.id,
+            flow: pkt.flow,
+            class: pkt.class,
+            src: pkt.src,
+            dst: pkt.dst,
+            len: pkt.len,
+            deadline: pkt.deadline,
+            injected_at: pkt.injected_at,
+            msg: pkt.msg,
+        };
+        let state = OCCUPIED | if pkt.corrupted { CORRUPTED } else { 0 };
+        self.live += 1;
+        self.high_water = self.high_water.max(self.live);
+        if let Some(slot) = self.free.pop() {
+            let i = slot as usize;
+            debug_assert_eq!(self.state[i] & OCCUPIED, 0, "free list held a live slot");
+            self.route[i] = pkt.route;
+            self.state[i] = state;
+            self.cold[i] = cold;
+            slot
+        } else {
+            let slot = self.route.len() as u32;
+            self.route.push(pkt.route);
+            self.state.push(state);
+            self.cold.push(cold);
+            slot
+        }
+    }
+
+    /// Reassemble and vacate `slot`.
+    ///
+    /// The returned packet carries the *stamp-time* deadline and
+    /// `hop: 0` / `eligible: None`; the runtime syncs deadline and hop
+    /// from the token at the call sites that care (delivery, boxing).
+    ///
+    /// Panics if the slot is vacant: a double take means the simulation
+    /// duplicated or mis-routed a packet, which must never be absorbed.
+    pub(crate) fn take(&mut self, slot: u32) -> Packet {
+        let i = slot as usize;
+        assert!(
+            i < self.state.len() && self.state[i] & OCCUPIED != 0,
+            "packet taken twice from arena"
+        );
+        let corrupted = self.state[i] & CORRUPTED != 0;
+        self.state[i] = 0;
+        self.free.push(slot);
+        self.live -= 1;
+        let c = self.cold[i];
+        Packet {
+            id: c.id,
+            flow: c.flow,
+            class: c.class,
+            src: c.src,
+            dst: c.dst,
+            len: c.len,
+            deadline: c.deadline,
+            eligible: None,
+            route: self.route[i],
+            hop: 0,
+            injected_at: c.injected_at,
+            msg: c.msg,
+            corrupted,
+        }
+    }
+
+    /// The interned route of a resident packet (the per-hop read).
+    #[inline]
+    pub(crate) fn route(&self, slot: u32) -> PortPath {
+        debug_assert!(self.state[slot as usize] & OCCUPIED != 0, "route of vacant slot");
+        self.route[slot as usize]
+    }
+
+    /// Output port at hop `hop` of a resident packet's route.
+    #[inline]
+    pub(crate) fn out_port_at(&self, slot: u32, hop: u8) -> Port {
+        self.route(slot)
+            .port(hop as usize)
+            // tidy: allow(no-unwrap) -- the runtime advances hop only when
+            // a switch ships toward another switch, so it cannot pass the
+            // route's end.
+            .expect("packet hop index within route")
+    }
+
+    /// Flag a resident packet as damaged in flight (fault injection).
+    #[inline]
+    pub(crate) fn set_corrupted(&mut self, slot: u32) {
+        debug_assert!(self.state[slot as usize] & OCCUPIED != 0, "corrupting vacant slot");
+        self.state[slot as usize] |= CORRUPTED;
+    }
+
+    /// Stamp the injection time of a resident packet (stats only).
+    #[inline]
+    pub(crate) fn set_injected_at(&mut self, slot: u32, at: SimTime) {
+        debug_assert!(self.state[slot as usize] & OCCUPIED != 0, "stamping vacant slot");
+        self.cold[slot as usize].injected_at = at;
+    }
+
+    /// Packets currently resident.
+    pub(crate) fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Most packets ever simultaneously resident.
+    pub(crate) fn high_water(&self) -> usize {
+        self.high_water
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqos_core::{FlowId, MsgTag, TrafficClass};
+    use dqos_topology::{Port, Route, RouteHop, SwitchId};
+
+    fn pkt(id: u64) -> Packet {
+        let route = Route::new(
+            HostId(0),
+            HostId(9),
+            vec![
+                RouteHop { switch: SwitchId(0), out_port: Port(8) },
+                RouteHop { switch: SwitchId(2), out_port: Port(1) },
+            ],
+        )
+        .port_path();
+        Packet {
+            id,
+            flow: FlowId(7),
+            class: TrafficClass::Multimedia,
+            src: HostId(0),
+            dst: HostId(9),
+            len: 2048,
+            deadline: SimTime::from_us(50),
+            eligible: Some(SimTime::from_us(30)),
+            route,
+            hop: 0,
+            injected_at: SimTime::from_ns(5),
+            msg: MsgTag { msg_id: 3, part: 1, parts: 4, created_at: SimTime::from_ns(2) },
+            corrupted: false,
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_cold_fields() {
+        let mut a = SoaArena::with_capacity(4);
+        let p = pkt(42);
+        let slot = a.insert(&p);
+        assert_eq!(a.live(), 1);
+        assert_eq!(a.route(slot), p.route);
+        assert_eq!(a.out_port_at(slot, 1), Port(1));
+        let back = a.take(slot);
+        assert_eq!(back.id, 42);
+        assert_eq!(back.flow, p.flow);
+        assert_eq!(back.msg, p.msg);
+        assert_eq!(back.injected_at, p.injected_at);
+        assert_eq!(back.deadline, p.deadline);
+        assert_eq!(back.eligible, None, "eligible is token-owned after insert");
+        assert!(!back.corrupted);
+        assert_eq!(a.live(), 0);
+        assert_eq!(a.high_water(), 1);
+    }
+
+    #[test]
+    fn slots_recycle_and_high_water_tracks_peak() {
+        let mut a = SoaArena::with_capacity(2);
+        let s0 = a.insert(&pkt(0));
+        let s1 = a.insert(&pkt(1));
+        assert_eq!(a.high_water(), 2);
+        a.take(s0);
+        let s2 = a.insert(&pkt(2));
+        assert_eq!(s2, s0, "LIFO slot reuse");
+        assert_eq!(a.high_water(), 2, "reuse does not raise the peak");
+        assert_eq!(a.take(s1).id, 1);
+        assert_eq!(a.take(s2).id, 2);
+    }
+
+    #[test]
+    fn corruption_flag_survives_residency() {
+        let mut a = SoaArena::with_capacity(2);
+        let slot = a.insert(&pkt(7));
+        a.set_corrupted(slot);
+        assert!(a.take(slot).corrupted);
+    }
+
+    #[test]
+    fn injected_at_write_through() {
+        let mut a = SoaArena::with_capacity(2);
+        let slot = a.insert(&pkt(7));
+        a.set_injected_at(slot, SimTime::from_ns(99));
+        assert_eq!(a.take(slot).injected_at, SimTime::from_ns(99));
+    }
+
+    #[test]
+    #[should_panic(expected = "taken twice")]
+    fn double_take_panics() {
+        let mut a = SoaArena::with_capacity(2);
+        let slot = a.insert(&pkt(0));
+        a.take(slot);
+        a.take(slot);
+    }
+}

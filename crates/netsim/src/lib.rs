@@ -21,6 +21,9 @@
 //! * `runtime` (private) — the partitioned component runtime: node
 //!   models wrapped into [`dqos_sim_core::PartWorld`] partitions driven
 //!   serially or by the conservative parallel executor, bit-identically.
+//! * `arena` (private) — the struct-of-arrays packet arena each
+//!   partition parks full packets in while 40-byte tokens ride the hot
+//!   path (see DESIGN.md §10).
 //! * [`presets`] — shared example/experiment configuration recipes.
 //! * [`experiments`] — the Figure 2/3/4 and Table 1 sweeps, run in
 //!   parallel with rayon (parallelism is across independent simulations;
@@ -36,6 +39,7 @@ pub mod experiments;
 pub mod flows;
 pub mod network;
 pub mod presets;
+mod arena;
 mod runtime;
 
 pub use collect::Collector;

@@ -15,7 +15,8 @@ use crate::config::{ClockOffsets, SimConfig};
 use crate::error::{SimError, Violation};
 use crate::flows::{FlowTable, RerouteStats};
 use crate::runtime::{self, Feeder, HostState, PartTotals, Partition, Shared, SwitchState};
-use dqos_core::{ClockDomain, PacketArena, TrafficClass, NUM_CLASSES};
+use crate::arena::SoaArena;
+use dqos_core::{ClockDomain, TrafficClass, NUM_CLASSES};
 use dqos_endhost::{Nic, NicConfig, Sink};
 use dqos_faults::{CompiledFaults, FaultPlan};
 use dqos_sim_core::{execute, ExecConfig, ExecError, SimDuration, SimRng, SimTime, SplitMix64};
@@ -60,11 +61,14 @@ pub struct RunSummary {
     pub admission_fallbacks: u32,
     /// Messages handed to NICs by the generators.
     pub offered_messages: u64,
-    /// Most packets ever simultaneously in flight on intra-partition
-    /// wires (summed per-partition arena high-water marks — the run's
-    /// real pooled-storage footprint; the only [`RunSummary`] field
-    /// whose value depends on the worker count, since cross-partition
-    /// packets travel boxed instead of through an arena).
+    /// Most packets ever simultaneously resident in the partitions'
+    /// struct-of-arrays arenas (summed per-partition high-water marks —
+    /// the run's real pooled-storage footprint). A packet is resident
+    /// from stamping to delivery, so this counts queued and in-flight
+    /// packets alike. It is the only [`RunSummary`] field whose value
+    /// depends on the worker count: a partition-crossing packet leaves
+    /// the sender's arena and re-enters the receiver's, so the peaks
+    /// shift with the partitioning.
     pub peak_in_flight: u64,
     /// Packets dropped at failed or lossy links (fault injection only).
     pub dropped_packets: u64,
@@ -487,7 +491,7 @@ impl Network {
                 switch_ids: Vec::new(),
                 hosts: Vec::new(),
                 switches: Vec::new(),
-                arena: PacketArena::with_capacity(1 << 12),
+                arena: SoaArena::with_capacity(1 << 12),
                 collector: Collector::new(cfg.window_start(), cfg.window_end()),
                 faults: self.faults.clone(),
                 fault_dropped: [0; NUM_CLASSES],
@@ -498,6 +502,8 @@ impl Network {
                 last_t: SimTime::ZERO,
                 tracer: Tracer::new(cfg.trace),
                 notes: Vec::new(),
+                act_buf: Vec::new(),
+                tok_buf: Vec::new(),
             })
             .collect();
         for (h, (nic, srcs)) in self.nics.into_iter().zip(self.sources).enumerate() {

@@ -5,11 +5,23 @@
 //! worlds driven by [`dqos_sim_core::execute`]. Each partition owns the
 //! node models of its hosts and switches — [`dqos_switch::Switch`],
 //! [`dqos_endhost::Nic`], [`dqos_endhost::Sink`] and
-//! [`dqos_traffic::SourceNode`], all driven through
-//! [`dqos_core::NodeModel::on_event`] — plus a private packet arena,
-//! statistics collector, and fault-impairment RNG streams. Immutable or
-//! internally-synchronised state (topology, clock domains, the flow
-//! table, link up/down flags) lives in one [`Shared`] behind an `Arc`.
+//! [`dqos_traffic::SourceNode`] — plus a private struct-of-arrays
+//! packet arena ([`crate::arena::SoaArena`]), statistics collector, and
+//! fault-impairment RNG streams. Immutable or internally-synchronised
+//! state (topology, clock domains, the flow table, link up/down flags)
+//! lives in one [`Shared`] behind an `Arc`.
+//!
+//! # The token hot path
+//!
+//! A packet's full struct enters its partition's arena **once**, at
+//! stamping, and leaves **once**, at delivery (or at a wire drop, or
+//! when boxed across a partition boundary). Everything in between —
+//! NIC pacing, switch queues, crossbar, transmitters — moves a 40-byte
+//! [`PktTok`] that caches the scheduling-hot fields (deadline, length,
+//! VC, output port). Per hop, the runtime touches the arena only to
+//! read the interned route for the next output port; handler calls
+//! fill action/token scratch buffers owned by the partition, so the
+//! steady-state event loop performs no heap allocation at all.
 //!
 //! # Why the partitioning is exact
 //!
@@ -34,14 +46,12 @@
 //! propagation or credit return, whichever is smaller) is the
 //! executor's lookahead.
 
+use crate::arena::SoaArena;
 use crate::collect::Collector;
 use crate::config::SimConfig;
 use crate::error::{SimError, StallSnapshot};
 use crate::flows::{FlowTable, RerouteStats};
-use dqos_core::{
-    ClockDomain, MsgTag, NicEvent, NodeAction, NodeModel, Packet, PacketArena, PacketRef,
-    SwitchEvent, Vc, NUM_CLASSES,
-};
+use dqos_core::{ClockDomain, MsgTag, NodeAction, NodeModel, Packet, PktTok, Vc, NUM_CLASSES};
 use dqos_endhost::{Nic, Sink};
 use dqos_faults::{CompiledFaults, FaultInjector};
 use dqos_sim_core::{Outbox, PartWorld, SimDuration, SimTime};
@@ -52,13 +62,13 @@ use dqos_traffic::{AppMessage, SourceNode};
 use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
 use std::sync::{Arc, Mutex};
 
-/// A packet in a message: parked in the sending partition's arena when
-/// the receiver is local (steady-state forwarding stays allocation-free,
-/// as in the monolithic loop), boxed when it crosses partitions (an
-/// arena slot must be reclaimed by the partition that filled it).
-pub(crate) enum PktSlot {
-    /// Same-partition transfer, packet in the sender's arena.
-    Local(PacketRef),
+/// A packet on a wire: its 40-byte token when the receiver shares the
+/// sender's partition (the resident packet stays put in the arena), the
+/// boxed full packet when it crosses partitions (an arena slot must be
+/// reclaimed by the partition that filled it, so the packet moves).
+pub(crate) enum WirePkt {
+    /// Same-partition transfer; the full packet stays arena-resident.
+    Local(PktTok),
     /// Cross-partition transfer, packet owned by the message.
     Boxed(Box<Packet>),
 }
@@ -87,7 +97,7 @@ pub(crate) enum Msg {
         /// The receiving input port.
         port: Port,
         /// The packet.
-        slot: PktSlot,
+        pkt: WirePkt,
     },
     /// A switch's internal crossbar transfer completed.
     SwitchXbarDone {
@@ -111,7 +121,7 @@ pub(crate) enum Msg {
     /// A packet fully arrived at its destination host.
     HostArrive {
         /// The packet.
-        slot: PktSlot,
+        pkt: WirePkt,
     },
 }
 
@@ -208,7 +218,9 @@ impl SwitchState {
 }
 
 /// One partition of the simulation: the node models it owns plus its
-/// private arena, collector and fault-roll RNG streams.
+/// private arena, collector, fault-roll RNG streams, and the scratch
+/// buffers the allocation-free event loop runs on.
+// tidy: hot-path
 pub(crate) struct Partition {
     pub(crate) shared: Arc<Shared>,
     pub(crate) part: u32,
@@ -218,8 +230,9 @@ pub(crate) struct Partition {
     pub(crate) switch_ids: Vec<u32>,
     pub(crate) hosts: Vec<HostState>,
     pub(crate) switches: Vec<SwitchState>,
-    /// Pooled storage for packets in flight on intra-partition wires.
-    pub(crate) arena: PacketArena,
+    /// Struct-of-arrays storage for every resident packet (stamping to
+    /// delivery).
+    pub(crate) arena: SoaArena,
     pub(crate) collector: Collector,
     /// Private clone of the compiled fault tables. Only the streams of
     /// links whose *sending node* lives here are ever advanced, so each
@@ -237,6 +250,11 @@ pub(crate) struct Partition {
     pub(crate) tracer: Tracer,
     /// Scratch buffer for draining model notes without reallocating.
     pub(crate) notes: Vec<ModelNote>,
+    /// Scratch buffer for node-handler actions (taken/restored around
+    /// every handler call; handlers never re-enter each other).
+    pub(crate) act_buf: Vec<NodeAction>,
+    /// Scratch buffer for a message's stamped tokens.
+    pub(crate) tok_buf: Vec<PktTok>,
 }
 
 impl Partition {
@@ -269,21 +287,17 @@ impl Partition {
         &mut self.switches[self.shared.local_idx[sw_node as usize] as usize]
     }
 
-    /// Unpack an arriving packet.
-    fn open(&mut self, slot: PktSlot) -> Packet {
-        match slot {
-            PktSlot::Local(r) => self.arena.take(r),
-            PktSlot::Boxed(b) => *b,
-        }
-    }
-
-    /// Pack a packet for delivery to `dst_node`: arena slot when local,
-    /// boxed when it crosses partitions.
-    fn pack(&mut self, dst_node: u32, pkt: Packet) -> PktSlot {
-        if self.shared.part_of[dst_node as usize] == self.part {
-            PktSlot::Local(self.arena.insert(pkt))
+    /// Pack a token for transfer to `dst_node`: the token itself when
+    /// local, the arena-evicted boxed packet (header fields synced from
+    /// the token) when it crosses partitions.
+    fn wire(&mut self, shared: &Shared, dst_node: u32, tok: PktTok) -> WirePkt {
+        if shared.part_of[dst_node as usize] == self.part {
+            WirePkt::Local(tok)
         } else {
-            PktSlot::Boxed(Box::new(pkt))
+            let mut pkt = self.arena.take(tok.slot);
+            pkt.deadline = tok.deadline;
+            pkt.hop = tok.hop;
+            WirePkt::Boxed(Box::new(pkt))
         }
     }
 
@@ -332,7 +346,7 @@ impl Partition {
     }
 
     /// Drain the NIC's flight-recorder notes (called right after every
-    /// `nic.on_event`), stamping them with the global handling time.
+    /// NIC handler), stamping them with the global handling time.
     fn drain_host_notes(&mut self, host: u32, now: SimTime) {
         let li = self.shared.local_idx[host as usize] as usize;
         let mut buf = std::mem::take(&mut self.notes);
@@ -352,7 +366,7 @@ impl Partition {
     }
 
     /// Drain the switch's flight-recorder notes (called right after every
-    /// `sw.on_event`), stamping them with the global handling time.
+    /// switch handler), stamping them with the global handling time.
     fn drain_switch_notes(&mut self, sw_node: u32, now: SimTime) {
         let li = self.shared.local_idx[sw_node as usize] as usize;
         let mut buf = std::mem::take(&mut self.notes);
@@ -377,18 +391,69 @@ impl Partition {
         self.notes = buf;
     }
 
-    fn source_fire(&mut self, host: u32, idx: u32, now: SimTime, out: &mut Outbox<'_, Msg>) {
-        let shared = Arc::clone(&self.shared);
+    /// Run a NIC handler against the partition's action scratch and
+    /// apply what it emitted. The scratch is taken/restored around the
+    /// call; nothing downstream re-enters a node handler, so the
+    /// partition's buffer cannot be taken twice.
+    fn with_nic(
+        &mut self,
+        shared: &Shared,
+        host: u32,
+        now: SimTime,
+        out: &mut Outbox<'_, Msg>,
+        f: impl FnOnce(&mut Nic, SimTime, &mut Vec<NodeAction>),
+    ) {
+        let local = shared.host_clock[host as usize].local(now);
+        let mut acts = std::mem::take(&mut self.act_buf);
+        f(&mut self.host_mut(host).nic, local, &mut acts);
+        self.apply_host_actions(shared, host, &acts, now, out);
+        acts.clear();
+        self.act_buf = acts;
+    }
+
+    /// [`Partition::with_nic`] for switch handlers.
+    fn with_switch(
+        &mut self,
+        shared: &Shared,
+        sw_node: u32,
+        now: SimTime,
+        out: &mut Outbox<'_, Msg>,
+        f: impl FnOnce(&mut Switch, SimTime, &mut Vec<NodeAction>),
+    ) -> Result<(), SimError> {
+        let s = (sw_node - shared.n_hosts) as usize;
+        let local = shared.sw_clock[s].local(now);
+        let mut acts = std::mem::take(&mut self.act_buf);
+        f(&mut self.switch_mut(sw_node).sw, local, &mut acts);
+        let res = self.apply_switch_actions(shared, sw_node, &acts, now, out);
+        acts.clear();
+        self.act_buf = acts;
+        res
+    }
+
+    fn source_fire(
+        &mut self,
+        shared: &Shared,
+        host: u32,
+        idx: u32,
+        now: SimTime,
+        out: &mut Outbox<'_, Msg>,
+    ) {
         let (msg, next) = self.host_mut(host).sources[idx as usize].on_event(now, ());
         if next <= shared.source_stop {
             let k = self.next_key(host);
             out.send(host, next, k, Msg::SourceFire { idx });
         }
-        self.handle_message(host, msg, now, out);
+        self.handle_message(shared, host, msg, now, out);
     }
 
-    fn handle_message(&mut self, host: u32, msg: AppMessage, now: SimTime, out: &mut Outbox<'_, Msg>) {
-        let shared = Arc::clone(&self.shared);
+    fn handle_message(
+        &mut self,
+        shared: &Shared,
+        host: u32,
+        msg: AppMessage,
+        now: SimTime,
+        out: &mut Outbox<'_, Msg>,
+    ) {
         self.offered_messages += 1;
         self.collector.offered(msg.class, msg.bytes, now);
         let src = HostId(host);
@@ -406,86 +471,101 @@ impl Partition {
                 (id, route, stamps)
             }
         };
-        let hs = self.host_mut(host);
+        let first_out = route
+            .port(0)
+            // tidy: allow(no-unwrap) -- every route has at least the leaf
+            // hop (hosts never message themselves), so hop 0 exists.
+            .expect("route has a first hop");
+        let trace_on = self.tracer.on();
+        // Deadlines are stamped in the host's local clock domain; the
+        // recorder wants them in global ticks so the attribution pass
+        // can compare against global delivery times directly.
+        let clock = shared.host_clock[host as usize];
+        let li = shared.local_idx[host as usize] as usize;
+        let mut toks = std::mem::take(&mut self.tok_buf);
+        // Direct field borrows below keep `hs`, the arena, and the
+        // tracer disjoint so the stamping loop stays allocation-free.
+        let hs = &mut self.hosts[li];
         let msg_id = hs.next_msg_id;
         hs.next_msg_id += 1;
         let n = parts.len() as u32;
-        let pkts: Vec<Packet> = parts
-            .iter()
-            .zip(stamps)
-            .enumerate()
-            .map(|(i, (&len, st))| {
-                let id = ((host as u64) << 40) | hs.next_pkt;
-                hs.next_pkt += 1;
-                Packet {
-                    id,
-                    flow: flow_id,
-                    class: msg.class,
-                    src,
-                    dst: msg.dst,
-                    len,
-                    deadline: st.deadline,
-                    eligible: st.eligible,
-                    route,
-                    hop: 0,
-                    injected_at: now,
-                    msg: MsgTag { msg_id, part: i as u32, parts: n, created_at: now },
-                    corrupted: false,
-                }
-            })
-            .collect();
-        if self.tracer.on() {
-            // Deadlines are stamped in the host's local clock domain;
-            // record them in global ticks so the attribution pass can
-            // compare against global delivery times directly.
-            let clock = shared.host_clock[host as usize];
-            for p in &pkts {
+        for (i, (&len, st)) in parts.iter().zip(&stamps).enumerate() {
+            let id = ((host as u64) << 40) | hs.next_pkt;
+            hs.next_pkt += 1;
+            let pkt = Packet {
+                id,
+                flow: flow_id,
+                class: msg.class,
+                src,
+                dst: msg.dst,
+                len,
+                deadline: st.deadline,
+                eligible: st.eligible,
+                route,
+                hop: 0,
+                injected_at: now,
+                msg: MsgTag { msg_id, part: i as u32, parts: n, created_at: now },
+                corrupted: false,
+            };
+            if trace_on {
                 self.tracer.record(TraceEvent {
                     at: now,
                     node: host,
-                    pkt: p.id,
+                    pkt: id,
                     kind: EventKind::Stamped {
-                        class: p.class.idx() as u8,
-                        len: p.len,
-                        deadline: clock.global_of(p.deadline),
+                        class: pkt.class.idx() as u8,
+                        len,
+                        deadline: clock.global_of(st.deadline),
                     },
                 });
             }
+            let slot = self.arena.insert(&pkt);
+            toks.push(PktTok::of(&pkt, slot, first_out));
         }
-        let actions = self.host_mut(host).nic.on_event(local, NicEvent::Enqueue(pkts));
-        self.apply_host_actions(host, actions, now, out);
+        let mut acts = std::mem::take(&mut self.act_buf);
+        self.hosts[li].nic.enqueue_batch(&toks, local, &mut acts);
+        toks.clear();
+        self.tok_buf = toks;
+        self.apply_host_actions(shared, host, &acts, now, out);
+        acts.clear();
+        self.act_buf = acts;
     }
 
     fn apply_host_actions(
         &mut self,
+        shared: &Shared,
         host: u32,
-        actions: Vec<NodeAction>,
+        actions: &[NodeAction],
         now: SimTime,
         out: &mut Outbox<'_, Msg>,
     ) {
         if self.tracer.on() {
-            // Every call site runs this right after `nic.on_event`, so
+            // Every call site runs this right after the NIC handler, so
             // the drained notes belong to the event handled at `now`.
             self.drain_host_notes(host, now);
         }
-        let clock = self.shared.host_clock[host as usize];
-        for a in actions {
+        let clock = shared.host_clock[host as usize];
+        for &a in actions {
             match a {
-                NodeAction::StartTx { packet, finish, .. } => {
+                NodeAction::StartTx { tok, finish, .. } => {
                     let finish_g = clock.global_of(finish);
                     let k = self.next_key(host);
                     out.send(host, finish_g, k, Msg::HostTxDone);
+                    // The injection timestamp is stats-only; the runtime
+                    // stamps it because it owns the arena the NIC's token
+                    // points into.
+                    self.arena.set_injected_at(tok.slot, now);
                     if self.tracer.on() {
                         // Serialisation starts at the handling instant;
                         // `finish` is start + tx time.
                         self.tracer.record(TraceEvent {
                             at: now,
                             node: host,
-                            pkt: packet.id,
+                            pkt: tok.id,
                             kind: EventKind::Injected,
                         });
                     }
-                    self.ship_from_host(host, packet, finish_g, now, out);
+                    self.ship_from_host(shared, host, tok, finish_g, now, out);
                 }
                 NodeAction::WakeAt { at } => {
                     let k = self.next_key(host);
@@ -502,13 +582,13 @@ impl Partition {
 
     fn ship_from_host(
         &mut self,
+        shared: &Shared,
         host: u32,
-        mut pkt: Packet,
+        mut tok: PktTok,
         finish_g: SimTime,
         now: SimTime,
         out: &mut Outbox<'_, Msg>,
     ) {
-        let shared = Arc::clone(&self.shared);
         let end = shared.topo.host_out_link(HostId(host));
         // tidy: allow(no-unwrap) -- FoldedClos wires every host uplink to a
         // leaf switch; any other peer is a topology-builder bug.
@@ -521,8 +601,10 @@ impl Partition {
                 // never fills — so the credit synthesizes straight back,
                 // exactly as if the switch had received and instantly
                 // freed it. (Without this, every drop leaks injection
-                // credit and the host eventually wedges.)
-                self.fault_dropped[pkt.class.idx()] += 1;
+                // credit and the host eventually wedges.) The arena slot
+                // is reclaimed here: the resident packet is gone.
+                self.fault_dropped[tok.class.idx()] += 1;
+                let _ = self.arena.take(tok.slot);
                 if self.tracer.on() {
                     // Recorded at the handling instant, not the would-be
                     // arrival: future-dated events would break the
@@ -530,7 +612,7 @@ impl Partition {
                     self.tracer.record(TraceEvent {
                         at: now,
                         node: host,
-                        pkt: pkt.id,
+                        pkt: tok.id,
                         kind: EventKind::DroppedWire,
                     });
                 }
@@ -539,12 +621,12 @@ impl Partition {
                     host,
                     arrive + shared.cfg.credit_delay,
                     k,
-                    Msg::HostCredit { vc: pkt.vc(), bytes: pkt.len },
+                    Msg::HostCredit { vc: tok.vc, bytes: tok.len },
                 );
                 return;
             }
             if self.faults.roll_corrupt(end.link) {
-                pkt.corrupted = true;
+                self.arena.set_corrupted(tok.slot);
             }
         }
         // TTD transport (§3.3): relative deadline on the wire. The TTD is
@@ -554,35 +636,35 @@ impl Partition {
         // (encoding at serialisation start would slide each packet by its
         // own length and break the appendix hypothesis).
         let ttd = ClockDomain::encode_ttd(
-            pkt.deadline,
+            tok.deadline,
             shared.host_clock[host as usize].local(finish_g),
         );
-        pkt.deadline = ClockDomain::decode_ttd(ttd, shared.sw_clock[sw.idx()].local(arrive));
-        pkt.eligible = None; // host-only field, not in the header
+        tok.deadline = ClockDomain::decode_ttd(ttd, shared.sw_clock[sw.idx()].local(arrive));
+        tok.eligible = SimTime::ZERO; // host-only field, not in the header
         let dst_node = shared.n_hosts + sw.0;
-        let slot = self.pack(dst_node, pkt);
+        let pkt = self.wire(shared, dst_node, tok);
         let k = self.next_key(host);
-        out.send(dst_node, arrive, k, Msg::SwitchArrive { port: end.peer_port, slot });
+        out.send(dst_node, arrive, k, Msg::SwitchArrive { port: end.peer_port, pkt });
     }
 
     fn apply_switch_actions(
         &mut self,
+        shared: &Shared,
         sw_node: u32,
-        actions: Vec<NodeAction>,
+        actions: &[NodeAction],
         now: SimTime,
         out: &mut Outbox<'_, Msg>,
     ) -> Result<(), SimError> {
-        let shared = Arc::clone(&self.shared);
         if self.tracer.on() {
-            // Every call site runs this right after `sw.on_event`, so
+            // Every call site runs this right after the switch handler, so
             // the drained notes belong to the event handled at `now`.
             self.drain_switch_notes(sw_node, now);
         }
         let s = (sw_node - shared.n_hosts) as usize;
         let clock = shared.sw_clock[s];
-        for a in actions {
+        for &a in actions {
             match a {
-                NodeAction::StartTx { out_port, packet, finish } => {
+                NodeAction::StartTx { out_port, tok, finish } => {
                     let finish_g = clock.global_of(finish);
                     let k = self.next_key(sw_node);
                     out.send(sw_node, finish_g, k, Msg::SwitchTxDone { port: out_port });
@@ -592,11 +674,11 @@ impl Partition {
                         self.tracer.record(TraceEvent {
                             at: now,
                             node: sw_node,
-                            pkt: packet.id,
+                            pkt: tok.id,
                             kind: EventKind::HopTxStart,
                         });
                     }
-                    self.ship_from_switch(sw_node, out_port, packet, finish_g, now, out)?;
+                    self.ship_from_switch(shared, sw_node, out_port, tok, finish_g, now, out)?;
                 }
                 NodeAction::SendCredit { in_port, vc, bytes } => {
                     let at = now + shared.cfg.credit_delay;
@@ -648,14 +730,14 @@ impl Partition {
 
     fn ship_from_switch(
         &mut self,
+        shared: &Shared,
         sw_node: u32,
         out_port: Port,
-        mut pkt: Packet,
+        mut tok: PktTok,
         finish_g: SimTime,
         now: SimTime,
         out: &mut Outbox<'_, Msg>,
     ) -> Result<(), SimError> {
-        let shared = Arc::clone(&self.shared);
         let s = sw_node - shared.n_hosts;
         let end = shared
             .topo
@@ -666,15 +748,16 @@ impl Partition {
             if self.link_is_down(end.link) || self.faults.roll_drop(end.link) {
                 // Dropped on the wire: the downstream buffer never fills,
                 // so this switch's output credit for the hop synthesizes
-                // back (see ship_from_host).
-                self.fault_dropped[pkt.class.idx()] += 1;
+                // back (see ship_from_host). The arena slot is reclaimed.
+                self.fault_dropped[tok.class.idx()] += 1;
+                let _ = self.arena.take(tok.slot);
                 if self.tracer.on() {
                     // At `now`, not the would-be arrival (see
                     // ship_from_host).
                     self.tracer.record(TraceEvent {
                         at: now,
                         node: sw_node,
-                        pkt: pkt.id,
+                        pkt: tok.id,
                         kind: EventKind::DroppedWire,
                     });
                 }
@@ -683,40 +766,51 @@ impl Partition {
                     sw_node,
                     arrive + shared.cfg.credit_delay,
                     k,
-                    Msg::SwitchCredit { port: out_port, vc: pkt.vc(), bytes: pkt.len },
+                    Msg::SwitchCredit { port: out_port, vc: tok.vc, bytes: tok.len },
                 );
                 return Ok(());
             }
             if self.faults.roll_corrupt(end.link) {
-                pkt.corrupted = true;
+                self.arena.set_corrupted(tok.slot);
             }
         }
+        // Leaving this switch: advancing the hop is the runtime's job
+        // (the switch model never sees the route), and reading the next
+        // routing decision is the one arena access of the hop.
+        tok.hop += 1;
         match end.peer {
             NodeId::Switch(next) => {
                 // See ship_from_host for why the TTD is encoded at
                 // serialisation end.
                 let ttd = ClockDomain::encode_ttd(
-                    pkt.deadline,
+                    tok.deadline,
                     shared.sw_clock[s as usize].local(finish_g),
                 );
-                pkt.deadline =
+                tok.deadline =
                     ClockDomain::decode_ttd(ttd, shared.sw_clock[next.idx()].local(arrive));
+                tok.out = self.arena.out_port_at(tok.slot, tok.hop);
                 let dst_node = shared.n_hosts + next.0;
-                let slot = self.pack(dst_node, pkt);
+                let pkt = self.wire(shared, dst_node, tok);
                 let k = self.next_key(sw_node);
-                out.send(dst_node, arrive, k, Msg::SwitchArrive { port: end.peer_port, slot });
+                out.send(dst_node, arrive, k, Msg::SwitchArrive { port: end.peer_port, pkt });
             }
             NodeId::Host(h) => {
-                let slot = self.pack(h.0, pkt);
+                let pkt = self.wire(shared, h.0, tok);
                 let k = self.next_key(sw_node);
-                out.send(h.0, arrive, k, Msg::HostArrive { slot });
+                out.send(h.0, arrive, k, Msg::HostArrive { pkt });
             }
         }
         Ok(())
     }
 
-    fn handle_delivery(&mut self, host: u32, pkt: Packet, now: SimTime, out: &mut Outbox<'_, Msg>) {
-        let shared = Arc::clone(&self.shared);
+    fn handle_delivery(
+        &mut self,
+        shared: &Shared,
+        host: u32,
+        pkt: Packet,
+        now: SimTime,
+        out: &mut Outbox<'_, Msg>,
+    ) {
         if self.tracer.on() {
             let kind = if pkt.corrupted {
                 EventKind::DeliveredCorrupt
@@ -731,7 +825,7 @@ impl Partition {
             // treat it as a loss), but the buffer space it occupied still
             // frees — the credit returns exactly as for a good packet.
             self.fault_corrupted[pkt.class.idx()] += 1;
-            self.delivery_credit(host, pkt.vc(), pkt.len, now, out);
+            self.delivery_credit(shared, host, pkt.vc(), pkt.len, now, out);
             return;
         }
         if shared.faults_enabled
@@ -759,20 +853,20 @@ impl Partition {
             // unconditionally; any other action is a simulator bug.
             unreachable!("sink returns exactly one credit")
         };
-        self.delivery_credit(host, vc, bytes, now, out);
+        self.delivery_credit(shared, host, vc, bytes, now, out);
     }
 
     /// Return delivery-link buffer credit to the feeding leaf — unless
     /// the credit-loss impairment eats it.
     fn delivery_credit(
         &mut self,
+        shared: &Shared,
         host: u32,
         vc: Vc,
         bytes: u32,
         now: SimTime,
         out: &mut Outbox<'_, Msg>,
     ) {
-        let shared = Arc::clone(&self.shared);
         if shared.faults_enabled
             && self.faults.roll_credit_loss(shared.topo.host_delivery_link(HostId(host)))
         {
@@ -816,73 +910,85 @@ impl PartWorld for Partition {
         out: &mut Outbox<'_, Msg>,
     ) -> Result<(), SimError> {
         self.last_t = now;
+        // One refcount bump per event; every helper below borrows this
+        // instead of re-cloning the Arc.
+        let shared = Arc::clone(&self.shared);
         if self.tracer.on() {
             self.maybe_sample(node, now);
         }
         match msg {
             Msg::SourceFire { idx } => {
-                self.source_fire(node, idx, now, out);
+                self.source_fire(&shared, node, idx, now, out);
             }
             Msg::HostWake => {
-                let local = self.shared.host_clock[node as usize].local(now);
-                let actions = self.host_mut(node).nic.on_event(local, NicEvent::Wake);
-                self.apply_host_actions(node, actions, now, out);
+                self.with_nic(&shared, node, now, out, |nic, local, acts| {
+                    nic.on_wake(local, acts);
+                });
             }
             Msg::HostTxDone => {
-                let local = self.shared.host_clock[node as usize].local(now);
-                let actions = self.host_mut(node).nic.on_event(local, NicEvent::TxDone);
-                self.apply_host_actions(node, actions, now, out);
+                self.with_nic(&shared, node, now, out, |nic, local, acts| {
+                    nic.on_tx_done(local, acts);
+                });
             }
             Msg::HostCredit { vc, bytes } => {
-                let local = self.shared.host_clock[node as usize].local(now);
-                let actions =
-                    self.host_mut(node).nic.on_event(local, NicEvent::Credit { vc, bytes });
-                self.apply_host_actions(node, actions, now, out);
+                self.with_nic(&shared, node, now, out, |nic, local, acts| {
+                    nic.on_credit(vc, bytes, local, acts);
+                });
             }
-            Msg::SwitchArrive { port, slot } => {
-                let pkt = self.open(slot);
+            Msg::SwitchArrive { port, pkt } => {
+                let tok = match pkt {
+                    WirePkt::Local(t) => t,
+                    WirePkt::Boxed(b) => {
+                        // Re-home a partition-crossing packet: this
+                        // partition's arena takes ownership, and the token
+                        // is rebuilt from the synced header fields.
+                        let pkt = *b;
+                        let slot = self.arena.insert(&pkt);
+                        PktTok::of(&pkt, slot, pkt.current_out_port())
+                    }
+                };
                 if self.tracer.on() {
                     self.tracer.record(TraceEvent {
                         at: now,
                         node,
-                        pkt: pkt.id,
-                        kind: EventKind::HopEnqueue { vc: pkt.vc().idx() as u8 },
+                        pkt: tok.id,
+                        kind: EventKind::HopEnqueue { vc: tok.vc.idx() as u8 },
                     });
                 }
-                let s = (node - self.shared.n_hosts) as usize;
-                let local = self.shared.sw_clock[s].local(now);
-                let actions = self
-                    .switch_mut(node)
-                    .sw
-                    .on_event(local, SwitchEvent::Arrive { in_port: port, pkt });
-                self.apply_switch_actions(node, actions, now, out)?;
+                self.with_switch(&shared, node, now, out, |sw, local, acts| {
+                    sw.on_packet_arrival(port, tok, local, acts);
+                })?;
             }
             Msg::SwitchXbarDone { port } => {
-                let s = (node - self.shared.n_hosts) as usize;
-                let local = self.shared.sw_clock[s].local(now);
-                let actions =
-                    self.switch_mut(node).sw.on_event(local, SwitchEvent::XbarDone { out_port: port });
-                self.apply_switch_actions(node, actions, now, out)?;
+                self.with_switch(&shared, node, now, out, |sw, local, acts| {
+                    sw.on_xbar_done(port, local, acts);
+                })?;
             }
             Msg::SwitchTxDone { port } => {
-                let s = (node - self.shared.n_hosts) as usize;
-                let local = self.shared.sw_clock[s].local(now);
-                let actions =
-                    self.switch_mut(node).sw.on_event(local, SwitchEvent::TxDone { out_port: port });
-                self.apply_switch_actions(node, actions, now, out)?;
+                self.with_switch(&shared, node, now, out, |sw, local, acts| {
+                    sw.on_tx_done(port, local, acts);
+                })?;
             }
             Msg::SwitchCredit { port, vc, bytes } => {
-                let s = (node - self.shared.n_hosts) as usize;
-                let local = self.shared.sw_clock[s].local(now);
-                let actions = self
-                    .switch_mut(node)
-                    .sw
-                    .on_event(local, SwitchEvent::Credit { out_port: port, vc, bytes });
-                self.apply_switch_actions(node, actions, now, out)?;
+                self.with_switch(&shared, node, now, out, |sw, local, acts| {
+                    sw.on_credit(port, vc, bytes, local, acts);
+                })?;
             }
-            Msg::HostArrive { slot } => {
-                let pkt = self.open(slot);
-                self.handle_delivery(node, pkt, now, out);
+            Msg::HostArrive { pkt } => {
+                let pkt = match pkt {
+                    WirePkt::Local(tok) => {
+                        // Reassemble from the arena and sync the fields the
+                        // token carried: the TTD-decoded deadline (still in
+                        // the transmitting leaf's domain — the final hop
+                        // carries no TTD) and the hop index.
+                        let mut p = self.arena.take(tok.slot);
+                        p.deadline = tok.deadline;
+                        p.hop = tok.hop;
+                        p
+                    }
+                    WirePkt::Boxed(b) => *b,
+                };
+                self.handle_delivery(&shared, node, pkt, now, out);
             }
         }
         Ok(())

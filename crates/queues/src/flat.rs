@@ -1,0 +1,550 @@
+//! Flat ring/slot storage for the hot-path queue structures.
+//!
+//! The original [`FifoQueue`](crate::fifo::FifoQueue) and
+//! [`TwoQueue`](crate::two_queue::TwoQueue) sit on `VecDeque`s, which are
+//! fine structures but carry per-call branch and bounds overhead the
+//! simulator's inner loop can feel at tens of millions of operations per
+//! second. The versions here keep the **identical observable semantics**
+//! (the differential tests at the bottom of this file replay random
+//! op-sequences against the originals as oracles) on top of a single
+//! power-of-two slot ring per queue:
+//!
+//! * slots are `Option<T>` in one contiguous `Vec`, head/length indices
+//!   wrap with a mask — no per-element allocation ever, and growth
+//!   (doubling, with an in-order copy) happens only until the ring
+//!   reaches the high-water mark of its port, after which enqueue and
+//!   dequeue are straight-line slot writes;
+//! * the two-queue dequeue choice is a **branchless compare**: each
+//!   ring's head deadline is read through an `u64::MAX` sentinel for
+//!   "empty", and the candidate is the take-over head exactly when its
+//!   key is *strictly* below the ordered key — which encodes Definition
+//!   2, Lemma 1 (empty-ordered ⇒ empty-take-over ⇒ both sentinels), and
+//!   the ties-go-to-ordered rule in one unsigned comparison.
+//!
+//! [`AnyQueue`](crate::traits::AnyQueue) dispatches to these for the
+//! `Fifo` and `TwoQueue` kinds; the originals remain exported (and
+//! covered by the paper's theorem suite) as the differential oracles.
+
+// tidy: hot-path
+
+use crate::traits::{Deadlined, SchedQueue};
+use dqos_sim_core::SimTime;
+
+/// Deadline key used for the branchless head compare: empty reads as
+/// `u64::MAX`, so any real head wins and two empties tie (→ ordered,
+/// which `candidate_is_take_over` maps back to `None`).
+const EMPTY_KEY: u64 = u64::MAX;
+
+/// A power-of-two slot ring: the storage primitive under both flat
+/// queues. Not a scheduler-facing type — no deadline logic lives here.
+#[derive(Debug, Clone)]
+struct Ring<T> {
+    slots: Vec<Option<T>>,
+    head: usize,
+    len: usize,
+}
+
+impl<T> Ring<T> {
+    const INITIAL_CAP: usize = 8;
+
+    fn new() -> Self {
+        Ring { slots: Vec::new(), head: 0, len: 0 }
+    }
+
+    #[inline]
+    fn mask(&self) -> usize {
+        self.slots.len() - 1
+    }
+
+    /// Double the ring, copying live slots back in queue order so the
+    /// head lands on index 0. Runs O(log n) times total per ring.
+    fn grow(&mut self) {
+        let new_cap = if self.slots.is_empty() { Self::INITIAL_CAP } else { self.slots.len() * 2 };
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(new_cap);
+        if !self.slots.is_empty() {
+            let mask = self.mask();
+            for i in 0..self.len {
+                slots.push(self.slots[(self.head + i) & mask].take());
+            }
+        }
+        slots.resize_with(new_cap, || None);
+        self.slots = slots;
+        self.head = 0;
+    }
+
+    #[inline]
+    fn push_back(&mut self, item: T) {
+        if self.len == self.slots.len() {
+            self.grow();
+        }
+        let idx = (self.head + self.len) & self.mask();
+        self.slots[idx] = Some(item);
+        self.len += 1;
+    }
+
+    #[inline]
+    fn pop_front(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        let item = self.slots[self.head].take();
+        debug_assert!(item.is_some(), "ring slot under head must be occupied");
+        self.head = (self.head + 1) & self.mask();
+        self.len -= 1;
+        item
+    }
+
+    #[inline]
+    fn front(&self) -> Option<&T> {
+        if self.len == 0 {
+            None
+        } else {
+            self.slots[self.head].as_ref()
+        }
+    }
+
+    #[inline]
+    fn back(&self) -> Option<&T> {
+        if self.len == 0 {
+            None
+        } else {
+            self.slots[(self.head + self.len - 1) & self.mask()].as_ref()
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &T> {
+        (0..self.len).map(move |i| {
+            self.slots[(self.head + i) & self.mask()]
+                .as_ref()
+                // tidy: allow(no-unwrap) -- every slot in [head, head+len)
+                // is occupied by the ring invariant.
+                .expect("ring slot within live range")
+        })
+    }
+}
+
+/// Flat-ring FIFO: observably identical to
+/// [`FifoQueue`](crate::fifo::FifoQueue).
+#[derive(Debug, Clone)]
+pub struct FlatFifo<T> {
+    ring: Ring<T>,
+    bytes: u64,
+}
+
+impl<T> Default for FlatFifo<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> FlatFifo<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        FlatFifo { ring: Ring::new(), bytes: 0 }
+    }
+
+    /// Iterate items front to back (diagnostics).
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.ring.iter()
+    }
+}
+
+impl<T: Deadlined> SchedQueue<T> for FlatFifo<T> {
+    #[inline]
+    fn enqueue(&mut self, item: T) {
+        self.bytes += item.len_bytes() as u64;
+        self.ring.push_back(item);
+    }
+
+    #[inline]
+    fn head_deadline(&self) -> Option<SimTime> {
+        self.ring.front().map(|p| p.deadline())
+    }
+
+    #[inline]
+    fn peek(&self) -> Option<&T> {
+        self.ring.front()
+    }
+
+    #[inline]
+    fn dequeue(&mut self) -> Option<T> {
+        let item = self.ring.pop_front()?;
+        self.bytes -= item.len_bytes() as u64;
+        Some(item)
+    }
+
+    fn min_deadline(&self) -> Option<SimTime> {
+        self.ring.iter().map(|p| p.deadline()).min()
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.ring.len
+    }
+
+    #[inline]
+    fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+/// Flat-ring two-queue system: observably identical to
+/// [`TwoQueue`](crate::two_queue::TwoQueue), with the dequeue-side
+/// head compare reduced to one branchless unsigned comparison.
+#[derive(Debug, Clone)]
+pub struct FlatTwoQueue<T> {
+    /// Ordered queue (appendix: `L`).
+    ordered: Ring<T>,
+    /// Take-over queue (appendix: `U`).
+    take_over: Ring<T>,
+    bytes: u64,
+    take_over_total: u64,
+}
+
+impl<T> Default for FlatTwoQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> FlatTwoQueue<T> {
+    /// An empty structure.
+    pub fn new() -> Self {
+        FlatTwoQueue {
+            ordered: Ring::new(),
+            take_over: Ring::new(),
+            bytes: 0,
+            take_over_total: 0,
+        }
+    }
+
+    /// Current take-over queue occupancy.
+    pub fn take_over_len(&self) -> usize {
+        self.take_over.len
+    }
+
+    /// Current ordered queue occupancy.
+    pub fn ordered_len(&self) -> usize {
+        self.ordered.len
+    }
+
+    /// Cumulative count of packets that went to the take-over queue.
+    pub fn take_over_total(&self) -> u64 {
+        self.take_over_total
+    }
+}
+
+impl<T: Deadlined> FlatTwoQueue<T> {
+    /// Head deadline of a ring through the empty sentinel.
+    #[inline]
+    fn key(ring: &Ring<T>) -> u64 {
+        ring.front().map_or(EMPTY_KEY, |p| p.deadline().0)
+    }
+
+    /// The branchless Definition-2 compare: `true` iff the candidate is
+    /// the take-over head. Strict `<` gives ties to the ordered queue
+    /// and makes the empty/empty case `false`; Lemma 1 rules out
+    /// ordered-empty with take-over occupied, so the sentinel ordering
+    /// is exhaustive.
+    #[inline]
+    fn take_over_wins(&self) -> bool {
+        Self::key(&self.take_over) < Self::key(&self.ordered)
+    }
+
+    /// Which queue the dequeue candidate currently sits in (`None` when
+    /// empty). Same contract as
+    /// [`TwoQueue::candidate_is_take_over`](crate::two_queue::TwoQueue::candidate_is_take_over).
+    pub fn candidate_is_take_over(&self) -> Option<bool> {
+        if self.ordered.len + self.take_over.len == 0 {
+            None
+        } else {
+            Some(self.take_over_wins())
+        }
+    }
+
+    /// Debug check of Theorems 1 and 2 on the live structure (mirrors
+    /// the oracle's checker).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut prev: Option<SimTime> = None;
+        for p in self.ordered.iter() {
+            if let Some(pd) = prev {
+                if p.deadline() < pd {
+                    return Err(format!(
+                        "ordered ring not sorted: {:?} after {:?}",
+                        p.deadline(),
+                        pd
+                    ));
+                }
+            }
+            prev = Some(p.deadline());
+        }
+        if let Some(tail) = self.ordered.back() {
+            for u in self.take_over.iter() {
+                if u.deadline() >= tail.deadline() {
+                    return Err(format!(
+                        "take-over element {:?} not below ordered tail {:?}",
+                        u.deadline(),
+                        tail.deadline()
+                    ));
+                }
+            }
+        } else if self.take_over.len != 0 {
+            return Err("take-over non-empty while ordered empty (Lemma 1)".into());
+        }
+        Ok(())
+    }
+}
+
+impl<T: Deadlined> SchedQueue<T> for FlatTwoQueue<T> {
+    #[inline]
+    fn enqueue(&mut self, item: T) {
+        self.bytes += item.len_bytes() as u64;
+        // Definition 1: at or above the ordered tail -> ordered queue
+        // (sentinel: an empty ordered queue reads as tail ZERO, which any
+        // deadline is >=, matching the both-empty -> L rule).
+        let tail = self.ordered.back().map_or(0, |p| p.deadline().0);
+        if item.deadline().0 >= tail {
+            self.ordered.push_back(item);
+        } else {
+            self.take_over_total += 1;
+            self.take_over.push_back(item);
+        }
+        debug_assert!(self.check_invariants().is_ok());
+    }
+
+    #[inline]
+    fn head_deadline(&self) -> Option<SimTime> {
+        let key = Self::key(&self.ordered).min(Self::key(&self.take_over));
+        if key == EMPTY_KEY {
+            None
+        } else {
+            Some(SimTime(key))
+        }
+    }
+
+    #[inline]
+    fn peek(&self) -> Option<&T> {
+        if self.take_over_wins() {
+            self.take_over.front()
+        } else {
+            self.ordered.front()
+        }
+    }
+
+    #[inline]
+    fn dequeue(&mut self) -> Option<T> {
+        let item = if self.take_over_wins() {
+            self.take_over.pop_front()
+        } else {
+            self.ordered.pop_front()
+        }?;
+        self.bytes -= item.len_bytes() as u64;
+        debug_assert!(self.check_invariants().is_ok());
+        Some(item)
+    }
+
+    fn min_deadline(&self) -> Option<SimTime> {
+        // Theorem 1: the ordered ring's minimum is its head; the
+        // take-over ring is unordered and needs the scan.
+        let l = self.ordered.front().map(|p| p.deadline());
+        let u = self.take_over.iter().map(|p| p.deadline()).min();
+        match (l, u) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.ordered.len + self.take_over.len
+    }
+
+    #[inline]
+    fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+// ---------------------------------------------------------------------
+// Differential suite: flat vs. original, random op-sequences
+// ---------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fifo::FifoQueue;
+    use crate::traits::test_util::Item;
+    use crate::two_queue::TwoQueue;
+    use crate::voq::Voq;
+    use dqos_sim_core::SimRng;
+
+    /// Assert every observable of the trait agrees between the flat
+    /// structure and its oracle at the current state.
+    fn assert_observables<A, B>(flat: &A, oracle: &B, step: usize)
+    where
+        A: SchedQueue<Item>,
+        B: SchedQueue<Item>,
+    {
+        assert_eq!(flat.len(), oracle.len(), "len diverged at step {step}");
+        assert_eq!(flat.bytes(), oracle.bytes(), "bytes diverged at step {step}");
+        assert_eq!(flat.is_empty(), oracle.is_empty(), "is_empty diverged at step {step}");
+        assert_eq!(
+            flat.head_deadline(),
+            oracle.head_deadline(),
+            "head_deadline diverged at step {step}"
+        );
+        assert_eq!(flat.peek(), oracle.peek(), "peek diverged at step {step}");
+        assert_eq!(
+            flat.min_deadline(),
+            oracle.min_deadline(),
+            "min_deadline diverged at step {step}"
+        );
+    }
+
+    fn random_item(rng: &mut SimRng, seq: u32) -> Item {
+        Item {
+            flow: rng.range_u64(0, 7) as u32,
+            seq,
+            // Small range on purpose: plenty of deadline ties, the case
+            // where the candidate compare could diverge.
+            deadline: rng.range_u64(0, 63),
+            len: 64 + 64 * rng.range_u64(0, 31) as u32,
+        }
+    }
+
+    /// Drive identical random op-sequences (biased toward enqueue so the
+    /// structures fill and wrap) through a flat structure and its oracle,
+    /// checking every observable after every op.
+    fn differential<A, B>(mut flat: A, mut oracle: B, seed: u64, ops: usize)
+    where
+        A: SchedQueue<Item>,
+        B: SchedQueue<Item>,
+    {
+        let mut rng = SimRng::new(seed);
+        let mut seq = 0u32;
+        for step in 0..ops {
+            if rng.chance(0.6) {
+                let item = random_item(&mut rng, seq);
+                seq += 1;
+                flat.enqueue(item);
+                oracle.enqueue(item);
+            } else {
+                assert_eq!(flat.dequeue(), oracle.dequeue(), "dequeue diverged at step {step}");
+            }
+            assert_observables(&flat, &oracle, step);
+        }
+        // Drain both to the end: the wrap-around exit path must agree too.
+        loop {
+            let (f, o) = (flat.dequeue(), oracle.dequeue());
+            assert_eq!(f, o, "drain diverged");
+            if f.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn flat_fifo_matches_fifo_oracle() {
+        for seed in [1u64, 0xF1F0, 0xDEAD_BEEF] {
+            differential(FlatFifo::new(), FifoQueue::new(), seed, 2_000);
+        }
+    }
+
+    #[test]
+    fn flat_two_queue_matches_two_queue_oracle() {
+        for seed in [2u64, 0x2277, 0xCAFE_F00D] {
+            differential(FlatTwoQueue::new(), TwoQueue::new(), seed, 2_000);
+        }
+    }
+
+    /// The Advanced-specific observables (take-over routing and the
+    /// grant tag) must agree as well — they feed `take_over_total` in the
+    /// run reports, which the determinism matrix compares bit-for-bit.
+    #[test]
+    fn flat_two_queue_matches_take_over_accounting() {
+        let mut rng = SimRng::new(0x7A0C);
+        let mut flat = FlatTwoQueue::new();
+        let mut oracle = TwoQueue::new();
+        let mut seq = 0u32;
+        for step in 0..3_000 {
+            if rng.chance(0.55) {
+                let item = random_item(&mut rng, seq);
+                seq += 1;
+                flat.enqueue(item);
+                oracle.enqueue(item);
+            } else {
+                assert_eq!(flat.dequeue(), oracle.dequeue(), "dequeue diverged at step {step}");
+            }
+            assert_eq!(flat.take_over_len(), oracle.take_over_len(), "U len at step {step}");
+            assert_eq!(flat.ordered_len(), oracle.ordered_len(), "L len at step {step}");
+            assert_eq!(
+                flat.take_over_total(),
+                oracle.take_over_total(),
+                "take_over_total at step {step}"
+            );
+            assert_eq!(
+                flat.candidate_is_take_over(),
+                oracle.candidate_is_take_over(),
+                "candidate tag at step {step}"
+            );
+            flat.check_invariants().unwrap();
+        }
+    }
+
+    /// VOQ banks composed over the flat structures behave identically to
+    /// banks over the originals under per-output random traffic.
+    #[test]
+    fn voq_over_flat_matches_voq_over_oracles() {
+        let n_out = 4;
+        let mut flat: Voq<FlatTwoQueue<Item>> = Voq::new(n_out, FlatTwoQueue::new);
+        let mut oracle: Voq<TwoQueue<Item>> = Voq::new(n_out, TwoQueue::new);
+        let mut rng = SimRng::new(0xB00);
+        let mut seq = 0u32;
+        for step in 0..2_000 {
+            let out = rng.index(n_out);
+            if rng.chance(0.6) {
+                let item = random_item(&mut rng, seq);
+                seq += 1;
+                flat.enqueue(out, item);
+                oracle.enqueue(out, item);
+            } else {
+                assert_eq!(
+                    flat.dequeue(out),
+                    oracle.dequeue(out),
+                    "voq dequeue diverged at step {step}"
+                );
+            }
+            assert_eq!(flat.total_len(), oracle.total_len(), "voq len at step {step}");
+            assert_eq!(flat.bytes(), oracle.bytes(), "voq bytes at step {step}");
+            for o in 0..n_out {
+                assert_eq!(
+                    flat.head_deadline(o),
+                    oracle.head_deadline(o),
+                    "voq head at out {o}, step {step}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ring_grows_and_wraps() {
+        let mut q = FlatFifo::new();
+        let mut popped = 0usize;
+        // Interleave so the head walks around the ring across growth.
+        for i in 0..200u32 {
+            q.enqueue(Item::new(0, i, (i as u64) + 1));
+            if i % 3 == 0 && q.dequeue().is_some() {
+                popped += 1;
+            }
+        }
+        // Everything still comes out in strict FIFO order.
+        let mut prev = 0u64;
+        let mut drained = 0usize;
+        while let Some(it) = q.dequeue() {
+            assert!(it.deadline > prev, "FIFO order broken across wrap");
+            prev = it.deadline;
+            drained += 1;
+        }
+        assert_eq!(popped + drained, 200, "conservation across growth and wrap");
+    }
+}

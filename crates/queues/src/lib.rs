@@ -23,6 +23,10 @@
 //! * [`Voq`] — per-output-port composition of any of the above
 //!   (virtual output queuing, the paper's head-of-line-blocking
 //!   countermeasure at the switch level).
+//! * [`FlatFifo`] / [`FlatTwoQueue`] — flat ring/slot re-implementations
+//!   of the FIFO and two-queue structures used on the simulator's hot
+//!   path ([`flat`]); observably identical to the originals, which stay
+//!   around as differential-test oracles.
 //!
 //! All structures are generic over any [`Deadlined`] item so the
 //! simulator's `Packet` and the tests' tiny stand-ins share the code.
@@ -31,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod fifo;
+pub mod flat;
 pub mod heap;
 pub mod sorted;
 pub mod traits;
@@ -38,6 +43,7 @@ pub mod two_queue;
 pub mod voq;
 
 pub use fifo::FifoQueue;
+pub use flat::{FlatFifo, FlatTwoQueue};
 pub use heap::HeapQueue;
 pub use sorted::{DeadlineSortedQueue, SortedQueue};
 pub use traits::{AnyQueue, Deadlined, SchedQueue};

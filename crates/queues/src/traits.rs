@@ -24,6 +24,17 @@ impl Deadlined for dqos_core::Packet {
     }
 }
 
+impl Deadlined for dqos_core::PktTok {
+    #[inline]
+    fn deadline(&self) -> SimTime {
+        self.deadline
+    }
+    #[inline]
+    fn len_bytes(&self) -> u32 {
+        self.len
+    }
+}
+
 /// A scheduler-facing queue.
 ///
 /// `head_deadline`/`peek`/`dequeue` all refer to the same element: the
@@ -60,24 +71,28 @@ pub trait SchedQueue<T: Deadlined> {
 
 /// Runtime-selected queue structure (one per architecture), dispatching
 /// to the concrete implementations.
+///
+/// The `Fifo` and `TwoQueue` kinds dispatch to the flat ring/slot
+/// versions ([`crate::flat`]); the original `VecDeque`-based structures
+/// remain exported as the differential-test oracles.
 #[derive(Debug, Clone)]
 pub enum AnyQueue<T> {
-    /// Plain FIFO.
-    Fifo(crate::fifo::FifoQueue<T>),
+    /// Plain FIFO (flat ring).
+    Fifo(crate::flat::FlatFifo<T>),
     /// Deadline heap ("Ideal").
     Heap(crate::heap::HeapQueue<T>),
-    /// Ordered + take-over queue pair ("Advanced").
-    TwoQueue(crate::two_queue::TwoQueue<T>),
+    /// Ordered + take-over queue pair ("Advanced", flat rings).
+    TwoQueue(crate::flat::FlatTwoQueue<T>),
 }
 
 impl<T: Deadlined> AnyQueue<T> {
     /// Build the queue structure for an architecture's switch buffers.
     pub fn for_kind(kind: dqos_core::SwitchQueueKind) -> Self {
         match kind {
-            dqos_core::SwitchQueueKind::Fifo => AnyQueue::Fifo(crate::fifo::FifoQueue::new()),
+            dqos_core::SwitchQueueKind::Fifo => AnyQueue::Fifo(crate::flat::FlatFifo::new()),
             dqos_core::SwitchQueueKind::Heap => AnyQueue::Heap(crate::heap::HeapQueue::new()),
             dqos_core::SwitchQueueKind::TwoQueue => {
-                AnyQueue::TwoQueue(crate::two_queue::TwoQueue::new())
+                AnyQueue::TwoQueue(crate::flat::FlatTwoQueue::new())
             }
         }
     }

@@ -309,18 +309,21 @@ fn run_serial<W: PartWorld>(
     let mut last_t = SimTime::ZERO;
     let mut same_tick = 0u64;
     let mut remote_buf: Vec<RemoteMsg<W::Msg>> = Vec::new();
-    while let Some(t) = queue.peek_time() {
-        if t > horizon {
+    // Pop-first: `peek_time` would redo the cursor's occupancy-bitmap
+    // scan that `pop` is about to do anyway, doubling calendar cost per
+    // event. Popping first is equivalent — epochs still fire before the
+    // event is *handled* (popping does not touch the world), and an
+    // event past the horizon is simply discarded with the loop's queue.
+    while let Some(ev) = queue.pop() {
+        if ev.time > horizon {
             break;
         }
         // Epochs fire after everything before their time, before
         // anything at or after it.
-        while epoch < cfg.epochs.len() && cfg.epochs[epoch] <= t {
+        while epoch < cfg.epochs.len() && cfg.epochs[epoch] <= ev.time {
             world.on_epoch(epoch);
             epoch += 1;
         }
-        // tidy: allow(no-unwrap) -- peek_time returned Some above and this loop holds the only reference to the queue
-        let ev = queue.pop().expect("peeked");
         events += 1;
         if ev.time == last_t {
             same_tick += 1;

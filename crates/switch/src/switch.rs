@@ -33,10 +33,24 @@
 //! `try_tx` (which VC's candidate the link serialises next — VC0
 //! absolute priority, credit-gated on the candidate only, per the
 //! paper's appendix note on flow control).
+//!
+//! ## Batch arbitration bookkeeping
+//!
+//! `try_xbar` used to rediscover candidates by scanning every input
+//! queue's head on every call — O(ports × VCs) peeks, several times per
+//! event. The switch now maintains per-(output, VC) **candidate
+//! bitmasks** (`cand_mask`), updated at the only two points an input
+//! queue mutates (arrival enqueue, grant dequeue), plus a mirror bitmask
+//! of busy inputs. One arbitration pass is then a couple of word-ops and
+//! a peek per *actual* candidate. The candidate sets — and therefore
+//! every arbitration winner — are bit-identical to the scanning
+//! implementation; only the cost of finding them changed.
+
+// tidy: hot-path
 
 use crate::arbiter::{pick_edf, pick_round_robin, Candidate};
 use crate::config::SwitchConfig;
-use dqos_core::{NodeAction, NodeModel, Packet, SwitchEvent, Vc, NUM_VCS};
+use dqos_core::{NodeAction, NodeModel, PktTok, SwitchEvent, Vc, NUM_VCS};
 use dqos_queues::{AnyQueue, SchedQueue, Voq};
 use dqos_sim_core::SimTime;
 use dqos_topology::Port;
@@ -77,7 +91,7 @@ pub struct PortDiag {
 }
 
 struct OutputBuf {
-    q: AnyQueue<Packet>,
+    q: AnyQueue<PktTok>,
     /// Bytes reserved by an in-flight crossbar transfer (space is claimed
     /// when the transfer starts so two transfers cannot overcommit).
     reserved: u32,
@@ -87,38 +101,38 @@ struct OutputBuf {
 enum InputStage {
     /// The paper's organisation: one queue structure, candidate = its
     /// head.
-    Single(AnyQueue<Packet>),
+    Single(AnyQueue<PktTok>),
     /// Per-output VOQ bank (ablation configuration).
-    Voq(Voq<AnyQueue<Packet>>),
+    Voq(Voq<AnyQueue<PktTok>>),
 }
 
 impl InputStage {
-    fn enqueue(&mut self, pkt: Packet) {
+    fn enqueue(&mut self, tok: PktTok) {
         match self {
-            InputStage::Single(q) => q.enqueue(pkt),
+            InputStage::Single(q) => q.enqueue(tok),
             InputStage::Voq(v) => {
-                let out = pkt.current_out_port().idx();
-                v.enqueue(out, pkt);
+                let out = tok.out.idx();
+                v.enqueue(out, tok);
             }
         }
     }
 
     /// The candidate this input offers towards output `out`, if any.
-    fn candidate_for(&self, out: usize) -> Option<&Packet> {
+    fn candidate_for(&self, out: usize) -> Option<&PktTok> {
         match self {
             InputStage::Single(q) => {
                 let head = q.peek()?;
-                (head.current_out_port().idx() == out).then_some(head)
+                (head.out.idx() == out).then_some(head)
             }
             InputStage::Voq(v) => v.peek(out),
         }
     }
 
     /// Remove the candidate previously seen via `candidate_for(out)`.
-    fn dequeue_for(&mut self, out: usize) -> Option<Packet> {
+    fn dequeue_for(&mut self, out: usize) -> Option<PktTok> {
         match self {
             InputStage::Single(q) => {
-                debug_assert_eq!(q.peek().map(|p| p.current_out_port().idx()), Some(out));
+                debug_assert_eq!(q.peek().map(|p| p.out.idx()), Some(out));
                 q.dequeue()
             }
             InputStage::Voq(v) => v.dequeue(out),
@@ -155,7 +169,7 @@ impl InputStage {
         match self {
             InputStage::Single(q) => {
                 if let Some(head) = q.peek() {
-                    scratch.push(head.current_out_port().idx());
+                    scratch.push(head.out.idx());
                 }
             }
             InputStage::Voq(v) => {
@@ -192,6 +206,18 @@ impl InputStage {
     }
 }
 
+/// Sentinel for `head_out`: the input queue is empty.
+const NO_OUT: u8 = u8::MAX;
+
+/// Cached arbitration-relevant fields of a single-queue stage's head,
+/// refreshed whenever the queue mutates. Lets `try_xbar` build its
+/// candidate list without touching the queues at all.
+#[derive(Debug, Clone, Copy, Default)]
+struct HeadMeta {
+    len: u32,
+    deadline: SimTime,
+}
+
 /// One switch instance.
 pub struct Switch {
     cfg: SwitchConfig,
@@ -199,12 +225,24 @@ pub struct Switch {
     inputs: Vec<[InputStage; NUM_VCS]>,
     /// `outputs[port][vc]`.
     outputs: Vec<[OutputBuf; NUM_VCS]>,
-    /// An input feeds at most one crossbar transfer at a time.
-    in_busy: Vec<bool>,
+    /// Bit `i` set ⇔ input `i` feeds an in-flight crossbar transfer (an
+    /// input feeds at most one at a time).
+    busy_mask: u64,
+    /// `cand_mask[out][vc]` bit `i` set ⇔ input `i` currently offers a
+    /// candidate head towards output `out` on `vc` (busy/space filters
+    /// are applied at arbitration time, not here).
+    cand_mask: Vec<[u64; NUM_VCS]>,
+    /// `head_out[input][vc]`: which output the single-queue stage's head
+    /// targets (`NO_OUT` when empty; unused by the VOQ stage). This is
+    /// the back-pointer that keeps `cand_mask` incremental.
+    head_out: Vec<[u8; NUM_VCS]>,
+    /// `head_meta[input][vc]`: the head's length and deadline, valid iff
+    /// `head_out[input][vc] != NO_OUT` (single-queue stage only).
+    head_meta: Vec<[HeadMeta; NUM_VCS]>,
     /// An output accepts at most one crossbar transfer at a time.
     xbar_busy: Vec<bool>,
     /// The in-flight transfer into each output.
-    xbar_pkt: Vec<Option<(usize, Vc, Packet)>>,
+    xbar_pkt: Vec<Option<(usize, Vc, PktTok)>>,
     /// Output links currently serialising.
     tx_busy: Vec<bool>,
     /// `credits[port][vc]`: bytes we may still send downstream.
@@ -213,6 +251,9 @@ pub struct Switch {
     rr_ptr: Vec<[usize; NUM_VCS]>,
     /// Scratch list reused by candidate_outputs (avoids per-event alloc).
     scratch: Vec<usize>,
+    /// Scratch candidate list reused by `try_xbar` (avoids per-event
+    /// alloc; taken/restored around the arbitration scan).
+    cand_buf: Vec<Candidate>,
     stats: SwitchStats,
     /// Flight-recorder hooks (off by default; see `dqos-trace`). When on,
     /// scheduling decisions leave [`ModelNote`]s for the runtime to drain
@@ -227,6 +268,7 @@ impl Switch {
     pub fn new(cfg: SwitchConfig) -> Self {
         cfg.validate();
         let n = cfg.n_ports as usize;
+        assert!(n <= 64, "candidate bitmasks hold at most 64 ports");
         let kind = cfg.arch.switch_queue();
         let make_input = || {
             let mk = || {
@@ -248,13 +290,17 @@ impl Switch {
             cfg,
             inputs: (0..n).map(|_| make_input()).collect(),
             outputs: (0..n).map(|_| make_out()).collect(),
-            in_busy: vec![false; n],
+            busy_mask: 0,
+            cand_mask: vec![[0; NUM_VCS]; n],
+            head_out: vec![[NO_OUT; NUM_VCS]; n],
+            head_meta: vec![[HeadMeta::default(); NUM_VCS]; n],
             xbar_busy: vec![false; n],
             xbar_pkt: (0..n).map(|_| None).collect(),
             tx_busy: vec![false; n],
             credits: vec![[cfg.buffer_per_vc; NUM_VCS]; n],
             rr_ptr: vec![[0; NUM_VCS]; n],
             scratch: Vec::with_capacity(n),
+            cand_buf: Vec::with_capacity(n),
             stats: SwitchStats::default(),
             tracing: false,
             notes: Vec::new(),
@@ -353,84 +399,142 @@ impl Switch {
     // ------------------------------------------------------------------
 
     /// A packet fully arrived on `in_port` at `now` (deadline already in
-    /// this switch's clock domain; the event loop did the TTD decode).
+    /// this switch's clock domain and `tok.out` already resolved; the
+    /// event loop did the TTD decode and the route lookup). Appends the
+    /// resulting actions to `actions` — the runtime hands every handler
+    /// one reusable buffer per event instead of allocating a fresh one.
     pub fn on_packet_arrival(
         &mut self,
         in_port: Port,
-        pkt: Packet,
+        tok: PktTok,
         now: SimTime,
-    ) -> Vec<NodeAction> {
-        let vc = pkt.vc();
-        let out = pkt.current_out_port().idx();
+        actions: &mut Vec<NodeAction>,
+    ) {
+        let vc = tok.vc;
+        let out = tok.out.idx();
         let i = in_port.idx();
         debug_assert!(out < self.cfg.n_ports as usize, "route uses port beyond radix");
-        let occupancy = self.inputs[i][vc.idx()].bytes() + pkt.len as u64;
+        let occupancy = self.inputs[i][vc.idx()].bytes() + tok.len as u64;
         debug_assert!(
             occupancy <= self.cfg.buffer_per_vc as u64,
             "credit flow control violated: input buffer overflow"
         );
-        self.inputs[i][vc.idx()].enqueue(pkt);
+        self.inputs[i][vc.idx()].enqueue(tok);
         self.stats.max_input_occupancy = self.stats.max_input_occupancy.max(occupancy);
-        let mut actions = Vec::new();
+        self.refresh_input(i, vc.idx(), out);
         // The arrival can only create a candidate where the (possibly
         // new) head points.
-        self.retry_outputs_fed_by(i, now, &mut actions);
-        actions
+        self.retry_outputs_fed_by(i, now, actions);
     }
 
     /// The crossbar transfer into `out_port` completed.
-    pub fn on_xbar_done(&mut self, out_port: Port, now: SimTime) -> Vec<NodeAction> {
+    pub fn on_xbar_done(&mut self, out_port: Port, now: SimTime, actions: &mut Vec<NodeAction>) {
         let o = out_port.idx();
         // tidy: allow(no-unwrap) -- the slot was filled when this transfer
         // was scheduled; an empty slot means a duplicated completion event.
-        let (i, vc, pkt) = self.xbar_pkt[o].take().expect("xbar completion without transfer");
+        let (i, vc, tok) = self.xbar_pkt[o].take().expect("xbar completion without transfer");
         if self.tracing {
-            self.notes.push(ModelNote::XbarDone { pkt: pkt.id });
+            self.notes.push(ModelNote::XbarDone { pkt: tok.id });
         }
-        let len = pkt.len;
+        let len = tok.len;
         let ob = &mut self.outputs[o][vc.idx()];
         ob.reserved -= len;
-        ob.q.enqueue(pkt);
+        ob.q.enqueue(tok);
         let occ = SchedQueue::bytes(&self.outputs[o][vc.idx()].q);
         self.stats.max_output_occupancy = self.stats.max_output_occupancy.max(occ);
-        self.in_busy[i] = false;
+        self.busy_mask &= !(1u64 << i);
         self.xbar_busy[o] = false;
 
-        let mut actions = Vec::new();
         // Input-buffer space freed: upstream may refill it.
         actions.push(NodeAction::SendCredit { in_port: Port(i as u8), vc, bytes: len });
         // The output buffer gained a packet: maybe start serialising.
-        self.try_tx(out_port, now, &mut actions);
+        self.try_tx(out_port, now, actions);
         // This output's crossbar slot freed: next transfer in.
-        self.try_xbar(o, now, &mut actions);
+        self.try_xbar(o, now, actions);
         // The input freed: wherever its candidate(s) point may now pull.
-        self.retry_outputs_fed_by(i, now, &mut actions);
-        actions
+        self.retry_outputs_fed_by(i, now, actions);
     }
 
     /// The link on `out_port` finished serialising.
-    pub fn on_tx_done(&mut self, out_port: Port, now: SimTime) -> Vec<NodeAction> {
+    pub fn on_tx_done(&mut self, out_port: Port, now: SimTime, actions: &mut Vec<NodeAction>) {
         self.tx_busy[out_port.idx()] = false;
-        let mut actions = Vec::new();
-        self.try_tx(out_port, now, &mut actions);
-        actions
+        self.try_tx(out_port, now, actions);
     }
 
     /// Downstream returned `bytes` of credit for (`out_port`, `vc`).
-    pub fn on_credit(&mut self, out_port: Port, vc: Vc, bytes: u32, now: SimTime) -> Vec<NodeAction> {
+    pub fn on_credit(
+        &mut self,
+        out_port: Port,
+        vc: Vc,
+        bytes: u32,
+        now: SimTime,
+        actions: &mut Vec<NodeAction>,
+    ) {
         let c = &mut self.credits[out_port.idx()][vc.idx()];
         *c += bytes;
-        let mut actions = Vec::new();
-        self.try_tx(out_port, now, &mut actions);
-        actions
+        self.try_tx(out_port, now, actions);
     }
 
     // ------------------------------------------------------------------
     // Scheduling
     // ------------------------------------------------------------------
 
+    /// Re-derive one input's candidate bit(s) after its queue mutated.
+    /// `touched_out` is the affected VOQ bank (enqueue: the packet's
+    /// output; dequeue: the granted output); the single-queue stage
+    /// ignores it and tracks its head via `head_out`.
+    fn refresh_input(&mut self, i: usize, vc: usize, touched_out: usize) {
+        match &self.inputs[i][vc] {
+            InputStage::Single(q) => {
+                let new = match q.peek() {
+                    Some(h) => {
+                        // The head may change without its target changing
+                        // (heap reorder, dequeue exposing a same-output
+                        // successor): the meta cache refreshes either way.
+                        self.head_meta[i][vc] = HeadMeta { len: h.len, deadline: h.deadline };
+                        h.out.idx() as u8
+                    }
+                    None => NO_OUT,
+                };
+                let old = self.head_out[i][vc];
+                if new != old {
+                    if old != NO_OUT {
+                        self.cand_mask[old as usize][vc] &= !(1u64 << i);
+                    }
+                    if new != NO_OUT {
+                        self.cand_mask[new as usize][vc] |= 1u64 << i;
+                    }
+                    self.head_out[i][vc] = new;
+                }
+            }
+            InputStage::Voq(v) => {
+                if v.has_for(touched_out) {
+                    self.cand_mask[touched_out][vc] |= 1u64 << i;
+                } else {
+                    self.cand_mask[touched_out][vc] &= !(1u64 << i);
+                }
+            }
+        }
+    }
+
     fn retry_outputs_fed_by(&mut self, input: usize, now: SimTime, actions: &mut Vec<NodeAction>) {
-        if self.in_busy[input] {
+        if self.busy_mask & (1u64 << input) != 0 {
+            return;
+        }
+        if !self.cfg.input_voq {
+            // Single-queue stage: the only candidate per VC is the head,
+            // whose target the mask bookkeeping already knows.
+            for vc in 0..NUM_VCS {
+                let out = self.head_out[input][vc];
+                if out != NO_OUT && !self.xbar_busy[out as usize] {
+                    self.try_xbar(out as usize, now, actions);
+                    if self.busy_mask & (1u64 << input) != 0 {
+                        // This input just won a transfer; no further
+                        // candidates from it this round.
+                        return;
+                    }
+                }
+            }
             return;
         }
         let mut outs = std::mem::take(&mut self.scratch);
@@ -440,9 +544,7 @@ impl Switch {
                 let out = outs[k];
                 if !self.xbar_busy[out] {
                     self.try_xbar(out, now, actions);
-                    if self.in_busy[input] {
-                        // This input just won a transfer; no further
-                        // candidates from it this round.
+                    if self.busy_mask & (1u64 << input) != 0 {
                         self.scratch = outs;
                         return;
                     }
@@ -457,19 +559,41 @@ impl Switch {
         if self.xbar_busy[out] {
             return;
         }
+        let avail = !self.busy_mask;
+        if self.cand_mask[out].iter().all(|&m| m & avail == 0) {
+            // No non-busy input offers anything towards this output —
+            // the common case on the re-evaluation call sites.
+            return;
+        }
         let n = self.cfg.n_ports as usize;
+        let voq = self.cfg.input_voq;
+        // Reusable candidate scratch: `try_xbar` never re-enters itself
+        // (its body calls no scheduler method), so taking the buffer for
+        // the scan is safe.
+        let mut cands = std::mem::take(&mut self.cand_buf);
         // VC0 has priority over VC1 among available candidates.
         for vc in dqos_core::Vc::ALL {
+            let mask = self.cand_mask[out][vc.idx()] & avail;
+            if mask == 0 {
+                continue;
+            }
             let free = self.output_free_space(out, vc);
-            let mut cands: Vec<Candidate> = Vec::with_capacity(n);
-            for i in 0..n {
-                if self.in_busy[i] {
-                    continue;
-                }
-                if let Some(head) = self.inputs[i][vc.idx()].candidate_for(out) {
-                    if head.len <= free {
-                        cands.push(Candidate { input: i, deadline: head.deadline });
+            cands.clear();
+            let mut m = mask;
+            while m != 0 {
+                let i = m.trailing_zeros() as usize;
+                m &= m - 1;
+                let (len, deadline) = if voq {
+                    match self.inputs[i][vc.idx()].candidate_for(out) {
+                        Some(head) => (head.len, head.deadline),
+                        None => continue,
                     }
+                } else {
+                    let hm = self.head_meta[i][vc.idx()];
+                    (hm.len, hm.deadline)
+                };
+                if len <= free {
+                    cands.push(Candidate { input: i, deadline });
                 }
             }
             let winner = if self.cfg.arch.edf_arbitration() {
@@ -494,25 +618,28 @@ impl Switch {
                     if self.tracing { Some(self.inputs[i][vc.idx()].grant_flags(out)) } else { None };
                 // tidy: allow(no-unwrap) -- same invariant: the arbitration
                 // winner's head for `out` is still queued.
-                let pkt = self.inputs[i][vc.idx()].dequeue_for(out).expect("winner has a head");
+                let tok = self.inputs[i][vc.idx()].dequeue_for(out).expect("winner has a head");
+                self.refresh_input(i, vc.idx(), out);
                 if let Some((take_over, fifo)) = grant_flags {
                     self.notes.push(ModelNote::XbarGrant {
-                        pkt: pkt.id,
+                        pkt: tok.id,
                         vc: vc.idx() as u8,
                         take_over,
                         fifo,
                     });
                 }
-                let len = pkt.len;
-                self.in_busy[i] = true;
+                let len = tok.len;
+                self.busy_mask |= 1u64 << i;
                 self.xbar_busy[out] = true;
                 self.outputs[out][vc.idx()].reserved += len;
-                self.xbar_pkt[out] = Some((i, vc, pkt));
+                self.xbar_pkt[out] = Some((i, vc, tok));
                 let at = now + self.cfg.link_bw.tx_time(len as u64);
                 actions.push(NodeAction::ScheduleXbarDone { out_port: Port(out as u8), at });
+                self.cand_buf = cands;
                 return;
             }
         }
+        self.cand_buf = cands;
     }
 
     fn output_free_space(&self, out: usize, vc: Vc) -> u32 {
@@ -553,15 +680,16 @@ impl Switch {
             }
             // tidy: allow(no-unwrap) -- same peeked head: the queue cannot
             // have drained between the peek and this dequeue.
-            let mut pkt = self.outputs[o][vc.idx()].q.dequeue().expect("peeked head");
+            let tok = self.outputs[o][vc.idx()].q.dequeue().expect("peeked head");
             self.credits[o][vc.idx()] -= len;
             self.tx_busy[o] = true;
             self.stats.forwarded_packets += 1;
             self.stats.forwarded_bytes += len as u64;
-            // Leaving this switch completes the packet's current hop.
-            pkt.advance_hop();
+            // The hop advance (leaving this switch completes the packet's
+            // current hop) happens in the runtime, which owns the
+            // arena-resident route the next hop is read from.
             let finish = now + self.cfg.link_bw.tx_time(len as u64);
-            actions.push(NodeAction::StartTx { out_port, packet: pkt, finish });
+            actions.push(NodeAction::StartTx { out_port, tok, finish });
             // Output-buffer space freed: the crossbar may refill it.
             self.try_xbar(o, now, actions);
             return;
@@ -574,23 +702,26 @@ impl NodeModel for Switch {
     type Effect = Vec<NodeAction>;
 
     fn on_event(&mut self, local: SimTime, ev: SwitchEvent) -> Vec<NodeAction> {
+        let mut actions = Vec::new();
         match ev {
-            SwitchEvent::Arrive { in_port, pkt } => self.on_packet_arrival(in_port, pkt, local),
-            SwitchEvent::XbarDone { out_port } => self.on_xbar_done(out_port, local),
-            SwitchEvent::TxDone { out_port } => self.on_tx_done(out_port, local),
+            SwitchEvent::Arrive { in_port, tok } => {
+                self.on_packet_arrival(in_port, tok, local, &mut actions)
+            }
+            SwitchEvent::XbarDone { out_port } => self.on_xbar_done(out_port, local, &mut actions),
+            SwitchEvent::TxDone { out_port } => self.on_tx_done(out_port, local, &mut actions),
             SwitchEvent::Credit { out_port, vc, bytes } => {
-                self.on_credit(out_port, vc, bytes, local)
+                self.on_credit(out_port, vc, bytes, local, &mut actions)
             }
         }
+        actions
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dqos_core::{Architecture, FlowId, MsgTag, TrafficClass};
+    use dqos_core::{Architecture, TrafficClass};
     use dqos_sim_core::Bandwidth;
-    use dqos_topology::{HostId, Route, RouteHop, SwitchId};
     use std::collections::BinaryHeap;
 
     fn cfg(arch: Architecture) -> SwitchConfig {
@@ -603,28 +734,20 @@ mod tests {
         }
     }
 
-    fn pkt(id: u64, class: TrafficClass, out_port: u8, len: u32, deadline_ns: u64) -> Packet {
-        // Single-hop route through switch S0 to the given output.
-        let route = Route::new(
-            HostId(0),
-            HostId(1),
-            vec![RouteHop { switch: SwitchId(0), out_port: Port(out_port) }],
-        )
-        .port_path();
-        Packet {
+    /// Token headed for the given output of the switch under test (the
+    /// runtime resolves `out` from the arena-resident route; here it is
+    /// supplied directly).
+    fn pkt(id: u64, class: TrafficClass, out_port: u8, len: u32, deadline_ns: u64) -> PktTok {
+        PktTok {
             id,
-            flow: FlowId(id as u32),
-            class,
-            src: HostId(0),
-            dst: HostId(1),
-            len,
             deadline: SimTime::from_ns(deadline_ns),
-            eligible: None,
-            route,
+            eligible: SimTime::ZERO,
+            slot: id as u32,
+            len,
+            out: Port(out_port),
             hop: 0,
-            injected_at: SimTime::ZERO,
-            msg: MsgTag { msg_id: id, part: 0, parts: 1, created_at: SimTime::ZERO },
-            corrupted: false,
+            vc: class.vc(),
+            class,
         }
     }
 
@@ -635,7 +758,7 @@ mod tests {
         // (time, seq, kind)
         events: BinaryHeap<std::cmp::Reverse<(u64, u64, HEv)>>,
         seq: u64,
-        sent: Vec<(u64, Packet)>,
+        sent: Vec<(u64, PktTok)>,
         credits_returned: Vec<(Port, Vc, u32)>,
     }
 
@@ -667,9 +790,9 @@ mod tests {
                         self.seq += 1;
                         self.events.push(std::cmp::Reverse((at.as_ns(), self.seq, HEv::XbarDone(out_port.0))));
                     }
-                    NodeAction::StartTx { out_port, packet, finish } => {
+                    NodeAction::StartTx { out_port, tok, finish } => {
                         assert!(finish.as_ns() >= now);
-                        self.sent.push((now, packet));
+                        self.sent.push((now, tok));
                         self.seq += 1;
                         self.events.push(std::cmp::Reverse((finish.as_ns(), self.seq, HEv::TxDone(out_port.0))));
                     }
@@ -681,8 +804,9 @@ mod tests {
             }
         }
 
-        fn inject(&mut self, now: u64, in_port: u8, p: Packet) {
-            let acts = self.sw.on_packet_arrival(Port(in_port), p, SimTime::from_ns(now));
+        fn inject(&mut self, now: u64, in_port: u8, p: PktTok) {
+            let mut acts = Vec::new();
+            self.sw.on_packet_arrival(Port(in_port), p, SimTime::from_ns(now), &mut acts);
             self.apply(now, acts);
         }
 
@@ -690,10 +814,11 @@ mod tests {
             let mut last = 0;
             while let Some(std::cmp::Reverse((t, _, ev))) = self.events.pop() {
                 last = t;
-                let acts = match ev {
-                    HEv::XbarDone(p) => self.sw.on_xbar_done(Port(p), SimTime::from_ns(t)),
-                    HEv::TxDone(p) => self.sw.on_tx_done(Port(p), SimTime::from_ns(t)),
-                };
+                let mut acts = Vec::new();
+                match ev {
+                    HEv::XbarDone(p) => self.sw.on_xbar_done(Port(p), SimTime::from_ns(t), &mut acts),
+                    HEv::TxDone(p) => self.sw.on_tx_done(Port(p), SimTime::from_ns(t), &mut acts),
+                }
                 self.apply(t, acts);
             }
             last
@@ -710,7 +835,7 @@ mod tests {
         // Crossbar transfer takes 1000 ns; tx starts right after.
         assert_eq!(*t, 1000);
         assert_eq!(p.id, 1);
-        assert_eq!(p.hop, 1, "hop advanced on departure");
+        assert_eq!(p.hop, 0, "hop advance is the runtime's job now");
         // Credit for the input buffer returned once.
         assert_eq!(h.credits_returned, vec![(Port(0), Vc::REGULATED, 1000)]);
         assert_eq!(h.sw.stats().forwarded_packets, 1);
@@ -772,7 +897,8 @@ mod tests {
         h.run();
         assert_eq!(h.sent.len(), 0, "no credits, no transmission");
         // Credits arrive: transmission resumes.
-        let acts = h.sw.on_credit(Port(0), Vc::REGULATED, 8092, SimTime::from_us(100));
+        let mut acts = Vec::new();
+        h.sw.on_credit(Port(0), Vc::REGULATED, 8092, SimTime::from_us(100), &mut acts);
         h.apply(100_000, acts);
         h.run();
         assert_eq!(h.sent.len(), 1);
@@ -915,17 +1041,16 @@ mod tests {
         // Theorem 3 end-to-end at switch scope.
         for arch in Architecture::ALL {
             let mut h = Harness::new(arch);
+            // One flow = consecutive ids with strictly increasing
+            // deadlines (the appendix hypotheses).
             for i in 0..20u64 {
-                let mut p = pkt(i, TrafficClass::Multimedia, 0, 256, 1000 + i * 500);
-                p.flow = FlowId(7);
-                p.msg.part = i as u32;
-                h.inject(i * 50, 0, p);
+                h.inject(i * 50, 0, pkt(i, TrafficClass::Multimedia, 0, 256, 1000 + i * 500));
             }
             h.run();
-            let parts: Vec<u32> = h.sent.iter().map(|(_, p)| p.msg.part).collect();
-            let mut sorted = parts.clone();
+            let ids: Vec<u64> = h.sent.iter().map(|(_, p)| p.id).collect();
+            let mut sorted = ids.clone();
             sorted.sort();
-            assert_eq!(parts, sorted, "{arch:?}: flow reordered");
+            assert_eq!(ids, sorted, "{arch:?}: flow reordered");
         }
     }
 

@@ -82,6 +82,10 @@ pub enum DirectiveKind {
         /// Lock names, outermost first.
         order: Vec<String>,
     },
+    /// `// tidy: hot-path` — file-level declaration that this module is
+    /// on the per-event hot path: rule `hot-path-alloc` forbids heap
+    /// allocation inside loop bodies here.
+    HotPath,
 }
 
 /// A directive plus where it appeared.
@@ -452,6 +456,9 @@ fn parse_tidy(rest: &str) -> Result<DirectiveKind, String> {
         }
         return Ok(DirectiveKind::SortedBeforeUse { reason });
     }
+    if rest == "hot-path" {
+        return Ok(DirectiveKind::HotPath);
+    }
     if let Some(args) = rest.strip_prefix("lock-order(") {
         let Some(close) = args.find(')') else {
             return Err("unclosed `lock-order(`".to_string());
@@ -514,10 +521,11 @@ mod tests {
 // tidy: sorted-before-use -- keys are collected and sorted two lines down
 // ordering: counter is monotonic; readers only need eventual visibility
 // tidy: lock-order(inbox < error)
+// tidy: hot-path
 ";
         let l = lex(src);
         assert_eq!(l.errors, vec![]);
-        assert_eq!(l.directives.len(), 4);
+        assert_eq!(l.directives.len(), 5);
         assert!(matches!(
             &l.directives[0].kind,
             DirectiveKind::Allow { rule, .. } if rule == "no-unwrap"
@@ -528,6 +536,7 @@ mod tests {
             &l.directives[3].kind,
             DirectiveKind::LockOrder { order } if order == &["inbox", "error"]
         ));
+        assert!(matches!(&l.directives[4].kind, DirectiveKind::HotPath));
     }
 
     #[test]

@@ -93,6 +93,11 @@ pub const RULES: &[RuleInfo] = &[
                code: return SimError (or justify the invariant)",
     },
     RuleInfo {
+        id: "hot-path-alloc",
+        what: "modules declaring `tidy: hot-path` must not heap-allocate (Box::new, Vec::new, \
+               vec![], .collect()) inside loop bodies: hoist into a reused scratch buffer",
+    },
+    RuleInfo {
         id: "bad-directive",
         what: "malformed tidy/ordering directive comment",
     },
@@ -162,7 +167,7 @@ pub fn check_source(path: &str, src: &str, class: &FileClass) -> Vec<Finding> {
     let mut supps: Vec<Suppression> = lexed
         .directives
         .iter()
-        .filter(|d| !matches!(d.kind, DirectiveKind::LockOrder { .. }))
+        .filter(|d| !matches!(d.kind, DirectiveKind::LockOrder { .. } | DirectiveKind::HotPath))
         .map(|d| Suppression {
             kind: d.kind.clone(),
             line: d.line,
@@ -174,6 +179,7 @@ pub fn check_source(path: &str, src: &str, class: &FileClass) -> Vec<Finding> {
         DirectiveKind::LockOrder { order } => Some(order.clone()),
         _ => None,
     });
+    let hot_path = lexed.directives.iter().any(|d| matches!(d.kind, DirectiveKind::HotPath));
 
     // Emit a finding unless a matching justification covers its line.
     let mut emit = |rule: &'static str, line: u32, msg: String, supps: &mut Vec<Suppression>| {
@@ -183,7 +189,7 @@ pub fn check_source(path: &str, src: &str, class: &FileClass) -> Vec<Finding> {
                 DirectiveKind::Allow { rule: r, .. } => r == rule,
                 DirectiveKind::SortedBeforeUse { .. } => rule == "hash-iter",
                 DirectiveKind::Ordering { .. } => rule == "atomic-ordering",
-                DirectiveKind::LockOrder { .. } => false,
+                DirectiveKind::LockOrder { .. } | DirectiveKind::HotPath => false,
             };
             if covers && matches_rule {
                 s.used = true;
@@ -320,6 +326,57 @@ pub fn check_source(path: &str, src: &str, class: &FileClass) -> Vec<Finding> {
         }
     }
 
+    // --- hot-path allocation rule ----------------------------------
+    // Declared per-file; only loop bodies are checked, because that is
+    // where an allocation happens once per event rather than once per
+    // run. Setup code above the loop may allocate freely.
+    if hot_path && class.is_lib {
+        let loop_mask = loop_body_mask(toks);
+        for (i, t) in toks.iter().enumerate() {
+            if !loop_mask[i] || test_mask[i] {
+                continue;
+            }
+            if t.kind == TokKind::Ident {
+                let name = t.text.as_str();
+                if matches!(name, "Box" | "Vec")
+                    && punct(toks, i + 1, "::")
+                    && ident_in(toks, i + 2, &["new", "with_capacity"])
+                {
+                    emit(
+                        "hot-path-alloc",
+                        t.line,
+                        format!(
+                            "`{name}::{}` heap-allocates inside a loop body in a \
+                             `tidy: hot-path` module; hoist it into a reused scratch buffer",
+                            toks[i + 2].text
+                        ),
+                        &mut supps,
+                    );
+                }
+                if name == "vec" && punct(toks, i + 1, "!") {
+                    emit(
+                        "hot-path-alloc",
+                        t.line,
+                        "`vec![...]` heap-allocates inside a loop body in a \
+                         `tidy: hot-path` module; hoist it into a reused scratch buffer"
+                            .to_string(),
+                        &mut supps,
+                    );
+                }
+            }
+            if t.kind == TokKind::Punct && t.text == "." && ident_in(toks, i + 1, &["collect"]) {
+                emit(
+                    "hot-path-alloc",
+                    toks[i + 1].line,
+                    "`.collect()` builds a fresh container inside a loop body in a \
+                     `tidy: hot-path` module; hoist it into a reused scratch buffer"
+                        .to_string(),
+                    &mut supps,
+                );
+            }
+        }
+    }
+
     // --- file-shape rules ------------------------------------------
     if class.is_crate_root && !has_forbid_unsafe(toks) {
         emit(
@@ -359,6 +416,7 @@ pub fn check_source(path: &str, src: &str, class: &FileClass) -> Vec<Finding> {
                 DirectiveKind::SortedBeforeUse { .. } => "sorted-before-use".to_string(),
                 DirectiveKind::Ordering { .. } => "ordering:".to_string(),
                 DirectiveKind::LockOrder { .. } => "lock-order".to_string(),
+                DirectiveKind::HotPath => "hot-path".to_string(),
             };
             findings.push(Finding {
                 path: path.to_string(),
@@ -386,6 +444,69 @@ fn ident_in(toks: &[Tok], i: usize, set: &[&str]) -> bool {
 /// First line after `after` that carries a code token.
 fn next_code_line(toks: &[Tok], after: u32) -> u32 {
     toks.iter().map(|t| t.line).filter(|&l| l > after).min().unwrap_or(0)
+}
+
+/// Mark every token inside a `for`/`while`/`loop` body. The body brace
+/// is the first `{` after the loop keyword at paren/bracket depth 0, so
+/// closure blocks inside the iterator or condition expression (always
+/// inside a call's parentheses) do not truncate the body. `for` counts
+/// only when a top-level `in` precedes the brace: `impl Trait for Type`
+/// and HRTB `for<'a>` never have one.
+fn loop_body_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let is_loop = match t.text.as_str() {
+            "loop" | "while" => true,
+            "for" => is_for_loop(toks, i),
+            _ => false,
+        };
+        if !is_loop {
+            continue;
+        }
+        if let Some(open) = body_brace(toks, i + 1) {
+            let close = matching(toks, open, "{", "}");
+            for m in mask.iter_mut().take(close + 1).skip(open) {
+                *m = true;
+            }
+        }
+    }
+    mask
+}
+
+/// Is the `for` at `for_idx` a loop (vs `impl … for …` / HRTB)? A loop
+/// has a top-level `in` between the keyword and its body brace.
+fn is_for_loop(toks: &[Tok], for_idx: usize) -> bool {
+    let mut depth = 0i32;
+    for t in &toks[for_idx + 1..] {
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, "(" | "[") => depth += 1,
+            (TokKind::Punct, ")" | "]") => depth -= 1,
+            (TokKind::Punct, "{" | ";") if depth == 0 => return false,
+            (TokKind::Ident, "in") if depth == 0 => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Index of the first `{` at paren/bracket depth 0 at or after `from`
+/// (a loop's body brace), stopping at a top-level `;`.
+fn body_brace(toks: &[Tok], from: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(from) {
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, "(" | "[") => depth += 1,
+            (TokKind::Punct, ")" | "]") => depth -= 1,
+            (TokKind::Punct, "{") if depth == 0 => return Some(j),
+            (TokKind::Punct, ";") if depth == 0 => return None,
+            _ => {}
+        }
+    }
+    None
 }
 
 /// Does either operand of the `==`/`!=` at `eq` look like a float?
@@ -663,6 +784,60 @@ mod tests {}
 fn f(v: &mut Vec<u8>) -> u8 { v.pop().unwrap() }
 ";
         assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn hot_path_flags_allocation_in_loop_bodies_only() {
+        let src = "
+// tidy: hot-path
+pub fn f(n: u32) -> Vec<u8> {
+    let mut out = Vec::new();
+    for _ in 0..n {
+        let mut b = Vec::new();
+        b.push(1u8);
+        out.extend(b);
+    }
+    out
+}
+";
+        let f = run(src);
+        assert_eq!(rules_of(&f), ["hot-path-alloc"]);
+        assert_eq!(f.len(), 1, "the pre-loop Vec::new must not fire: {f:?}");
+    }
+
+    #[test]
+    fn hot_path_ignores_impl_for_and_silent_without_directive() {
+        let hot = "
+// tidy: hot-path
+pub struct S(pub u8);
+impl Clone for S {
+    fn clone(&self) -> S {
+        let b = Box::new(self.0);
+        S(*b)
+    }
+}
+";
+        assert!(run(hot).is_empty(), "{:?}", run(hot));
+        let undeclared = "
+pub fn f(n: u32) { for _ in 0..n { let _ = Box::new(n); } }
+";
+        assert!(run(undeclared).is_empty(), "{:?}", run(undeclared));
+    }
+
+    #[test]
+    fn hot_path_alloc_can_be_justified() {
+        let src = "
+// tidy: hot-path
+pub fn f(n: u32) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    for _ in 0..n {
+        // tidy: allow(hot-path-alloc) -- cold error branch, taken at most once per run
+        out.push(Vec::new());
+    }
+    out
+}
+";
+        assert!(run(src).is_empty(), "{:?}", run(src));
     }
 
     #[test]

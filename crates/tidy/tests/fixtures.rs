@@ -174,6 +174,29 @@ fn no_unwrap() {
 }
 
 #[test]
+fn hot_path_alloc() {
+    assert_pair(
+        "hot-path-alloc",
+        include_str!("fixtures/bad_hot_path_alloc.rs"),
+        include_str!("fixtures/ok_hot_path_alloc.rs"),
+        &FileClass::sim_lib(),
+    );
+}
+
+#[test]
+fn hot_path_alloc_fires_once_per_allocation() {
+    // The bad fixture allocates in three distinct loops (Vec::new,
+    // Box::new, .collect()) — each must be its own finding.
+    let findings = run(
+        "bad",
+        include_str!("fixtures/bad_hot_path_alloc.rs"),
+        &FileClass::sim_lib(),
+    );
+    let hits = findings.iter().filter(|f| f.rule == "hot-path-alloc").count();
+    assert_eq!(hits, 3, "expected one finding per allocating loop; got {findings:?}");
+}
+
+#[test]
 fn bad_directive() {
     assert_pair(
         "bad-directive",
@@ -209,6 +232,7 @@ fn every_rule_has_a_fixture_pair() {
         "forbid-unsafe",
         "no-print",
         "no-unwrap",
+        "hot-path-alloc",
         "bad-directive",
         "unused-allow",
     ];

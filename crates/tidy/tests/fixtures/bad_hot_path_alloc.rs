@@ -1,0 +1,31 @@
+//! Fixture: heap-allocates once per event inside the drain loops of a
+//! declared hot-path module.
+// tidy: hot-path
+
+pub fn drain(events: &[u32]) -> Vec<Vec<u32>> {
+    let mut out = Vec::new();
+    for &e in events {
+        let mut batch = Vec::new();
+        batch.push(e);
+        out.push(batch);
+    }
+    out
+}
+
+pub fn widen(events: &[u32]) -> Vec<Box<u32>> {
+    let mut out = Vec::new();
+    let mut it = events.iter();
+    while let Some(&e) = it.next() {
+        out.push(Box::new(e));
+    }
+    out
+}
+
+pub fn doubled(events: &[u32]) -> u64 {
+    let mut sum = 0u64;
+    for &e in events {
+        let pair: Vec<u64> = [e, e].iter().map(|&x| u64::from(x)).collect();
+        sum += pair[0] + pair[1];
+    }
+    sum
+}

@@ -1,0 +1,23 @@
+//! Fixture: the idiomatic alternative — allocations hoisted out of the
+//! loop into reused scratch buffers, cleared per iteration.
+// tidy: hot-path
+
+pub fn drain(events: &[u32], scratch: &mut Vec<u32>) -> u64 {
+    let mut sum = 0u64;
+    for &e in events {
+        scratch.clear();
+        scratch.push(e);
+        sum += u64::from(scratch[0]);
+    }
+    sum
+}
+
+pub fn setup_may_allocate(n: usize) -> Vec<u32> {
+    // Allocation outside any loop body is fine: it happens once per
+    // run, not once per event.
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        out.push(i as u32);
+    }
+    out
+}

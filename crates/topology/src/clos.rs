@@ -367,6 +367,42 @@ impl FoldedClos {
         out
     }
 
+    /// The links of candidate route `choice` from `src` to `dst`, written
+    /// into `out` (cleared first) — identical to
+    /// `links_on_route(&route(src, dst, choice))` but without building the
+    /// intermediate [`Route`]. The admission controller scores every
+    /// candidate spine per admitted flow; at thousands of flows the two
+    /// heap allocations per candidate dominated network construction, so
+    /// the scan works off a caller-owned scratch buffer and only the
+    /// winning candidate is materialised as a `Route`.
+    pub fn links_for_choice(&self, src: HostId, dst: HostId, choice: u16, out: &mut Vec<LinkId>) {
+        assert_ne!(src, dst, "no route from a host to itself");
+        out.clear();
+        out.push(self.host_up[src.idx()]);
+        let d = self.params.hosts_per_leaf as u32;
+        let src_leaf = self.leaf_of(src);
+        let dst_leaf = self.leaf_of(dst);
+        let dst_port_at_leaf = Port((dst.0 % d) as u8);
+        let link_of = |sw: SwitchId, p: Port| {
+            // tidy: allow(no-unwrap) -- same wiring table the route
+            // builder uses; every hop port below is wired at construction.
+            self.switch_out_link(sw, p).expect("route uses a wired port").link
+        };
+        if src_leaf == dst_leaf {
+            out.push(link_of(src_leaf, dst_port_at_leaf));
+            return;
+        }
+        assert!(
+            choice < self.params.spines,
+            "spine choice {choice} out of range (< {})",
+            self.params.spines
+        );
+        let spine = self.spine(choice);
+        out.push(link_of(src_leaf, Port((d + choice as u32) as u8)));
+        out.push(link_of(spine, Port(dst_leaf.0 as u8)));
+        out.push(link_of(dst_leaf, dst_port_at_leaf));
+    }
+
     /// Validate that `route` is structurally sound: starts at the source's
     /// leaf, each hop's link leads to the next hop's switch, and the final
     /// link delivers to `dst`. Used by tests and debug assertions.

@@ -16,9 +16,17 @@
 //!   merge/attribution passes costs real wall-clock on one core; a looser
 //!   backstop catches regressions without pretending that cost away.
 //!
+//! The budgets are *relative* to the untraced wall-clock, so they must
+//! be recalibrated whenever the untraced hot path speeds up: the PR-6
+//! struct-of-arrays/batch-arbitration work cut the untraced run 1.55×
+//! while the recorder's absolute per-event cost stayed put, which turns
+//! the original 1.25x/2.0x allowances into ~1.39x/~2.55x of the new,
+//! smaller denominator. Current defaults are those plus noise headroom
+//! — the gate still catches an *absolute* recorder regression.
+//!
 //! ```text
 //! cargo run --release --example trace_overhead [ring_budget] [full_budget]
-//! # scripts/check.sh runs it with the default 1.25x / 2.0x budgets
+//! # scripts/check.sh runs it with the default 1.5x / 2.75x budgets
 //! ```
 
 use deadline_qos::core::Architecture;
@@ -40,8 +48,8 @@ fn wall(cfg: SimConfig) -> f64 {
 }
 
 fn main() {
-    let ring_budget: f64 = cli_arg(1, 1.25);
-    let full_budget: f64 = cli_arg(2, 2.0);
+    let ring_budget: f64 = cli_arg(1, 1.5);
+    let full_budget: f64 = cli_arg(2, 2.75);
     let base = window_us(scaled_tiny(Architecture::Advanced2Vc, 0.8, 16), 500, 2_000);
     let mut ring_cfg = base;
     ring_cfg.trace = TraceSettings::with_capacity(RING_CAPACITY);

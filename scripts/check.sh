@@ -14,31 +14,69 @@
 #      parallel equivalence matrix (4 architectures x 3 seeds x 3 fault
 #      scenarios, report JSON byte-identical at every worker count).
 #   3. event_kernel bench: refreshes BENCH_kernel.json (events/sec
-#      baseline, bucketed-vs-heap churn speedups).
+#      baseline, bucketed-vs-heap churn speedups), then the throughput
+#      regression gate — the fresh `fullsim/tiny_2ms/traditional` rate
+#      must stay above DQOS_PERF_GATE_PCT% (default 75) of the rate the
+#      committed file recorded before the rerun. Set
+#      DQOS_PERF_GATE_PCT=0 to disable on hosts too noisy to gate.
 #   4. partition_scaling bench: asserts parallel == serial bit-for-bit,
 #      then records serial-vs-{2,4}-worker event rates and the host CPU
 #      count into BENCH_parallel.json. Correctness is the gate; on a
-#      single-CPU host the ratios are expectedly <= 1.
+#      host with fewer CPUs than workers the ratios are expectedly <= 1
+#      and the file says so via "speedup_valid": false.
 #   5. fault_matrix example at DQOS_WORKERS=2: fault-injection smoke
 #      ({link-drop, spine-down, clock-drift} each run serial then
 #      parallel, byte-identical; empty plan perfectly inert).
 #   6. Flight-recorder gates: the paper-conformance and trace-determinism
 #      suites run explicitly (they are the contract for the trace layer),
 #      then the trace-overhead smoke gate — a bounded-ring traced run
-#      must stay within 1.25x of the untraced wall-clock, a full-capture
-#      run within 2.0x (see examples/trace_overhead.rs for why two
-#      budgets).
+#      must stay within 1.5x of the untraced wall-clock, a full-capture
+#      run within 2.75x (see examples/trace_overhead.rs for why two
+#      budgets and how they were recalibrated after the hot-path work).
+#   7. hotpath_profile example: the self-profiling where-ticks-go table
+#      (slack attribution pointed at the simulator). Non-gating — its
+#      output is diagnostic, so a failure warns instead of failing.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Extract a row's rate_per_sec from the (stable, pretty-printed)
+# benchmark JSON. Used by the throughput gate below.
+fullsim_rate() {
+  awk -v key="\"$1\"" '
+    index($0, key) { grab = 1 }
+    grab && /"rate_per_sec"/ { gsub(/[,]/, "", $2); print $2; exit }
+  ' BENCH_kernel.json 2>/dev/null || true
+}
 
 cargo run --release --offline -p dqos-tidy
 cargo build --release --offline
 cargo test -q --offline --workspace
+
+# The committed fullsim row is the baseline; read it before the bench
+# rerun overwrites the file.
+baseline_rate="$(fullsim_rate fullsim/tiny_2ms/traditional)"
 cargo bench -q --offline -p dqos-bench --bench event_kernel
+new_rate="$(fullsim_rate fullsim/tiny_2ms/traditional)"
+gate_pct="${DQOS_PERF_GATE_PCT:-75}"
+if [ -n "$baseline_rate" ] && [ -n "$new_rate" ] && [ "$gate_pct" != "0" ]; then
+  awk -v new="$new_rate" -v base="$baseline_rate" -v pct="$gate_pct" 'BEGIN {
+    floor = base * pct / 100.0
+    printf "full-sim throughput gate: %.3gM events/sec vs recorded %.3gM (floor %.3gM = %s%%)\n",
+           new / 1e6, base / 1e6, floor / 1e6, pct
+    exit !(new >= floor)
+  }' || {
+    echo "FAIL: full-sim events/sec regressed below ${gate_pct}% of the recorded baseline" >&2
+    echo "      (rerun on a quiet host, or set DQOS_PERF_GATE_PCT — 0 disables the gate)" >&2
+    exit 1
+  }
+fi
+
 cargo bench -q --offline -p dqos-bench --bench partition_scaling
 DQOS_WORKERS=2 cargo run --release --offline --example fault_matrix
 cargo test -q --offline --release --test paper_conformance --test trace_determinism
 cargo run --release --offline --example trace_overhead
+cargo run --release --offline --example hotpath_profile \
+  || echo "warning: hotpath_profile smoke failed (non-gating)" >&2
 # Last: flipping RUSTFLAGS invalidates cargo's cache, so the warning-free
 # sweep rebuilds the world exactly once instead of thrice.
 RUSTFLAGS="-D warnings" cargo build --release --offline --workspace --all-targets
