@@ -35,6 +35,14 @@ pub enum AdmissionError {
         /// Bytes/sec the release asked to return.
         requested_bytes_per_sec: u64,
     },
+    /// An [`AdmissionState`] restore was sized for a different topology;
+    /// the controller is left untouched.
+    StateShapeMismatch {
+        /// Links the controller tracks.
+        expected_links: u32,
+        /// Links the snapshot was taken over.
+        got_links: u32,
+    },
 }
 
 impl fmt::Display for AdmissionError {
@@ -54,11 +62,66 @@ impl fmt::Display for AdmissionError {
                 f,
                 "release of {requested_bytes_per_sec} B/s exceeds the {reserved_bytes_per_sec} B/s reserved on {link:?}"
             ),
+            AdmissionError::StateShapeMismatch { expected_links, got_links } => write!(
+                f,
+                "admission snapshot covers {got_links} links but the controller tracks {expected_links}"
+            ),
         }
     }
 }
 
 impl std::error::Error for AdmissionError {}
+
+/// The full mutable state of an [`AdmissionController`], exported for
+/// durability (the `dqosd` daemon journals admission mutations and
+/// snapshots this struct) and for bit-exact state comparison in the
+/// crash-recovery chaos harness.
+///
+/// Everything that influences a future admission decision is here: the
+/// per-link ledger, link health, and the round-robin pointers used for
+/// unregulated path assignment. Two controllers with equal states answer
+/// every future request identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdmissionState {
+    /// Reservable capacity per link, bytes/sec.
+    pub capacity: u64,
+    /// Reserved bytes/sec per directed link.
+    pub reserved: Vec<u64>,
+    /// Link health per directed link.
+    pub link_up: Vec<bool>,
+    /// Round-robin spine pointer per source leaf.
+    pub rr_spine: Vec<u16>,
+}
+
+impl AdmissionState {
+    /// An order-sensitive FNV-1a digest of the state: equal digests for
+    /// equal states, cheap enough to query after every mutation.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |word: u64| {
+            for b in word.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(self.capacity);
+        eat(self.reserved.len() as u64);
+        for &r in &self.reserved {
+            eat(r);
+        }
+        eat(self.link_up.len() as u64);
+        for &up in &self.link_up {
+            eat(up as u64);
+        }
+        eat(self.rr_spine.len() as u64);
+        for &rr in &self.rr_spine {
+            eat(rr as u64);
+        }
+        h
+    }
+}
 
 /// A successfully admitted flow: the chosen route and spine index.
 #[derive(Debug, Clone)]
@@ -276,6 +339,49 @@ impl AdmissionController {
         net.route(src, dst, start)
     }
 
+    /// Export the controller's full mutable state (ledger, link health,
+    /// round-robin pointers) for snapshotting or comparison.
+    pub fn export_state(&self) -> AdmissionState {
+        AdmissionState {
+            capacity: self.capacity,
+            reserved: self.reserved.clone(),
+            link_up: self.link_up.clone(),
+            rr_spine: self.rr_spine.clone(),
+        }
+    }
+
+    /// Replace the controller's mutable state with a previously exported
+    /// snapshot. The shape (link and leaf counts) must match the topology
+    /// this controller was built for; a mismatched snapshot returns
+    /// [`AdmissionError::StateShapeMismatch`] and changes nothing.
+    pub fn restore_state(&mut self, s: &AdmissionState) -> Result<(), AdmissionError> {
+        if s.reserved.len() != self.reserved.len()
+            || s.link_up.len() != self.link_up.len()
+            || s.rr_spine.len() != self.rr_spine.len()
+        {
+            return Err(AdmissionError::StateShapeMismatch {
+                expected_links: self.reserved.len() as u32,
+                got_links: s.reserved.len() as u32,
+            });
+        }
+        self.capacity = s.capacity;
+        self.reserved.copy_from_slice(&s.reserved);
+        self.link_up.copy_from_slice(&s.link_up);
+        self.rr_spine.copy_from_slice(&s.rr_spine);
+        Ok(())
+    }
+
+    /// Digest of the current state (see [`AdmissionState::digest`]).
+    pub fn state_digest(&self) -> u64 {
+        self.export_state().digest()
+    }
+
+    /// Total bytes/sec currently reserved, summed over all links
+    /// (diagnostics; one flow counts once per link it crosses).
+    pub fn total_reserved(&self) -> u64 {
+        self.reserved.iter().sum()
+    }
+
     /// The maximum utilisation over all links (diagnostics / tests).
     pub fn max_utilization(&self) -> f64 {
         self.reserved
@@ -457,6 +563,68 @@ mod tests {
         assert_eq!(distinct.len(), 8, "round robin covers all spines");
         // And no reservation was made.
         assert_eq!(ac.max_utilization(), 0.0);
+    }
+
+    #[test]
+    fn export_restore_roundtrip_is_bit_exact() {
+        let net = net();
+        let mut ac = AdmissionController::new(&net, LINK, 1.0);
+        let bw = Bandwidth::gbps(1);
+        for i in 0..12u32 {
+            let _ = ac.admit(&net, HostId(i % 8), HostId(64 + i), bw);
+            let _ = ac.assign_unregulated_path(&net, HostId(i % 16), HostId(127));
+        }
+        ac.fail_link(net.host_delivery_link(HostId(9)));
+        let snap = ac.export_state();
+        let digest = snap.digest();
+        assert_eq!(ac.state_digest(), digest);
+
+        // A fresh controller restored from the snapshot answers the next
+        // request identically (and reports the same digest).
+        let mut fresh = AdmissionController::new(&net, LINK, 1.0);
+        assert_ne!(fresh.state_digest(), digest, "states differ before restore");
+        fresh.restore_state(&snap).unwrap();
+        assert_eq!(fresh.state_digest(), digest);
+        assert_eq!(fresh.export_state(), snap);
+        let a = ac.admit(&net, HostId(3), HostId(120), bw).unwrap();
+        let b = fresh.admit(&net, HostId(3), HostId(120), bw).unwrap();
+        assert_eq!(a.choice, b.choice);
+        assert_eq!(ac.state_digest(), fresh.state_digest());
+        let ra = ac.assign_unregulated_path(&net, HostId(0), HostId(127));
+        let rb = fresh.assign_unregulated_path(&net, HostId(0), HostId(127));
+        assert_eq!(ra.port_path(), rb.port_path());
+    }
+
+    #[test]
+    fn restore_of_wrong_shape_is_rejected_untouched() {
+        let net = net();
+        let mut ac = AdmissionController::new(&net, LINK, 1.0);
+        let before = ac.export_state();
+        let mut snap = before.clone();
+        snap.reserved.push(0);
+        let err = ac.restore_state(&snap).unwrap_err();
+        assert!(matches!(err, AdmissionError::StateShapeMismatch { .. }));
+        assert_eq!(ac.export_state(), before);
+    }
+
+    #[test]
+    fn digest_is_sensitive_to_every_component() {
+        let net = net();
+        let ac = AdmissionController::new(&net, LINK, 1.0);
+        let base = ac.export_state();
+        let d0 = base.digest();
+        let mut m = base.clone();
+        m.reserved[3] = 1;
+        assert_ne!(m.digest(), d0);
+        let mut m = base.clone();
+        m.link_up[0] = false;
+        assert_ne!(m.digest(), d0);
+        let mut m = base.clone();
+        m.rr_spine[1] = 5;
+        assert_ne!(m.digest(), d0);
+        let mut m = base;
+        m.capacity += 1;
+        assert_ne!(m.digest(), d0);
     }
 
     #[test]

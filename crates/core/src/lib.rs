@@ -45,7 +45,7 @@ pub mod flow;
 pub mod packet;
 
 pub use action::NodeAction;
-pub use admission::{AdmissionController, AdmissionError, AdmittedFlow};
+pub use admission::{AdmissionController, AdmissionError, AdmissionState, AdmittedFlow};
 pub use arch::{Architecture, SwitchQueueKind};
 pub use arena::{PacketArena, PacketRef};
 pub use class::{TrafficClass, Vc, NUM_CLASSES, NUM_VCS};

@@ -1,0 +1,596 @@
+//! The chaos harness: seeded churn soaks with transport faults, live
+//! kill/recover cycles, and offline journal-offset recovery sweeps.
+//!
+//! Everything runs in virtual time on the loopback transport, so a
+//! soak with many concurrent clients, drop/duplicate/reorder faults,
+//! and daemon crashes is a pure function of its [`SoakConfig`] — run
+//! it twice and every counter, digest, and journal byte is identical.
+//!
+//! Two verification modes:
+//! * [`run_soak`] — drives the full client/daemon/transport loop; at
+//!   seeded kill instants the daemon is dropped on the floor and
+//!   rebuilt from a clone of its durable [`Store`], asserting the
+//!   recovered control digest equals the pre-kill digest. In-flight
+//!   requests are lost; client timeouts, retries, and the server's
+//!   dedup sessions are what make the workload converge anyway.
+//! * [`verify_recovery_offsets`] — runs a kill-free soak with the
+//!   digest trail on, then recovers from the journal truncated at
+//!   seeded *byte* offsets (including mid-record tears) and asserts the
+//!   recovered digest matches the live digest at the last record
+//!   boundary the cut preserved.
+
+use crate::client::{Client, Event, RetryPolicy};
+use crate::journal::scan;
+use crate::server::{Daemon, DaemonConfig, Metrics, Outgoing, RecoverError};
+use crate::transport::{Endpoint, FaultSpec, Loopback, LoopbackConfig};
+use crate::wire::{ErrCode, Op, Reply, ReqClass, NO_BUDGET};
+use dqos_sim_core::{SimDuration, SimRng, SimTime};
+use dqos_topology::ClosParams;
+use std::fmt;
+
+/// Configuration of one chaos soak.
+#[derive(Debug, Clone)]
+pub struct SoakConfig {
+    /// Master seed; every RNG in the run forks from it.
+    pub seed: u64,
+    /// Concurrent clients.
+    pub clients: u64,
+    /// Requests each client issues before retiring.
+    pub ops_per_client: u32,
+    /// Fraction of setups that are guaranteed-class.
+    pub guaranteed_fraction: f64,
+    /// Idle think time between a client's requests: uniform in
+    /// `[0, think_max]`.
+    pub think_max: SimDuration,
+    /// Deadline budget on guaranteed-queue requests, ns.
+    pub budget_guaranteed_ns: u64,
+    /// Deadline budget on best-effort setups, ns.
+    pub budget_best_ns: u64,
+    /// Daemon configuration.
+    pub daemon: DaemonConfig,
+    /// Transport configuration (latency + fault probabilities).
+    pub loopback: LoopbackConfig,
+    /// Client retry policy.
+    pub policy: RetryPolicy,
+    /// Live kill/recover cycles to inject.
+    pub kills: u32,
+    /// Hard stop; the run fails as stalled if work remains after it.
+    pub horizon: SimDuration,
+}
+
+impl SoakConfig {
+    /// A small, fast soak: mild faults, a couple of kills.
+    pub fn small(seed: u64) -> SoakConfig {
+        SoakConfig {
+            seed,
+            clients: 6,
+            ops_per_client: 30,
+            guaranteed_fraction: 0.6,
+            think_max: SimDuration::from_us(40),
+            budget_guaranteed_ns: SimDuration::from_us(500).as_ns(),
+            budget_best_ns: SimDuration::from_us(300).as_ns(),
+            daemon: DaemonConfig {
+                topology: ClosParams::scaled(32),
+                snapshot_every: 16,
+                ..DaemonConfig::default()
+            },
+            loopback: LoopbackConfig {
+                latency: SimDuration::from_us(5),
+                reorder_window: SimDuration::from_us(30),
+                faults: FaultSpec { drop: 0.04, dup: 0.04, reorder: 0.08 },
+                seed,
+            },
+            policy: RetryPolicy {
+                timeout: SimDuration::from_us(300),
+                backoff_base: SimDuration::from_us(50),
+                backoff_cap: SimDuration::from_ms(2),
+                max_retries: 8,
+            },
+            kills: 2,
+            horizon: SimDuration::from_secs(2),
+        }
+    }
+
+    /// An overload soak: many eager clients against a deliberately slow
+    /// daemon with low shed watermarks, no transport faults, no kills —
+    /// isolates the overload controller.
+    pub fn overload(seed: u64) -> SoakConfig {
+        SoakConfig {
+            seed,
+            clients: 24,
+            ops_per_client: 20,
+            guaranteed_fraction: 0.5,
+            think_max: SimDuration::from_us(4),
+            budget_guaranteed_ns: SimDuration::from_us(400).as_ns(),
+            budget_best_ns: SimDuration::from_us(200).as_ns(),
+            daemon: DaemonConfig {
+                topology: ClosParams::scaled(32),
+                shed_depth: 6,
+                stamp_only_depth: 48,
+                snapshot_every: 0,
+                ..DaemonConfig::default()
+            },
+            loopback: LoopbackConfig {
+                latency: SimDuration::from_us(2),
+                reorder_window: SimDuration::ZERO,
+                faults: FaultSpec::NONE,
+                seed,
+            },
+            policy: RetryPolicy {
+                timeout: SimDuration::from_us(800),
+                backoff_base: SimDuration::from_us(100),
+                backoff_cap: SimDuration::from_ms(4),
+                max_retries: 5,
+            },
+            kills: 0,
+            horizon: SimDuration::from_secs(2),
+        }
+    }
+}
+
+/// What a soak produced (see the fields; everything is deterministic
+/// per [`SoakConfig`]).
+#[derive(Debug, Clone)]
+pub struct SoakReport {
+    /// Final control-state digest.
+    pub digest: u64,
+    /// Live kill/recover cycles performed.
+    pub recoveries: u32,
+    /// Client-side: requests finished with a response.
+    pub completed: u64,
+    /// Client-side: requests abandoned after max retries.
+    pub gave_up: u64,
+    /// Client-side: retryable-error responses observed.
+    pub retryable_errors: u64,
+    /// Client-side: retransmissions.
+    pub retries: u64,
+    /// Server-side: requests served.
+    pub served: u64,
+    /// Server-side: overload sheds.
+    pub shed_overload: u64,
+    /// Server-side: budget sheds.
+    pub shed_budget: u64,
+    /// Server-side: duplicate mutations answered from cache.
+    pub duplicates: u64,
+    /// Successful guaranteed admissions (count of the bounded latency
+    /// histogram).
+    pub admits: u64,
+    /// p99 latency of successful guaranteed admissions, ns.
+    pub admit_p99_ns: u64,
+    /// Max latency of successful guaranteed admissions, ns.
+    pub admit_max_ns: u64,
+    /// Flows still registered at the end.
+    pub flows_live: u64,
+    /// Transport frames dropped / duplicated / reordered.
+    pub faults: (u64, u64, u64),
+    /// Journal bytes at the end.
+    pub journal_bytes: u64,
+    /// Snapshots taken.
+    pub snapshots: u64,
+    /// Per-commit `(journal_len, digest)` trail (when enabled).
+    pub trail: Vec<(u64, u64)>,
+    /// The final durable store.
+    pub final_store: crate::journal::Store,
+    /// Virtual time when the soak finished.
+    pub finished_at: SimTime,
+}
+
+/// Why a chaos run failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChaosError {
+    /// Recovery itself failed.
+    Recover(RecoverError),
+    /// A recovered daemon's digest differed from the expected one.
+    DigestMismatch {
+        /// Journal bytes the recovery was given.
+        at_bytes: u64,
+        /// Expected digest.
+        want: u64,
+        /// Recovered digest.
+        got: u64,
+    },
+    /// The soak did not converge before its horizon.
+    Stalled {
+        /// Virtual time at the stall.
+        at: SimTime,
+        /// Requests still unfinished.
+        outstanding: u64,
+    },
+}
+
+impl fmt::Display for ChaosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaosError::Recover(e) => write!(f, "recovery failed: {e}"),
+            ChaosError::DigestMismatch { at_bytes, want, got } => write!(
+                f,
+                "recovered digest {got:#018x} != expected {want:#018x} at journal byte {at_bytes}"
+            ),
+            ChaosError::Stalled { at, outstanding } => {
+                write!(f, "soak stalled at {at:?} with {outstanding} requests outstanding")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChaosError {}
+
+/// One simulated client: workload generator + retry state machine.
+struct Actor {
+    client: Client,
+    rng: SimRng,
+    owned: Vec<u64>,
+    ops_left: u32,
+    /// When to issue the next request, while idle.
+    wake: Option<SimTime>,
+    /// The flow id an in-flight teardown targets (to update `owned`).
+    tearing: Option<u64>,
+    /// The flow id an in-flight stamp targets (dropped if unknown).
+    stamping: Option<u64>,
+}
+
+impl Actor {
+    fn finished(&self) -> bool {
+        self.ops_left == 0 && self.client.is_idle()
+    }
+}
+
+/// Run one soak. Returns the report, or the first chaos violation.
+pub fn run_soak(cfg: &SoakConfig) -> Result<SoakReport, ChaosError> {
+    let mut master = SimRng::new(cfg.seed);
+    let mut daemon = Daemon::new(cfg.daemon.clone());
+    let mut lb = Loopback::new(cfg.loopback);
+    let n_hosts = cfg.daemon.topology.n_hosts();
+
+    let mut actors: Vec<Actor> = (0..cfg.clients)
+        .map(|i| {
+            let mut rng = master.fork(i + 1);
+            let first = SimTime::ZERO + SimDuration::from_ns(rng.range_u64(0, cfg.think_max.as_ns()));
+            Actor {
+                client: Client::new(i + 1, cfg.policy, cfg.seed ^ (i + 1)),
+                rng,
+                owned: Vec::new(),
+                ops_left: cfg.ops_per_client,
+                wake: Some(first),
+                tearing: None,
+                stamping: None,
+            }
+        })
+        .collect();
+
+    // Seeded kill schedule, placed inside the *active* part of the run
+    // (a rough per-op estimate: half the think window plus a round trip
+    // plus service) so recovery happens while churn is still live.
+    let per_op_ns = cfg.think_max.as_ns() / 2 + 2 * cfg.loopback.latency.as_ns() + 2_000;
+    let active_ns = per_op_ns.saturating_mul(cfg.ops_per_client as u64);
+    let kill_hi = cfg.think_max.as_ns() + (active_ns / 2).max(1);
+    let mut kill_rng = master.fork(0x6b696c6c);
+    let mut kills: Vec<SimTime> = (0..cfg.kills)
+        .map(|_| {
+            SimTime::ZERO
+                + SimDuration::from_ns(kill_rng.range_u64(cfg.think_max.as_ns(), kill_hi))
+        })
+        .collect();
+    kills.sort();
+    let mut recoveries = 0u32;
+    // Server metrics survive the report even though each recovery
+    // starts a fresh daemon: fold the dying daemon's metrics in here.
+    let mut metrics_acc = Metrics::default();
+
+    let horizon = SimTime::ZERO + cfg.horizon;
+    let mut out: Vec<Outgoing> = Vec::new();
+    let mut now;
+    loop {
+        // Next event instant over every component.
+        let mut next: Option<SimTime> = None;
+        let mut consider = |t: Option<SimTime>| {
+            if let Some(t) = t {
+                next = Some(match next {
+                    None => t,
+                    Some(n) => n.min(t),
+                });
+            }
+        };
+        consider(lb.next_deliver());
+        consider(daemon.next_wake());
+        consider(kills.first().copied());
+        for a in &actors {
+            if !a.finished() {
+                consider(a.client.deadline());
+                consider(a.wake);
+            }
+        }
+        let Some(t) = next else { break };
+        now = t;
+        if now > horizon {
+            let outstanding =
+                actors.iter().map(|a| a.ops_left as u64 + (!a.client.is_idle()) as u64).sum();
+            return Err(ChaosError::Stalled { at: now, outstanding });
+        }
+
+        // 1. Crash/recover cycles due now.
+        while kills.first().is_some_and(|k| *k <= now) {
+            kills.remove(0);
+            let want = daemon.control_digest();
+            let store = daemon.store().clone();
+            let rebuilt = Daemon::recover(cfg.daemon.clone(), &store)
+                .map_err(ChaosError::Recover)?;
+            let got = rebuilt.control_digest();
+            if got != want {
+                return Err(ChaosError::DigestMismatch {
+                    at_bytes: store.journal.len() as u64,
+                    want,
+                    got,
+                });
+            }
+            // Queued requests and un-emitted responses die with the old
+            // process; clients will time out and retry.
+            metrics_acc.merge(daemon.metrics());
+            daemon = rebuilt;
+            recoveries += 1;
+        }
+
+        // 2. Deliver frames due.
+        while let Some((at, to, frame)) = lb.pop_due(now) {
+            match to {
+                Endpoint::Server => daemon.ingest(at, &frame),
+                Endpoint::Client(id) => {
+                    let idx = (id - 1) as usize;
+                    let ev = actors[idx].client.on_frame(at, &frame);
+                    handle_event(&mut actors[idx], ev, at, &mut lb);
+                }
+            }
+        }
+
+        // 3. Let the daemon serve; responses go back through the
+        //    transport stamped with their completion time.
+        daemon.poll(now, &mut out);
+        for o in out.drain(..) {
+            lb.send(o.at, Endpoint::Client(o.client), o.frame);
+        }
+
+        // 4. Client timers (timeouts, backoff expiries).
+        for a in actors.iter_mut() {
+            if a.client.deadline().is_some_and(|d| d <= now) {
+                let ev = a.client.on_timer(now);
+                handle_event(a, ev, now, &mut lb);
+            }
+        }
+
+        // 5. Idle clients whose think time expired issue their next op.
+        for a in actors.iter_mut() {
+            if a.client.is_idle() && a.ops_left > 0 && a.wake.is_some_and(|w| w <= now) {
+                a.wake = None;
+                a.ops_left -= 1;
+                let (op, budget) = next_op(a, n_hosts, cfg);
+                if let Ok(frame) = a.client.begin(now, op, budget) {
+                    lb.send(now, Endpoint::Server, frame);
+                }
+            }
+        }
+    }
+
+    let done = actors.iter().all(|a| a.finished());
+    if !done {
+        let outstanding =
+            actors.iter().map(|a| a.ops_left as u64 + (!a.client.is_idle()) as u64).sum();
+        return Err(ChaosError::Stalled { at: horizon, outstanding });
+    }
+
+    metrics_acc.merge(daemon.metrics());
+    let m = &metrics_acc;
+    let finished_at = actors
+        .iter()
+        .filter_map(|a| a.client.deadline())
+        .max()
+        .unwrap_or(SimTime::ZERO);
+    Ok(SoakReport {
+        digest: daemon.control_digest(),
+        recoveries,
+        completed: actors.iter().map(|a| a.client.stats.done).sum(),
+        gave_up: actors.iter().map(|a| a.client.stats.gave_up).sum(),
+        retryable_errors: actors.iter().map(|a| a.client.stats.retryable_errors).sum(),
+        retries: actors.iter().map(|a| a.client.stats.retries).sum(),
+        served: m.served,
+        shed_overload: m.shed_overload,
+        shed_budget: m.shed_budget,
+        duplicates: m.duplicates,
+        admits: m.admit_latency.count(),
+        admit_p99_ns: m.admit_latency.quantile(0.99),
+        admit_max_ns: m.admit_latency.max(),
+        flows_live: daemon.n_flows() as u64,
+        faults: (lb.counts.dropped, lb.counts.duplicated, lb.counts.reordered),
+        journal_bytes: daemon.store().journal.len() as u64,
+        snapshots: m.snapshots,
+        trail: daemon.digest_trail().to_vec(),
+        final_store: daemon.store().clone(),
+        finished_at,
+    })
+}
+
+fn handle_event(a: &mut Actor, ev: Event, now: SimTime, lb: &mut Loopback) {
+    match ev {
+        Event::None => {}
+        Event::Send(frame) => lb.send(now, Endpoint::Server, frame),
+        Event::GaveUp { .. } => {
+            // The op may or may not have been applied server-side (the
+            // response could have been the lost frame). Conservatively
+            // forget any teardown target so we don't double-release; a
+            // later stamp on a gone flow just gets UnknownFlow.
+            a.tearing = None;
+            a.stamping = None;
+            a.wake = Some(now + SimDuration::from_ns(a.rng.range_u64(0, 1 + think_ns(a))));
+        }
+        Event::Done(resp) => {
+            match &resp.result {
+                Ok(Reply::Setup { flow, .. }) => a.owned.push(*flow),
+                Ok(Reply::Teardown) => {
+                    if let Some(f) = a.tearing.take() {
+                        a.owned.retain(|&x| x != f);
+                    }
+                }
+                Err(ErrCode::UnknownFlow) => {
+                    // The flow vanished (e.g. torn down, response lost,
+                    // retry deduped): stop using it.
+                    if let Some(f) = a.tearing.take().or_else(|| a.stamping.take()) {
+                        a.owned.retain(|&x| x != f);
+                    }
+                }
+                _ => {}
+            }
+            a.tearing = None;
+            a.stamping = None;
+            a.wake = Some(now + SimDuration::from_ns(a.rng.range_u64(0, 1 + think_ns(a))));
+        }
+    }
+}
+
+/// The actor's think ceiling. Stored nowhere: derived from the client's
+/// policy so `handle_event` doesn't need the config threaded through.
+fn think_ns(_a: &Actor) -> u64 {
+    SimDuration::from_us(30).as_ns()
+}
+
+fn next_op(a: &mut Actor, n_hosts: u32, cfg: &SoakConfig) -> (Op, u64) {
+    let roll = a.rng.range_u64(0, 99);
+    let pick_flow = |a: &mut Actor| {
+        let i = a.rng.index(a.owned.len());
+        a.owned[i]
+    };
+    if roll < 50 || a.owned.is_empty() {
+        let guaranteed = a.rng.chance(cfg.guaranteed_fraction);
+        let src = a.rng.range_u64(0, n_hosts as u64 - 1) as u32;
+        let mut dst = a.rng.range_u64(0, n_hosts as u64 - 1) as u32;
+        if dst == src {
+            dst = (dst + 1) % n_hosts;
+        }
+        let bw = 12_500_000u64 * (1 + a.rng.range_u64(0, 3)); // 12.5–50 MB/s
+        if guaranteed {
+            (
+                Op::Setup { class: ReqClass::Guaranteed, src, dst, bw_bytes_per_sec: bw },
+                cfg.budget_guaranteed_ns,
+            )
+        } else {
+            (
+                Op::Setup { class: ReqClass::BestEffort, src, dst, bw_bytes_per_sec: bw },
+                cfg.budget_best_ns,
+            )
+        }
+    } else if roll < 75 {
+        let flow = pick_flow(a);
+        a.stamping = Some(flow);
+        let len = 256 + a.rng.range_u64(0, 1244) as u32;
+        let parts = 1 + a.rng.range_u64(0, 3) as u32;
+        (Op::Stamp { flow, len, parts }, cfg.budget_guaranteed_ns)
+    } else if roll < 90 {
+        let flow = pick_flow(a);
+        a.tearing = Some(flow);
+        (Op::Teardown { flow }, cfg.budget_guaranteed_ns)
+    } else {
+        (Op::Query, NO_BUDGET)
+    }
+}
+
+/// Result of an offset-sweep recovery verification.
+#[derive(Debug, Clone)]
+pub struct OffsetSweep {
+    /// Byte offsets tried.
+    pub offsets_checked: u32,
+    /// Journal records that survived across all recoveries.
+    pub records_replayed: u64,
+    /// The kill-free soak whose journal was swept.
+    pub soak: SoakReport,
+}
+
+/// Run a kill-free soak with the digest trail enabled, then recover
+/// from the journal truncated at `n_offsets` seeded byte offsets
+/// (including mid-record tears) plus both endpoints, asserting each
+/// recovery lands on the exact digest the live daemon had at that
+/// journal length.
+pub fn verify_recovery_offsets(
+    cfg: &SoakConfig,
+    n_offsets: u32,
+) -> Result<OffsetSweep, ChaosError> {
+    let mut cfg = cfg.clone();
+    cfg.kills = 0;
+    cfg.daemon.snapshot_every = 0; // keep the journal monotone
+    cfg.daemon.record_digest_trail = true;
+    let soak = run_soak(&cfg)?;
+    let journal = &soak.final_store.journal;
+    let genesis = Daemon::new(cfg.daemon.clone()).control_digest();
+
+    let mut rng = SimRng::new(cfg.seed ^ 0x6f66_6673_6574);
+    let mut offsets: Vec<usize> = vec![0, journal.len()];
+    for _ in 0..n_offsets {
+        offsets.push(rng.range_u64(0, journal.len() as u64) as usize);
+    }
+    let mut records_replayed = 0u64;
+    for &cut in &offsets {
+        let store = soak.final_store.truncated(cut);
+        let (records, valid) = scan(&store.journal);
+        records_replayed += records.len() as u64;
+        let recovered =
+            Daemon::recover(cfg.daemon.clone(), &store).map_err(ChaosError::Recover)?;
+        // The live digest when the journal was `valid` bytes long: the
+        // last trail entry at or below it, or the genesis digest.
+        let want = soak
+            .trail
+            .iter()
+            .rev()
+            .find(|(l, _)| *l as usize <= valid)
+            .map(|(_, d)| *d)
+            .unwrap_or(genesis);
+        let got = recovered.control_digest();
+        if got != want {
+            return Err(ChaosError::DigestMismatch { at_bytes: cut as u64, want, got });
+        }
+    }
+    Ok(OffsetSweep { offsets_checked: offsets.len() as u32, records_replayed, soak })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_soak_converges_and_is_deterministic() {
+        let a = run_soak(&SoakConfig::small(11)).unwrap();
+        let b = run_soak(&SoakConfig::small(11)).unwrap();
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.served, b.served);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.journal_bytes, b.journal_bytes);
+        assert!(a.completed > 0);
+        assert_eq!(a.recoveries, 2, "both kills must have fired");
+        let c = run_soak(&SoakConfig::small(12)).unwrap();
+        assert_ne!(
+            (a.digest, a.served),
+            (c.digest, c.served),
+            "a different seed takes a different path"
+        );
+    }
+
+    #[test]
+    fn offset_sweep_recovers_bit_identical_state() {
+        let sweep = verify_recovery_offsets(&SoakConfig::small(5), 24).unwrap();
+        assert!(sweep.offsets_checked >= 26);
+        assert!(sweep.soak.journal_bytes > 0, "the soak must have journaled");
+        assert!(!sweep.soak.trail.is_empty());
+    }
+
+    #[test]
+    fn overload_soak_sheds_best_effort_and_bounds_guaranteed_latency() {
+        let cfg = SoakConfig::overload(7);
+        let r = run_soak(&cfg).unwrap();
+        assert!(r.shed_overload > 0, "overload must shed: {r:?}");
+        assert!(r.retryable_errors > 0, "clients must see retryable errors");
+        assert!(r.admits > 0, "guaranteed admissions must still land");
+        assert!(
+            r.admit_max_ns <= cfg.budget_guaranteed_ns,
+            "guaranteed admission latency {} busts budget {}",
+            r.admit_max_ns,
+            cfg.budget_guaranteed_ns
+        );
+    }
+}

@@ -1,0 +1,387 @@
+//! The dqos-d client: a virtual-time request state machine with
+//! timeouts, seeded full-jitter exponential backoff, and bounded
+//! retries.
+//!
+//! The client never reads a wall clock: the driver owns time and feeds
+//! it in through `now` parameters, exactly like the simulator's node
+//! models. [`Client::deadline`] exposes the next instant the driver
+//! must call [`Client::on_timer`]; frames from the transport go through
+//! [`Client::on_frame`]. Both return an [`Event`] telling the driver
+//! what to do (send a frame, record an outcome, nothing).
+//!
+//! Retry semantics: the retry reuses the *same request id*, which is
+//! what the server's dedup sessions key on — a retried mutation whose
+//! original execution survived a crash replays the original response
+//! instead of executing twice. Retryable server errors
+//! ([`ErrCode::retryable`]) take the same backoff path as timeouts.
+
+use crate::wire::{Op, Request, Response};
+use dqos_sim_core::{SimDuration, SimRng, SimTime};
+use std::fmt;
+
+/// Timeout/backoff policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// How long to wait for a response before retrying.
+    pub timeout: SimDuration,
+    /// First backoff ceiling; doubles per attempt (full jitter).
+    pub backoff_base: SimDuration,
+    /// Backoff ceiling cap.
+    pub backoff_cap: SimDuration,
+    /// Maximum retries after the initial send (total sends ≤ 1 + this).
+    pub max_retries: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            timeout: SimDuration::from_us(500),
+            backoff_base: SimDuration::from_us(100),
+            backoff_cap: SimDuration::from_ms(10),
+            max_retries: 6,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff ceiling before attempt `attempt` (0-based retry
+    /// index): `min(cap, base · 2^attempt)`, saturating.
+    pub fn backoff_ceiling(&self, attempt: u32) -> SimDuration {
+        let shift = attempt.min(32);
+        let ns = self.backoff_base.as_ns().saturating_mul(1u64 << shift);
+        SimDuration::from_ns(ns.min(self.backoff_cap.as_ns()))
+    }
+
+    /// A full-jitter backoff delay: uniform in `[0, ceiling]`, drawn
+    /// from the caller's seeded RNG (AWS-style full jitter — the whole
+    /// window is randomized so synchronized clients decorrelate).
+    pub fn backoff(&self, attempt: u32, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_ns(rng.range_u64(0, self.backoff_ceiling(attempt).as_ns()))
+    }
+}
+
+/// What the driver should do after feeding the client a frame or timer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// Nothing to do right now.
+    None,
+    /// Hand this frame to the transport, addressed to the server.
+    Send(Vec<u8>),
+    /// The in-flight request finished with this response.
+    Done(Response),
+    /// The in-flight request exhausted its retries.
+    GaveUp {
+        /// The abandoned request id.
+        id: u64,
+        /// Total transmissions attempted.
+        attempts: u32,
+    },
+}
+
+/// Client-side counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Requests begun.
+    pub begun: u64,
+    /// Frames transmitted (including retries).
+    pub sent: u64,
+    /// Retransmissions.
+    pub retries: u64,
+    /// Requests finished with a response.
+    pub done: u64,
+    /// Of those, responses that were retryable errors at some point.
+    pub retryable_errors: u64,
+    /// Requests abandoned after max retries.
+    pub gave_up: u64,
+    /// Stale or undecodable frames ignored.
+    pub ignored_frames: u64,
+}
+
+/// Returned by [`Client::begin`] when a request is already in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientBusy;
+
+impl fmt::Display for ClientBusy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a request is already in flight")
+    }
+}
+
+impl std::error::Error for ClientBusy {}
+
+enum Phase {
+    /// No request in flight.
+    Idle,
+    /// Sent, waiting for the response or the timeout at `deadline`.
+    AwaitReply {
+        deadline: SimTime,
+    },
+    /// Backing off until `deadline`, then retransmitting.
+    Backoff {
+        deadline: SimTime,
+    },
+}
+
+/// One client connection: at most one request in flight at a time.
+pub struct Client {
+    /// Stable client identity (dedup session key at the server).
+    id: u64,
+    policy: RetryPolicy,
+    rng: SimRng,
+    next_req: u64,
+    phase: Phase,
+    /// The encoded in-flight frame, kept for retransmission.
+    frame: Vec<u8>,
+    req_id: u64,
+    attempts: u32,
+    /// Counters.
+    pub stats: ClientStats,
+}
+
+impl Client {
+    /// A client with the given identity, policy, and RNG seed.
+    pub fn new(id: u64, policy: RetryPolicy, seed: u64) -> Client {
+        Client {
+            id,
+            policy,
+            rng: SimRng::new(seed ^ id.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            next_req: 0,
+            phase: Phase::Idle,
+            frame: Vec::new(),
+            req_id: 0,
+            attempts: 0,
+            stats: ClientStats::default(),
+        }
+    }
+
+    /// The client identity.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Whether a new request may be begun.
+    pub fn is_idle(&self) -> bool {
+        matches!(self.phase, Phase::Idle)
+    }
+
+    /// Start a request: returns the frame to hand to the transport.
+    pub fn begin(
+        &mut self,
+        now: SimTime,
+        op: Op,
+        budget_ns: u64,
+    ) -> Result<Vec<u8>, ClientBusy> {
+        if !self.is_idle() {
+            return Err(ClientBusy);
+        }
+        self.next_req += 1;
+        self.req_id = self.next_req;
+        let req = Request { client: self.id, id: self.req_id, budget_ns, op };
+        self.frame = req.encode();
+        self.attempts = 1;
+        self.phase = Phase::AwaitReply { deadline: now + self.policy.timeout };
+        self.stats.begun += 1;
+        self.stats.sent += 1;
+        Ok(self.frame.clone())
+    }
+
+    /// The next instant [`Client::on_timer`] must be called, if any.
+    pub fn deadline(&self) -> Option<SimTime> {
+        match self.phase {
+            Phase::Idle => None,
+            Phase::AwaitReply { deadline } | Phase::Backoff { deadline } => Some(deadline),
+        }
+    }
+
+    /// Drive the timer. A no-op before the deadline.
+    pub fn on_timer(&mut self, now: SimTime) -> Event {
+        match self.phase {
+            Phase::Idle => Event::None,
+            Phase::AwaitReply { deadline } => {
+                if now < deadline {
+                    return Event::None;
+                }
+                // Timeout: the response (or the request) was lost.
+                self.retry_or_give_up(now)
+            }
+            Phase::Backoff { deadline } => {
+                if now < deadline {
+                    return Event::None;
+                }
+                // Backoff over: retransmit the same frame (same id).
+                self.attempts += 1;
+                self.stats.sent += 1;
+                self.stats.retries += 1;
+                self.phase = Phase::AwaitReply { deadline: now + self.policy.timeout };
+                Event::Send(self.frame.clone())
+            }
+        }
+    }
+
+    /// Feed a frame delivered by the transport.
+    pub fn on_frame(&mut self, now: SimTime, bytes: &[u8]) -> Event {
+        let Ok(resp) = Response::decode(bytes) else {
+            self.stats.ignored_frames += 1;
+            return Event::None;
+        };
+        let awaiting = matches!(self.phase, Phase::AwaitReply { .. } | Phase::Backoff { .. });
+        if !awaiting || resp.id != self.req_id {
+            // A duplicate or late response for an older request.
+            self.stats.ignored_frames += 1;
+            return Event::None;
+        }
+        match &resp.result {
+            Err(code) if code.retryable() => {
+                self.stats.retryable_errors += 1;
+                self.retry_or_give_up(now)
+            }
+            _ => {
+                self.phase = Phase::Idle;
+                self.stats.done += 1;
+                Event::Done(resp)
+            }
+        }
+    }
+
+    fn retry_or_give_up(&mut self, now: SimTime) -> Event {
+        if self.attempts > self.policy.max_retries {
+            let attempts = self.attempts;
+            self.phase = Phase::Idle;
+            self.stats.gave_up += 1;
+            return Event::GaveUp { id: self.req_id, attempts };
+        }
+        // attempts is the number of sends so far; retry index is
+        // attempts-1 so the first backoff window is [0, base].
+        let delay = self.policy.backoff(self.attempts - 1, &mut self.rng);
+        self.phase = Phase::Backoff { deadline: now + delay };
+        Event::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{ErrCode, Reply};
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy {
+            timeout: SimDuration::from_us(100),
+            backoff_base: SimDuration::from_us(50),
+            backoff_cap: SimDuration::from_us(400),
+            max_retries: 3,
+        }
+    }
+
+    #[test]
+    fn happy_path_send_then_done() {
+        let mut c = Client::new(7, policy(), 42);
+        let frame = c.begin(SimTime::ZERO, Op::Ping, u64::MAX).unwrap();
+        let req = Request::decode(&frame).unwrap();
+        assert_eq!(req.client, 7);
+        assert!(c.begin(SimTime::ZERO, Op::Ping, u64::MAX).is_err(), "busy");
+        let resp = Response { id: req.id, result: Ok(Reply::Pong) }.encode();
+        let ev = c.on_frame(SimTime::from_us(10), &resp);
+        assert!(matches!(ev, Event::Done(_)));
+        assert!(c.is_idle());
+    }
+
+    #[test]
+    fn timeout_retries_with_same_id_then_gives_up() {
+        let mut c = Client::new(1, policy(), 9);
+        let first = c.begin(SimTime::ZERO, Op::Query, u64::MAX).unwrap();
+        let mut sends = 1u32;
+        loop {
+            let now = c.deadline().expect("armed while in flight");
+            match c.on_timer(now) {
+                Event::Send(frame) => {
+                    assert_eq!(frame, first, "retransmission must be byte-identical");
+                    sends += 1;
+                }
+                Event::GaveUp { attempts, .. } => {
+                    assert_eq!(attempts, sends);
+                    break;
+                }
+                Event::None => {}
+                Event::Done(_) => panic!("no response was ever delivered"),
+            }
+        }
+        // max_retries=3 → 4 total transmissions.
+        assert_eq!(sends, 4);
+        assert_eq!(c.stats.gave_up, 1);
+        assert_eq!(c.stats.retries, 3);
+        assert!(c.is_idle());
+    }
+
+    #[test]
+    fn retryable_error_backs_off_like_a_timeout() {
+        let mut c = Client::new(1, policy(), 5);
+        let frame = c.begin(SimTime::ZERO, Op::Query, u64::MAX).unwrap();
+        let req = Request::decode(&frame).unwrap();
+        let shed = Response { id: req.id, result: Err(ErrCode::ShedOverload) }.encode();
+        let ev = c.on_frame(SimTime::from_us(10), &shed);
+        assert_eq!(ev, Event::None, "retryable error enters backoff");
+        assert!(!c.is_idle());
+        let dl = c.deadline().unwrap();
+        let ev = c.on_timer(dl);
+        assert!(matches!(ev, Event::Send(_)), "backoff expiry retransmits");
+        assert_eq!(c.stats.retryable_errors, 1);
+    }
+
+    #[test]
+    fn non_retryable_error_completes_immediately() {
+        let mut c = Client::new(1, policy(), 5);
+        let frame = c.begin(SimTime::ZERO, Op::Teardown { flow: 9 }, u64::MAX).unwrap();
+        let req = Request::decode(&frame).unwrap();
+        let resp = Response { id: req.id, result: Err(ErrCode::UnknownFlow) }.encode();
+        let ev = c.on_frame(SimTime::from_us(1), &resp);
+        assert!(matches!(ev, Event::Done(_)));
+        assert!(c.is_idle());
+    }
+
+    #[test]
+    fn stale_and_garbage_frames_are_ignored() {
+        let mut c = Client::new(1, policy(), 5);
+        let frame = c.begin(SimTime::ZERO, Op::Ping, u64::MAX).unwrap();
+        let req = Request::decode(&frame).unwrap();
+        assert_eq!(c.on_frame(SimTime::ZERO, b"garbage"), Event::None);
+        let wrong = Response { id: req.id + 7, result: Ok(Reply::Pong) }.encode();
+        assert_eq!(c.on_frame(SimTime::ZERO, &wrong), Event::None);
+        assert_eq!(c.stats.ignored_frames, 2);
+        assert!(!c.is_idle(), "still waiting for the real response");
+    }
+
+    #[test]
+    fn backoff_ceiling_doubles_then_caps() {
+        let p = policy();
+        assert_eq!(p.backoff_ceiling(0), SimDuration::from_us(50));
+        assert_eq!(p.backoff_ceiling(1), SimDuration::from_us(100));
+        assert_eq!(p.backoff_ceiling(2), SimDuration::from_us(200));
+        assert_eq!(p.backoff_ceiling(3), SimDuration::from_us(400));
+        assert_eq!(p.backoff_ceiling(4), SimDuration::from_us(400), "capped");
+        assert_eq!(p.backoff_ceiling(63), SimDuration::from_us(400), "no overflow");
+    }
+
+    #[test]
+    fn full_jitter_is_within_bounds_and_seed_deterministic() {
+        let p = RetryPolicy::default();
+        let mut a = SimRng::new(1234);
+        let mut b = SimRng::new(1234);
+        for attempt in 0..10 {
+            let ceil = p.backoff_ceiling(attempt);
+            let da = p.backoff(attempt, &mut a);
+            let db = p.backoff(attempt, &mut b);
+            assert_eq!(da, db, "same seed, same schedule");
+            assert!(da <= ceil, "jitter within the window");
+        }
+        let mut c = SimRng::new(99);
+        let dc = p.backoff(5, &mut c);
+        let mut d = SimRng::new(1234);
+        // Different seeds give a different draw somewhere in 10 tries
+        // (overwhelmingly; this is a smoke check, not a proof).
+        let mut any_diff = dc != p.backoff(5, &mut d);
+        for attempt in 0..9 {
+            any_diff |= p.backoff(attempt, &mut c) != p.backoff(attempt, &mut d);
+        }
+        assert!(any_diff);
+    }
+}

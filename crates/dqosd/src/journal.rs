@@ -1,0 +1,546 @@
+//! Durability: the write-ahead journal and snapshot codec.
+//!
+//! The daemon's durable state is a [`Store`]: one snapshot blob plus an
+//! append-only journal of admission **mutations** (setup, teardown, link
+//! up/down). Reads and stamping are never journaled — Virtual-Clock
+//! stamper state is deliberately *soft*: after a crash, stampers restart
+//! from zero, which only makes the next deadline earlier (never later),
+//! so no reservation is ever exceeded.
+//!
+//! Journal format: each record is `u32 len | u64 fnv1a(body) | body`.
+//! [`scan`] replays the longest valid prefix and stops at the first
+//! torn or corrupt record, which is how a crash mid-append is tolerated:
+//! the half-written tail fails its checksum and is discarded.
+//!
+//! Snapshot format: `u64 fnv1a(body) | body`, where the body carries the
+//! full [`Persist`] control state — admission ledger, flow registry,
+//! flow-id counter, and the per-client dedup sessions. Sessions must be
+//! in the snapshot: journal truncation at snapshot time would otherwise
+//! forget which request ids were already applied, breaking exactly-once
+//! semantics for retries that straddle a snapshot.
+
+use crate::wire::{put_u16, put_u32, put_u64, Reader, ReqClass, WireError};
+use dqos_core::AdmissionState;
+use std::fmt;
+
+/// FNV-1a 64-bit, the workspace's standard cheap digest.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The daemon's durable storage: a snapshot blob and a journal of
+/// mutations since that snapshot. In tests this lives in memory (the
+/// chaos harness clones and truncates it to simulate crashes); nothing
+/// in the daemon cares where the bytes actually rest.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Store {
+    /// The most recent snapshot (empty = genesis).
+    pub snapshot: Vec<u8>,
+    /// Mutation records appended since the snapshot.
+    pub journal: Vec<u8>,
+}
+
+impl Store {
+    /// An empty store: a daemon recovered from it starts from genesis.
+    pub fn new() -> Store {
+        Store::default()
+    }
+
+    /// A copy with the journal cut at `offset` bytes — the chaos
+    /// harness's model of a crash that persisted only a prefix.
+    pub fn truncated(&self, offset: usize) -> Store {
+        let cut = offset.min(self.journal.len());
+        Store { snapshot: self.snapshot.clone(), journal: self.journal[..cut].to_vec() }
+    }
+}
+
+/// One journaled admission mutation. Every record carries the
+/// originating `(client, req)` pair so replay can rebuild the dedup
+/// sessions and re-synthesize the exact response a retry must receive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// A flow was admitted.
+    Setup {
+        /// Originating client.
+        client: u64,
+        /// Originating request id.
+        req: u64,
+        /// Assigned flow id.
+        flow: u64,
+        /// Traffic class.
+        class: ReqClass,
+        /// Source host.
+        src: u32,
+        /// Destination host.
+        dst: u32,
+        /// Reserved bandwidth / weight, bytes/sec.
+        bw: u64,
+        /// Path choice the admission picked (replay asserts it matches).
+        choice: u16,
+        /// Whether bandwidth was reserved.
+        reserved: bool,
+    },
+    /// A flow was torn down.
+    Teardown {
+        /// Originating client.
+        client: u64,
+        /// Originating request id.
+        req: u64,
+        /// The flow released.
+        flow: u64,
+    },
+    /// A link was marked failed.
+    LinkDown {
+        /// Originating client.
+        client: u64,
+        /// Originating request id.
+        req: u64,
+        /// Directed link index.
+        link: u32,
+    },
+    /// A link was marked healthy.
+    LinkUp {
+        /// Originating client.
+        client: u64,
+        /// Originating request id.
+        req: u64,
+        /// Directed link index.
+        link: u32,
+    },
+}
+
+impl Record {
+    fn encode_body(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(48);
+        match self {
+            Record::Setup { client, req, flow, class, src, dst, bw, choice, reserved } => {
+                out.push(1);
+                put_u64(&mut out, *client);
+                put_u64(&mut out, *req);
+                put_u64(&mut out, *flow);
+                out.push(match class {
+                    ReqClass::Guaranteed => 0,
+                    ReqClass::BestEffort => 1,
+                });
+                put_u32(&mut out, *src);
+                put_u32(&mut out, *dst);
+                put_u64(&mut out, *bw);
+                put_u16(&mut out, *choice);
+                out.push(*reserved as u8);
+            }
+            Record::Teardown { client, req, flow } => {
+                out.push(2);
+                put_u64(&mut out, *client);
+                put_u64(&mut out, *req);
+                put_u64(&mut out, *flow);
+            }
+            Record::LinkDown { client, req, link } => {
+                out.push(3);
+                put_u64(&mut out, *client);
+                put_u64(&mut out, *req);
+                put_u32(&mut out, *link);
+            }
+            Record::LinkUp { client, req, link } => {
+                out.push(4);
+                put_u64(&mut out, *client);
+                put_u64(&mut out, *req);
+                put_u32(&mut out, *link);
+            }
+        }
+        out
+    }
+
+    fn decode_body(body: &[u8]) -> Result<Record, WireError> {
+        let mut r = Reader::new(body);
+        let tag = r.u8()?;
+        let rec = match tag {
+            1 => {
+                let client = r.u64()?;
+                let req = r.u64()?;
+                let flow = r.u64()?;
+                let cls = r.u8()?;
+                let class = match cls {
+                    0 => ReqClass::Guaranteed,
+                    1 => ReqClass::BestEffort,
+                    _ => return Err(WireError::BadTag { what: "record class", tag: cls }),
+                };
+                Record::Setup {
+                    client,
+                    req,
+                    flow,
+                    class,
+                    src: r.u32()?,
+                    dst: r.u32()?,
+                    bw: r.u64()?,
+                    choice: r.u16()?,
+                    reserved: r.u8()? != 0,
+                }
+            }
+            2 => Record::Teardown { client: r.u64()?, req: r.u64()?, flow: r.u64()? },
+            3 => Record::LinkDown { client: r.u64()?, req: r.u64()?, link: r.u32()? },
+            4 => Record::LinkUp { client: r.u64()?, req: r.u64()?, link: r.u32()? },
+            _ => return Err(WireError::BadTag { what: "record", tag }),
+        };
+        r.finish()?;
+        Ok(rec)
+    }
+
+    /// The `(client, req)` session key the record originated from.
+    pub fn session(&self) -> (u64, u64) {
+        match *self {
+            Record::Setup { client, req, .. }
+            | Record::Teardown { client, req, .. }
+            | Record::LinkDown { client, req, .. }
+            | Record::LinkUp { client, req, .. } => (client, req),
+        }
+    }
+}
+
+/// Append one record to the journal (length + checksum framing).
+pub fn append_record(journal: &mut Vec<u8>, rec: &Record) {
+    let body = rec.encode_body();
+    put_u32(journal, body.len() as u32);
+    put_u64(journal, fnv1a(&body));
+    journal.extend_from_slice(&body);
+}
+
+/// Replay the longest valid journal prefix.
+///
+/// Returns the decoded records and the number of bytes they cover. A
+/// torn tail (short header, short body, checksum mismatch, or a body
+/// that fails to decode) terminates the scan — everything before it is
+/// still applied, which is the crash-consistency contract.
+pub fn scan(journal: &[u8]) -> (Vec<Record>, usize) {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        let Some(header_end) = pos.checked_add(12) else { break };
+        if header_end > journal.len() {
+            break;
+        }
+        let len = u32::from_le_bytes([
+            journal[pos],
+            journal[pos + 1],
+            journal[pos + 2],
+            journal[pos + 3],
+        ]) as usize;
+        let mut sum = [0u8; 8];
+        sum.copy_from_slice(&journal[pos + 4..pos + 12]);
+        let want = u64::from_le_bytes(sum);
+        let Some(body_end) = header_end.checked_add(len) else { break };
+        if body_end > journal.len() {
+            break;
+        }
+        let body = &journal[header_end..body_end];
+        if fnv1a(body) != want {
+            break;
+        }
+        let Ok(rec) = Record::decode_body(body) else { break };
+        records.push(rec);
+        pos = body_end;
+    }
+    (records, pos)
+}
+
+/// A registered flow as persisted in snapshots (and rebuilt by replay).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowRec {
+    /// Flow id.
+    pub flow: u64,
+    /// Traffic class.
+    pub class: ReqClass,
+    /// Source host.
+    pub src: u32,
+    /// Destination host.
+    pub dst: u32,
+    /// Reserved bandwidth / stamping weight, bytes/sec.
+    pub bw: u64,
+    /// Path choice (meaningful when `reserved`).
+    pub choice: u16,
+    /// Whether bandwidth is reserved on the route.
+    pub reserved: bool,
+}
+
+/// One client's dedup session: the last *mutating* request id applied
+/// and the exact encoded response a retry of it must receive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionRec {
+    /// Client identity.
+    pub client: u64,
+    /// Last applied mutating request id.
+    pub last_req: u64,
+    /// Encoded response frame for that request.
+    pub reply: Vec<u8>,
+}
+
+/// Everything a snapshot persists: the full control-plane state.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Persist {
+    /// Next flow id to assign.
+    pub next_flow: u64,
+    /// The admission controller's exported state.
+    pub admission: Option<AdmissionState>,
+    /// The flow registry, ordered by flow id.
+    pub flows: Vec<FlowRec>,
+    /// Dedup sessions, ordered by client id.
+    pub sessions: Vec<SessionRec>,
+}
+
+/// Why a snapshot blob was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The checksum over the body did not match.
+    Checksum,
+    /// The body failed to decode.
+    Decode(WireError),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Checksum => write!(f, "snapshot checksum mismatch"),
+            SnapshotError::Decode(e) => write!(f, "snapshot body: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Encode a snapshot blob (`u64 checksum | body`).
+pub fn encode_snapshot(p: &Persist) -> Vec<u8> {
+    let mut body = Vec::with_capacity(64);
+    put_u64(&mut body, p.next_flow);
+    match &p.admission {
+        None => body.push(0),
+        Some(a) => {
+            body.push(1);
+            put_u64(&mut body, a.capacity);
+            put_u32(&mut body, a.reserved.len() as u32);
+            for &r in &a.reserved {
+                put_u64(&mut body, r);
+            }
+            put_u32(&mut body, a.link_up.len() as u32);
+            for &up in &a.link_up {
+                body.push(up as u8);
+            }
+            put_u32(&mut body, a.rr_spine.len() as u32);
+            for &rr in &a.rr_spine {
+                put_u16(&mut body, rr);
+            }
+        }
+    }
+    put_u32(&mut body, p.flows.len() as u32);
+    for fr in &p.flows {
+        put_u64(&mut body, fr.flow);
+        body.push(match fr.class {
+            ReqClass::Guaranteed => 0,
+            ReqClass::BestEffort => 1,
+        });
+        put_u32(&mut body, fr.src);
+        put_u32(&mut body, fr.dst);
+        put_u64(&mut body, fr.bw);
+        put_u16(&mut body, fr.choice);
+        body.push(fr.reserved as u8);
+    }
+    put_u32(&mut body, p.sessions.len() as u32);
+    for s in &p.sessions {
+        put_u64(&mut body, s.client);
+        put_u64(&mut body, s.last_req);
+        put_u32(&mut body, s.reply.len() as u32);
+        body.extend_from_slice(&s.reply);
+    }
+    let mut out = Vec::with_capacity(body.len() + 8);
+    put_u64(&mut out, fnv1a(&body));
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Decode a snapshot blob. Empty input is genesis (default [`Persist`]).
+pub fn decode_snapshot(bytes: &[u8]) -> Result<Persist, SnapshotError> {
+    if bytes.is_empty() {
+        return Ok(Persist::default());
+    }
+    let mut r = Reader::new(bytes);
+    let want = r.u64().map_err(SnapshotError::Decode)?;
+    let body = &bytes[8..];
+    if fnv1a(body) != want {
+        return Err(SnapshotError::Checksum);
+    }
+    let mut r = Reader::new(body);
+    let inner = |r: &mut Reader<'_>| -> Result<Persist, WireError> {
+        let next_flow = r.u64()?;
+        let admission = match r.u8()? {
+            0 => None,
+            _ => {
+                let capacity = r.u64()?;
+                let n = r.u32()? as usize;
+                let mut reserved = Vec::with_capacity(n);
+                for _ in 0..n {
+                    reserved.push(r.u64()?);
+                }
+                let n = r.u32()? as usize;
+                let mut link_up = Vec::with_capacity(n);
+                for _ in 0..n {
+                    link_up.push(r.u8()? != 0);
+                }
+                let n = r.u32()? as usize;
+                let mut rr_spine = Vec::with_capacity(n);
+                for _ in 0..n {
+                    rr_spine.push(r.u16()?);
+                }
+                Some(AdmissionState { capacity, reserved, link_up, rr_spine })
+            }
+        };
+        let n = r.u32()? as usize;
+        let mut flows = Vec::with_capacity(n);
+        for _ in 0..n {
+            let flow = r.u64()?;
+            let cls = r.u8()?;
+            let class = match cls {
+                0 => ReqClass::Guaranteed,
+                1 => ReqClass::BestEffort,
+                _ => return Err(WireError::BadTag { what: "snapshot class", tag: cls }),
+            };
+            flows.push(FlowRec {
+                flow,
+                class,
+                src: r.u32()?,
+                dst: r.u32()?,
+                bw: r.u64()?,
+                choice: r.u16()?,
+                reserved: r.u8()? != 0,
+            });
+        }
+        let n = r.u32()? as usize;
+        let mut sessions = Vec::with_capacity(n);
+        for _ in 0..n {
+            let client = r.u64()?;
+            let last_req = r.u64()?;
+            let len = r.u32()? as usize;
+            sessions.push(SessionRec { client, last_req, reply: r.bytes(len)?.to_vec() });
+        }
+        r.finish()?;
+        Ok(Persist { next_flow, admission, flows, sessions })
+    };
+    inner(&mut r).map_err(SnapshotError::Decode)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<Record> {
+        vec![
+            Record::Setup {
+                client: 1,
+                req: 10,
+                flow: 0,
+                class: ReqClass::Guaranteed,
+                src: 2,
+                dst: 100,
+                bw: 250_000_000,
+                choice: 3,
+                reserved: true,
+            },
+            Record::Setup {
+                client: 2,
+                req: 4,
+                flow: 1,
+                class: ReqClass::BestEffort,
+                src: 9,
+                dst: 77,
+                bw: 1_000_000,
+                choice: 0,
+                reserved: false,
+            },
+            Record::LinkDown { client: 1, req: 11, link: 40 },
+            Record::Teardown { client: 1, req: 12, flow: 0 },
+            Record::LinkUp { client: 2, req: 5, link: 40 },
+        ]
+    }
+
+    #[test]
+    fn journal_roundtrips_and_scan_consumes_everything() {
+        let recs = sample_records();
+        let mut j = Vec::new();
+        for r in &recs {
+            append_record(&mut j, r);
+        }
+        let (got, used) = scan(&j);
+        assert_eq!(got, recs);
+        assert_eq!(used, j.len());
+    }
+
+    #[test]
+    fn scan_tolerates_any_torn_tail() {
+        let recs = sample_records();
+        let mut j = Vec::new();
+        let mut boundaries = vec![0usize];
+        for r in &recs {
+            append_record(&mut j, r);
+            boundaries.push(j.len());
+        }
+        // Whatever byte prefix survives a crash, scan recovers exactly
+        // the records whose full frames are inside it.
+        for cut in 0..=j.len() {
+            let (got, used) = scan(&j[..cut]);
+            let whole = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(got.len(), whole, "cut at {cut}");
+            assert_eq!(used, boundaries[whole]);
+        }
+    }
+
+    #[test]
+    fn scan_stops_at_corruption_keeping_the_prefix() {
+        let recs = sample_records();
+        let mut j = Vec::new();
+        append_record(&mut j, &recs[0]);
+        let first = j.len();
+        append_record(&mut j, &recs[1]);
+        // Flip a bit inside the second record's body.
+        let l = j.len();
+        j[l - 1] ^= 0x80;
+        let (got, used) = scan(&j);
+        assert_eq!(got.len(), 1);
+        assert_eq!(used, first);
+    }
+
+    #[test]
+    fn snapshot_roundtrips() {
+        let p = Persist {
+            next_flow: 17,
+            admission: Some(AdmissionState {
+                capacity: 1_000_000_000,
+                reserved: vec![0, 5, 0, 9],
+                link_up: vec![true, false, true, true],
+                rr_spine: vec![3, 0],
+            }),
+            flows: vec![FlowRec {
+                flow: 16,
+                class: ReqClass::Guaranteed,
+                src: 1,
+                dst: 2,
+                bw: 3,
+                choice: 4,
+                reserved: true,
+            }],
+            sessions: vec![SessionRec { client: 8, last_req: 21, reply: vec![1, 2, 3] }],
+        };
+        let bytes = encode_snapshot(&p);
+        assert_eq!(decode_snapshot(&bytes).unwrap(), p);
+        assert_eq!(decode_snapshot(&[]).unwrap(), Persist::default());
+    }
+
+    #[test]
+    fn snapshot_corruption_is_detected() {
+        let mut bytes = encode_snapshot(&Persist { next_flow: 9, ..Persist::default() });
+        let l = bytes.len();
+        bytes[l - 1] ^= 1;
+        assert_eq!(decode_snapshot(&bytes), Err(SnapshotError::Checksum));
+    }
+}

@@ -1,0 +1,55 @@
+//! dqos-d: a crash-recoverable admission/stamping daemon for the
+//! deadline-based QoS control plane.
+//!
+//! The simulator crates model the *data plane* of the paper (Virtual
+//! Clock stamping, deadline-ordered crossbars). This crate models the
+//! *control plane* a real deployment would need: a daemon that owns the
+//! [`dqos_core::AdmissionController`] and per-flow
+//! [`dqos_core::Stamper`]s, and serves flow setup / teardown / stamp /
+//! query requests over a tiny length-prefixed wire protocol.
+//!
+//! Robustness is the point. Four mechanisms, each independently
+//! testable and all deterministic in virtual time:
+//!
+//! 1. **Deadline-budgeted requests** ([`wire::Request::budget_ns`]):
+//!    the server sheds work it cannot *finish* within the caller's
+//!    budget, refusing early with [`wire::ErrCode::ShedBudget`] instead
+//!    of burning service capacity on an answer the caller will ignore.
+//! 2. **Retry / timeout / backoff** ([`client::Client`]): seeded
+//!    full-jitter exponential backoff over the injected virtual clock,
+//!    bounded retries, byte-identical retransmissions keyed to the
+//!    server's dedup sessions for exactly-once mutations.
+//! 3. **Overload detection and graceful degradation**
+//!    ([`server::Mode`]): queue-depth watermarks plus a served-wait
+//!    EWMA shed best-effort admission first, then degrade to stamp-only
+//!    mode; guaranteed-class admission latency stays budget-bounded
+//!    throughout (the chaos suite asserts it).
+//! 4. **Crash recovery** ([`journal`]): a write-ahead journal of
+//!    admission mutations plus periodic snapshots; a killed daemon
+//!    replays to *bit-identical* control state
+//!    ([`server::Daemon::control_digest`]), verified by the [`chaos`]
+//!    harness killing at seeded instants and sweeping torn-journal byte
+//!    offsets under drop/duplicate/reorder transport faults.
+//!
+//! Tier-1 tests run entirely on the in-process
+//! [`transport::Loopback`]; real sockets ([`transport::socket`]) exist
+//! only behind the `dqosctl serve` path and the socket example, and
+//! nothing else in the workspace may touch `std::net` (the `dqos-tidy`
+//! `net-isolation` rule enforces this).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chaos;
+pub mod client;
+pub mod journal;
+pub mod server;
+pub mod transport;
+pub mod wire;
+
+pub use chaos::{run_soak, verify_recovery_offsets, ChaosError, SoakConfig, SoakReport};
+pub use client::{Client, ClientStats, Event, RetryPolicy};
+pub use journal::{Record, Store};
+pub use server::{Daemon, DaemonConfig, Metrics, Mode, Outgoing, RecoverError, ServiceCosts};
+pub use transport::{Endpoint, FaultSpec, Loopback, LoopbackConfig};
+pub use wire::{ErrCode, Op, Reply, ReqClass, Request, Response};

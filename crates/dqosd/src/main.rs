@@ -1,0 +1,248 @@
+//! `dqosctl` — admin CLI for the dqos-d daemon.
+//!
+//! Offline by default: `demo`, `soak`, and `sweep` run entirely on the
+//! deterministic in-process loopback transport. Only `serve`, `ping`,
+//! and `query` open real sockets, and only when explicitly invoked.
+
+#![forbid(unsafe_code)]
+
+use dqosd::chaos::{run_soak, verify_recovery_offsets, SoakConfig};
+use dqosd::client::{Client, Event, RetryPolicy};
+use dqosd::server::{Daemon, DaemonConfig, Outgoing};
+use dqosd::transport::socket::{roundtrip, SocketServer};
+use dqosd::transport::{Endpoint, Loopback, LoopbackConfig};
+use dqosd::wire::{Op, ReqClass, Request, Response, NO_BUDGET};
+use dqos_sim_core::SimTime;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("demo") => cmd_demo(&args[1..]),
+        Some("soak") => cmd_soak(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("ping") => cmd_oneshot(&args[1..], Op::Ping),
+        Some("query") => cmd_oneshot(&args[1..], Op::Query),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            usage();
+            0
+        }
+        Some(other) => {
+            eprintln!("dqosctl: unknown command `{other}`");
+            usage();
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn usage() {
+    println!(
+        "dqosctl — admin CLI for dqos-d\n\
+         \n\
+         offline commands (no sockets, deterministic per --seed):\n\
+         \x20 demo  [--seed N]               walk a flow lifecycle over loopback\n\
+         \x20 soak  [--seed N] [--overload]  run a chaos soak, print the report\n\
+         \x20 sweep [--seed N] [--offsets N] torn-journal recovery offset sweep\n\
+         \n\
+         socket commands (open real TCP; never used by tests):\n\
+         \x20 serve --addr H:P [--max-requests N]   run a daemon on a socket\n\
+         \x20 ping  --addr H:P                      one-shot ping\n\
+         \x20 query --addr H:P                      one-shot stats query"
+    );
+}
+
+fn flag_u64(args: &[String], name: &str, default: u64) -> u64 {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn flag_str<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Drive one client request to completion over a faultless loopback.
+fn transact(daemon: &mut Daemon, client: &mut Client, now: &mut SimTime, op: Op) -> Response {
+    let mut lb = Loopback::new(LoopbackConfig::default());
+    let frame = match client.begin(*now, op, NO_BUDGET) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("dqosctl: {e}");
+            std::process::exit(1);
+        }
+    };
+    lb.send(*now, Endpoint::Server, frame);
+    let mut out: Vec<Outgoing> = Vec::new();
+    loop {
+        let next = [lb.next_deliver(), daemon.next_wake(), client.deadline()]
+            .into_iter()
+            .flatten()
+            .min();
+        let Some(t) = next else {
+            eprintln!("dqosctl: demo deadlocked (no pending events)");
+            std::process::exit(1);
+        };
+        *now = t;
+        while let Some((at, to, frame)) = lb.pop_due(*now) {
+            match to {
+                Endpoint::Server => daemon.ingest(at, &frame),
+                Endpoint::Client(_) => match client.on_frame(at, &frame) {
+                    Event::Done(resp) => return resp,
+                    Event::Send(f) => lb.send(at, Endpoint::Server, f),
+                    _ => {}
+                },
+            }
+        }
+        daemon.poll(*now, &mut out);
+        for o in out.drain(..) {
+            lb.send(o.at, Endpoint::Client(o.client), o.frame);
+        }
+        if client.deadline().is_some_and(|d| d <= *now) {
+            if let Event::Send(f) = client.on_timer(*now) {
+                lb.send(*now, Endpoint::Server, f);
+            }
+        }
+    }
+}
+
+fn cmd_demo(args: &[String]) -> i32 {
+    let seed = flag_u64(args, "--seed", 1);
+    let mut daemon = Daemon::new(DaemonConfig::default());
+    let mut client = Client::new(1, RetryPolicy::default(), seed);
+    let mut now = SimTime::ZERO;
+
+    println!("dqos-d demo (seed {seed}) — loopback transport, virtual time\n");
+    let setup = Op::Setup {
+        class: ReqClass::Guaranteed,
+        src: 0,
+        dst: 9,
+        bw_bytes_per_sec: 3_000_000,
+    };
+    let resp = transact(&mut daemon, &mut client, &mut now, setup);
+    println!("setup  guaranteed 0->9 @3MB/s : {resp:?}");
+    let flow = match resp.result {
+        Ok(dqosd::wire::Reply::Setup { flow, .. }) => flow,
+        other => {
+            eprintln!("dqosctl: setup failed: {other:?}");
+            return 1;
+        }
+    };
+    for len in [1500u32, 9000, 512] {
+        let resp = transact(&mut daemon, &mut client, &mut now, Op::Stamp { flow, len, parts: 1 });
+        println!("stamp  flow {flow} len {len:>5}    : {resp:?}");
+    }
+    let resp = transact(&mut daemon, &mut client, &mut now, Op::Query);
+    println!("query                        : {resp:?}");
+    let resp = transact(&mut daemon, &mut client, &mut now, Op::Teardown { flow });
+    println!("teardown flow {flow}             : {resp:?}");
+    println!("\nfinal digest {:#018x}, journal {} bytes", daemon.control_digest(), daemon.store().journal.len());
+    0
+}
+
+fn cmd_soak(args: &[String]) -> i32 {
+    let seed = flag_u64(args, "--seed", 1);
+    let cfg = if args.iter().any(|a| a == "--overload") {
+        SoakConfig::overload(seed)
+    } else {
+        SoakConfig::small(seed)
+    };
+    match run_soak(&cfg) {
+        Ok(r) => {
+            println!("soak seed {seed}: digest {:#018x}", r.digest);
+            println!("  clients      completed {} gave_up {} retries {} retryable_errs {}",
+                r.completed, r.gave_up, r.retries, r.retryable_errors);
+            println!("  server       served {} shed_overload {} shed_budget {} duplicates {}",
+                r.served, r.shed_overload, r.shed_budget, r.duplicates);
+            println!("  admissions   {} (p99 {}ns, max {}ns)", r.admits, r.admit_p99_ns, r.admit_max_ns);
+            println!("  transport    dropped {} duplicated {} reordered {}",
+                r.faults.0, r.faults.1, r.faults.2);
+            println!("  durability   journal {}B snapshots {} recoveries {}",
+                r.journal_bytes, r.snapshots, r.recoveries);
+            println!("  flows live   {}", r.flows_live);
+            0
+        }
+        Err(e) => {
+            eprintln!("soak failed: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_sweep(args: &[String]) -> i32 {
+    let seed = flag_u64(args, "--seed", 1);
+    let offsets = flag_u64(args, "--offsets", 32) as u32;
+    match verify_recovery_offsets(&SoakConfig::small(seed), offsets) {
+        Ok(s) => {
+            println!(
+                "sweep seed {seed}: {} offsets checked, {} records replayed, journal {}B — all digests matched",
+                s.offsets_checked, s.records_replayed, s.soak.journal_bytes
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_serve(args: &[String]) -> i32 {
+    let Some(addr) = flag_str(args, "--addr") else {
+        eprintln!("dqosctl serve: --addr HOST:PORT is required");
+        return 2;
+    };
+    let max_requests = flag_u64(args, "--max-requests", 1024);
+    let mut daemon = Daemon::new(DaemonConfig::default());
+    match SocketServer::bind(addr) {
+        Ok(mut srv) => {
+            match srv.local_addr() {
+                Ok(a) => println!("dqos-d listening on {a} (serving up to {max_requests} requests)"),
+                Err(e) => eprintln!("dqos-d listening (addr unavailable: {e})"),
+            }
+            match srv.serve(&mut daemon, max_requests) {
+                Ok(n) => {
+                    println!("served {n} requests; final digest {:#018x}", daemon.control_digest());
+                    0
+                }
+                Err(e) => {
+                    eprintln!("serve error: {e}");
+                    1
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("bind {addr} failed: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_oneshot(args: &[String], op: Op) -> i32 {
+    let Some(addr) = flag_str(args, "--addr") else {
+        eprintln!("dqosctl: --addr HOST:PORT is required");
+        return 2;
+    };
+    let req = Request { client: 0xc11, id: 1, budget_ns: NO_BUDGET, op };
+    match roundtrip(addr, &[req.encode()]) {
+        Ok(frames) => match frames.first().map(|f| Response::decode(f)) {
+            Some(Ok(resp)) => {
+                println!("{resp:?}");
+                0
+            }
+            _ => {
+                eprintln!("dqosctl: undecodable response");
+                1
+            }
+        },
+        Err(e) => {
+            eprintln!("dqosctl: {e}");
+            1
+        }
+    }
+}

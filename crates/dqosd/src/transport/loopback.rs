@@ -1,0 +1,234 @@
+//! Deterministic in-process loopback transport with fault injection.
+//!
+//! Frames travel in virtual time: [`Loopback::send`] schedules delivery
+//! `latency` later, and the driver drains due frames with
+//! [`Loopback::pop_due`]. A seeded RNG injects the three classic
+//! datagram faults — drop, duplicate, reorder (extra delay) — so the
+//! client retry machinery and the server dedup sessions are exercised
+//! by every chaos run, in the spirit of `crates/faults`' impairments
+//! but at the control-plane transport layer.
+//!
+//! Delivery order is total and deterministic: frames are keyed by
+//! `(deliver_at, sequence)` in a BTreeMap, so two frames due at the
+//! same instant deliver in send order regardless of map internals.
+
+use dqos_sim_core::{SimDuration, SimRng, SimTime};
+use std::collections::BTreeMap;
+
+/// Where a frame is headed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Endpoint {
+    /// The daemon.
+    Server,
+    /// A client, by identity.
+    Client(u64),
+}
+
+/// Fault probabilities (each rolled independently per frame).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Probability a frame is silently dropped.
+    pub drop: f64,
+    /// Probability a frame is delivered twice.
+    pub dup: f64,
+    /// Probability a frame takes extra, jittered delay (reordering it
+    /// behind later sends).
+    pub reorder: f64,
+}
+
+impl FaultSpec {
+    /// No faults: every frame delivers exactly once, in order.
+    pub const NONE: FaultSpec = FaultSpec { drop: 0.0, dup: 0.0, reorder: 0.0 };
+}
+
+/// Loopback configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoopbackConfig {
+    /// One-way delivery latency.
+    pub latency: SimDuration,
+    /// Maximum extra delay a reordered frame picks up (uniform).
+    pub reorder_window: SimDuration,
+    /// Fault probabilities.
+    pub faults: FaultSpec,
+    /// RNG seed for the fault rolls.
+    pub seed: u64,
+}
+
+impl Default for LoopbackConfig {
+    fn default() -> Self {
+        LoopbackConfig {
+            latency: SimDuration::from_us(5),
+            reorder_window: SimDuration::from_us(40),
+            faults: FaultSpec::NONE,
+            seed: 0,
+        }
+    }
+}
+
+/// Fault counters (observability for the chaos reports).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Frames dropped.
+    pub dropped: u64,
+    /// Extra copies delivered.
+    pub duplicated: u64,
+    /// Frames delayed into reordering.
+    pub reordered: u64,
+}
+
+/// The in-process transport.
+pub struct Loopback {
+    latency: SimDuration,
+    reorder_window: SimDuration,
+    faults: FaultSpec,
+    rng: SimRng,
+    inflight: BTreeMap<(SimTime, u64), (Endpoint, Vec<u8>)>,
+    seq: u64,
+    /// Fault counters.
+    pub counts: FaultCounts,
+}
+
+impl Loopback {
+    /// Build a transport from its configuration.
+    pub fn new(cfg: LoopbackConfig) -> Loopback {
+        Loopback {
+            latency: cfg.latency,
+            reorder_window: cfg.reorder_window,
+            faults: cfg.faults,
+            rng: SimRng::new(cfg.seed ^ 0x6c6f_6f70_6261_636b),
+            inflight: BTreeMap::new(),
+            seq: 0,
+            counts: FaultCounts::default(),
+        }
+    }
+
+    fn schedule(&mut self, at: SimTime, to: Endpoint, frame: Vec<u8>) {
+        let key = (at, self.seq);
+        self.seq += 1;
+        self.inflight.insert(key, (to, frame));
+    }
+
+    fn jittered_delivery(&mut self, now: SimTime) -> SimTime {
+        let mut at = now + self.latency;
+        if self.rng.chance(self.faults.reorder) {
+            self.counts.reordered += 1;
+            let extra = self.rng.range_u64(0, self.reorder_window.as_ns());
+            at = at + SimDuration::from_ns(extra);
+        }
+        at
+    }
+
+    /// Send a frame at `now`; faults may drop, duplicate, or delay it.
+    pub fn send(&mut self, now: SimTime, to: Endpoint, frame: Vec<u8>) {
+        if self.rng.chance(self.faults.drop) {
+            self.counts.dropped += 1;
+            return;
+        }
+        let duplicate = self.rng.chance(self.faults.dup);
+        let at = self.jittered_delivery(now);
+        if duplicate {
+            self.counts.duplicated += 1;
+            let at2 = self.jittered_delivery(now);
+            self.schedule(at2, to, frame.clone());
+        }
+        self.schedule(at, to, frame);
+    }
+
+    /// The earliest pending delivery instant, if any.
+    pub fn next_deliver(&self) -> Option<SimTime> {
+        self.inflight.keys().next().map(|(t, _)| *t)
+    }
+
+    /// Pop the next frame due at or before `now` (delivery order).
+    pub fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, Endpoint, Vec<u8>)> {
+        let key = *self.inflight.keys().next()?;
+        if key.0 > now {
+            return None;
+        }
+        // tidy: allow(no-unwrap) -- the key was just read from the map.
+        let (to, frame) = self.inflight.remove(&key).expect("key exists");
+        Some((key.0, to, frame))
+    }
+
+    /// Frames still in flight.
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faultless_delivery_is_in_order_and_lossless() {
+        let mut lb = Loopback::new(LoopbackConfig::default());
+        for i in 0..10u8 {
+            lb.send(SimTime::from_us(i as u64), Endpoint::Server, vec![i]);
+        }
+        let mut got = Vec::new();
+        while let Some((_, to, frame)) = lb.pop_due(SimTime::from_ms(1)) {
+            assert_eq!(to, Endpoint::Server);
+            got.push(frame[0]);
+        }
+        assert_eq!(got, (0..10).collect::<Vec<u8>>());
+        assert_eq!(lb.counts, FaultCounts::default());
+    }
+
+    #[test]
+    fn nothing_delivers_before_latency() {
+        let mut lb = Loopback::new(LoopbackConfig::default());
+        lb.send(SimTime::ZERO, Endpoint::Client(3), vec![1]);
+        assert!(lb.pop_due(SimTime::from_us(4)).is_none());
+        let (at, to, _) = lb.pop_due(SimTime::from_us(5)).unwrap();
+        assert_eq!(at, SimTime::from_us(5));
+        assert_eq!(to, Endpoint::Client(3));
+    }
+
+    #[test]
+    fn faults_are_seed_deterministic() {
+        let cfg = LoopbackConfig {
+            faults: FaultSpec { drop: 0.2, dup: 0.2, reorder: 0.3 },
+            seed: 77,
+            ..LoopbackConfig::default()
+        };
+        let run = |cfg: LoopbackConfig| {
+            let mut lb = Loopback::new(cfg);
+            for i in 0..200u64 {
+                lb.send(SimTime::from_us(i), Endpoint::Server, i.to_le_bytes().to_vec());
+            }
+            let mut order = Vec::new();
+            while let Some((at, _, frame)) = lb.pop_due(SimTime::MAX) {
+                order.push((at, frame));
+            }
+            (order, lb.counts)
+        };
+        let (a, ca) = run(cfg);
+        let (b, cb) = run(cfg);
+        assert_eq!(a, b, "same seed, same fault pattern");
+        assert_eq!(ca, cb);
+        assert!(ca.dropped > 0 && ca.duplicated > 0 && ca.reordered > 0);
+        let (c, _) = run(LoopbackConfig { seed: 78, ..cfg });
+        assert_ne!(a, c, "different seed, different pattern");
+    }
+
+    #[test]
+    fn duplicates_add_frames_and_drops_remove_them() {
+        let always_dup = LoopbackConfig {
+            faults: FaultSpec { drop: 0.0, dup: 1.0, reorder: 0.0 },
+            ..LoopbackConfig::default()
+        };
+        let mut lb = Loopback::new(always_dup);
+        lb.send(SimTime::ZERO, Endpoint::Server, vec![9]);
+        assert_eq!(lb.in_flight(), 2);
+
+        let always_drop = LoopbackConfig {
+            faults: FaultSpec { drop: 1.0, dup: 0.0, reorder: 0.0 },
+            ..LoopbackConfig::default()
+        };
+        let mut lb = Loopback::new(always_drop);
+        lb.send(SimTime::ZERO, Endpoint::Server, vec![9]);
+        assert_eq!(lb.in_flight(), 0);
+        assert_eq!(lb.counts.dropped, 1);
+    }
+}

@@ -1,0 +1,14 @@
+//! Transports for the dqos-d wire protocol.
+//!
+//! * [`loopback`] — the deterministic in-process transport every tier-1
+//!   test uses: virtual-time delivery with seeded drop / duplicate /
+//!   reorder fault injection.
+//! * [`socket`] — the only module in the workspace allowed to touch
+//!   `std::net` (enforced by `dqos-tidy`'s `net-isolation` rule): a
+//!   small blocking TCP framing layer used by the `dqosctl serve`
+//!   example path. Nothing in the test suite opens a socket.
+
+pub mod loopback;
+pub mod socket;
+
+pub use loopback::{Endpoint, FaultSpec, Loopback, LoopbackConfig};

@@ -1,0 +1,168 @@
+//! Real-socket transport: the **only** file in the workspace that may
+//! touch `std::net` (the `dqos-tidy` `net-isolation` rule pins this).
+//!
+//! Tier-1 tests never open a socket — everything deterministic runs on
+//! the loopback transport. This module exists for the
+//! `dqosctl serve` / one-shot client paths and the
+//! `examples/dqosd_socket.rs` demo, and is deliberately tiny: blocking
+//! TCP, one connection at a time, `u32`-length-prefixed frames carrying
+//! the same payloads as the loopback transport.
+//!
+//! Time: a socket-served daemon has no simulator driving it, so the
+//! server advances a logical clock by a fixed step per request. The
+//! virtual-time semantics (budgets, service costs, overload modes) are
+//! identical to the loopback path; only the clock source differs.
+
+use crate::server::{Daemon, Outgoing};
+use dqos_sim_core::{SimDuration, SimTime};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+
+/// Upper bound on a frame payload; anything larger is a protocol error.
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// Write one `u32`-length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() as u64 > MAX_FRAME as u64 {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "frame too large"));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame. `Ok(None)` on a clean EOF at a frame boundary.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        let n = r.read(&mut len_bytes[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "torn length prefix"));
+        }
+        filled += n;
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame too large"));
+    }
+    let mut buf = vec![0u8; len as usize];
+    r.read_exact(&mut buf)?;
+    Ok(Some(buf))
+}
+
+/// A blocking TCP server wrapping a [`Daemon`].
+pub struct SocketServer {
+    listener: TcpListener,
+    clock: SimTime,
+    step: SimDuration,
+}
+
+impl SocketServer {
+    /// Bind to `addr` (use port 0 for an ephemeral port; see
+    /// [`SocketServer::local_addr`]).
+    pub fn bind(addr: impl ToSocketAddrs) -> io::Result<SocketServer> {
+        Ok(SocketServer {
+            listener: TcpListener::bind(addr)?,
+            clock: SimTime::ZERO,
+            step: SimDuration::from_us(10),
+        })
+    }
+
+    /// The bound address, for clients of an ephemeral-port server.
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accept connections and serve until `max_requests` requests have
+    /// been ingested (a bound keeps demos and examples terminating).
+    /// One connection is served at a time; requests on a connection are
+    /// pipelined through the daemon in arrival order.
+    pub fn serve(&mut self, daemon: &mut Daemon, max_requests: u64) -> io::Result<u64> {
+        let mut served = 0u64;
+        let mut out: Vec<Outgoing> = Vec::new();
+        while served < max_requests {
+            let (mut conn, _peer) = self.listener.accept()?;
+            loop {
+                let Some(frame) = read_frame(&mut conn)? else { break };
+                self.clock = self.clock + self.step;
+                daemon.ingest(self.clock, &frame);
+                // Drain the daemon completely: in socket mode the wire
+                // round-trip dominates, so service time is collapsed.
+                while let Some(wake) = daemon.next_wake() {
+                    let at = wake.max(self.clock);
+                    daemon.poll(at, &mut out);
+                    if daemon.queue_depth() == 0 {
+                        break;
+                    }
+                }
+                for o in out.drain(..) {
+                    write_frame(&mut conn, &o.frame)?;
+                }
+                served += 1;
+                if served >= max_requests {
+                    break;
+                }
+            }
+        }
+        Ok(served)
+    }
+}
+
+/// One-shot client: connect, send every frame, read one response per
+/// frame sent.
+pub fn roundtrip(addr: impl ToSocketAddrs, frames: &[Vec<u8>]) -> io::Result<Vec<Vec<u8>>> {
+    let mut conn = TcpStream::connect(addr)?;
+    let mut responses = Vec::with_capacity(frames.len());
+    for frame in frames {
+        write_frame(&mut conn, frame)?;
+        match read_frame(&mut conn)? {
+            Some(resp) => responses.push(resp),
+            None => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed before responding",
+                ))
+            }
+        }
+    }
+    Ok(responses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Framing is testable without sockets: `write_frame`/`read_frame`
+    // work over any Read/Write, so the tier-1 suite stays offline.
+    #[test]
+    fn framing_roundtrips_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &[7u8; 300]).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), vec![7u8; 300]);
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn torn_prefix_and_oversize_frames_error() {
+        let mut r: &[u8] = &[1, 0];
+        assert_eq!(read_frame(&mut r).unwrap_err().kind(), io::ErrorKind::UnexpectedEof);
+        let huge = (MAX_FRAME + 1).to_le_bytes();
+        let mut r: &[u8] = &huge;
+        assert_eq!(read_frame(&mut r).unwrap_err().kind(), io::ErrorKind::InvalidData);
+        let mut sink = Vec::new();
+        let big = vec![0u8; MAX_FRAME as usize + 1];
+        assert_eq!(
+            write_frame(&mut sink, &big).unwrap_err().kind(),
+            io::ErrorKind::InvalidInput
+        );
+    }
+}

@@ -1,0 +1,650 @@
+//! The dqos-d wire protocol: a tiny, versioned, length-delimited binary
+//! encoding for requests and responses.
+//!
+//! Framing is the transport's job (the loopback transport carries whole
+//! frames; the socket transport prefixes each frame with a `u32` length).
+//! This module only encodes/decodes frame *payloads*, so the exact same
+//! bytes travel over both transports and every test exercises the real
+//! codec.
+//!
+//! Every request carries a **deadline budget** (nanoseconds of virtual
+//! time the client is willing to wait, [`NO_BUDGET`] for none): the
+//! server sheds work it cannot finish within the budget instead of
+//! serving answers that arrive too late to matter — the control-plane
+//! analogue of the paper's deadline tags on data packets.
+
+use std::fmt;
+
+/// Protocol magic: first byte of every frame.
+pub const MAGIC: u8 = 0xD9;
+/// Protocol version: second byte of every frame.
+pub const VERSION: u8 = 1;
+/// Budget sentinel meaning "no deadline budget".
+pub const NO_BUDGET: u64 = u64::MAX;
+
+/// Which of the paper's class hierarchy a setup request belongs to.
+/// Guaranteed maps to the regulated classes (reserved bandwidth);
+/// best-effort gets a load-balanced fixed path and no reservation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ReqClass {
+    /// Regulated: admission reserves bandwidth on every link of the path.
+    Guaranteed,
+    /// Unregulated: fixed path assignment only, shed first under load.
+    BestEffort,
+}
+
+/// A request operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Liveness probe.
+    Ping,
+    /// Admit a flow from `src` to `dst`.
+    Setup {
+        /// Traffic class (determines shed priority and reservation).
+        class: ReqClass,
+        /// Source host index.
+        src: u32,
+        /// Destination host index.
+        dst: u32,
+        /// Reserved bandwidth (guaranteed) or stamping weight
+        /// (best-effort), bytes/sec.
+        bw_bytes_per_sec: u64,
+    },
+    /// Tear a flow down, releasing its reservation.
+    Teardown {
+        /// The flow id returned by setup.
+        flow: u64,
+    },
+    /// Virtual-Clock stamp one packet of an admitted flow.
+    Stamp {
+        /// The flow id returned by setup.
+        flow: u64,
+        /// Packet length, bytes.
+        len: u32,
+        /// Parts in the enclosing message (frame-spread stamping).
+        parts: u32,
+    },
+    /// Read daemon health and counters.
+    Query,
+    /// Admin: mark a link failed in the admission ledger.
+    FailLink {
+        /// Directed link index.
+        link: u32,
+    },
+    /// Admin: mark a link healthy again.
+    RestoreLink {
+        /// Directed link index.
+        link: u32,
+    },
+}
+
+impl Op {
+    /// Whether this operation mutates durable admission state (and is
+    /// therefore journaled and deduplicated across retries).
+    pub fn mutates(&self) -> bool {
+        matches!(
+            self,
+            Op::Setup { .. } | Op::Teardown { .. } | Op::FailLink { .. } | Op::RestoreLink { .. }
+        )
+    }
+}
+
+/// One client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Stable client identity (the dedup session key).
+    pub client: u64,
+    /// Per-client monotonically increasing request id. Retries reuse the
+    /// id, which is what lets the server deduplicate re-executed
+    /// mutations after crashes or duplicated frames.
+    pub id: u64,
+    /// Deadline budget in virtual nanoseconds ([`NO_BUDGET`] = none).
+    pub budget_ns: u64,
+    /// The operation.
+    pub op: Op,
+}
+
+/// Why the server refused a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrCode {
+    /// Admission failed: every candidate path would oversubscribe.
+    NoCapacity,
+    /// Admission failed: every candidate path crosses a failed link.
+    NoUsablePath,
+    /// The flow id is not (or no longer) registered.
+    UnknownFlow,
+    /// Overload shed: best-effort admission refused while degraded.
+    /// Retryable — back off and try again.
+    ShedOverload,
+    /// The request could not be served within its deadline budget.
+    /// Retryable with a larger budget or after backoff.
+    ShedBudget,
+    /// The daemon is in stamp-only degradation: no new admissions of any
+    /// class. Retryable.
+    StampOnly,
+    /// The link index is out of range for the topology.
+    BadLink,
+    /// The request payload did not decode.
+    Malformed,
+    /// Internal invariant violation (ledger refused a release it granted).
+    Internal,
+}
+
+impl ErrCode {
+    /// Whether a client should retry after backoff: true exactly for the
+    /// load-shedding refusals, which are about the server's current
+    /// state, not about the request being wrong.
+    pub fn retryable(&self) -> bool {
+        matches!(self, ErrCode::ShedOverload | ErrCode::ShedBudget | ErrCode::StampOnly)
+    }
+
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrCode::NoCapacity => 1,
+            ErrCode::NoUsablePath => 2,
+            ErrCode::UnknownFlow => 3,
+            ErrCode::ShedOverload => 4,
+            ErrCode::ShedBudget => 5,
+            ErrCode::StampOnly => 6,
+            ErrCode::BadLink => 7,
+            ErrCode::Malformed => 8,
+            ErrCode::Internal => 9,
+        }
+    }
+
+    fn from_u8(b: u8) -> Result<ErrCode, WireError> {
+        Ok(match b {
+            1 => ErrCode::NoCapacity,
+            2 => ErrCode::NoUsablePath,
+            3 => ErrCode::UnknownFlow,
+            4 => ErrCode::ShedOverload,
+            5 => ErrCode::ShedBudget,
+            6 => ErrCode::StampOnly,
+            7 => ErrCode::BadLink,
+            8 => ErrCode::Malformed,
+            9 => ErrCode::Internal,
+            _ => return Err(WireError::BadTag { what: "err code", tag: b }),
+        })
+    }
+}
+
+impl fmt::Display for ErrCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ErrCode::NoCapacity => "no capacity on any candidate path",
+            ErrCode::NoUsablePath => "every candidate path crosses a failed link",
+            ErrCode::UnknownFlow => "unknown flow id",
+            ErrCode::ShedOverload => "shed: server overloaded (retryable)",
+            ErrCode::ShedBudget => "shed: cannot meet deadline budget (retryable)",
+            ErrCode::StampOnly => "shed: stamp-only degradation (retryable)",
+            ErrCode::BadLink => "link index out of range",
+            ErrCode::Malformed => "malformed request",
+            ErrCode::Internal => "internal ledger inconsistency",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Daemon health and counters, returned by [`Op::Query`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryStats {
+    /// Overload mode: 0 normal, 1 shedding best-effort, 2 stamp-only.
+    pub mode: u8,
+    /// Registered flows.
+    pub flows: u64,
+    /// Control-state digest (admission ledger + flow registry).
+    pub digest: u64,
+    /// Requests served to completion.
+    pub served: u64,
+    /// Requests shed by the overload controller.
+    pub shed_overload: u64,
+    /// Requests shed because their budget could not be met.
+    pub shed_budget: u64,
+    /// Bytes currently in the write-ahead journal.
+    pub journal_bytes: u64,
+    /// Snapshots taken since start.
+    pub snapshots: u64,
+}
+
+/// A successful reply payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// Ping answer.
+    Pong,
+    /// Flow admitted.
+    Setup {
+        /// The new flow id.
+        flow: u64,
+        /// The spine/path choice the admission picked.
+        choice: u16,
+        /// Whether bandwidth was reserved (guaranteed class).
+        reserved: bool,
+    },
+    /// Flow torn down.
+    Teardown,
+    /// Packet stamped.
+    Stamp {
+        /// Assigned deadline, server-clock nanoseconds.
+        deadline_ns: u64,
+        /// Earliest eligible injection time, if smoothing is on.
+        eligible_ns: Option<u64>,
+    },
+    /// Health answer.
+    Query(QueryStats),
+    /// Link state changed.
+    LinkSet,
+}
+
+/// One server response, correlated to the request by `id`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Echo of the request id.
+    pub id: u64,
+    /// Outcome.
+    pub result: Result<Reply, ErrCode>,
+}
+
+/// Why a frame failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame ended before a field was complete.
+    Truncated {
+        /// Bytes the decoder wanted beyond the frame end.
+        needed: usize,
+    },
+    /// A tag byte was not a known discriminant.
+    BadTag {
+        /// Which field carried the tag.
+        what: &'static str,
+        /// The offending byte.
+        tag: u8,
+    },
+    /// Magic or version byte mismatch.
+    BadHeader,
+    /// Bytes were left over after a complete payload.
+    TrailingBytes,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed } => write!(f, "frame truncated ({needed} bytes short)"),
+            WireError::BadTag { what, tag } => write!(f, "bad {what} tag {tag:#04x}"),
+            WireError::BadHeader => write!(f, "bad magic/version header"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after payload"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------------
+// Byte-level helpers
+// ---------------------------------------------------------------------
+
+pub(crate) fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// A bounds-checked little-endian reader over one frame.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated { needed: n })?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated { needed: end - self.buf.len() });
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u16(&mut self) -> Result<u16, WireError> {
+        let s = self.take(2)?;
+        Ok(u16::from_le_bytes([s[0], s[1]]))
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, WireError> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, WireError> {
+        let s = self.take(8)?;
+        Ok(u64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]]))
+    }
+
+    pub(crate) fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        self.take(n)
+    }
+
+    pub(crate) fn finish(&self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Request codec
+// ---------------------------------------------------------------------
+
+const KIND_REQUEST: u8 = 1;
+const KIND_RESPONSE: u8 = 2;
+
+impl Request {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(40);
+        out.push(MAGIC);
+        out.push(VERSION);
+        out.push(KIND_REQUEST);
+        put_u64(&mut out, self.client);
+        put_u64(&mut out, self.id);
+        put_u64(&mut out, self.budget_ns);
+        match &self.op {
+            Op::Ping => out.push(0),
+            Op::Setup { class, src, dst, bw_bytes_per_sec } => {
+                out.push(1);
+                out.push(match class {
+                    ReqClass::Guaranteed => 0,
+                    ReqClass::BestEffort => 1,
+                });
+                put_u32(&mut out, *src);
+                put_u32(&mut out, *dst);
+                put_u64(&mut out, *bw_bytes_per_sec);
+            }
+            Op::Teardown { flow } => {
+                out.push(2);
+                put_u64(&mut out, *flow);
+            }
+            Op::Stamp { flow, len, parts } => {
+                out.push(3);
+                put_u64(&mut out, *flow);
+                put_u32(&mut out, *len);
+                put_u32(&mut out, *parts);
+            }
+            Op::Query => out.push(4),
+            Op::FailLink { link } => {
+                out.push(5);
+                put_u32(&mut out, *link);
+            }
+            Op::RestoreLink { link } => {
+                out.push(6);
+                put_u32(&mut out, *link);
+            }
+        }
+        out
+    }
+
+    /// Decode a frame payload.
+    pub fn decode(buf: &[u8]) -> Result<Request, WireError> {
+        let mut r = Reader::new(buf);
+        if r.u8()? != MAGIC || r.u8()? != VERSION {
+            return Err(WireError::BadHeader);
+        }
+        if r.u8()? != KIND_REQUEST {
+            return Err(WireError::BadTag { what: "frame kind", tag: buf[2] });
+        }
+        let client = r.u64()?;
+        let id = r.u64()?;
+        let budget_ns = r.u64()?;
+        let tag = r.u8()?;
+        let op = match tag {
+            0 => Op::Ping,
+            1 => {
+                let cls = r.u8()?;
+                let class = match cls {
+                    0 => ReqClass::Guaranteed,
+                    1 => ReqClass::BestEffort,
+                    _ => return Err(WireError::BadTag { what: "class", tag: cls }),
+                };
+                Op::Setup {
+                    class,
+                    src: r.u32()?,
+                    dst: r.u32()?,
+                    bw_bytes_per_sec: r.u64()?,
+                }
+            }
+            2 => Op::Teardown { flow: r.u64()? },
+            3 => Op::Stamp { flow: r.u64()?, len: r.u32()?, parts: r.u32()? },
+            4 => Op::Query,
+            5 => Op::FailLink { link: r.u32()? },
+            6 => Op::RestoreLink { link: r.u32()? },
+            _ => return Err(WireError::BadTag { what: "op", tag }),
+        };
+        r.finish()?;
+        Ok(Request { client, id, budget_ns, op })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Response codec
+// ---------------------------------------------------------------------
+
+impl Response {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        out.push(MAGIC);
+        out.push(VERSION);
+        out.push(KIND_RESPONSE);
+        put_u64(&mut out, self.id);
+        match &self.result {
+            Err(code) => out.push(code.to_u8()),
+            Ok(reply) => {
+                out.push(0);
+                match reply {
+                    Reply::Pong => out.push(0),
+                    Reply::Setup { flow, choice, reserved } => {
+                        out.push(1);
+                        put_u64(&mut out, *flow);
+                        put_u16(&mut out, *choice);
+                        out.push(*reserved as u8);
+                    }
+                    Reply::Teardown => out.push(2),
+                    Reply::Stamp { deadline_ns, eligible_ns } => {
+                        out.push(3);
+                        put_u64(&mut out, *deadline_ns);
+                        match eligible_ns {
+                            None => out.push(0),
+                            Some(e) => {
+                                out.push(1);
+                                put_u64(&mut out, *e);
+                            }
+                        }
+                    }
+                    Reply::Query(q) => {
+                        out.push(4);
+                        out.push(q.mode);
+                        put_u64(&mut out, q.flows);
+                        put_u64(&mut out, q.digest);
+                        put_u64(&mut out, q.served);
+                        put_u64(&mut out, q.shed_overload);
+                        put_u64(&mut out, q.shed_budget);
+                        put_u64(&mut out, q.journal_bytes);
+                        put_u64(&mut out, q.snapshots);
+                    }
+                    Reply::LinkSet => out.push(5),
+                }
+            }
+        }
+        out
+    }
+
+    /// Decode a frame payload.
+    pub fn decode(buf: &[u8]) -> Result<Response, WireError> {
+        let mut r = Reader::new(buf);
+        if r.u8()? != MAGIC || r.u8()? != VERSION {
+            return Err(WireError::BadHeader);
+        }
+        if r.u8()? != KIND_RESPONSE {
+            return Err(WireError::BadTag { what: "frame kind", tag: buf[2] });
+        }
+        let id = r.u64()?;
+        let status = r.u8()?;
+        let result = if status != 0 {
+            Err(ErrCode::from_u8(status)?)
+        } else {
+            let tag = r.u8()?;
+            Ok(match tag {
+                0 => Reply::Pong,
+                1 => {
+                    let flow = r.u64()?;
+                    let choice = r.u16()?;
+                    let reserved = r.u8()? != 0;
+                    Reply::Setup { flow, choice, reserved }
+                }
+                2 => Reply::Teardown,
+                3 => {
+                    let deadline_ns = r.u64()?;
+                    let has = r.u8()?;
+                    let eligible_ns = match has {
+                        0 => None,
+                        1 => Some(r.u64()?),
+                        _ => return Err(WireError::BadTag { what: "eligible flag", tag: has }),
+                    };
+                    Reply::Stamp { deadline_ns, eligible_ns }
+                }
+                4 => Reply::Query(QueryStats {
+                    mode: r.u8()?,
+                    flows: r.u64()?,
+                    digest: r.u64()?,
+                    served: r.u64()?,
+                    shed_overload: r.u64()?,
+                    shed_budget: r.u64()?,
+                    journal_bytes: r.u64()?,
+                    snapshots: r.u64()?,
+                }),
+                5 => Reply::LinkSet,
+                _ => return Err(WireError::BadTag { what: "reply", tag }),
+            })
+        };
+        r.finish()?;
+        Ok(Response { id, result })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: Request) {
+        let bytes = req.encode();
+        assert_eq!(Request::decode(&bytes).unwrap(), req);
+    }
+
+    fn roundtrip_resp(resp: Response) {
+        let bytes = resp.encode();
+        assert_eq!(Response::decode(&bytes).unwrap(), resp);
+    }
+
+    #[test]
+    fn request_roundtrips_every_op() {
+        for op in [
+            Op::Ping,
+            Op::Setup {
+                class: ReqClass::Guaranteed,
+                src: 3,
+                dst: 120,
+                bw_bytes_per_sec: 250_000_000,
+            },
+            Op::Setup { class: ReqClass::BestEffort, src: 0, dst: 1, bw_bytes_per_sec: 1 },
+            Op::Teardown { flow: 42 },
+            Op::Stamp { flow: 7, len: 1500, parts: 64 },
+            Op::Query,
+            Op::FailLink { link: 9 },
+            Op::RestoreLink { link: 9 },
+        ] {
+            roundtrip_req(Request { client: 11, id: 99, budget_ns: 5_000_000, op });
+        }
+    }
+
+    #[test]
+    fn response_roundtrips_every_reply_and_error() {
+        for result in [
+            Ok(Reply::Pong),
+            Ok(Reply::Setup { flow: 5, choice: 3, reserved: true }),
+            Ok(Reply::Teardown),
+            Ok(Reply::Stamp { deadline_ns: 123, eligible_ns: None }),
+            Ok(Reply::Stamp { deadline_ns: 123, eligible_ns: Some(100) }),
+            Ok(Reply::Query(QueryStats { mode: 1, flows: 4, ..QueryStats::default() })),
+            Ok(Reply::LinkSet),
+            Err(ErrCode::NoCapacity),
+            Err(ErrCode::ShedOverload),
+            Err(ErrCode::Internal),
+        ] {
+            roundtrip_resp(Response { id: 77, result });
+        }
+    }
+
+    #[test]
+    fn truncated_and_trailing_frames_are_rejected() {
+        let bytes = Request { client: 1, id: 2, budget_ns: NO_BUDGET, op: Op::Query }.encode();
+        for cut in 0..bytes.len() {
+            assert!(Request::decode(&bytes[..cut]).is_err(), "cut at {cut} must fail");
+        }
+        let mut long = bytes.clone();
+        long.push(0);
+        assert_eq!(Request::decode(&long), Err(WireError::TrailingBytes));
+        let mut bad = bytes;
+        bad[0] ^= 0xff;
+        assert_eq!(Request::decode(&bad), Err(WireError::BadHeader));
+    }
+
+    #[test]
+    fn only_shed_errors_are_retryable() {
+        for code in [
+            ErrCode::NoCapacity,
+            ErrCode::NoUsablePath,
+            ErrCode::UnknownFlow,
+            ErrCode::BadLink,
+            ErrCode::Malformed,
+            ErrCode::Internal,
+        ] {
+            assert!(!code.retryable(), "{code:?}");
+        }
+        for code in [ErrCode::ShedOverload, ErrCode::ShedBudget, ErrCode::StampOnly] {
+            assert!(code.retryable(), "{code:?}");
+        }
+    }
+
+    #[test]
+    fn mutating_ops_are_exactly_the_journaled_set() {
+        assert!(Op::Setup {
+            class: ReqClass::Guaranteed,
+            src: 0,
+            dst: 1,
+            bw_bytes_per_sec: 1
+        }
+        .mutates());
+        assert!(Op::Teardown { flow: 0 }.mutates());
+        assert!(Op::FailLink { link: 0 }.mutates());
+        assert!(Op::RestoreLink { link: 0 }.mutates());
+        assert!(!Op::Ping.mutates());
+        assert!(!Op::Query.mutates());
+        assert!(!Op::Stamp { flow: 0, len: 1, parts: 1 }.mutates());
+    }
+}

@@ -8,6 +8,8 @@
 //! [`SimError`]; [`crate::Network::run`] keeps the panicking contract by
 //! unwrapping it.
 
+use crate::flows::AdmissionDiag;
+use dqos_core::TrafficClass;
 use dqos_switch::PortDiag;
 use dqos_sim_core::SimTime;
 use dqos_topology::{Port, SwitchId};
@@ -90,6 +92,10 @@ pub struct StallSnapshot {
     /// Per-host NIC occupancy and VC0/VC1 credit for hosts with queued
     /// packets: `(host, queued, [credits_vc0, credits_vc1])`.
     pub stuck_hosts: Vec<(u32, usize, [u32; 2])>,
+    /// The admission ledger at the stall: per-class admitted bandwidth
+    /// and outstanding reservation count. A stall under heavy admitted
+    /// load reads very differently from one on an idle fabric.
+    pub admission: AdmissionDiag,
 }
 
 impl fmt::Display for StallSnapshot {
@@ -118,7 +124,17 @@ impl fmt::Display for StallSnapshot {
                 credits[0], credits[1]
             )?;
         }
-        Ok(())
+        write!(f, "  admission: {} reservations outstanding", self.admission.outstanding)?;
+        for class in TrafficClass::ALL {
+            let bw = self.admission.admitted_bw[class.idx()];
+            if bw != 0 {
+                write!(f, ", {} {:.3} MB/s", class.name(), bw as f64 / 1e6)?;
+            }
+        }
+        if self.admission.fallbacks != 0 {
+            write!(f, ", {} fallbacks", self.admission.fallbacks)?;
+        }
+        writeln!(f)
     }
 }
 
@@ -201,11 +217,23 @@ mod tests {
                 PortDiag { port: Port(3), vc: 0, credits: 0, input_queued: 1, output_queued: 0 },
             )],
             stuck_hosts: vec![(5, 2, [0, 4096])],
+            admission: AdmissionDiag {
+                admitted_bw: {
+                    let mut bw = [0u64; dqos_core::NUM_CLASSES];
+                    bw[TrafficClass::Multimedia.idx()] = 9_000_000;
+                    bw
+                },
+                outstanding: 3,
+                fallbacks: 1,
+            },
         };
         let s = SimError::Stall(Box::new(snap)).to_string();
         assert!(s.contains("stalled"));
         assert!(s.contains("SwitchId(7)"));
         assert!(s.contains("credits lost"));
         assert!(s.contains("host   5"));
+        assert!(s.contains("3 reservations outstanding"), "{s}");
+        assert!(s.contains("Multimedia 9.000 MB/s"), "{s}");
+        assert!(s.contains("1 fallbacks"), "{s}");
     }
 }

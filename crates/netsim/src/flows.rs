@@ -41,6 +41,7 @@
 
 use dqos_core::{
     AdmissionController, Architecture, DeadlineMode, FlowId, Stamper, StampedTimes, TrafficClass,
+    NUM_CLASSES,
 };
 use dqos_sim_core::{Bandwidth, SimDuration, SimTime};
 use dqos_topology::{FoldedClos, HostId, LinkId, PortPath, Route};
@@ -112,6 +113,21 @@ impl RerouteStats {
         self.readmitted += other.readmitted;
         self.invalidated += other.invalidated;
     }
+}
+
+/// A point-in-time view of the admission ledger, embedded in stall
+/// snapshots (see [`crate::StallSnapshot`]) so "the fabric wedged" comes
+/// with the admission pressure that surrounded it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionDiag {
+    /// Reserved (admitted) bandwidth per traffic class, bytes/s,
+    /// `TrafficClass::idx()`-indexed. Only live reservations count:
+    /// video that fell back to an unregulated path is excluded.
+    pub admitted_bw: [u64; NUM_CLASSES],
+    /// Reserved flows currently outstanding in the ledger.
+    pub outstanding: u64,
+    /// Admissions that fell back to unregulated paths (cumulative).
+    pub fallbacks: u32,
 }
 
 /// Per-host flow state (behind a per-host mutex).
@@ -401,6 +417,26 @@ impl FlowTable {
     /// Run `f` against the admission ledger (diagnostics).
     pub fn with_admission<R>(&self, f: impl FnOnce(&AdmissionController) -> R) -> R {
         f(&locked(&self.dyn_state).admission)
+    }
+
+    /// Admission-side diagnostics: what the ledger holds right now.
+    /// Stall snapshots embed this so a wedged run's error message says
+    /// how much regulated bandwidth was admitted when it died.
+    pub fn admission_diag(&self) -> AdmissionDiag {
+        let mut admitted_bw = [0u64; NUM_CLASSES];
+        let mut outstanding = 0u64;
+        for host in &self.hosts {
+            let host = locked(host);
+            for v in &host.video {
+                if v.reserved {
+                    outstanding += 1;
+                    admitted_bw[TrafficClass::Multimedia.idx()] +=
+                        self.video_bw.as_bytes_per_sec();
+                }
+            }
+        }
+        let fallbacks = locked(&self.dyn_state).fallbacks;
+        AdmissionDiag { admitted_bw, outstanding, fallbacks }
     }
 
     /// The fixed route for an aggregated-class packet from `src` to

@@ -45,7 +45,7 @@ mod runtime;
 pub use collect::Collector;
 pub use config::{ClockOffsets, SimConfig, VideoDeadlines};
 pub use error::{SimError, StallSnapshot, Violation};
-pub use flows::{FlowTable, RerouteStats};
+pub use flows::{AdmissionDiag, FlowTable, RerouteStats};
 pub use experiments::{run_load_sweep, run_one, ExperimentResult, SweepPoint};
 pub use network::{Network, RunSummary};
 pub use dqos_trace::{Trace, TraceSettings};

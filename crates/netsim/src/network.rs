@@ -585,6 +585,7 @@ impl Network {
             Some(ExecError::SameTick { time, .. }) => {
                 return Err(SimError::Stall(Box::new(runtime::stall_snapshot(
                     &res.worlds,
+                    &shared.flows,
                     time,
                     res.events,
                 ))));
@@ -600,6 +601,7 @@ impl Network {
             let last = res.worlds.iter().map(|p| p.last_t).max().unwrap_or(SimTime::ZERO);
             return Err(SimError::Stall(Box::new(runtime::stall_snapshot(
                 &res.worlds,
+                &shared.flows,
                 last,
                 res.events,
             ))));
@@ -619,7 +621,8 @@ impl Network {
             // mode for fault-free configs; an executor error is a sim bug.
             Some(ExecError::App { err, .. }) => panic!("{err}"),
             Some(ExecError::SameTick { time, .. }) => {
-                let snap = runtime::stall_snapshot(&res.worlds, time, res.events);
+                let snap =
+                    runtime::stall_snapshot(&res.worlds, &shared.flows, time, res.events);
                 // tidy: allow(no-unwrap) -- same contract as the App arm:
                 // stalls in a truncated fault-free run are simulator bugs.
                 panic!("{}", SimError::Stall(Box::new(snap)));

@@ -1070,7 +1070,12 @@ impl PartTotals {
 }
 
 /// Where is everything? Taken when a watchdog fires.
-pub(crate) fn stall_snapshot(parts: &[Partition], now: SimTime, events: u64) -> StallSnapshot {
+pub(crate) fn stall_snapshot(
+    parts: &[Partition],
+    flows: &FlowTable,
+    now: SimTime,
+    events: u64,
+) -> StallSnapshot {
     let mut stuck_ports = Vec::new();
     let mut stuck_hosts = Vec::new();
     let mut arena_live = 0usize;
@@ -1116,5 +1121,6 @@ pub(crate) fn stall_snapshot(parts: &[Partition], now: SimTime, events: u64) -> 
         credits_lost,
         stuck_ports,
         stuck_hosts,
+        admission: flows.admission_diag(),
     }
 }

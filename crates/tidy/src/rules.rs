@@ -98,6 +98,11 @@ pub const RULES: &[RuleInfo] = &[
                vec![], .collect()) inside loop bodies: hoist into a reused scratch buffer",
     },
     RuleInfo {
+        id: "net-isolation",
+        what: "no std::net / std::process in sim-crate library code outside the daemon's socket \
+               transport: tests must stay offline-deterministic on the loopback transport",
+    },
+    RuleInfo {
         id: "bad-directive",
         what: "malformed tidy/ordering directive comment",
     },
@@ -123,6 +128,9 @@ pub struct FileClass {
     pub requires_lock_order: bool,
     /// File is on the unsafe allowlist.
     pub allow_unsafe: bool,
+    /// File may touch `std::net`/`std::process` (the daemon's socket
+    /// transport is the only entry).
+    pub allow_net: bool,
 }
 
 impl FileClass {
@@ -134,6 +142,7 @@ impl FileClass {
             is_crate_root: false,
             requires_lock_order: false,
             allow_unsafe: false,
+            allow_net: false,
         }
     }
 }
@@ -225,6 +234,24 @@ pub fn check_source(path: &str, src: &str, class: &FileClass) -> Vec<Finding> {
                     t.line,
                     format!(
                         "`env::{}` makes the run depend on ambient process state",
+                        toks[i + 2].text
+                    ),
+                    &mut supps,
+                );
+            }
+            if sim_code
+                && !class.allow_net
+                && name == "std"
+                && punct(toks, i + 1, "::")
+                && ident_in(toks, i + 2, &["net", "process"])
+            {
+                emit(
+                    "net-isolation",
+                    t.line,
+                    format!(
+                        "`std::{}` in sim-crate library code; real sockets and subprocesses \
+                         live only in the daemon's socket transport — everything else runs \
+                         on the deterministic loopback",
                         toks[i + 2].text
                     ),
                     &mut supps,

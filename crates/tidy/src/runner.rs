@@ -23,6 +23,12 @@ const UNSAFE_ALLOWLIST: &[&str] = &[];
 /// `// tidy: lock-order(...)`.
 const LOCK_ORDER_REQUIRED: &[&str] = &["crates/sim-core/src/exec.rs"];
 
+/// The only library files allowed to touch `std::net`/`std::process`:
+/// the daemon's real-socket transport. Everything else — including the
+/// rest of `dqosd` — runs on the deterministic loopback transport, so
+/// tier-1 tests can never accidentally open a socket.
+const NET_ALLOWLIST: &[&str] = &["crates/dqosd/src/transport/socket.rs"];
+
 /// Classify one workspace-relative path.
 pub fn classify(rel: &str) -> FileClass {
     let crate_name = rel
@@ -41,6 +47,7 @@ pub fn classify(rel: &str) -> FileClass {
         is_crate_root,
         requires_lock_order: LOCK_ORDER_REQUIRED.contains(&rel),
         allow_unsafe: UNSAFE_ALLOWLIST.contains(&rel),
+        allow_net: NET_ALLOWLIST.contains(&rel),
     }
 }
 
@@ -127,5 +134,9 @@ mod tests {
         assert!(!c.is_lib);
         let c = classify("crates/queues/benches/bench.rs");
         assert!(!c.is_lib);
+        let c = classify("crates/dqosd/src/transport/socket.rs");
+        assert!(c.is_sim && c.is_lib && c.allow_net);
+        let c = classify("crates/dqosd/src/server.rs");
+        assert!(c.is_sim && c.is_lib && !c.allow_net);
     }
 }

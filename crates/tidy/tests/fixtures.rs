@@ -197,6 +197,31 @@ fn hot_path_alloc_fires_once_per_allocation() {
 }
 
 #[test]
+fn net_isolation() {
+    assert_pair(
+        "net-isolation",
+        include_str!("fixtures/bad_net_isolation.rs"),
+        include_str!("fixtures/ok_net_isolation.rs"),
+        &FileClass::sim_lib(),
+    );
+}
+
+#[test]
+fn net_isolation_allowlisted_file_is_exempt() {
+    let mut class = FileClass::sim_lib();
+    class.allow_net = true;
+    let findings = run(
+        "socket.rs",
+        include_str!("fixtures/bad_net_isolation.rs"),
+        &class,
+    );
+    assert!(
+        !findings.iter().any(|f| f.rule == "net-isolation"),
+        "allowlisted socket transport must not fire net-isolation; got {findings:?}"
+    );
+}
+
+#[test]
 fn bad_directive() {
     assert_pair(
         "bad-directive",
@@ -233,6 +258,7 @@ fn every_rule_has_a_fixture_pair() {
         "no-print",
         "no-unwrap",
         "hot-path-alloc",
+        "net-isolation",
         "bad-directive",
         "unused-allow",
     ];

@@ -1,0 +1,8 @@
+//! Fixture: library code opening real sockets and spawning processes.
+pub fn listen() -> std::io::Result<std::net::TcpListener> {
+    std::net::TcpListener::bind("127.0.0.1:0")
+}
+
+pub fn shell_out() -> std::io::Result<std::process::Output> {
+    std::process::Command::new("true").output()
+}

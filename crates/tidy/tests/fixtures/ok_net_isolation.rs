@@ -1,0 +1,8 @@
+//! Fixture: frames travel through an injected transport, never a socket.
+pub trait Transport {
+    fn send(&mut self, frame: &[u8]);
+}
+
+pub fn publish(t: &mut impl Transport, frame: &[u8]) {
+    t.send(frame);
+}

@@ -1,0 +1,66 @@
+//! dqos-d over a real localhost socket — the one sanctioned socket demo.
+//!
+//! Everything else in this workspace (every test, every default
+//! `dqosctl` command, the whole chaos harness) runs on the
+//! deterministic in-process loopback transport. This example is the
+//! exception that proves the isolation boundary: it binds a
+//! `SocketServer` on an ephemeral localhost port, serves a daemon from
+//! a background thread, and walks a flow lifecycle through
+//! `roundtrip()` — the same frames, the same daemon state machine,
+//! just carried by TCP instead of the loopback.
+//!
+//! Run with: `cargo run --release --example dqosd_socket`
+
+use dqosd::server::{Daemon, DaemonConfig};
+use dqosd::transport::socket::{roundtrip, SocketServer};
+use dqosd::wire::{Op, Reply, ReqClass, Request, Response, NO_BUDGET};
+
+fn main() {
+    // Port 0: the OS picks a free ephemeral port, so the demo never
+    // collides with anything and never needs configuration.
+    let mut server = match SocketServer::bind("127.0.0.1:0") {
+        Ok(s) => s,
+        Err(e) => {
+            // Sandboxed/offline environments may forbid even localhost
+            // sockets; that is not a failure of the daemon.
+            println!("dqosd_socket: cannot bind a localhost socket ({e}); skipping demo");
+            return;
+        }
+    };
+    let addr = server.local_addr().expect("freshly bound listener has an address");
+    println!("dqos-d listening on {addr}\n");
+
+    // Exactly as many requests as the client below sends.
+    const REQUESTS: u64 = 4;
+    let server_thread = std::thread::spawn(move || {
+        let mut daemon = Daemon::new(DaemonConfig::default());
+        let served = server.serve(&mut daemon, REQUESTS).expect("serve");
+        (served, daemon.control_digest(), daemon.store().journal.len())
+    });
+
+    let req = |id: u64, op: Op| Request { client: 0xde30, id, budget_ns: NO_BUDGET, op }.encode();
+    let frames = vec![
+        req(1, Op::Setup { class: ReqClass::Guaranteed, src: 0, dst: 9, bw_bytes_per_sec: 3_000_000 }),
+        req(2, Op::Stamp { flow: 0, len: 1500, parts: 1 }),
+        req(3, Op::Query),
+        req(4, Op::Teardown { flow: 0 }),
+    ];
+    let labels = ["setup guaranteed 0->9 @3MB/s", "stamp flow 0 len 1500", "query", "teardown flow 0"];
+
+    let replies = roundtrip(addr, &frames).expect("socket roundtrip");
+    for (label, frame) in labels.iter().zip(&replies) {
+        match Response::decode(frame) {
+            Ok(resp) => {
+                let ok = matches!(resp.result, Ok(_));
+                println!("{label:<30} -> {}", if ok { "ok" } else { "error" });
+                if let Ok(Reply::Setup { flow, .. }) = resp.result {
+                    println!("{:<30}    admitted as flow {flow}", "");
+                }
+            }
+            Err(e) => println!("{label:<30} -> undecodable: {e}"),
+        }
+    }
+
+    let (served, digest, journal) = server_thread.join().expect("server thread");
+    println!("\nserver: {served} requests served, journal {journal} bytes, digest {digest:#018x}");
+}

@@ -27,8 +27,11 @@
 #   5. fault_matrix example at DQOS_WORKERS=2: fault-injection smoke
 #      ({link-drop, spine-down, clock-drift} each run serial then
 #      parallel, byte-identical; empty plan perfectly inert).
-#   6. Flight-recorder gates: the paper-conformance and trace-determinism
-#      suites run explicitly (they are the contract for the trace layer),
+#   6. Flight-recorder and daemon gates: the paper-conformance,
+#      trace-determinism, and dqosd-chaos suites run explicitly (the
+#      first two are the contract for the trace layer; the third is the
+#      dqos-d loopback churn soak with mid-churn kill/recover/replay and
+#      the torn-journal offset sweep, all seeded and offline),
 #      then the trace-overhead smoke gate — a bounded-ring traced run
 #      must stay within 1.5x of the untraced wall-clock, a full-capture
 #      run within 2.75x (see examples/trace_overhead.rs for why two
@@ -73,7 +76,7 @@ fi
 
 cargo bench -q --offline -p dqos-bench --bench partition_scaling
 DQOS_WORKERS=2 cargo run --release --offline --example fault_matrix
-cargo test -q --offline --release --test paper_conformance --test trace_determinism
+cargo test -q --offline --release --test paper_conformance --test trace_determinism --test dqosd_chaos
 cargo run --release --offline --example trace_overhead
 cargo run --release --offline --example hotpath_profile \
   || echo "warning: hotpath_profile smoke failed (non-gating)" >&2

@@ -23,6 +23,9 @@
 //! * [`trace`] — the always-compiled, off-by-default flight recorder:
 //!   per-packet lifecycle events, slack attribution for deadline
 //!   misses, JSONL / Chrome `trace_event` exporters.
+//! * [`dqosd`] — the crash-recoverable admission/stamping daemon:
+//!   deadline-budgeted wire protocol, retry/backoff client,
+//!   journal + snapshot recovery, overload shedding, chaos harness.
 //! * [`stats`] / [`sim_core`] — measurement and the discrete-event
 //!   kernel.
 //!
@@ -44,6 +47,7 @@
 
 pub use dqos_core as core;
 pub use dqos_endhost as endhost;
+pub use dqosd;
 pub use dqos_faults as faults;
 pub use dqos_netsim as netsim;
 pub use dqos_queues as queues;

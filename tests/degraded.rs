@@ -15,7 +15,7 @@
 use deadline_qos::core::Architecture;
 use deadline_qos::faults::{FaultPlan, LinkImpairment, LinkSelector, NodeRef};
 use deadline_qos::netsim::{Network, SimConfig, SimError};
-use deadline_qos::sim_core::{SimDuration, SimTime};
+use deadline_qos::sim_core::{SimDuration, SimRng, SimTime};
 use deadline_qos::topology::{ClosParams, FoldedClos};
 
 fn cfg(seed: u64, load: f64) -> SimConfig {
@@ -141,6 +141,116 @@ fn credit_deadlock_trips_the_watchdog() {
         Err(e) => panic!("expected a stall diagnosis, got: {e}"),
         Ok((_, s)) => panic!("run drained despite a total credit leak: {s:?}"),
     }
+}
+
+/// Generate a *valid* random fault plan: every downed spine is repaired
+/// before the drain, at least one spine is never touched (the fabric
+/// always has a usable path), impairment probabilities stay mild, and
+/// credits are never destroyed (credit loss deadlocks by design — the
+/// watchdog test above covers that separately). Within those bounds the
+/// shape is fully seed-driven, including "no faults at all".
+fn fuzz_plan(seed: u64, c: &SimConfig, topo: &FoldedClos) -> FaultPlan {
+    let mut rng = SimRng::new(seed);
+    let spines = c.topology.spines;
+    let n_hosts = topo.n_hosts();
+    let window = (c.warmup + c.measure).as_ns();
+    let mut plan = FaultPlan::new(seed ^ 0xfa_17);
+
+    // Timed spine outages: distinct spines, spine `spines-1` reserved
+    // as the always-up escape path, down in [10%, 50%] of the window
+    // and repaired in (down, 80%].
+    let max_pairs = (spines.saturating_sub(1) as u64).min(2);
+    let n_pairs = rng.range_u64(0, max_pairs);
+    let mut victims: Vec<u16> = Vec::new();
+    for _ in 0..n_pairs {
+        let s = rng.range_u64(0, spines as u64 - 2) as u16;
+        if victims.contains(&s) {
+            continue;
+        }
+        victims.push(s);
+        let down = rng.range_u64(window / 10, window / 2);
+        let up = rng.range_u64(down + 1, window * 4 / 5);
+        plan = plan
+            .spine_down(SimTime::from_ns(down), s, topo)
+            .spine_up(SimTime::from_ns(up), s, topo);
+    }
+
+    // Mild stochastic impairments on leaf-spine cables or host links.
+    for _ in 0..rng.range_u64(0, 2) {
+        let selector = if rng.chance(0.5) {
+            LinkSelector::LeafSpine {
+                leaf: rng.range_u64(0, c.topology.leaves as u64 - 1) as u16,
+                spine: rng.range_u64(0, spines as u64 - 1) as u16,
+            }
+        } else {
+            LinkSelector::HostLink(rng.range_u64(0, n_hosts as u64 - 1) as u32)
+        };
+        plan = plan.impair(LinkImpairment {
+            selector,
+            drop_prob: rng.range_u64(0, 30) as f64 / 1000.0,
+            corrupt_prob: rng.range_u64(0, 20) as f64 / 1000.0,
+            credit_loss_prob: 0.0,
+        });
+    }
+
+    // Clock drift on a few nodes, within the TTD ablation's range.
+    for _ in 0..rng.range_u64(0, 2) {
+        let node = if rng.chance(0.5) {
+            NodeRef::Host(rng.range_u64(0, n_hosts as u64 - 1) as u32)
+        } else {
+            NodeRef::Switch(rng.range_u64(0, c.topology.leaves as u64 - 1) as u32)
+        };
+        let ppm = rng.range_u64(0, 600) as i32 - 300;
+        plan = plan.with_drift(node, ppm);
+    }
+    plan
+}
+
+#[test]
+fn fuzzed_plans_complete_deterministically_without_stalls() {
+    // The seeded-generator smoke over the determinism matrix: every
+    // valid plan must (a) complete without panicking, (b) never trip
+    // the stall watchdog (a valid plan always leaves an escape path and
+    // never leaks credits), (c) keep the conservation accounting, and
+    // (d) reproduce bit-for-bit when re-run.
+    for fuzz_seed in [1u64, 7, 23, 0xFEED] {
+        let c = cfg(0xF0 ^ fuzz_seed, 0.5);
+        let topo = FoldedClos::build(c.topology);
+        let plan = fuzz_plan(fuzz_seed, &c, &topo);
+        let run = || match Network::with_faults(c, &plan).try_run() {
+            Ok(pair) => pair,
+            Err(SimError::Stall(snap)) => {
+                panic!("seed {fuzz_seed}: valid plan stalled the fabric\n{snap}\nplan: {plan:?}")
+            }
+            Err(e) => panic!("seed {fuzz_seed}: {e}\nplan: {plan:?}"),
+        };
+        let (r1, s1) = run();
+        s1.check().unwrap_or_else(|e| panic!("seed {fuzz_seed}: {e}"));
+        assert_eq!(
+            s1.injected_packets,
+            s1.delivered_packets + s1.dropped_packets + s1.corrupted_packets,
+            "seed {fuzz_seed}: conservation"
+        );
+        let (r2, s2) = run();
+        assert_eq!(s1.events, s2.events, "seed {fuzz_seed}: event count diverged");
+        assert_eq!(r1.to_json(), r2.to_json(), "seed {fuzz_seed}: report diverged");
+    }
+}
+
+#[test]
+fn fuzz_generator_empty_roll_is_bit_for_bit_inert() {
+    // When every count in the generator rolls zero the plan is empty,
+    // and an empty plan must be indistinguishable from no fault
+    // machinery at all — same events, same report, no faults section.
+    let c = cfg(0x1E47, 0.5);
+    let topo = FoldedClos::build(c.topology);
+    let empty = FaultPlan { timed: Vec::new(), impairments: Vec::new(), drift: Vec::new(), ..fuzz_plan(0, &c, &topo) };
+    assert!(empty.is_empty());
+    let (r1, s1) = Network::new(c).run();
+    let (r2, s2) = Network::with_faults(c, &empty).run();
+    assert_eq!(s1.events, s2.events);
+    assert_eq!(r1.to_json(), r2.to_json());
+    assert!(r2.faults.is_none());
 }
 
 #[test]

@@ -1,0 +1,86 @@
+//! Tier-1 chaos gate for the dqos-d daemon (DESIGN.md §11).
+//!
+//! The contract this file enforces, end to end over the deterministic
+//! loopback transport (no sockets, no wall clock, no filesystem):
+//!
+//! * a seeded churn soak — many concurrent clients doing flow
+//!   setup/stamp/teardown/query under transport drop/duplicate/reorder
+//!   faults — converges, and mid-churn kill+recover cycles restore the
+//!   admission controller to the **bit-identical** control digest the
+//!   doomed daemon held at the kill point;
+//! * torn-journal recovery: truncating the write-ahead journal at
+//!   arbitrary byte offsets and replaying always reconstructs exactly
+//!   the state of the longest scan-valid record prefix;
+//! * under overload the daemon sheds best-effort work with explicit
+//!   retryable errors while guaranteed-class admission latency stays
+//!   within its deadline budget;
+//! * every one of the above is byte-for-byte reproducible per seed.
+//!
+//! `scripts/check.sh` runs this suite explicitly next to the
+//! paper-conformance and trace-determinism gates.
+
+use dqosd::chaos::{run_soak, verify_recovery_offsets, SoakConfig};
+
+/// Churn soak with kills: completes, recovers exactly `kills` times, and
+/// the whole report is deterministic per seed (and seed-sensitive).
+#[test]
+fn churn_soak_with_kills_is_deterministic_and_recovers() {
+    let cfg = SoakConfig::small(0xD_0A_2026);
+    let a = run_soak(&cfg).expect("soak run 1");
+    let b = run_soak(&cfg).expect("soak run 2");
+
+    // Same seed: bit-identical outcome, down to the journal bytes.
+    assert_eq!(a.digest, b.digest, "control digest must be seed-deterministic");
+    assert_eq!(a.final_store.journal, b.final_store.journal);
+    assert_eq!(
+        (a.completed, a.gave_up, a.retries, a.served, a.faults),
+        (b.completed, b.gave_up, b.retries, b.served, b.faults),
+        "per-seed counters must not drift between runs"
+    );
+
+    // The kill schedule fired mid-churn and every recovery replayed the
+    // journal back to the doomed daemon's exact digest (run_soak errors
+    // with DigestMismatch otherwise).
+    assert_eq!(a.recoveries, cfg.kills, "every scheduled kill must recover");
+    assert!(a.served > 0, "daemon served no requests");
+    assert!(a.completed > 0, "no client operation completed");
+
+    // A different seed must not reproduce the same run.
+    let c = run_soak(&SoakConfig::small(0xD_0A_2027)).expect("soak run 3");
+    assert_ne!(
+        (a.digest, a.served),
+        (c.digest, c.served),
+        "distinct seeds produced identical soak outcomes"
+    );
+}
+
+/// Torn-journal sweep: recovery from every truncation offset lands on the
+/// digest recorded for the longest valid record prefix.
+#[test]
+fn torn_journal_recovery_is_bit_identical_at_every_offset() {
+    let sweep = verify_recovery_offsets(&SoakConfig::small(0xBEE5), 16)
+        .expect("offset sweep");
+    assert!(sweep.offsets_checked >= 16, "sweep checked too few offsets");
+    assert!(sweep.records_replayed > 0, "sweep replayed no journal records");
+    assert!(sweep.soak.journal_bytes > 0, "soak left an empty journal");
+}
+
+/// Overload: best-effort traffic is shed with retryable errors while the
+/// guaranteed class keeps meeting its admission deadline budget.
+#[test]
+fn overload_sheds_best_effort_and_keeps_guaranteed_within_budget() {
+    let cfg = SoakConfig::overload(0x10AD);
+    let r = run_soak(&cfg).expect("overload soak");
+    assert!(r.shed_overload > 0, "overload never shed best-effort work");
+    assert!(
+        r.retryable_errors > 0,
+        "shed requests must surface as explicit retryable errors"
+    );
+    assert!(r.admits > 0, "no guaranteed admission was served");
+    assert!(
+        r.admit_max_ns <= cfg.budget_guaranteed_ns,
+        "guaranteed admission latency {}ns blew the {}ns budget",
+        r.admit_max_ns,
+        cfg.budget_guaranteed_ns
+    );
+}
