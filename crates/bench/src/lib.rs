@@ -336,7 +336,8 @@ pub mod harness {
     }
 
     /// [`write_json`] with arbitrary JSON scalars in the extra entries
-    /// (e.g. the `speedup_valid` boolean of the scaling bench).
+    /// (e.g. the `speedup_valid_workers_{w}` booleans of the scaling
+    /// bench).
     pub fn write_json_values(
         path: &std::path::Path,
         ms: &[Measurement],

@@ -162,6 +162,14 @@ pub enum SimError {
         /// The output port with no downstream.
         port: Port,
     },
+    /// The run configuration cannot execute — e.g. a zero-lookahead
+    /// partition edge, which the free-running executor rejects up front
+    /// because its safe-time ratchet could never advance past such a
+    /// neighbour (erroring beats deadlocking).
+    Config {
+        /// Human-readable description of the rejected configuration.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -180,6 +188,9 @@ impl fmt::Display for SimError {
             }
             SimError::UnwiredPort { switch, port } => {
                 write!(f, "{switch:?} transmits on unwired output port {}", port.idx())
+            }
+            SimError::Config { detail } => {
+                write!(f, "configuration cannot execute: {detail}")
             }
         }
     }

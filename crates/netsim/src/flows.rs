@@ -66,6 +66,7 @@ fn write_locked<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
 }
 
 /// One host's video stream: its stamper and fixed route.
+#[derive(Clone)]
 pub struct VideoFlow {
     /// Flow id (delivery-order domain).
     pub id: FlowId,
@@ -131,6 +132,7 @@ pub struct AdmissionDiag {
 }
 
 /// Per-host flow state (behind a per-host mutex).
+#[derive(Clone)]
 pub struct HostFlows {
     /// Per-stream video flows, indexed by stream id.
     pub video: Vec<VideoFlow>,
@@ -141,6 +143,7 @@ pub struct HostFlows {
 }
 
 /// Admission ledger plus the counters that move with it.
+#[derive(Clone)]
 struct DynState {
     admission: AdmissionController,
     fallbacks: u32,
@@ -148,6 +151,7 @@ struct DynState {
 
 /// All-pairs aggregated routes, `src * n + dst` indexed (`None` on the
 /// diagonal — hosts never send to themselves).
+#[derive(Clone)]
 struct AggTable {
     pairs: Vec<Option<(Route, PortPath)>>,
 }
@@ -168,6 +172,26 @@ pub struct FlowTable {
     uses_deadlines: bool,
     /// Per-stream video bandwidth, kept for degraded-mode re-admission.
     video_bw: Bandwidth,
+}
+
+/// Replicate the table. The free-running executor gives every
+/// partition its own `FlowTable` replica (epoch mutations — link
+/// failures and repairs — are deterministic functions of the plan and
+/// the ledger, so replicas that apply the same epochs stay identical);
+/// cloning locks each interior cell just long enough to copy it.
+impl Clone for FlowTable {
+    fn clone(&self) -> Self {
+        FlowTable {
+            n_hosts: self.n_hosts,
+            video_total: self.video_total,
+            hosts: self.hosts.iter().map(|h| Mutex::new(locked(h).clone())).collect(),
+            agg: RwLock::new(read_locked(&self.agg).clone()),
+            dyn_state: Mutex::new(locked(&self.dyn_state).clone()),
+            video_band: self.video_band.clone(),
+            uses_deadlines: self.uses_deadlines,
+            video_bw: self.video_bw,
+        }
+    }
 }
 
 /// Position of a class inside a (src, dst) aggregated id triple.

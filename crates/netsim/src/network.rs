@@ -19,20 +19,36 @@ use crate::arena::SoaArena;
 use dqos_core::{ClockDomain, TrafficClass, NUM_CLASSES};
 use dqos_endhost::{Nic, NicConfig, Sink};
 use dqos_faults::{CompiledFaults, FaultPlan};
-use dqos_sim_core::{execute, ExecConfig, ExecError, SimDuration, SimRng, SimTime, SplitMix64};
+use dqos_sim_core::{
+    execute, ExecConfig, ExecEdge, ExecError, SimDuration, SimRng, SimTime, SplitMix64, SpscRing,
+};
 use dqos_stats::{FaultClassLoss, FaultReport, Report, StageSlack, TraceClassSlack, TraceReport};
 use dqos_switch::{Switch, SwitchConfig};
 use dqos_topology::{FoldedClos, HostId, NodeId, Port, SwitchId};
 use dqos_trace::{Trace, Tracer};
 use dqos_traffic::{build_host_sources, SourceNode};
-use std::sync::atomic::AtomicBool;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Watchdog limit on events processed at a single timestamp (per
 /// partition): a healthy run's same-tick bursts are bounded by the port
 /// count, so crossing this means a node is rescheduling work without
 /// advancing time.
 const SAME_TICK_LIMIT: u64 = 10_000_000;
+
+/// Word capacity of each executor event ring. A partition-crossing
+/// event record is 5 words (length prefix, timestamp, key, node, one
+/// message word), so one ring holds ~1 600 in-flight crossings before
+/// the producer backpressures — far beyond any leaf↔spine burst the
+/// credit loop admits.
+const EVENT_RING_WORDS: usize = 1 << 13;
+
+/// Word capacity of each packet lane. A lane record is 13 words
+/// (length prefix, lane sequence, 11 packet words), so a lane holds
+/// ~5 000 packets — comfortably above the ~1 600 packet-carrying
+/// records its event ring can hold, which bounds lane occupancy (see
+/// `crate::runtime` module docs). The sizing keeps `wire()`'s
+/// lane-push infallible.
+const LANE_WORDS: usize = 1 << 16;
 
 /// End-of-run diagnostics (the correctness side of a run; the
 /// performance side is the [`Report`]).
@@ -61,15 +77,22 @@ pub struct RunSummary {
     pub admission_fallbacks: u32,
     /// Messages handed to NICs by the generators.
     pub offered_messages: u64,
-    /// Most packets ever simultaneously resident in the partitions'
-    /// struct-of-arrays arenas (summed per-partition high-water marks —
-    /// the run's real pooled-storage footprint). A packet is resident
-    /// from stamping to delivery, so this counts queued and in-flight
-    /// packets alike. It is the only [`RunSummary`] field whose value
-    /// depends on the worker count: a partition-crossing packet leaves
-    /// the sender's arena and re-enters the receiver's, so the peaks
-    /// shift with the partitioning.
+    /// Largest per-partition arena high-water mark: the most packets
+    /// any single partition's struct-of-arrays arena ever held at once
+    /// (a packet is resident from stamping to delivery, so queued and
+    /// in-flight packets count alike). Explicitly a **per-partition
+    /// maximum** — the JSON form carries an `aggregation:
+    /// "per-partition-max"` marker plus the partition count — because
+    /// per-partition peaks occur at different instants and a sum would
+    /// not be a meaningful global footprint. It is the only
+    /// [`RunSummary`] field (besides `partitions`) whose value depends
+    /// on the worker count: a partition-crossing packet leaves the
+    /// sender's arena and re-enters the receiver's, so the peaks shift
+    /// with the partitioning.
     pub peak_in_flight: u64,
+    /// How many partitions the run used (the aggregation width of
+    /// `peak_in_flight`).
+    pub partitions: u64,
     /// Packets dropped at failed or lossy links (fault injection only).
     pub dropped_packets: u64,
     /// Packets discarded at the destination as corrupted (fault
@@ -167,7 +190,16 @@ impl RunSummary {
             ("order_errors", Json::Int(self.order_errors as i128)),
             ("admission_fallbacks", Json::Int(self.admission_fallbacks as i128)),
             ("offered_messages", Json::Int(self.offered_messages as i128)),
-            ("peak_in_flight", Json::Int(self.peak_in_flight as i128)),
+            (
+                // Structured so no reader can mistake the per-partition
+                // maximum for a run-wide sum (the PR-3 caveat).
+                "peak_in_flight",
+                Json::obj(vec![
+                    ("aggregation", Json::Str("per-partition-max".into())),
+                    ("partitions", Json::Int(self.partitions as i128)),
+                    ("max", Json::Int(self.peak_in_flight as i128)),
+                ]),
+            ),
         ];
         for (k, v) in [
             ("dropped_packets", self.dropped_packets),
@@ -192,6 +224,21 @@ impl RunSummary {
         };
         // Fault counters are optional: absent means zero.
         let opt = |k: &str| -> u64 { j.get(k).and_then(|v| v.as_u64()).unwrap_or(0) };
+        // New documents carry a structured per-partition-max object;
+        // pre-refactor caches carried a bare (summed) integer, read
+        // back as a single-partition peak.
+        let (peak, partitions) = match j.get("peak_in_flight") {
+            Some(p) => match p.as_u64() {
+                Some(v) => (v, 1),
+                None => (
+                    p.get("max")
+                        .and_then(|v| v.as_u64())
+                        .ok_or("peak_in_flight object lacks max")?,
+                    p.get("partitions").and_then(|v| v.as_u64()).unwrap_or(1),
+                ),
+            },
+            None => return Err("missing field peak_in_flight".into()),
+        };
         Ok(RunSummary {
             events: u("events")?,
             injected_packets: u("injected_packets")?,
@@ -203,7 +250,8 @@ impl RunSummary {
             order_errors: u("order_errors")?,
             admission_fallbacks: u("admission_fallbacks")? as u32,
             offered_messages: u("offered_messages")?,
-            peak_in_flight: u("peak_in_flight")?,
+            peak_in_flight: peak,
+            partitions,
             dropped_packets: opt("dropped_packets"),
             corrupted_packets: opt("corrupted_packets"),
             credits_lost: opt("credits_lost"),
@@ -464,12 +512,58 @@ impl Network {
         }
         let epochs: Vec<SimTime> = epoch_groups.iter().map(|(t, _)| *t).collect();
 
+        // The partition graph: a directed edge wherever any wire joins
+        // nodes of two partitions (messages ride the wire one way and
+        // credits the reverse way, so both directions always exist
+        // together). With hosts co-partitioned with their leaf, only
+        // leaf↔spine wires can cross. Every edge's lookahead is the
+        // smaller of wire propagation and credit return — the soonest
+        // any message sent now can take effect on the neighbour.
+        let lookahead = cfg.wire_delay.min(cfg.credit_delay);
+        let mut adjacent = vec![false; (w * w) as usize];
+        let mut mark = |a: u32, b: u32| {
+            if a != b {
+                adjacent[(a * w + b) as usize] = true;
+                adjacent[(b * w + a) as usize] = true;
+            }
+        };
+        for h in 0..n_hosts {
+            let end = self.topo.host_out_link(HostId(h));
+            if let NodeId::Switch(sw) = end.peer {
+                mark(part_of[h as usize], part_of[(n_hosts + sw.0) as usize]);
+            }
+        }
+        for s in 0..n_switches {
+            let sid = SwitchId(s);
+            for p in 0..self.topo.switch_ports(sid) {
+                if let Some(end) = self.topo.switch_out_link(sid, Port(p)) {
+                    let peer = match end.peer {
+                        NodeId::Switch(s2) => n_hosts + s2.0,
+                        NodeId::Host(h2) => h2.0,
+                    };
+                    mark(part_of[(n_hosts + s) as usize], part_of[peer as usize]);
+                }
+            }
+        }
+        let mut edges = Vec::new();
+        let mut lanes = Vec::new();
+        let mut lane_of = vec![vec![None; w as usize]; w as usize];
+        for a in 0..w {
+            for b in 0..w {
+                if adjacent[(a * w + b) as usize] {
+                    edges.push(ExecEdge { from: a, to: b, lookahead });
+                    lane_of[a as usize][b as usize] = Some(lanes.len());
+                    lanes.push(SpscRing::new(LANE_WORDS));
+                }
+            }
+        }
+
+        let flows = self.flows;
         let shared = Arc::new(Shared {
             cfg,
             topo: self.topo,
             host_clock: self.host_clock,
             sw_clock: self.sw_clock,
-            flows: self.flows,
             feeder: self.feeder,
             host_feed: self.host_feed,
             source_stop: self.source_stop,
@@ -477,10 +571,9 @@ impl Network {
             part_of: part_of.clone(),
             local_idx,
             faults_enabled: self.faults.enabled(),
-            link_down: (0..n_links).map(|_| AtomicBool::new(false)).collect(),
-            injector: Mutex::new(self.faults.injector()),
             epoch_groups,
-            reroute: Mutex::new(RerouteStats::default()),
+            lanes,
+            lane_of,
         });
 
         let mut parts: Vec<Partition> = (0..w)
@@ -494,6 +587,13 @@ impl Network {
                 arena: SoaArena::with_capacity(1 << 12),
                 collector: Collector::new(cfg.window_start(), cfg.window_end()),
                 faults: self.faults.clone(),
+                flows: flows.clone(),
+                link_down: vec![false; n_links],
+                injector: self.faults.injector(),
+                reroute: RerouteStats::default(),
+                lane_buf: Vec::new(),
+                lane_seq_out: vec![0; w as usize],
+                lane_seq_in: vec![0; w as usize],
                 fault_dropped: [0; NUM_CLASSES],
                 fault_corrupted: [0; NUM_CLASSES],
                 fault_deadline_miss: [0; NUM_CLASSES],
@@ -508,7 +608,7 @@ impl Network {
             .collect();
         for (h, (nic, srcs)) in self.nics.into_iter().zip(self.sources).enumerate() {
             let p = part_of[h] as usize;
-            let sink = Sink::with_bands(&shared.flows.sink_bands(HostId(h as u32)));
+            let sink = Sink::with_bands(&flows.sink_bands(HostId(h as u32)));
             parts[p].host_ids.push(h as u32);
             parts[p].hosts.push(HostState::new(nic, sink, srcs));
         }
@@ -532,7 +632,9 @@ impl Network {
         }
 
         let ecfg = ExecConfig {
-            lookahead: cfg.wire_delay.min(cfg.credit_delay),
+            lookahead,
+            edges: Some(edges),
+            ring_words: EVENT_RING_WORDS,
             epochs,
             horizon,
             same_tick_limit: SAME_TICK_LIMIT,
@@ -585,11 +687,11 @@ impl Network {
             Some(ExecError::SameTick { time, .. }) => {
                 return Err(SimError::Stall(Box::new(runtime::stall_snapshot(
                     &res.worlds,
-                    &shared.flows,
                     time,
                     res.events,
                 ))));
             }
+            Some(ExecError::Config { detail }) => return Err(SimError::Config { detail }),
             None => {}
         }
         let wedged = res.worlds.iter().any(|p| {
@@ -601,7 +703,6 @@ impl Network {
             let last = res.worlds.iter().map(|p| p.last_t).max().unwrap_or(SimTime::ZERO);
             return Err(SimError::Stall(Box::new(runtime::stall_snapshot(
                 &res.worlds,
-                &shared.flows,
                 last,
                 res.events,
             ))));
@@ -621,12 +722,14 @@ impl Network {
             // mode for fault-free configs; an executor error is a sim bug.
             Some(ExecError::App { err, .. }) => panic!("{err}"),
             Some(ExecError::SameTick { time, .. }) => {
-                let snap =
-                    runtime::stall_snapshot(&res.worlds, &shared.flows, time, res.events);
+                let snap = runtime::stall_snapshot(&res.worlds, time, res.events);
                 // tidy: allow(no-unwrap) -- same contract as the App arm:
                 // stalls in a truncated fault-free run are simulator bugs.
                 panic!("{}", SimError::Stall(Box::new(snap)));
             }
+            // tidy: allow(no-unwrap) -- truncated runs use the same
+            // assembled config as try_run; a config error is a sim bug.
+            Some(ExecError::Config { detail }) => panic!("configuration cannot execute: {detail}"),
             None => {}
         }
         let (report, summary, _) = finish(&shared, res.worlds, res.events);
@@ -646,6 +749,12 @@ fn finish(
     let mut totals = PartTotals::default();
     let mut collector: Option<Collector> = None;
     let mut tracers: Vec<Tracer> = Vec::with_capacity(worlds.len());
+    // Every partition's flow-table/reroute replicas hold identical
+    // run-wide totals (each applied every epoch — see crate::runtime),
+    // so partition 0 speaks for all; summing would multiply-count.
+    let reroute = worlds[0].reroute;
+    let admission_fallbacks = worlds[0].flows.admission_fallbacks();
+    let partitions = worlds.len() as u64;
     for p in worlds {
         totals.absorb(&p);
         tracers.push(p.tracer);
@@ -657,8 +766,6 @@ fn finish(
     // Canonical merge: stable sort on (time, node) reconstructs the
     // serial recording order whatever the worker count (see dqos-trace).
     let trace = dqos_trace::merge(tracers, shared.cfg.trace);
-    let reroute =
-        *shared.reroute.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     let summary = RunSummary {
         events,
         injected_packets: totals.injected,
@@ -668,9 +775,10 @@ fn finish(
         residual_packets: totals.residual_nic + totals.residual_sw,
         take_over_total: totals.take_over,
         order_errors: totals.order_errors,
-        admission_fallbacks: shared.flows.admission_fallbacks(),
+        admission_fallbacks,
         offered_messages: totals.offered,
         peak_in_flight: totals.peak_in_flight,
+        partitions,
         dropped_packets: totals.dropped.iter().sum(),
         corrupted_packets: totals.corrupted.iter().sum(),
         credits_lost: totals.credits_lost,

@@ -6,16 +6,18 @@
 //! node models of its hosts and switches — [`dqos_switch::Switch`],
 //! [`dqos_endhost::Nic`], [`dqos_endhost::Sink`] and
 //! [`dqos_traffic::SourceNode`] — plus a private struct-of-arrays
-//! packet arena ([`crate::arena::SoaArena`]), statistics collector, and
-//! fault-impairment RNG streams. Immutable or internally-synchronised
-//! state (topology, clock domains, the flow table, link up/down flags)
-//! lives in one [`Shared`] behind an `Arc`.
+//! packet arena ([`crate::arena::SoaArena`]), statistics collector,
+//! fault-impairment RNG streams, and its own *replica* of every
+//! epoch-mutated table (flow table, link up/down flags, fault
+//! injector). Truly immutable state (topology, clock domains, wiring
+//! maps) lives in one [`Shared`] behind an `Arc`, alongside the
+//! per-edge packet lanes described below.
 //!
 //! # The token hot path
 //!
 //! A packet's full struct enters its partition's arena **once**, at
 //! stamping, and leaves **once**, at delivery (or at a wire drop, or
-//! when boxed across a partition boundary). Everything in between —
+//! when it crosses a partition boundary). Everything in between —
 //! NIC pacing, switch queues, crossbar, transmitters — moves a 40-byte
 //! [`PktTok`] that caches the scheduling-hot fields (deadline, length,
 //! VC, output port). Per hop, the runtime touches the arena only to
@@ -23,19 +25,44 @@
 //! fill action/token scratch buffers owned by the partition, so the
 //! steady-state event loop performs no heap allocation at all.
 //!
+//! # Cross-partition hand-off: event rings plus packet lanes
+//!
+//! A partition-crossing packet is evicted from the sender's arena and
+//! word-encoded onto the *packet lane* — a [`SpscRing`] owned by the
+//! ordered partition pair — while the event itself crosses through the
+//! executor's event ring as a one-word [`Msg`] carrying only
+//! `(src_part, seq)`. Both rings are SPSC and FIFO, and the lane
+//! record is pushed before the event record, so when the receiver
+//! drains an event it [`rehydrates`](PartWorld::rehydrate) the matching
+//! lane record — pops the packet, re-homes it into its own arena, and
+//! rebuilds the token — before the event is merged into its calendar.
+//! No boxing, no locks, no allocation on the steady-state path.
+//!
+//! Lane sizing: a lane holds at most as many packets as its event ring
+//! holds packet-carrying records (the executor backpressures event
+//! pushes, and every drained event immediately pops its lane record),
+//! so a lane sized comfortably above `ring_words / event_record_words`
+//! records can never refuse a push. [`crate::Network`] sizes both.
+//!
 //! # Why the partitioning is exact
 //!
-//! The conservative executor reproduces the serial oracle bit for bit
-//! because every piece of state is either
+//! The free-running conservative executor reproduces the serial oracle
+//! bit for bit because every piece of state is either
 //!
 //! * owned by exactly one node (models, arenas, per-link fault RNG
 //!   streams — each stream is advanced only by the link's sending
 //!   node), so its update order is the node's own event order, which
 //!   the executor fixes to `(time, key)`;
-//! * read-only between epoch fences (clock domains, routes, link
-//!   up/down flags); or
-//! * mutated only at epoch fences with every partition quiescent (the
-//!   fault injector, the admission ledger, reroute statistics).
+//! * immutable for the whole run (clock domains, topology, wiring); or
+//! * a per-partition **replica** mutated only by in-band epoch events
+//!   (the flow table's routes and admission ledger, link up/down
+//!   flags, the fault injector's schedule state). Every replica
+//!   applies every epoch at the same point of its local timeline, and
+//!   each epoch mutation is a deterministic function of (plan, ledger,
+//!   routes, topology) — state the replicas agree on by induction — so
+//!   the replicas never diverge. Stamper state inside the flow table
+//!   does diverge (each replica advances only its own hosts' virtual
+//!   clocks), but no epoch mutation reads it.
 //!
 //! Event keys encode `(sending node, per-node sequence)`, so the merge
 //! order of same-tick events is a pure function of the simulation
@@ -44,33 +71,43 @@
 //! Hosts are co-partitioned with their leaf switch: the only messages
 //! that cross partitions ride leaf↔spine wires, whose latency (wire
 //! propagation or credit return, whichever is smaller) is the
-//! executor's lookahead.
+//! executor's per-edge lookahead.
 
 use crate::arena::SoaArena;
 use crate::collect::Collector;
 use crate::config::SimConfig;
 use crate::error::{SimError, StallSnapshot};
 use crate::flows::{FlowTable, RerouteStats};
-use dqos_core::{ClockDomain, MsgTag, NodeAction, NodeModel, Packet, PktTok, Vc, NUM_CLASSES};
+use dqos_core::{
+    ClockDomain, MsgTag, NodeAction, NodeModel, Packet, PktTok, TrafficClass, Vc, NUM_CLASSES,
+};
 use dqos_endhost::{Nic, Sink};
 use dqos_faults::{CompiledFaults, FaultInjector};
-use dqos_sim_core::{Outbox, PartWorld, SimDuration, SimTime};
+use dqos_sim_core::{Outbox, PartWorld, RingMsg, SimDuration, SimTime, SpscRing};
 use dqos_switch::Switch;
-use dqos_topology::{FoldedClos, HostId, LinkId, NodeId, Port, SwitchId};
+use dqos_topology::{FoldedClos, HostId, LinkId, NodeId, Port, PortPath, SwitchId};
 use dqos_trace::{Event as TraceEvent, EventKind, ModelNote, Tracer};
 use dqos_traffic::{AppMessage, SourceNode};
-use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// A packet on a wire: its 40-byte token when the receiver shares the
-/// sender's partition (the resident packet stays put in the arena), the
-/// boxed full packet when it crosses partitions (an arena slot must be
-/// reclaimed by the partition that filled it, so the packet moves).
+/// sender's partition (the resident packet stays put in the arena), or
+/// a claim ticket when it crosses partitions — the full packet rides
+/// the pair's packet lane and [`PartWorld::rehydrate`] redeems the
+/// ticket into the receiver's arena before the event is handled.
 pub(crate) enum WirePkt {
     /// Same-partition transfer; the full packet stays arena-resident.
     Local(PktTok),
-    /// Cross-partition transfer, packet owned by the message.
-    Boxed(Box<Packet>),
+    /// Cross-partition transfer: the packet is the next unclaimed
+    /// record on the `src_part → receiver` lane. `seq` is the lane's
+    /// push counter, cross-checked at pop (both rings are FIFO, so the
+    /// ticket order and the lane order agree by construction).
+    InFlight {
+        /// The sending partition (names the lane).
+        src_part: u32,
+        /// Lane push sequence number (debug cross-check).
+        seq: u32,
+    },
 }
 
 /// Messages delivered to nodes. Host nodes are ids `[0, n_hosts)`,
@@ -125,6 +162,131 @@ pub(crate) enum Msg {
     },
 }
 
+/// One-word wire format for partition-crossing [`Msg`]s: the variant
+/// tag lives in bits 0..8, small fields pack above it. Only `InFlight`
+/// packet claims ever cross (a `Local` token is by definition
+/// same-partition), so the codec rejects them loudly.
+impl RingMsg for Msg {
+    const MAX_WORDS: usize = 1;
+
+    fn encode(self, out: &mut Vec<u64>) {
+        let w = match self {
+            Msg::SourceFire { idx } => 0 | (idx as u64) << 8,
+            Msg::HostWake => 1,
+            Msg::HostTxDone => 2,
+            Msg::HostCredit { vc, bytes } => 3 | (vc.0 as u64) << 8 | (bytes as u64) << 32,
+            Msg::SwitchArrive { port, pkt: WirePkt::InFlight { src_part, seq } } => {
+                debug_assert!(src_part < 1 << 16, "partition count exceeds the lane tag");
+                4 | (port.0 as u64) << 8 | (src_part as u64) << 16 | (seq as u64) << 32
+            }
+            Msg::SwitchXbarDone { port } => 5 | (port.0 as u64) << 8,
+            Msg::SwitchTxDone { port } => 6 | (port.0 as u64) << 8,
+            Msg::SwitchCredit { port, vc, bytes } => {
+                7 | (port.0 as u64) << 8 | (vc.0 as u64) << 16 | (bytes as u64) << 32
+            }
+            Msg::HostArrive { pkt: WirePkt::InFlight { src_part, seq } } => {
+                debug_assert!(src_part < 1 << 16, "partition count exceeds the lane tag");
+                8 | (src_part as u64) << 16 | (seq as u64) << 32
+            }
+            Msg::SwitchArrive { pkt: WirePkt::Local(_), .. }
+            | Msg::HostArrive { pkt: WirePkt::Local(_) } => {
+                // tidy: allow(no-unwrap) -- Partition::wire() only builds
+                // Local for same-partition receivers, which never encode.
+                unreachable!("a Local token never crosses partitions")
+            }
+        };
+        out.push(w);
+    }
+
+    fn decode(words: &[u64]) -> Self {
+        let w = words[0];
+        let port = Port((w >> 8) as u8);
+        let src_part = ((w >> 16) & 0xFFFF) as u32;
+        let seq = (w >> 32) as u32;
+        match w & 0xFF {
+            0 => Msg::SourceFire { idx: (w >> 8) as u32 },
+            1 => Msg::HostWake,
+            2 => Msg::HostTxDone,
+            3 => Msg::HostCredit { vc: Vc((w >> 8) as u8), bytes: (w >> 32) as u32 },
+            4 => Msg::SwitchArrive { port, pkt: WirePkt::InFlight { src_part, seq } },
+            5 => Msg::SwitchXbarDone { port },
+            6 => Msg::SwitchTxDone { port },
+            7 => Msg::SwitchCredit {
+                port,
+                vc: Vc(((w >> 16) & 0xFF) as u8),
+                bytes: (w >> 32) as u32,
+            },
+            8 => Msg::HostArrive { pkt: WirePkt::InFlight { src_part, seq } },
+            // tidy: allow(no-unwrap) -- the word came from encode() above;
+            // any other tag is memory corruption, not a runtime condition.
+            t => unreachable!("unknown Msg tag {t}"),
+        }
+    }
+}
+
+/// Words per packet-lane record (excluding the sender's sequence word
+/// and the ring's own length prefix). See [`encode_packet`].
+pub(crate) const PKT_WORDS: usize = 11;
+
+/// Word-encode a full [`Packet`] for the lane. Fixed layout, 11 words:
+/// ids and times flat, small fields packed, the interned route as one
+/// byte-packed word (`MAX_ROUTE_HOPS` ≤ 8 ports of one byte each).
+pub(crate) fn encode_packet(pkt: &Packet, out: &mut Vec<u64>) {
+    out.push(pkt.id);
+    out.push(pkt.deadline.as_ns());
+    out.push(pkt.injected_at.as_ns());
+    out.push(pkt.msg.msg_id);
+    out.push(pkt.msg.created_at.as_ns());
+    out.push(pkt.msg.part as u64 | (pkt.msg.parts as u64) << 32);
+    out.push(pkt.flow.0 as u64 | (pkt.len as u64) << 32);
+    out.push(pkt.src.0 as u64 | (pkt.dst.0 as u64) << 32);
+    out.push(
+        pkt.class.idx() as u64
+            | (pkt.hop as u64) << 8
+            | (pkt.corrupted as u64) << 16
+            | (pkt.eligible.is_some() as u64) << 17
+            | (pkt.route.len() as u64) << 24,
+    );
+    let mut ports = 0u64;
+    for i in 0..pkt.route.len() {
+        // tidy: allow(no-unwrap) -- i < route.len() by the loop bound.
+        ports |= (pkt.route.port(i).expect("hop within route").0 as u64) << (8 * i);
+    }
+    out.push(ports);
+    out.push(pkt.eligible.unwrap_or(SimTime::ZERO).as_ns());
+}
+
+/// Inverse of [`encode_packet`].
+pub(crate) fn decode_packet(w: &[u64]) -> Packet {
+    debug_assert_eq!(w.len(), PKT_WORDS, "lane record has a fixed layout");
+    let flags = w[8];
+    let route_len = (flags >> 24) as usize;
+    let mut ports = [Port(0); dqos_topology::MAX_ROUTE_HOPS];
+    for (i, p) in ports.iter_mut().take(route_len).enumerate() {
+        *p = Port((w[9] >> (8 * i)) as u8);
+    }
+    Packet {
+        id: w[0],
+        flow: dqos_core::FlowId((w[6] & 0xFFFF_FFFF) as u32),
+        class: TrafficClass::from_idx((flags & 0xFF) as usize),
+        src: HostId((w[7] & 0xFFFF_FFFF) as u32),
+        dst: HostId((w[7] >> 32) as u32),
+        len: (w[6] >> 32) as u32,
+        deadline: SimTime::from_ns(w[1]),
+        eligible: if flags & (1 << 17) != 0 { Some(SimTime::from_ns(w[10])) } else { None },
+        route: PortPath::new(&ports[..route_len]),
+        hop: ((flags >> 8) & 0xFF) as u8,
+        injected_at: SimTime::from_ns(w[2]),
+        msg: MsgTag {
+            msg_id: w[3],
+            part: (w[5] & 0xFFFF_FFFF) as u32,
+            parts: (w[5] >> 32) as u32,
+            created_at: SimTime::from_ns(w[4]),
+        },
+        corrupted: flags & (1 << 16) != 0,
+    }
+}
+
 /// Who transmits into a given switch input port.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum Feeder {
@@ -134,16 +296,15 @@ pub(crate) enum Feeder {
     Switch(u32, Port),
 }
 
-/// State shared by all partitions: immutable wiring and clocks, plus
-/// the few cross-partition mutables, each either internally
-/// synchronised ([`FlowTable`]) or mutated only at epoch fences with
-/// every partition quiescent (fault state).
+/// State shared by all partitions: immutable wiring, clocks and the
+/// epoch schedule, plus the packet lanes. Nothing here is mutated
+/// after construction except the lane rings, which are SPSC per
+/// ordered partition pair (each end touched by exactly one worker).
 pub(crate) struct Shared {
     pub(crate) cfg: SimConfig,
     pub(crate) topo: FoldedClos,
     pub(crate) host_clock: Vec<ClockDomain>,
     pub(crate) sw_clock: Vec<ClockDomain>,
-    pub(crate) flows: FlowTable,
     /// Who feeds each switch input port.
     pub(crate) feeder: Vec<Vec<Feeder>>,
     /// (leaf switch, leaf output port) feeding each host's delivery link.
@@ -159,18 +320,17 @@ pub(crate) struct Shared {
     /// fault query, keeping fault-free runs identical to pre-fault
     /// builds).
     pub(crate) faults_enabled: bool,
-    /// Per-link down flags, written only at epoch fences (all
-    /// partitions quiescent, fenced by the executor's barrier), read
-    /// on every ship.
-    pub(crate) link_down: Vec<AtomicBool>,
-    /// The timed-fault schedule authority (refcounted link causes).
-    pub(crate) injector: Mutex<FaultInjector>,
     /// Epoch index → indices into the injector's timed schedule firing
     /// at that instant (several plan entries may share a time; the
     /// executor wants strictly ascending epoch times).
     pub(crate) epoch_groups: Vec<(SimTime, Vec<usize>)>,
-    /// Accumulated degraded-mode admission activity.
-    pub(crate) reroute: Mutex<RerouteStats>,
+    /// Packet lanes, one per directed partition edge; parallel to the
+    /// executor's event rings (see the module docs for the sizing and
+    /// ordering contract).
+    pub(crate) lanes: Vec<SpscRing>,
+    /// `lane_of[src_part][dst_part]` → index into `lanes` (`None` off
+    /// the partition graph).
+    pub(crate) lane_of: Vec<Vec<Option<usize>>>,
 }
 
 /// Per-host state owned by a partition.
@@ -238,6 +398,24 @@ pub(crate) struct Partition {
     /// links whose *sending node* lives here are ever advanced, so each
     /// stream has exactly one consumer across all partitions.
     pub(crate) faults: CompiledFaults,
+    /// Replica of the flow table (see the module docs: epoch mutations
+    /// are deterministic, so replicas applying the same epochs agree).
+    pub(crate) flows: FlowTable,
+    /// Replica of the per-link down flags, updated by `on_epoch`.
+    pub(crate) link_down: Vec<bool>,
+    /// Replica of the timed-fault schedule state (refcounted causes).
+    pub(crate) injector: FaultInjector,
+    /// Replica of the degraded-mode admission counters. Every replica
+    /// computes identical totals, so `finish` reads partition 0's.
+    pub(crate) reroute: RerouteStats,
+    /// Scratch for lane encode/decode (no allocation per crossing).
+    pub(crate) lane_buf: Vec<u64>,
+    /// Per-destination-partition lane push counters.
+    pub(crate) lane_seq_out: Vec<u32>,
+    /// Per-source-partition lane pop counters (checked against the
+    /// ticket's `seq` — a mismatch means the lane and event ring
+    /// desynchronised, which the FIFO contract forbids).
+    pub(crate) lane_seq_in: Vec<u32>,
     pub(crate) fault_dropped: [u64; NUM_CLASSES],
     pub(crate) fault_corrupted: [u64; NUM_CLASSES],
     pub(crate) fault_deadline_miss: [u64; NUM_CLASSES],
@@ -288,23 +466,75 @@ impl Partition {
     }
 
     /// Pack a token for transfer to `dst_node`: the token itself when
-    /// local, the arena-evicted boxed packet (header fields synced from
-    /// the token) when it crosses partitions.
+    /// local; when it crosses partitions, the arena-evicted packet
+    /// (header fields synced from the token) is word-encoded onto the
+    /// pair's lane and a claim ticket rides the event ring instead.
     fn wire(&mut self, shared: &Shared, dst_node: u32, tok: PktTok) -> WirePkt {
-        if shared.part_of[dst_node as usize] == self.part {
-            WirePkt::Local(tok)
-        } else {
-            let mut pkt = self.arena.take(tok.slot);
-            pkt.deadline = tok.deadline;
-            pkt.hop = tok.hop;
-            WirePkt::Boxed(Box::new(pkt))
+        let dst_part = shared.part_of[dst_node as usize];
+        if dst_part == self.part {
+            return WirePkt::Local(tok);
         }
+        let mut pkt = self.arena.take(tok.slot);
+        pkt.deadline = tok.deadline;
+        pkt.hop = tok.hop;
+        let seq = self.lane_seq_out[dst_part as usize];
+        self.lane_seq_out[dst_part as usize] = seq.wrapping_add(1);
+        self.lane_buf.clear();
+        self.lane_buf.push(seq as u64);
+        encode_packet(&pkt, &mut self.lane_buf);
+        let lane = shared.lane_of[self.part as usize][dst_part as usize]
+            // tidy: allow(no-unwrap) -- Network::build creates a lane for
+            // every directed partition edge of the topology; a send with
+            // no lane is a partitioning bug.
+            .expect("partition edge has a lane");
+        // Lane capacity covers every packet its event ring can hold
+        // (see the module docs), so a refused push is a sizing bug —
+        // and spinning here could deadlock, so fail loudly instead.
+        assert!(
+            shared.lanes[lane].push(&self.lane_buf),
+            "packet lane {} -> {} overflowed (sizing contract broken)",
+            self.part,
+            dst_part
+        );
+        WirePkt::InFlight { src_part: self.part, seq }
     }
 
-    /// Current up/down state of a directed link (epoch-fenced flags).
+    /// Redeem a claim ticket: pop the next record off the
+    /// `from_part → self` lane and re-home the packet into this
+    /// partition's arena, returning its token. The token's output port
+    /// is the route's port at the current hop — for a delivery (hop
+    /// past the route's end) it is a placeholder the sink never reads.
+    fn claim_from_lane(&mut self, from_part: u32, seq: u32) -> PktTok {
+        let lane = self.shared.lane_of[from_part as usize][self.part as usize]
+            // tidy: allow(no-unwrap) -- a ticket names the lane it was
+            // pushed to; its absence is a partitioning bug.
+            .expect("ticket names an existing lane");
+        let mut buf = std::mem::take(&mut self.lane_buf);
+        let popped = self.shared.lanes[lane].pop(&mut buf);
+        // The lane record is pushed before its event record, and both
+        // rings are FIFO, so the ticket being drained proves its packet
+        // is already in the lane.
+        assert!(popped, "lane {from_part} -> {} empty at claim", self.part);
+        debug_assert_eq!(buf[0] as u32, seq, "lane/event-ring sequence desync");
+        debug_assert_eq!(
+            self.lane_seq_in[from_part as usize],
+            seq,
+            "lane pop order diverged from ticket order"
+        );
+        self.lane_seq_in[from_part as usize] = seq.wrapping_add(1);
+        let pkt = decode_packet(&buf[1..]);
+        buf.clear();
+        self.lane_buf = buf;
+        let slot = self.arena.insert(&pkt);
+        let out = pkt.route.port(pkt.hop as usize).unwrap_or(Port(0));
+        PktTok::of(&pkt, slot, out)
+    }
+
+    /// Current up/down state of a directed link (replica flags, updated
+    /// only by epoch events).
     #[inline]
     fn link_is_down(&self, link: LinkId) -> bool {
-        self.shared.link_down[link.idx()].load(SeqCst)
+        self.link_down[link.idx()]
     }
 
     /// Lazy per-node occupancy sampler: the first event a node handles at
@@ -463,11 +693,11 @@ impl Partition {
         // The route is interned to a `Copy` port path once per flow;
         // stamping it into each packet below is a plain field copy.
         let (flow_id, route, stamps) = match msg.stream {
-            Some(s) => shared.flows.stamp_video(src, s, local, &parts, lead),
+            Some(s) => self.flows.stamp_video(src, s, local, &parts, lead),
             None => {
-                let route = shared.flows.aggregated_path(src, msg.dst);
-                let id = shared.flows.aggregated_flow_id(src, msg.dst, msg.class);
-                let stamps = shared.flows.stamp_aggregated(src, msg.class, local, &parts);
+                let route = self.flows.aggregated_path(src, msg.dst);
+                let id = self.flows.aggregated_flow_id(src, msg.dst, msg.class);
+                let stamps = self.flows.stamp_aggregated(src, msg.class, local, &parts);
                 (id, route, stamps)
             }
         };
@@ -938,14 +1168,10 @@ impl PartWorld for Partition {
             Msg::SwitchArrive { port, pkt } => {
                 let tok = match pkt {
                     WirePkt::Local(t) => t,
-                    WirePkt::Boxed(b) => {
-                        // Re-home a partition-crossing packet: this
-                        // partition's arena takes ownership, and the token
-                        // is rebuilt from the synced header fields.
-                        let pkt = *b;
-                        let slot = self.arena.insert(&pkt);
-                        PktTok::of(&pkt, slot, pkt.current_out_port())
-                    }
+                    // tidy: allow(no-unwrap) -- the executor rehydrates
+                    // every drained message before scheduling it, so a
+                    // ticket can never reach a handler.
+                    WirePkt::InFlight { .. } => unreachable!("tickets are redeemed at drain"),
                 };
                 if self.tracer.on() {
                     self.tracer.record(TraceEvent {
@@ -986,7 +1212,8 @@ impl PartWorld for Partition {
                         p.hop = tok.hop;
                         p
                     }
-                    WirePkt::Boxed(b) => *b,
+                    // tidy: allow(no-unwrap) -- see SwitchArrive above.
+                    WirePkt::InFlight { .. } => unreachable!("tickets are redeemed at drain"),
                 };
                 self.handle_delivery(&shared, node, pkt, now, out);
             }
@@ -994,36 +1221,50 @@ impl PartWorld for Partition {
         Ok(())
     }
 
-    /// Apply one timed-fault instant: flip link state through the shared
-    /// injector (a [`NodeModel`] in its own right), refresh the
-    /// epoch-fenced down flags, and re-route/re-admit flows. The
-    /// executor guarantees every partition is quiescent and exactly one
-    /// partition runs this.
+    /// Apply one timed-fault instant to this partition's replicas: flip
+    /// link state through the private injector (a [`NodeModel`] in its
+    /// own right), refresh the down flags, and re-route/re-admit flows.
+    /// The free-running executor delivers the same epoch sequence to
+    /// **every** partition at the right point of its local timeline;
+    /// each mutation below is a deterministic function of state the
+    /// replicas agree on, so they stay identical (module docs).
     fn on_epoch(&mut self, idx: usize) {
         let shared = Arc::clone(&self.shared);
         let (at, ref timed_idxs) = shared.epoch_groups[idx];
-        let mut inj =
-            shared.injector.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         for &ti in timed_idxs {
-            let (links, down) = inj.on_event(at, ti);
+            let (links, down) = self.injector.on_event(at, ti);
             for &l in &links {
-                shared.link_down[l.idx()].store(down, SeqCst);
+                self.link_down[l.idx()] = down;
             }
             let stats = if down {
-                shared.flows.fail_links(&shared.topo, &links)
+                self.flows.fail_links(&shared.topo, &links)
             } else {
-                shared.flows.restore_links(&shared.topo, &links)
+                self.flows.restore_links(&shared.topo, &links)
             };
-            shared
-                .reroute
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .absorb(stats);
+            self.reroute.absorb(stats);
         }
         debug_assert!(
-            shared.flows.with_admission(|a| a.max_utilization()) <= 1.0,
+            self.flows.with_admission(|a| a.max_utilization()) <= 1.0,
             "degraded re-admission oversubscribed the ledger"
         );
+    }
+
+    /// Redeem a partition-crossing packet ticket at drain time,
+    /// rewriting the message so handlers only ever see `Local` tokens.
+    fn rehydrate(&mut self, from_part: u32, msg: Msg) -> Msg {
+        match msg {
+            Msg::SwitchArrive { port, pkt: WirePkt::InFlight { src_part, seq } } => {
+                debug_assert_eq!(src_part, from_part, "ticket names its sender");
+                let tok = self.claim_from_lane(src_part, seq);
+                Msg::SwitchArrive { port, pkt: WirePkt::Local(tok) }
+            }
+            Msg::HostArrive { pkt: WirePkt::InFlight { src_part, seq } } => {
+                debug_assert_eq!(src_part, from_part, "ticket names its sender");
+                let tok = self.claim_from_lane(src_part, seq);
+                Msg::HostArrive { pkt: WirePkt::Local(tok) }
+            }
+            other => other,
+        }
     }
 }
 
@@ -1059,7 +1300,11 @@ impl PartTotals {
         self.take_over += p.switches.iter().map(|s| s.sw.take_over_total()).sum::<u64>();
         self.order_errors += p.switches.iter().map(|s| s.sw.stats().order_errors).sum::<u64>();
         self.offered += p.offered_messages;
-        self.peak_in_flight += p.arena.high_water() as u64;
+        // Per-partition maximum, not a sum: arena high-water marks of
+        // different partitions peak at different instants, so a sum is
+        // not a meaningful global footprint. The summary reports this
+        // with an explicit per-partition-max aggregation marker.
+        self.peak_in_flight = self.peak_in_flight.max(p.arena.high_water() as u64);
         for c in 0..NUM_CLASSES {
             self.dropped[c] += p.fault_dropped[c];
             self.corrupted[c] += p.fault_corrupted[c];
@@ -1069,13 +1314,10 @@ impl PartTotals {
     }
 }
 
-/// Where is everything? Taken when a watchdog fires.
-pub(crate) fn stall_snapshot(
-    parts: &[Partition],
-    flows: &FlowTable,
-    now: SimTime,
-    events: u64,
-) -> StallSnapshot {
+/// Where is everything? Taken when a watchdog fires. The admission
+/// view comes from partition 0's flow-table replica (all replicas hold
+/// identical ledgers — module docs).
+pub(crate) fn stall_snapshot(parts: &[Partition], now: SimTime, events: u64) -> StallSnapshot {
     let mut stuck_ports = Vec::new();
     let mut stuck_hosts = Vec::new();
     let mut arena_live = 0usize;
@@ -1121,6 +1363,6 @@ pub(crate) fn stall_snapshot(
         credits_lost,
         stuck_ports,
         stuck_hosts,
-        admission: flows.admission_diag(),
+        admission: parts[0].flows.admission_diag(),
     }
 }

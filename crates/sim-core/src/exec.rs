@@ -5,23 +5,72 @@
 //! nodes need. The executor delivers `(time, key, node, message)` events
 //! to the owning partition's [`PartWorld::handle`] in `(time, key)`
 //! order and routes the messages handlers emit — locally by scheduling
-//! straight into the partition's own calendar, remotely by depositing
-//! into the target partition's inbox.
+//! straight into the partition's own calendar, remotely by pushing a
+//! word-encoded record onto the SPSC ring channel of the edge between
+//! the two partitions.
 //!
 //! Two executors share one semantics:
 //!
 //! * **Serial** (`worlds.len() == 1`): a plain calendar loop. This is
 //!   the bit-exact oracle.
-//! * **Conservative parallel**: one `std::thread` per partition,
-//!   synchronised null-message style by a per-wire **lookahead** `L` —
-//!   the minimum latency of any cross-partition message. Each partition
-//!   publishes a clock (a lower bound on anything it may still send);
-//!   a partition may safely process every local event strictly below
-//!   `min(other clocks) + L` **and** below its earliest undrained inbox
-//!   deposit (the bound can rise past an already-made deposit, because
-//!   the depositor's clock moves on once the message is handed over —
-//!   the inbox fence is what keeps such a deposit ahead of every local
-//!   pop it must precede).
+//! * **Free-running conservative parallel**: one `std::thread` per
+//!   partition, synchronised null-message style with **no locks and no
+//!   barriers on the steady-state path**. Each directed partition pair
+//!   that can exchange messages is an *edge* carrying a per-edge
+//!   **lookahead** `L(e)` (the minimum latency of any message crossing
+//!   it), one [`SpscRing`] of event records, and a published **bound**
+//!   — a lower bound (ns) on the timestamp of any record its producer
+//!   may still push. A partition's **safe time** `S` is the minimum of
+//!   its in-edge bounds; after fully draining its in-rings it may
+//!   process every local event strictly below `S`. Bounds advance as
+//!   null-message timestamps: each iteration a partition republishes,
+//!   on every out-edge, `max(previous, min(calendar head, S) + L(e))`
+//!   — so an idle neighbour still ratchets everyone forward, anchored
+//!   by whichever partition holds the earliest real event.
+//!
+//! # Safety argument (why draining below `S` is exact)
+//!
+//! The consumer's iteration order is load-bearing: **read in-edge
+//! bounds (compute `S`), then drain the rings fully, then process
+//! events strictly below `S`.** Any record not caught by the drain was
+//! pushed after the drain finished, hence after the bound read; the
+//! producer contract says every pushed record's timestamp is at least
+//! the bound it had already published, and bounds only rise — so that
+//! record's time is `>= S` and cannot belong to the burst being
+//! processed. Events the producer *did* push before the drain were
+//! merged into the calendar (the calendar itself is the k-way merge of
+//! the inbound streams and local traffic, keyed on the deterministic
+//! `(tick, key)` order), so the pop order below `S` is identical to the
+//! serial oracle's.
+//!
+//! # Termination without a barrier
+//!
+//! Each partition owns a seqlock-style version counter: odd while it
+//! mutates shared-visible state (draining rings, processing, pushing
+//! records, publishing its calendar head), even at rest. A run is over
+//! when a scan observes — with no version moving and none odd — every
+//! published head at or past the stop bound and every ring empty. Any
+//! in-flight work either leaves a record in a ring (ring check fails),
+//! a head below the stop bound (head check fails) or an odd/advanced
+//! version (version check fails). The scan is performed by idle workers
+//! and costs a few dozen atomic loads; the first success publishes a
+//! `done` flag and everyone exits. Errors and panics short-circuit via
+//! a `stop` flag exactly as before — the only lock in this file guards
+//! the cold first-error slot.
+//!
+//! # Epochs
+//!
+//! Global state mutations (timed fault-plan entries) are **epochs**. In
+//! the free-running executor they are *replica-local, in-band control
+//! points*, not rendezvous: every partition holds its own replica of
+//! epoch-mutable state and applies epoch `E` just before handling its
+//! first event at or after `E`'s time (exactly where the serial loop
+//! applies it). Conservative safety makes this sound: when a partition
+//! pops an event at `t >= E` with `t < S`, no event below `S` — and
+//! hence below... `E <= t < S` — can ever arrive, so its replica has
+//! seen everything that precedes the epoch. [`PartWorld::on_epoch`] is
+//! therefore invoked on **every** partition (once per epoch each);
+//! epochs past the last local event fire after the run drains.
 //!
 //! # Determinism
 //!
@@ -29,54 +78,43 @@
 //! order at a shared tick is a pure function of the traffic, not of
 //! thread interleaving. Since a node lives in exactly one partition,
 //! its handler sees its events in the same order under both executors;
-//! any remaining cross-partition shared state must be order-independent
-//! (exact merges, epoch-fenced mutation) — that contract belongs to the
+//! any remaining cross-partition shared state must be replica-local or
+//! order-independent (exact merges) — that contract belongs to the
 //! `PartWorld` implementation and is what keeps reports bit-identical.
-//!
-//! # Epochs
-//!
-//! Global state mutations (timed fault-plan entries) are **epochs**: at
-//! each epoch time `E`, every event strictly before `E` is processed
-//! first, then all partitions rendezvous at a barrier, one leader calls
-//! [`PartWorld::on_epoch`], and processing resumes with events at or
-//! after `E`. The serial loop interleaves epochs at exactly the same
-//! points, so the two executors stay in lockstep.
+
+// tidy: hot-path
 
 use crate::queue::EventQueue;
+use crate::ring::{RingMsg, SpscRing};
 use crate::time::{SimDuration, SimTime};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::SeqCst};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
+// tidy: allow(hot-path-sync) -- the error Mutex below is the cold first-failure slot, never taken on the steady-state path.
 use std::sync::{Mutex, MutexGuard, PoisonError};
-
-// tidy: lock-order(inbox < error)
-//
-// The only locks in this file. `inbox` guards a partition's deposit
-// queue; `error` guards the first-failure slot. They are never held
-// simultaneously today — the declared order says that if they ever
-// are, the inbox lock must be taken first (a depositor mid-transfer
-// must be able to fail without waiting on another failing worker).
 
 /// Lock `m`, recovering the guard from a poisoned mutex. A poisoned
 /// lock means another worker panicked; the `StopOnPanic` guard has
 /// already raised `stop` and `std::thread::scope` will re-raise the
-/// panic on join, so the data behind the lock — diagnostics, deposits
-/// that will never be popped — is still safe to touch on the way out.
+/// panic on join, so the data behind the lock is still safe to touch
+/// on the way out.
+// tidy: allow(hot-path-sync) -- generic cold-path helper; its only caller is the first-error latch.
 fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    // tidy: allow(lock-order) -- generic helper; every call site names the
-    // actual lock being taken, which is what the order check sees.
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// One partition of a partitioned simulation.
 ///
 /// Implementations own the models of their nodes plus (shared, behind
-/// `Sync` wrappers) whatever state crosses partitions. The executor
-/// guarantees `handle` is called with this partition's events in
-/// `(time, key)` order and that `on_epoch` runs with every partition
-/// quiescent (no event below the epoch time anywhere, nothing in
-/// flight) — exactly one partition's `on_epoch` is invoked per epoch.
+/// `Sync` wrappers) whatever read-only state crosses partitions. The
+/// executor guarantees `handle` is called with this partition's events
+/// in `(time, key)` order, and that `on_epoch(i)` runs on **every**
+/// partition exactly once, after all its events strictly before the
+/// epoch time and before any event at or after it — epoch-mutable
+/// state must therefore be replicated per partition, with each replica
+/// deterministically applying the same mutation.
 pub trait PartWorld: Send {
-    /// Message payload delivered to nodes.
-    type Msg: Send;
+    /// Message payload delivered to nodes. The [`RingMsg`] codec is how
+    /// it crosses partitions (word-encoded through an [`SpscRing`]).
+    type Msg: Send + RingMsg;
     /// Application-level error a handler can raise.
     type Err: Send;
     /// Schedule the initial events (runs once, before the clock moves).
@@ -89,16 +127,54 @@ pub trait PartWorld: Send {
         msg: Self::Msg,
         out: &mut Outbox<'_, Self::Msg>,
     ) -> Result<(), Self::Err>;
-    /// Apply the `idx`-th epoch (called on one partition, all quiescent).
+    /// Apply the `idx`-th epoch to this partition's replica of the
+    /// epoch-mutable state (called on every partition, in epoch order).
     fn on_epoch(&mut self, idx: usize);
+    /// Hook invoked for every cross-partition message as it is drained
+    /// from `from_part`'s ring, before it enters the calendar. The
+    /// default is the identity; `dqos-netsim` uses it to pull the
+    /// matching evicted packet off the edge's packet lane and re-home
+    /// it into the local arena.
+    fn rehydrate(&mut self, from_part: u32, msg: Self::Msg) -> Self::Msg {
+        let _ = from_part;
+        msg
+    }
+}
+
+/// A directed communication edge between two partitions.
+///
+/// Only pairs that can actually exchange messages need an edge; absent
+/// edges do not constrain each other's safe time (a big win over a
+/// single global lookahead when the topology is sparse). Sending to a
+/// partition with no edge is a caller bug and fails the run with
+/// [`ExecError::Config`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecEdge {
+    /// Producing partition.
+    pub from: u32,
+    /// Consuming partition.
+    pub to: u32,
+    /// Minimum latency of any message on this edge. Must be positive:
+    /// a zero-lookahead edge cannot ratchet and the configuration is
+    /// rejected with [`ExecError::Config`] instead of deadlocking.
+    pub lookahead: SimDuration,
 }
 
 /// Executor configuration.
 #[derive(Debug, Clone)]
 pub struct ExecConfig {
-    /// Minimum latency of any cross-partition message, in ns. Must be
+    /// Minimum latency of any cross-partition message, in ns. Used as
+    /// the lookahead of every edge when `edges` is `None`; must be
     /// positive when more than one partition runs.
     pub lookahead: SimDuration,
+    /// Explicit communication edges with per-edge lookahead. `None`
+    /// builds the complete digraph over partitions using `lookahead`.
+    pub edges: Option<Vec<ExecEdge>>,
+    /// Word capacity of each edge's event ring (rounded up to a power
+    /// of two). Small rings still run exactly — a full ring is
+    /// backpressure, not an error — they just hand off in smaller
+    /// batches.
+    pub ring_words: usize,
     /// Times of global state mutations, strictly ascending.
     pub epochs: Vec<SimTime>,
     /// Process no event after this time (inclusive); `None` runs to
@@ -131,6 +207,12 @@ pub enum ExecError<E> {
         /// The timestamp time stopped advancing at.
         time: SimTime,
     },
+    /// The configuration cannot run (e.g. a zero-lookahead edge, which
+    /// would deadlock the conservative ratchet instead of progressing).
+    Config {
+        /// Human-readable description of the rejected configuration.
+        detail: String,
+    },
 }
 
 /// What [`execute`] returns: the worlds (back from the worker threads,
@@ -151,8 +233,8 @@ pub struct ExecResult<W: PartWorld> {
 }
 
 /// Routes messages emitted by a handler: local ones go straight into
-/// the partition's calendar, remote ones are staged for deposit into
-/// the target partition's inbox.
+/// the partition's calendar, remote ones are staged for ring push once
+/// the handler returns.
 pub struct Outbox<'a, M> {
     part: u32,
     part_of: &'a [u32],
@@ -183,76 +265,49 @@ impl<M> Outbox<'_, M> {
     }
 }
 
-/// Per-partition synchronisation slot.
-struct Slot<M> {
-    /// Messages deposited by other partitions, not yet in the calendar.
-    inbox: Mutex<Vec<(u32, SimTime, u64, M)>>,
-    /// Lower bound (ns) on any event this partition may still process —
-    /// and therefore, plus the lookahead, on anything it may still
-    /// send. `u64::MAX` when idle with an empty calendar.
-    clock: AtomicU64,
-    /// Earliest undrained inbox deposit (ns); `u64::MAX` when none. The
-    /// owner must not pop a local event at or past this time — the
-    /// deposit has to be merged into the calendar first, both for the
-    /// same-tick key order and because the owner's burst bound can
-    /// legitimately rise past it (the depositor's published clock moves
-    /// on once the deposit is made).
-    inbox_min: AtomicU64,
+/// One directed channel of the free-running executor.
+struct Chan {
+    /// Word-encoded event records: `[at_ns, key, node, msg...]`.
+    ring: SpscRing,
+    /// Lower bound (ns) on the timestamp of any record the producer may
+    /// still push — the null-message channel clock. Monotone
+    /// non-decreasing; written only by the producing partition.
+    bound: AtomicU64,
+    /// Producing partition (passed to [`PartWorld::rehydrate`]).
+    src: u32,
+    /// Lookahead of this edge, in ns.
+    lookahead: u64,
 }
 
-struct Ctl<M> {
-    slots: Vec<Slot<M>>,
-    /// Total cross-partition deposits ever made. A scan of the clocks
-    /// is a valid snapshot iff this is unchanged across it (clocks only
-    /// move down when a deposit happens).
-    sent: AtomicU64,
-    epoch_idx: AtomicUsize,
+/// Shared control block of the free-running executor.
+struct Ctl {
+    chans: Vec<Chan>,
+    /// `out_of[p][q]` — channel index of the edge `p -> q`, if any.
+    out_of: Vec<Vec<Option<usize>>>,
+    /// `in_of[p]` — channel indices of the edges into `p`.
+    in_of: Vec<Vec<usize>>,
+    /// `outs[p]` — channel indices of the edges out of `p`.
+    outs: Vec<Vec<usize>>,
+    /// Published calendar head (ns) of each partition: the earliest
+    /// local event it has yet to process, `u64::MAX` when drained.
+    /// Read only by the termination scan.
+    head: Vec<AtomicU64>,
+    /// Seqlock-style per-partition version: odd while the partition is
+    /// mutating shared-visible state, even at rest. Monotone.
+    ver: Vec<AtomicU64>,
+    /// Set by the first successful termination scan.
+    done: AtomicBool,
+    /// Set on error or panic; short-circuits every worker.
     stop: AtomicBool,
-    barrier: StopBarrier,
-}
-
-/// A reusable spinning rendezvous that can be abandoned: waiters bail
-/// out when the stop flag is raised, so a partition that dies (handler
-/// error, panic) can never strand the others inside the barrier the way
-/// a `std::sync::Barrier` would.
-struct StopBarrier {
-    n: usize,
-    count: AtomicUsize,
-    gen: AtomicUsize,
-}
-
-impl StopBarrier {
-    fn new(n: usize) -> Self {
-        Self { n, count: AtomicUsize::new(0), gen: AtomicUsize::new(0) }
-    }
-
-    /// Rendezvous with the other `n - 1` workers. Returns `Some(true)`
-    /// on exactly one worker per generation (the leader), `Some(false)`
-    /// on the rest, `None` if the wait was abandoned because `stop` was
-    /// raised (the barrier must not be reused after that).
-    fn wait(&self, stop: &AtomicBool) -> Option<bool> {
-        let gen = self.gen.load(SeqCst);
-        if self.count.fetch_add(1, SeqCst) + 1 == self.n {
-            self.count.store(0, SeqCst);
-            self.gen.store(gen.wrapping_add(1), SeqCst);
-            return Some(true);
-        }
-        while self.gen.load(SeqCst) == gen {
-            if stop.load(SeqCst) {
-                return None;
-            }
-            std::thread::yield_now();
-        }
-        Some(false)
-    }
 }
 
 /// Run a partitioned simulation to completion.
 ///
 /// `worlds.len()` is the partition count; one world runs the serial
-/// oracle loop, several run the conservative parallel executor (which
-/// requires a positive lookahead). Panics on configuration errors;
-/// simulation-level failures come back in [`ExecResult::error`].
+/// oracle loop, several run the free-running conservative executor.
+/// Panics on caller bugs (bad `part_of`, unsorted epochs); rejected
+/// configurations (zero lookahead) and simulation-level failures come
+/// back in [`ExecResult::error`].
 pub fn execute<W: PartWorld>(mut worlds: Vec<W>, cfg: ExecConfig) -> ExecResult<W> {
     assert!(!worlds.is_empty(), "at least one partition");
     assert!(
@@ -290,11 +345,53 @@ pub fn execute<W: PartWorld>(mut worlds: Vec<W>, cfg: ExecConfig) -> ExecResult<
         let (events, error) = run_serial(world, queue, &cfg);
         return ExecResult { worlds, events, events_per_part: vec![events], error };
     }
-    assert!(
-        cfg.lookahead > SimDuration::ZERO,
-        "parallel execution needs a positive lookahead"
-    );
+    if let Some(detail) = validate_edges(&cfg, n_parts) {
+        return ExecResult {
+            worlds,
+            events: 0,
+            events_per_part: vec![0; n_parts],
+            error: Some(ExecError::Config { detail }),
+        };
+    }
     run_parallel(worlds, queues, &cfg)
+}
+
+/// Reject configurations that cannot ratchet. Returns the reason.
+fn validate_edges(cfg: &ExecConfig, n_parts: usize) -> Option<String> {
+    match &cfg.edges {
+        None => {
+            if cfg.lookahead <= SimDuration::ZERO {
+                return Some(
+                    "parallel execution needs a positive lookahead (a zero-lookahead \
+                     neighbour can never be waited out — the safe-time ratchet would \
+                     deadlock)"
+                        .to_string(),
+                );
+            }
+        }
+        Some(edges) => {
+            for e in edges {
+                if (e.from as usize) >= n_parts || (e.to as usize) >= n_parts {
+                    return Some(format!(
+                        "edge {} -> {} references a partition that has no world",
+                        e.from, e.to
+                    ));
+                }
+                if e.from == e.to {
+                    return Some(format!("self-edge on partition {}", e.from));
+                }
+                if e.lookahead <= SimDuration::ZERO {
+                    return Some(format!(
+                        "zero-lookahead edge {} -> {}: the safe-time ratchet would \
+                         deadlock (every neighbour needs a positive minimum message \
+                         latency)",
+                        e.from, e.to
+                    ));
+                }
+            }
+        }
+    }
+    None
 }
 
 /// The serial oracle loop: one calendar, inline epochs.
@@ -357,14 +454,62 @@ fn run_serial<W: PartWorld>(
     (events, None)
 }
 
-/// The conservative parallel executor.
+/// Build the control block: channels for every configured edge (or the
+/// complete digraph), bounds initialised from the global minimum seeded
+/// head — a valid lower bound on anything any partition can ever send.
+fn build_ctl(cfg: &ExecConfig, n_parts: usize, init_heads: &[u64]) -> Ctl {
+    let h0 = init_heads.iter().copied().min().unwrap_or(u64::MAX);
+    let mut chans = Vec::new();
+    let mut out_of = vec![vec![None; n_parts]; n_parts];
+    let mut in_of = vec![Vec::new(); n_parts];
+    let mut outs = vec![Vec::new(); n_parts];
+    let mut add = |from: u32, to: u32, lookahead: u64| {
+        let idx = chans.len();
+        chans.push(Chan {
+            ring: SpscRing::new(cfg.ring_words),
+            bound: AtomicU64::new(h0.saturating_add(lookahead)),
+            src: from,
+            lookahead,
+        });
+        out_of[from as usize][to as usize] = Some(idx);
+        in_of[to as usize].push(idx);
+        outs[from as usize].push(idx);
+    };
+    match &cfg.edges {
+        Some(edges) => {
+            for e in edges {
+                add(e.from, e.to, e.lookahead.as_ns());
+            }
+        }
+        None => {
+            for p in 0..n_parts as u32 {
+                for q in 0..n_parts as u32 {
+                    if p != q {
+                        add(p, q, cfg.lookahead.as_ns());
+                    }
+                }
+            }
+        }
+    }
+    Ctl {
+        chans,
+        out_of,
+        in_of,
+        outs,
+        head: init_heads.iter().map(|&h| AtomicU64::new(h)).collect(),
+        ver: (0..n_parts).map(|_| AtomicU64::new(0)).collect(),
+        done: AtomicBool::new(false),
+        stop: AtomicBool::new(false),
+    }
+}
+
+/// The free-running conservative parallel executor.
 fn run_parallel<W: PartWorld>(
     worlds: Vec<W>,
     queues: Vec<EventQueue<(u32, W::Msg)>>,
     cfg: &ExecConfig,
 ) -> ExecResult<W> {
     let n_parts = worlds.len();
-    let lookahead = cfg.lookahead.as_ns();
     // Process strictly below this; `horizon` itself is still processed.
     let stop_bound = match cfg.horizon {
         Some(h) => h.as_ns().saturating_add(1),
@@ -377,49 +522,57 @@ fn run_parallel<W: PartWorld>(
         .map(|e| e.as_ns())
         .filter(|&e| e < stop_bound)
         .collect();
-
-    let ctl: Ctl<W::Msg> = Ctl {
-        slots: queues
-            .iter()
-            .map(|q| Slot {
-                inbox: Mutex::new(Vec::new()),
-                clock: AtomicU64::new(q.peek_time().map_or(u64::MAX, |t| t.as_ns())),
-                inbox_min: AtomicU64::new(u64::MAX),
-            })
-            .collect(),
-        sent: AtomicU64::new(0),
-        epoch_idx: AtomicUsize::new(0),
-        stop: AtomicBool::new(false),
-        barrier: StopBarrier::new(n_parts),
-    };
+    let init_heads: Vec<u64> =
+        queues.iter().map(|q| q.peek_time().map_or(u64::MAX, |t| t.as_ns())).collect();
+    let ctl = build_ctl(cfg, n_parts, &init_heads);
+    // tidy: allow(hot-path-sync) -- cold first-error slot; locked only when a run is already failing.
     let error: Mutex<Option<ExecError<W::Err>>> = Mutex::new(None);
 
-    // Everything below `at` is done and nothing that could change that
-    // is in flight. Clocks only decrease via deposits, and every
-    // deposit bumps `sent` under the receiver's inbox lock — so an
-    // unchanged `sent` across the scan makes it a consistent snapshot.
-    let quiescent = |at: u64| -> bool {
-        let s1 = ctl.sent.load(SeqCst);
-        if !ctl.slots.iter().all(|s| s.clock.load(SeqCst) >= at) {
+    // The termination scan. Versions are monotone and odd while a
+    // partition mutates, so an equal, all-even sum across the whole
+    // check certifies that the heads and rings it read form one
+    // consistent snapshot of a fully quiescent system.
+    let try_finish = || -> bool {
+        let mut sum1 = 0u64;
+        for v in &ctl.ver {
+            let x = v.load(SeqCst);
+            if x & 1 == 1 {
+                return false;
+            }
+            sum1 = sum1.wrapping_add(x);
+        }
+        if !ctl.head.iter().all(|h| h.load(SeqCst) >= stop_bound) {
             return false;
         }
-        s1 == ctl.sent.load(SeqCst)
+        if !ctl.chans.iter().all(|c| c.ring.is_empty()) {
+            return false;
+        }
+        let mut sum2 = 0u64;
+        for v in &ctl.ver {
+            sum2 = sum2.wrapping_add(v.load(SeqCst));
+        }
+        if sum1 == sum2 {
+            ctl.done.store(true, SeqCst);
+            true
+        } else {
+            false
+        }
     };
 
     let worker = |part: usize, mut world: W, mut queue: EventQueue<(u32, W::Msg)>| {
-        let min_other = |part: usize| -> u64 {
-            ctl.slots
-                .iter()
-                .enumerate()
-                .filter(|&(j, _)| j != part)
-                .map(|(_, s)| s.clock.load(SeqCst))
-                .min()
-                .unwrap_or(u64::MAX)
-        };
         let mut events = 0u64;
         let mut last_t = SimTime::ZERO;
         let mut same_tick = 0u64;
+        let mut epoch_next = 0usize;
         let mut remote_buf: Vec<RemoteMsg<W::Msg>> = Vec::new();
+        let mut scratch: Vec<u64> = Vec::new();
+        let mut enc: Vec<u64> = Vec::new();
+        // Last bound published per out-edge (indexed like ctl.outs[part]);
+        // keeps the single-writer stores monotone without re-reading.
+        let mut pub_bounds: Vec<u64> = ctl.outs[part]
+            .iter()
+            .map(|&c| ctl.chans[c].bound.load(SeqCst))
+            .collect();
         let fail = |e: ExecError<W::Err>| {
             let mut slot = lock_unpoisoned(&error);
             if slot.is_none() {
@@ -428,8 +581,8 @@ fn run_parallel<W: PartWorld>(
             ctl.stop.store(true, SeqCst);
         };
         // A panic in `world.handle` (a debug assertion, say) must still
-        // release the other workers, or they spin/wait forever and the
-        // panic never propagates out of the thread scope.
+        // release the other workers, or they spin forever and the panic
+        // never propagates out of the thread scope.
         struct StopOnPanic<'a>(&'a AtomicBool);
         impl Drop for StopOnPanic<'_> {
             fn drop(&mut self) {
@@ -439,42 +592,67 @@ fn run_parallel<W: PartWorld>(
             }
         }
         let _stop_guard = StopOnPanic(&ctl.stop);
-        'main: while !ctl.stop.load(SeqCst) {
-            // Drain the inbox and publish the clock under one lock:
-            // depositors fetch_min the clock under the same lock, so the
-            // published value can never race above a pending message.
-            {
-                let mut inbox = lock_unpoisoned(&ctl.slots[part].inbox);
-                for (node, at, key, msg) in inbox.drain(..) {
+        'main: while !ctl.done.load(SeqCst) && !ctl.stop.load(SeqCst) {
+            // 1. Safe time: the minimum in-edge bound. Read *before*
+            // draining — the safety argument in the module docs hangs
+            // on this order.
+            let mut s = u64::MAX;
+            for &c in &ctl.in_of[part] {
+                s = s.min(ctl.chans[c].bound.load(SeqCst));
+            }
+            let limit = s.min(stop_bound);
+            let head = queue.peek_time().map_or(u64::MAX, |t| t.as_ns());
+            let idle = head >= limit
+                && ctl.in_of[part].iter().all(|&c| ctl.chans[c].ring.is_empty());
+            if idle {
+                // Nothing to drain, nothing processable: ratchet the
+                // out-bounds (null messages) and scan for termination.
+                // Publishing a bound needs no version bump — bounds are
+                // monotone and the scan does not read them.
+                let e = head.min(s);
+                for (i, &c) in ctl.outs[part].iter().enumerate() {
+                    let b = e.saturating_add(ctl.chans[c].lookahead);
+                    if b > pub_bounds[i] {
+                        pub_bounds[i] = b;
+                        ctl.chans[c].bound.store(b, SeqCst);
+                    }
+                }
+                if try_finish() {
+                    break;
+                }
+                std::thread::yield_now();
+                continue;
+            }
+            // Active iteration: version odd while any shared-visible
+            // state (rings, published head) is in motion.
+            ctl.ver[part].fetch_add(1, SeqCst);
+            // 2. Drain every in-ring fully, merging into the calendar
+            // (the calendar is the k-way merge point: `schedule_keyed`
+            // restores the deterministic (tick, key) order).
+            for &c in &ctl.in_of[part] {
+                while ctl.chans[c].ring.pop(&mut scratch) {
+                    let at = SimTime::from_ns(scratch[0]);
+                    let key = scratch[1];
+                    let node = scratch[2] as u32;
+                    let msg = W::Msg::decode(&scratch[3..]);
+                    let msg = world.rehydrate(ctl.chans[c].src, msg);
                     queue.schedule_keyed(at, key, (node, msg));
                 }
-                ctl.slots[part].inbox_min.store(u64::MAX, SeqCst);
-                let c = queue.peek_time().map_or(u64::MAX, |t| t.as_ns());
-                ctl.slots[part].clock.store(c, SeqCst);
             }
-            let eidx = ctl.epoch_idx.load(SeqCst);
-            let cap = epochs.get(eidx).copied().unwrap_or(u64::MAX).min(stop_bound);
-            let mut bound = cap.min(min_other(part).saturating_add(lookahead));
-            let mut progressed = false;
+            // 3. Process strictly below the safe time.
             while let Some(t) = queue.peek_time() {
-                // The inbox fence: a deposit made mid-burst must be
-                // merged before any event at or past its time — the
-                // depositor's own clock (and with it our bound) can
-                // legitimately advance beyond the deposit once it is
-                // made, so the bound alone does not protect it. Any
-                // message that could violate an in-progress pop is
-                // deposited before the clock read that enabled the pop
-                // (the depositor raises its clock only after the
-                // deposit), so checking the fence per pop is exact.
-                if t.as_ns() >= bound
-                    || t.as_ns() >= ctl.slots[part].inbox_min.load(SeqCst)
-                {
+                if t.as_ns() >= limit {
                     break;
                 }
                 // tidy: allow(no-unwrap) -- peek_time returned Some above; only this worker pops its own queue
                 let ev = queue.pop().expect("peeked");
+                // Replica-local epochs: apply every epoch at or before
+                // this event's time, exactly like the serial loop.
+                while epoch_next < epochs.len() && epochs[epoch_next] <= ev.time.as_ns() {
+                    world.on_epoch(epoch_next);
+                    epoch_next += 1;
+                }
                 events += 1;
-                progressed = true;
                 if ev.time == last_t {
                     same_tick += 1;
                     if same_tick > cfg.same_tick_limit {
@@ -498,46 +676,83 @@ fn run_parallel<W: PartWorld>(
                     fail(ExecError::App { partition: part, time: ev.time, err });
                     break 'main;
                 }
-                if !remote_buf.is_empty() {
-                    for m in remote_buf.drain(..) {
-                        let slot = &ctl.slots[m.dst_part as usize];
-                        let mut inbox = lock_unpoisoned(&slot.inbox);
-                        slot.clock.fetch_min(m.at.as_ns(), SeqCst);
-                        slot.inbox_min.fetch_min(m.at.as_ns(), SeqCst);
-                        ctl.sent.fetch_add(1, SeqCst);
-                        inbox.push((m.node, m.at, m.key, m.msg));
-                    }
-                    // Our own sends may pull a neighbour's clock below
-                    // the bound we computed (and its replies could then
-                    // land inside it) — recompute before continuing.
-                    bound = cap.min(min_other(part).saturating_add(lookahead));
-                }
-            }
-            if progressed {
-                continue;
-            }
-            // Idle. Check for an epoch rendezvous or termination. Both
-            // conditions are stable once true (nothing below the fence
-            // exists or can be created), so every partition reaches the
-            // same barrier.
-            let eidx = ctl.epoch_idx.load(SeqCst);
-            if eidx < epochs.len() {
-                if quiescent(epochs[eidx]) {
-                    if let Some(leader) = ctl.barrier.wait(&ctl.stop) {
-                        if leader {
-                            world.on_epoch(eidx);
-                            ctl.epoch_idx.store(eidx + 1, SeqCst);
+                for m in remote_buf.drain(..) {
+                    let Some(c) = ctl.out_of[part][m.dst_part as usize] else {
+                        fail(ExecError::Config {
+                            detail: format!(
+                                "partition {part} sent to partition {} with no declared edge",
+                                m.dst_part
+                            ),
+                        });
+                        break 'main;
+                    };
+                    debug_assert!(
+                        m.at.as_ns() >= ev.time.as_ns().saturating_add(ctl.chans[c].lookahead),
+                        "send at {} violates edge {part} -> {} lookahead {} (event at {})",
+                        m.at.as_ns(),
+                        m.dst_part,
+                        ctl.chans[c].lookahead,
+                        ev.time.as_ns(),
+                    );
+                    enc.clear();
+                    enc.push(m.at.as_ns());
+                    enc.push(m.key);
+                    enc.push(m.node as u64);
+                    m.msg.encode(&mut enc);
+                    while !ctl.chans[c].ring.push(&enc) {
+                        // Backpressure: the consumer is behind. Keep
+                        // the system live while we wait — publish a
+                        // floor bound (every future send happens at or
+                        // after this event plus the edge lookahead) so
+                        // neighbours can keep ratcheting, and drain our
+                        // own in-rings so a producer blocked on *us*
+                        // frees up in a send cycle.
+                        for (i, &oc) in ctl.outs[part].iter().enumerate() {
+                            let b = ev.time.as_ns().saturating_add(ctl.chans[oc].lookahead);
+                            if b > pub_bounds[i] {
+                                pub_bounds[i] = b;
+                                ctl.chans[oc].bound.store(b, SeqCst);
+                            }
                         }
-                        ctl.barrier.wait(&ctl.stop);
+                        for &ic in &ctl.in_of[part] {
+                            while ctl.chans[ic].ring.pop(&mut scratch) {
+                                let at = SimTime::from_ns(scratch[0]);
+                                let key = scratch[1];
+                                let node = scratch[2] as u32;
+                                let dm = W::Msg::decode(&scratch[3..]);
+                                let dm = world.rehydrate(ctl.chans[ic].src, dm);
+                                queue.schedule_keyed(at, key, (node, dm));
+                            }
+                        }
+                        if ctl.stop.load(SeqCst) {
+                            break 'main;
+                        }
+                        std::thread::yield_now();
                     }
-                    continue;
-                }
-            } else if quiescent(stop_bound) {
-                if ctl.barrier.wait(&ctl.stop).is_some() {
-                    break;
                 }
             }
-            std::thread::yield_now();
+            // 4. Publish: calendar head for the termination scan, then
+            // out-bounds (min(head, S) + L per edge), then the even
+            // version — the order makes the scan's snapshot sound.
+            let head_now = queue.peek_time().map_or(u64::MAX, |t| t.as_ns());
+            ctl.head[part].store(head_now, SeqCst);
+            let e = head_now.min(s);
+            for (i, &c) in ctl.outs[part].iter().enumerate() {
+                let b = e.saturating_add(ctl.chans[c].lookahead);
+                if b > pub_bounds[i] {
+                    pub_bounds[i] = b;
+                    ctl.chans[c].bound.store(b, SeqCst);
+                }
+            }
+            ctl.ver[part].fetch_add(1, SeqCst);
+        }
+        // Trailing epochs fire on every replica once the run completes
+        // (an error leaves them unapplied, matching the serial loop).
+        if !ctl.stop.load(SeqCst) {
+            while epoch_next < epochs.len() {
+                world.on_epoch(epoch_next);
+                epoch_next += 1;
+            }
         }
         (world, events)
     };
@@ -593,8 +808,10 @@ mod tests {
         state: Vec<(u64, u64)>,
         seq: Vec<u64>,
         epoch_marks: Vec<(usize, u64)>,
-        /// Highest time seen before each epoch fired (shared, exact).
+        /// Highest local event time seen before each epoch fired.
         max_seen: u64,
+        /// Cross-partition deliveries seen via the rehydrate hook.
+        rehydrated: u64,
     }
 
     impl Ring {
@@ -609,6 +826,7 @@ mod tests {
                 seq: vec![0; n_nodes as usize],
                 epoch_marks: Vec::new(),
                 max_seen: 0,
+                rehydrated: 0,
             }
         }
         fn key(&mut self, node: u32) -> u64 {
@@ -650,24 +868,39 @@ mod tests {
         fn on_epoch(&mut self, idx: usize) {
             self.epoch_marks.push((idx, self.max_seen));
         }
+        fn rehydrate(&mut self, _from_part: u32, msg: u64) -> u64 {
+            self.rehydrated += 1;
+            msg
+        }
     }
 
-    fn run_ring(parts: usize, epochs: Vec<SimTime>, horizon: Option<SimTime>) -> ExecResult<Ring> {
-        let n_nodes = 6u32;
+    fn ring_cfg(part_of: Vec<u32>, epochs: Vec<SimTime>, horizon: Option<SimTime>) -> ExecConfig {
+        ExecConfig {
+            lookahead: SimDuration::from_ns(16),
+            edges: None,
+            ring_words: 1 << 12,
+            epochs,
+            horizon,
+            same_tick_limit: 1_000,
+            part_of,
+        }
+    }
+
+    fn run_ring_n(
+        parts: usize,
+        n_nodes: u32,
+        epochs: Vec<SimTime>,
+        horizon: Option<SimTime>,
+    ) -> ExecResult<Ring> {
         let part_of: Vec<u32> = (0..n_nodes).map(|n| n % parts as u32).collect();
         let worlds: Vec<Ring> = (0..parts)
             .map(|p| Ring::new(p as u32, part_of.clone(), n_nodes, 16, 200))
             .collect();
-        execute(
-            worlds,
-            ExecConfig {
-                lookahead: SimDuration::from_ns(16),
-                epochs,
-                horizon,
-                same_tick_limit: 1_000,
-                part_of,
-            },
-        )
+        execute(worlds, ring_cfg(part_of, epochs, horizon))
+    }
+
+    fn run_ring(parts: usize, epochs: Vec<SimTime>, horizon: Option<SimTime>) -> ExecResult<Ring> {
+        run_ring_n(parts, 6, epochs, horizon)
     }
 
     /// Merge per-node state across partitions (a node's state lives in
@@ -695,6 +928,62 @@ mod tests {
     }
 
     #[test]
+    fn eight_partitions_match_serial() {
+        let ser = run_ring_n(1, 8, vec![], None);
+        let par = run_ring_n(8, 8, vec![], None);
+        assert!(ser.error.is_none() && par.error.is_none());
+        assert_eq!(par.events, ser.events);
+        assert_eq!(merged(&par), merged(&ser));
+        // Every hop crosses a partition at 8 parts / 8 nodes, and every
+        // crossing runs through the rehydrate hook.
+        let rehydrated: u64 = par.worlds.iter().map(|w| w.rehydrated).sum();
+        assert_eq!(rehydrated + 8, par.events, "every non-seed delivery crossed");
+    }
+
+    #[test]
+    fn tiny_rings_backpressure_without_divergence() {
+        // An 8-word ring holds a single 5-word record at a time, so the
+        // producers live in the backpressure path — results must not
+        // change.
+        let ser = run_ring(1, vec![], None);
+        let part_of: Vec<u32> = (0..6u32).map(|n| n % 3).collect();
+        let worlds: Vec<Ring> =
+            (0..3).map(|p| Ring::new(p, part_of.clone(), 6, 16, 200)).collect();
+        let mut cfg = ring_cfg(part_of, vec![], None);
+        cfg.ring_words = 8;
+        let par = execute(worlds, cfg);
+        assert!(par.error.is_none());
+        assert_eq!(par.events, ser.events);
+        assert_eq!(merged(&par), merged(&ser));
+    }
+
+    #[test]
+    fn explicit_edge_list_runs_the_ring() {
+        // The 6-node ring on 3 partitions only sends p -> (p+1) % 3 and
+        // p -> (p-1) % 3... in fact node n sends to n+1 only, so the
+        // needed edges are exactly p -> (p+1) % 3. Extra edges are
+        // allowed; missing ones would panic.
+        let ser = run_ring(1, vec![], None);
+        let part_of: Vec<u32> = (0..6u32).map(|n| n % 3).collect();
+        let worlds: Vec<Ring> =
+            (0..3).map(|p| Ring::new(p, part_of.clone(), 6, 16, 200)).collect();
+        let mut cfg = ring_cfg(part_of, vec![], None);
+        cfg.edges = Some(
+            (0..3u32)
+                .map(|p| ExecEdge {
+                    from: p,
+                    to: (p + 1) % 3,
+                    lookahead: SimDuration::from_ns(16),
+                })
+                .collect(),
+        );
+        let par = execute(worlds, cfg);
+        assert!(par.error.is_none());
+        assert_eq!(par.events, ser.events);
+        assert_eq!(merged(&par), merged(&ser));
+    }
+
+    #[test]
     fn events_per_part_sums_to_total() {
         for parts in [1usize, 2, 3] {
             let res = run_ring(parts, vec![], None);
@@ -705,26 +994,27 @@ mod tests {
     }
 
     #[test]
-    fn epochs_fence_event_processing() {
+    fn epochs_fire_on_every_replica_in_order() {
         let e = vec![SimTime::from_ns(500), SimTime::from_ns(10_000_000)];
         let ser = run_ring(1, e.clone(), None);
         let par = run_ring(3, e, None);
         assert!(ser.error.is_none() && par.error.is_none());
         assert_eq!(merged(&par), merged(&ser));
-        // Exactly one partition fired each epoch, before any event at or
-        // past the epoch time (ring steps are 16 ns apart from t=1, so
-        // the last pre-epoch event is at 497 ns). The second epoch lies
-        // beyond the last event and still fires.
-        let marks: Vec<(usize, u64)> = {
-            let mut m: Vec<_> =
-                par.worlds.iter().flat_map(|w| w.epoch_marks.iter().copied()).collect();
-            m.sort();
-            m
-        };
-        assert_eq!(marks.len(), 2);
-        assert_eq!(marks[0].0, 0);
-        assert!(marks[0].1 < 500, "epoch 0 saw an event at {}", marks[0].1);
-        assert_eq!(marks[1].0, 1);
+        // Every partition applies every epoch to its replica, in epoch
+        // order, each after its local events before the epoch time and
+        // before any at or past it (ring steps are 16 ns apart from
+        // t=1, so the last pre-epoch event is at 497 ns). The second
+        // epoch lies beyond the last event and still fires (trailing).
+        for (p, w) in par.worlds.iter().enumerate() {
+            assert_eq!(w.epoch_marks.len(), 2, "partition {p}");
+            assert_eq!(w.epoch_marks[0].0, 0);
+            assert_eq!(w.epoch_marks[1].0, 1);
+            assert!(
+                w.epoch_marks[0].1 < 500,
+                "partition {p}: epoch 0 fired after an event at {}",
+                w.epoch_marks[0].1
+            );
+        }
         assert_eq!(ser.worlds[0].epoch_marks.len(), 2);
         assert!(ser.worlds[0].epoch_marks[0].1 < 500);
     }
@@ -738,6 +1028,44 @@ mod tests {
         assert!(ser.events < run_ring(1, vec![], None).events);
         assert_eq!(par.events, ser.events);
         assert_eq!(merged(&par), merged(&ser));
+    }
+
+    #[test]
+    fn zero_lookahead_errors_instead_of_deadlocking() {
+        // Global zero lookahead.
+        let part_of: Vec<u32> = (0..6u32).map(|n| n % 2).collect();
+        let worlds: Vec<Ring> =
+            (0..2).map(|p| Ring::new(p, part_of.clone(), 6, 16, 200)).collect();
+        let mut cfg = ring_cfg(part_of.clone(), vec![], None);
+        cfg.lookahead = SimDuration::ZERO;
+        let res = execute(worlds, cfg);
+        match res.error {
+            Some(ExecError::Config { detail }) => {
+                assert!(detail.contains("lookahead"), "unhelpful detail: {detail}")
+            }
+            other => panic!("expected Config error, got {other:?}"),
+        }
+        // A single zero-lookahead edge in an otherwise fine list.
+        let worlds: Vec<Ring> =
+            (0..2).map(|p| Ring::new(p, part_of.clone(), 6, 16, 200)).collect();
+        let mut cfg = ring_cfg(part_of, vec![], None);
+        cfg.edges = Some(vec![
+            ExecEdge { from: 0, to: 1, lookahead: SimDuration::from_ns(16) },
+            ExecEdge { from: 1, to: 0, lookahead: SimDuration::ZERO },
+        ]);
+        let res = execute(worlds, cfg);
+        match res.error {
+            Some(ExecError::Config { detail }) => {
+                assert!(detail.contains("1 -> 0"), "unhelpful detail: {detail}")
+            }
+            other => panic!("expected Config error, got {other:?}"),
+        }
+        // Serial runs don't need a lookahead at all.
+        let worlds = vec![Ring::new(0, vec![0; 6], 6, 16, 200)];
+        let mut cfg = ring_cfg(vec![0; 6], vec![], None);
+        cfg.lookahead = SimDuration::ZERO;
+        let res = execute(worlds, cfg);
+        assert!(res.error.is_none());
     }
 
     /// A world that reschedules itself at the same instant forever.
@@ -761,18 +1089,21 @@ mod tests {
         fn on_epoch(&mut self, _idx: usize) {}
     }
 
+    fn one_node_cfg() -> ExecConfig {
+        ExecConfig {
+            lookahead: SimDuration::from_ns(1),
+            edges: None,
+            ring_words: 64,
+            epochs: vec![],
+            horizon: None,
+            same_tick_limit: 100,
+            part_of: vec![0],
+        }
+    }
+
     #[test]
     fn same_tick_watchdog_fires() {
-        let res = execute(
-            vec![Livelock],
-            ExecConfig {
-                lookahead: SimDuration::from_ns(1),
-                epochs: vec![],
-                horizon: None,
-                same_tick_limit: 100,
-                part_of: vec![0],
-            },
-        );
+        let res = execute(vec![Livelock], one_node_cfg());
         match res.error {
             Some(ExecError::SameTick { partition: 0, time }) => {
                 assert_eq!(time, SimTime::from_ns(5));
@@ -803,21 +1134,63 @@ mod tests {
 
     #[test]
     fn app_errors_propagate() {
-        let res = execute(
-            vec![Fails],
-            ExecConfig {
-                lookahead: SimDuration::from_ns(1),
-                epochs: vec![],
-                horizon: None,
-                same_tick_limit: 100,
-                part_of: vec![0],
-            },
-        );
+        let res = execute(vec![Fails], one_node_cfg());
         assert_eq!(res.worlds.len(), 1);
         match res.error {
             Some(ExecError::App { partition: 0, time, err: "boom" }) => {
                 assert_eq!(time, SimTime::from_ns(3));
             }
+            other => panic!("expected App, got {other:?}"),
+        }
+    }
+
+    /// A two-partition world where one handler errors mid-run: the
+    /// error must come back and the other worker must not hang.
+    struct FailsAt {
+        part: u32,
+    }
+    impl PartWorld for FailsAt {
+        type Msg = u64;
+        type Err = &'static str;
+        fn seed(&mut self, out: &mut Outbox<'_, u64>) {
+            if self.part == 0 {
+                out.send(0, SimTime::from_ns(1), 0, 0);
+            }
+        }
+        fn handle(
+            &mut self,
+            now: SimTime,
+            node: u32,
+            hops: u64,
+            out: &mut Outbox<'_, u64>,
+        ) -> Result<(), &'static str> {
+            if hops == 40 {
+                return Err("mid-run failure");
+            }
+            out.send(1 - node, now + SimDuration::from_ns(10), hops + 1, hops + 1);
+            Ok(())
+        }
+        fn on_epoch(&mut self, _idx: usize) {}
+    }
+
+    #[test]
+    fn parallel_error_releases_all_workers() {
+        let part_of = vec![0u32, 1];
+        let worlds = vec![FailsAt { part: 0 }, FailsAt { part: 1 }];
+        let res = execute(
+            worlds,
+            ExecConfig {
+                lookahead: SimDuration::from_ns(10),
+                edges: None,
+                ring_words: 256,
+                epochs: vec![],
+                horizon: None,
+                same_tick_limit: 100,
+                part_of,
+            },
+        );
+        match res.error {
+            Some(ExecError::App { err: "mid-run failure", .. }) => {}
             other => panic!("expected App, got {other:?}"),
         }
     }

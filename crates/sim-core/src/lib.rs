@@ -37,12 +37,14 @@ pub mod exec;
 pub mod mcheck;
 pub mod pool;
 pub mod queue;
+pub mod ring;
 pub mod rng;
 pub mod time;
 
 pub use engine::{Engine, World};
-pub use exec::{execute, ExecConfig, ExecError, ExecResult, Outbox, PartWorld};
+pub use exec::{execute, ExecConfig, ExecEdge, ExecError, ExecResult, Outbox, PartWorld};
 pub use pool::{default_workers, par_map};
 pub use queue::{BinaryHeapQueue, EventQueue, ScheduledEvent};
+pub use ring::{RingMsg, SpscRing};
 pub use rng::{SimRng, SplitMix64};
 pub use time::{Bandwidth, SimDuration, SimTime};

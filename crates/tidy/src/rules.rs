@@ -71,8 +71,14 @@ pub const RULES: &[RuleInfo] = &[
     },
     RuleInfo {
         id: "lock-order",
-        what: "files with a `tidy: lock-order(...)` declaration must acquire locks in that order; \
-               exec.rs is required to declare one",
+        what: "files with a `tidy: lock-order(...)` declaration must acquire locks in that order",
+    },
+    RuleInfo {
+        id: "hot-path-sync",
+        what: "modules declaring `tidy: hot-path` must not use blocking sync primitives (Barrier, \
+               Mutex, RwLock, Condvar) in library code: the steady-state path is lock-free \
+               rings and atomics (justify cold-path setup/teardown uses with \
+               `tidy: allow(hot-path-sync)`)",
     },
     RuleInfo {
         id: "unsafe-code",
@@ -309,6 +315,19 @@ pub fn check_source(path: &str, src: &str, class: &FileClass) -> Vec<Finding> {
                     "no-unwrap",
                     t.line,
                     format!("`{name}!` in library code; return a structured SimError instead"),
+                    &mut supps,
+                );
+            }
+            if hot_path && lib_code && matches!(name, "Barrier" | "Mutex" | "RwLock" | "Condvar")
+            {
+                emit(
+                    "hot-path-sync",
+                    t.line,
+                    format!(
+                        "`{name}` in a `tidy: hot-path` module; the steady-state path must use \
+                         lock-free rings and atomics (justify cold-path uses with \
+                         `tidy: allow(hot-path-sync)`)"
+                    ),
                     &mut supps,
                 );
             }

@@ -20,8 +20,11 @@ const NON_SIM_CRATES: &[&str] = &["bench", "tidy"];
 const UNSAFE_ALLOWLIST: &[&str] = &[];
 
 /// Files that take multiple locks and must declare a
-/// `// tidy: lock-order(...)`.
-const LOCK_ORDER_REQUIRED: &[&str] = &["crates/sim-core/src/exec.rs"];
+/// `// tidy: lock-order(...)`. Deliberately empty since the executor
+/// rebuild: the free-running exec.rs holds one cold-path Mutex (the
+/// first-error slot) and no ordered lock pairs. Any future file that
+/// nests two locks must land here with its declared order.
+const LOCK_ORDER_REQUIRED: &[&str] = &[];
 
 /// The only library files allowed to touch `std::net`/`std::process`:
 /// the daemon's real-socket transport. Everything else — including the
@@ -121,7 +124,7 @@ mod tests {
     #[test]
     fn classification_matrix() {
         let c = classify("crates/sim-core/src/exec.rs");
-        assert!(c.is_sim && c.is_lib && c.requires_lock_order && !c.is_crate_root);
+        assert!(c.is_sim && c.is_lib && !c.requires_lock_order && !c.is_crate_root);
         let c = classify("crates/bench/src/lib.rs");
         assert!(!c.is_sim && c.is_lib && c.is_crate_root);
         let c = classify("crates/tidy/src/main.rs");

@@ -197,6 +197,30 @@ fn hot_path_alloc_fires_once_per_allocation() {
 }
 
 #[test]
+fn hot_path_sync() {
+    assert_pair(
+        "hot-path-sync",
+        include_str!("fixtures/bad_hot_path_sync.rs"),
+        include_str!("fixtures/ok_hot_path_sync.rs"),
+        &FileClass::sim_lib(),
+    );
+}
+
+#[test]
+fn hot_path_sync_only_applies_to_declared_modules() {
+    // The same blocking primitives are fine in a module that never
+    // declares `tidy: hot-path` — this rule bans them on the executor's
+    // steady-state path, not workspace-wide.
+    let src = include_str!("fixtures/bad_hot_path_sync.rs")
+        .replace("// tidy: hot-path\n", "");
+    let findings = run("bad", &src, &FileClass::sim_lib());
+    assert!(
+        !findings.iter().any(|f| f.rule == "hot-path-sync"),
+        "hot-path-sync fired without a hot-path declaration: {findings:?}"
+    );
+}
+
+#[test]
 fn net_isolation() {
     assert_pair(
         "net-isolation",
@@ -258,6 +282,7 @@ fn every_rule_has_a_fixture_pair() {
         "no-print",
         "no-unwrap",
         "hot-path-alloc",
+        "hot-path-sync",
         "net-isolation",
         "bad-directive",
         "unused-allow",

@@ -1,0 +1,16 @@
+//! Fixture: a declared hot-path module reaching for blocking sync
+//! primitives — the barrier-stepped executor style the free-running
+//! rebuild removed.
+// tidy: hot-path
+
+use std::sync::{Barrier, Mutex};
+
+pub struct Stepper {
+    pub barrier: Barrier,
+    pub shared: Mutex<Vec<u64>>,
+}
+
+pub fn step(s: &Stepper, v: u64) {
+    s.shared.lock().unwrap().push(v);
+    s.barrier.wait();
+}

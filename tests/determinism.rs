@@ -4,9 +4,10 @@
 
 use deadline_qos::core::Architecture;
 use deadline_qos::faults::{FaultPlan, LinkImpairment, LinkSelector};
-use deadline_qos::netsim::{Network, RunSummary, SimConfig};
+use deadline_qos::netsim::{Network, RunSummary, SimConfig, SimError, TraceSettings};
 use deadline_qos::sim_core::{SimDuration, SimTime};
 use deadline_qos::topology::{ClosParams, FoldedClos};
+use deadline_qos::trace::export::jsonl_bytes;
 
 fn cfg(seed: u64) -> SimConfig {
     let mut c = SimConfig::tiny(Architecture::Advanced2Vc, 0.4);
@@ -78,8 +79,10 @@ fn fault_scenarios(topo: &FoldedClos) -> Vec<(&'static str, Option<FaultPlan>)> 
 }
 
 /// Every [`RunSummary`] field must agree between executors except
-/// `peak_in_flight`, which measures pooled-arena storage and legitimately
-/// depends on how many arenas the run was split over.
+/// `peak_in_flight` and `partitions`: the former is a per-partition
+/// arena high-water maximum (marked `aggregation: "per-partition-max"`
+/// in the report JSON) whose value legitimately shifts with how the run
+/// was split, and the latter *is* the split width.
 fn assert_summaries_match(a: &RunSummary, b: &RunSummary, label: &str) {
     assert_eq!(a.events, b.events, "{label}: events");
     assert_eq!(a.injected_packets, b.injected_packets, "{label}: injected");
@@ -155,6 +158,68 @@ fn wider_partitioning_and_truncation_stay_exact() {
     let (r4, c4) = Network::new(t4).run_truncated();
     assert_eq!(r1.to_json(), r4.to_json(), "truncated reports diverged");
     assert_eq!(c1.events, c4.events, "truncated event counts diverged");
+}
+
+/// The 8-worker row: a 64-host (8-leaf) network partitioned all the
+/// way out, crossed with the fault scenarios and with tracing enabled —
+/// the widest free-running configuration the matrix exercises. Reports
+/// (trace section included) and exported trace bytes must match the
+/// serial oracle bit for bit.
+#[test]
+fn eight_workers_match_serial_with_faults_and_tracing() {
+    let mut base = cfg(77);
+    base.topology = ClosParams::scaled(64);
+    let topo = FoldedClos::build(base.topology);
+    for (fault_label, plan) in fault_scenarios(&topo) {
+        for trace_on in [false, true] {
+            let label = format!("{fault_label}/trace={trace_on}");
+            eprintln!("8-worker matrix: {label}");
+            let mut c = base;
+            if trace_on {
+                c.trace = TraceSettings::on();
+            }
+            let run = |workers: usize| {
+                let mut c = c;
+                c.workers = workers;
+                let net = match plan.as_ref() {
+                    Some(p) => Network::with_faults(c, p),
+                    None => Network::new(c),
+                };
+                let (report, summary, trace) =
+                    net.try_run_traced().expect("matrix run completes");
+                (report.to_json(), summary, jsonl_bytes(&trace))
+            };
+            let (j1, s1, t1) = run(1);
+            let (j8, s8, t8) = run(8);
+            assert_eq!(j1, j8, "{label}: report JSON diverged at 8 workers");
+            assert_summaries_match(&s1, &s8, &label);
+            assert_eq!(t1, t8, "{label}: trace bytes diverged at 8 workers");
+            assert_eq!(s8.partitions, 8, "{label}: expected an 8-way split");
+        }
+    }
+}
+
+/// A zero-lookahead neighbour configuration must be *rejected up
+/// front* with [`SimError::Config`], not deadlock the safe-time
+/// ratchet: with `wire_delay = credit_delay = 0` no partition edge can
+/// ever promise its neighbours a minimum latency, so the free-running
+/// executor has nothing to advance on.
+#[test]
+fn zero_lookahead_config_errors_instead_of_deadlocking() {
+    let mut c = cfg(3);
+    c.wire_delay = SimDuration::ZERO;
+    c.credit_delay = SimDuration::ZERO;
+    c.workers = 2;
+    match Network::new(c).try_run() {
+        Err(SimError::Config { detail }) => {
+            assert!(
+                detail.contains("lookahead"),
+                "Config detail should name the zero-lookahead edge: {detail}"
+            );
+        }
+        Err(e) => panic!("expected SimError::Config, got {e}"),
+        Ok(_) => panic!("zero-lookahead parallel run succeeded — ratchet cannot be sound"),
+    }
 }
 
 /// Random clock offsets must not perturb equivalence: local-time
